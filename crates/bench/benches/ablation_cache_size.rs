@@ -1,0 +1,36 @@
+//! Ablation: CPU-cache sensitivity of the CXL-resident buffer pool.
+//!
+//! The paper's §2.3 argues "CPU caching further enhances performance
+//! when directly accessing CXL memory". This bench sweeps the per-
+//! instance cache budget and reports throughput, latency and CXL link
+//! traffic for sysbench point-select.
+
+use bench::{banner, footer, kqps};
+use simkit::SimTime;
+use workloads::{run_pooling, PoolKind, PoolingConfig, SysbenchKind};
+
+fn main() {
+    banner(
+        "Ablation A3",
+        "CXL-BP sensitivity to CPU cache capacity",
+        "the CPU cache absorbs CXL traffic; with no cache every line rides the switch",
+    );
+    println!(
+        "{:>10} {:>12} {:>14} {:>12}",
+        "cache", "K-QPS", "avg lat (us)", "CXL GB/s"
+    );
+    for &kb in &[64usize, 256, 1024, 4096, 16384] {
+        let mut cfg = PoolingConfig::standard(PoolKind::Cxl, SysbenchKind::PointSelect, 4);
+        cfg.cache_bytes = kb << 10;
+        cfg.duration = SimTime::from_millis(150);
+        let r = run_pooling(&cfg);
+        println!(
+            "{:>7}KiB {:>12} {:>14.1} {:>12.2}",
+            kb,
+            kqps(r.metrics.qps),
+            r.metrics.avg_latency_us,
+            r.metrics.interconnect_gbps
+        );
+    }
+    footer("bigger caches trade switch bandwidth for hit latency; throughput stays CPU-bound as the paper observes");
+}

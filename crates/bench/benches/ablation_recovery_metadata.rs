@@ -1,0 +1,37 @@
+//! Ablation: what durable metadata in CXL is worth to recovery.
+//!
+//! PolarRecv trusts a block when its persisted `lock_state` is clear and
+//! its `lsn` is covered by durable redo. Without that metadata, every
+//! in-use page must be rebuilt from storage + redo even though its data
+//! survived in CXL — this bench measures that gap (§3.2's design
+//! rationale).
+
+use bench::{banner, footer};
+use workloads::recovery_harness::{run_recovery, RecoveryConfig, Scheme};
+use workloads::SysbenchKind;
+
+fn main() {
+    banner(
+        "Ablation A2",
+        "PolarRecv with vs without durable block metadata",
+        "storing {lock_state, lsn} in CXL is what lets recovery trust surviving pages instead of replaying everything",
+    );
+    println!(
+        "{:<18} {:>14} {:>16} {:>14} {:>14}",
+        "scheme", "workload", "recovery (s)", "pages rebuilt", "records"
+    );
+    for wl in [SysbenchKind::ReadWrite, SysbenchKind::WriteOnly] {
+        for scheme in [Scheme::PolarRecv, Scheme::PolarRecvNoMeta] {
+            let r = run_recovery(&RecoveryConfig::standard(scheme, wl));
+            println!(
+                "{:<18} {:>14} {:>16.4} {:>14} {:>14}",
+                r.scheme,
+                format!("{wl:?}"),
+                r.recovery_secs,
+                r.summary.pages_rebuilt,
+                r.summary.records_applied
+            );
+        }
+    }
+    footer("without metadata the 'instant' recovery degenerates to a full rebuild of the resident set");
+}

@@ -1,0 +1,35 @@
+//! Figure 12: sharing under sysbench read-write on 8- and 12-node
+//! clusters, 20–100 % shared data.
+
+use bench::{banner, footer, improvement_pct, kqps};
+use workloads::sharing::{read_write_gen, run_sharing, SharingConfig, SharingSystem};
+
+fn main() {
+    banner(
+        "Figure 12",
+        "Sharing: read-write, 8 and 12 nodes",
+        "peak improvement +68.2% (8 nodes) and +154.4% (12 nodes) at 60% shared; +34%/+126% even at 100%",
+    );
+    for nodes in [8usize, 12] {
+        println!("[{nodes} nodes]");
+        println!(
+            "{:>7} | {:>12} {:>12} {:>8}",
+            "shared", "RDMA K-QPS", "CXL K-QPS", "improve"
+        );
+        for &pct in &[20u32, 40, 60, 80, 100] {
+            let rcfg = SharingConfig::standard(SharingSystem::Rdma { lbp_fraction: 0.3 }, nodes);
+            let ccfg = SharingConfig::standard(SharingSystem::Cxl, nodes);
+            let r = run_sharing(&rcfg, read_write_gen(rcfg.layout, pct));
+            let c = run_sharing(&ccfg, read_write_gen(ccfg.layout, pct));
+            println!(
+                "{:>6}% | {:>12} {:>12} {:>7.0}%",
+                pct,
+                kqps(r.metrics.qps),
+                kqps(c.metrics.qps),
+                improvement_pct(c.metrics.qps, r.metrics.qps)
+            );
+        }
+        println!();
+    }
+    footer("more nodes -> more synchronization -> a bigger CXL advantage, until lock contention levels both");
+}

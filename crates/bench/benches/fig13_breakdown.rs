@@ -1,0 +1,32 @@
+//! Figure 13: breakdown — RDMA-based sharing with LBP sizes from 10 %
+//! to 100 % of each node's accessed dataset vs PolarCXLMem, sysbench
+//! point-update, 8 nodes.
+
+use bench::{banner, footer, kqps};
+use workloads::sharing::{point_update_gen, run_sharing, SharingConfig, SharingSystem};
+
+fn main() {
+    banner(
+        "Figure 13",
+        "Breakdown: RDMA LBP size sweep vs PolarCXLMem (point-update, 8 nodes)",
+        "at 20% shared CXL = 2.14x RDMA-LBP10; LBP size stops mattering as sharing grows; CXL wins even vs LBP-100",
+    );
+    let fracs = [0.10f64, 0.30, 0.50, 0.70, 1.00];
+    print!("{:>7} |", "shared");
+    for f in fracs {
+        print!(" {:>10}", format!("LBP-{:.0}%", f * 100.0));
+    }
+    println!(" {:>12}", "PolarCXLMem");
+    for &pct in &[20u32, 40, 60, 80, 100] {
+        print!("{:>6}% |", pct);
+        for &f in &fracs {
+            let cfg = SharingConfig::standard(SharingSystem::Rdma { lbp_fraction: f }, 8);
+            let r = run_sharing(&cfg, point_update_gen(cfg.layout, pct));
+            print!(" {:>10}", kqps(r.metrics.qps));
+        }
+        let ccfg = SharingConfig::standard(SharingSystem::Cxl, 8);
+        let c = run_sharing(&ccfg, point_update_gen(ccfg.layout, pct));
+        println!(" {:>12}", kqps(c.metrics.qps));
+    }
+    footer("all columns are K-QPS; growing the LBP buys RDMA little once synchronization dominates");
+}

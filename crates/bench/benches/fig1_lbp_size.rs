@@ -1,0 +1,41 @@
+//! Figure 1: impact of the local-buffer-pool size in RDMA-based
+//! systems — throughput and RDMA bandwidth as the LBP grows from 10 %
+//! to 100 % of the disaggregated memory, for point-select and
+//! read-write.
+
+use bench::{banner, footer, kqps};
+use simkit::SimTime;
+use workloads::{run_pooling, PoolKind, PoolingConfig, SysbenchKind};
+
+fn sweep(workload: SysbenchKind) {
+    println!("[{workload:?}]");
+    println!(
+        "{:>6} {:>14} {:>16} {:>14}",
+        "LBP", "K-QPS", "RDMA GB/s", "avg lat (us)"
+    );
+    for &frac in &[0.10f64, 0.30, 0.50, 0.70, 1.00] {
+        let mut cfg = PoolingConfig::standard(PoolKind::TieredRdma, workload, 1);
+        cfg.lbp_fraction = frac;
+        cfg.duration = SimTime::from_millis(200);
+        let r = run_pooling(&cfg);
+        println!(
+            "{:>5.0}% {:>14} {:>16.2} {:>14.1}",
+            frac * 100.0,
+            kqps(r.metrics.qps),
+            r.metrics.interconnect_gbps,
+            r.metrics.avg_latency_us
+        );
+    }
+}
+
+fn main() {
+    banner(
+        "Figure 1",
+        "Impact of LBP size in RDMA-based systems",
+        "point-select: 6.9 GB/s at 10% LBP falling to 0 at 100%; read-write: 3.9 GB/s at 10%; throughput rises as LBP grows",
+    );
+    sweep(SysbenchKind::PointSelect);
+    println!();
+    sweep(SysbenchKind::ReadWrite);
+    footer("bandwidth falls and throughput rises with LBP size - the cost is the LBP memory itself");
+}

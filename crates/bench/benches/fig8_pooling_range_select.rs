@@ -1,0 +1,40 @@
+//! Figure 8: pooling comparison under sysbench range-select
+//! (32 threads/instance) at 2/4/8/12 instances.
+
+use bench::{banner, footer, kqps};
+use workloads::{run_pooling, PoolKind, PoolingConfig, SysbenchKind};
+
+fn main() {
+    banner(
+        "Figure 8",
+        "Pooling: range-select, RDMA vs PolarCXLMem",
+        "RDMA saturates at 4 instances (~11 GB/s); PolarCXLMem keeps scaling",
+    );
+    println!(
+        "{:>4} | {:>12} {:>12} | {:>12} {:>12} | {:>10} {:>10}",
+        "n", "RDMA K-QPS", "CXL K-QPS", "RDMA lat us", "CXL lat us", "RDMA GB/s", "CXL GB/s"
+    );
+    for &n in &[2usize, 4, 8, 12] {
+        let r = run_pooling(&PoolingConfig::standard(
+            PoolKind::TieredRdma,
+            SysbenchKind::RangeSelect,
+            n,
+        ));
+        let c = run_pooling(&PoolingConfig::standard(
+            PoolKind::Cxl,
+            SysbenchKind::RangeSelect,
+            n,
+        ));
+        println!(
+            "{:>4} | {:>12} {:>12} | {:>12.1} {:>12.1} | {:>10.2} {:>10.2}",
+            n,
+            kqps(r.metrics.qps),
+            kqps(c.metrics.qps),
+            r.metrics.avg_latency_us,
+            c.metrics.avg_latency_us,
+            r.metrics.interconnect_gbps,
+            c.metrics.interconnect_gbps
+        );
+    }
+    footer("ranges read whole pages usefully, so RDMA's amplification is smaller - but bandwidth still caps it");
+}

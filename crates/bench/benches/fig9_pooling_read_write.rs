@@ -1,0 +1,40 @@
+//! Figure 9: pooling comparison under sysbench read-write
+//! (48 threads/instance) at 2/4/8/12 instances.
+
+use bench::{banner, footer, kqps};
+use workloads::{run_pooling, PoolKind, PoolingConfig, SysbenchKind};
+
+fn main() {
+    banner(
+        "Figure 9",
+        "Pooling: read-write, RDMA vs PolarCXLMem",
+        "RDMA saturates at 8 instances; PolarCXLMem keeps scaling; RDMA bandwidth ~40% above CXL at 1 instance",
+    );
+    println!(
+        "{:>4} | {:>12} {:>12} | {:>12} {:>12} | {:>10} {:>10}",
+        "n", "RDMA K-QPS", "CXL K-QPS", "RDMA lat us", "CXL lat us", "RDMA GB/s", "CXL GB/s"
+    );
+    for &n in &[1usize, 2, 4, 8, 12] {
+        let r = run_pooling(&PoolingConfig::standard(
+            PoolKind::TieredRdma,
+            SysbenchKind::ReadWrite,
+            n,
+        ));
+        let c = run_pooling(&PoolingConfig::standard(
+            PoolKind::Cxl,
+            SysbenchKind::ReadWrite,
+            n,
+        ));
+        println!(
+            "{:>4} | {:>12} {:>12} | {:>12.1} {:>12.1} | {:>10.2} {:>10.2}",
+            n,
+            kqps(r.metrics.qps),
+            kqps(c.metrics.qps),
+            r.metrics.avg_latency_us,
+            c.metrics.avg_latency_us,
+            r.metrics.interconnect_gbps,
+            c.metrics.interconnect_gbps
+        );
+    }
+    footer("writes amplify too: a dirty eviction ships a whole page over the NIC");
+}

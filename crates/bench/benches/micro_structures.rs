@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks of the core data structures: CXL pool
+//! accesses, cache probes, B+tree operations, the CXL memory manager,
+//! and WAL encode/append. These guard the simulator's own performance
+//! (host time per simulated operation), which bounds how much virtual
+//! time the figure harnesses can afford.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use memsim::{CxlPool, NodeId};
+use polarcxlmem::CxlMemoryManager;
+use simkit::SimTime;
+use storage::{PageId, Wal};
+
+fn bench_cxl_access(c: &mut Criterion) {
+    let mut pool = CxlPool::single_host(8 << 20, 1, 1 << 20, false);
+    let mut buf = [0u8; 64];
+    let mut t = SimTime::ZERO;
+    let mut off = 0u64;
+    c.bench_function("cxl_cached_read_64B", |b| {
+        b.iter(|| {
+            off = (off + 64) % (4 << 20);
+            let a = pool.read(NodeId(0), off, &mut buf, t);
+            t = a.end;
+            a.misses
+        })
+    });
+    c.bench_function("cxl_ntstore_64B", |b| {
+        b.iter(|| {
+            off = (off + 64) % (4 << 20);
+            let a = pool.write_uncached(NodeId(0), off, &buf, t);
+            t = a.end;
+            a.link_bytes
+        })
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    use bufferpool::dram_bp::DramBp;
+    use btree::BTree;
+    use storage::PageStore;
+    let store = PageStore::with_page_size(4096, 16 * 1024);
+    let mut bp = DramBp::new(4096, 8 << 20, store);
+    let mut wal = Wal::new();
+    let (mut tree, _) = BTree::create(&mut bp, &mut wal, 188, SimTime::ZERO);
+    for k in 0..100_000u64 {
+        tree.insert(&mut bp, &mut wal, k, &[7u8; 188], SimTime::ZERO);
+    }
+    let mut k = 0u64;
+    c.bench_function("btree_get_100k", |b| {
+        b.iter(|| {
+            k = (k + 7919) % 100_000;
+            tree.get(&mut bp, k, SimTime::ZERO).0.is_some()
+        })
+    });
+    c.bench_function("btree_update_field_100k", |b| {
+        b.iter(|| {
+            k = (k + 104_729) % 100_000;
+            tree.update_field(&mut bp, &mut wal, k, 8, &[1u8; 16], SimTime::ZERO)
+        })
+    });
+}
+
+fn bench_manager(c: &mut Criterion) {
+    c.bench_function("cxl_manager_alloc_release", |b| {
+        b.iter_batched(
+            || CxlMemoryManager::new(1 << 30),
+            |mut m| {
+                let mut leases = Vec::new();
+                for i in 0..64 {
+                    leases.push(m.allocate(NodeId(i % 4), 1 << 16, SimTime::ZERO).unwrap().0);
+                }
+                for l in leases {
+                    m.release(l, SimTime::ZERO);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_wal(c: &mut Criterion) {
+    c.bench_function("wal_append_seal_flush", |b| {
+        b.iter_batched(
+            Wal::new,
+            |mut wal| {
+                for i in 0..128u64 {
+                    wal.append_update(PageId(i % 8), 0, vec![0u8; 128]);
+                    wal.seal_mtr();
+                }
+                wal.flush(SimTime::ZERO)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_cxl_access, bench_btree, bench_manager, bench_wal);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Shared helpers for the paper-figure bench harness.
+//!
+//! Each `[[bench]]` target (harness = false) regenerates one table or
+//! figure of the paper and prints the same rows/series the paper
+//! reports, with a header recalling what the paper measured so the
+//! shapes can be compared side by side. `EXPERIMENTS.md` records a
+//! paper-vs-measured summary for every target.
+
+/// Print a figure/table banner.
+pub fn banner(id: &str, title: &str, paper_summary: &str) {
+    println!("\n=== {id}: {title} ===");
+    println!("paper: {paper_summary}");
+    println!("{}", "-".repeat(78));
+}
+
+/// Print a closing note.
+pub fn footer(note: &str) {
+    println!("{}", "-".repeat(78));
+    println!("note: {note}\n");
+}
+
+/// Format a QPS value in K-QPS as the paper plots.
+pub fn kqps(qps: f64) -> String {
+    format!("{:.1}", qps / 1e3)
+}
+
+/// Relative improvement in percent: (a/b - 1) * 100.
+pub fn improvement_pct(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        (a / b - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement_pct(210.0, 100.0) - 110.0).abs() < 1e-9);
+        assert_eq!(improvement_pct(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn kqps_formats() {
+        assert_eq!(kqps(3_600_000.0), "3600.0");
+    }
+}

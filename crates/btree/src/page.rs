@@ -1,0 +1,182 @@
+//! On-page layouts of B+tree nodes.
+//!
+//! Leaf pages use the production slotted-page design (as in InnoDB):
+//! records live in an **unordered heap** growing down from the page end,
+//! and a **sorted slot array** of 2-byte heap indices grows up after the
+//! header. Inserting shifts only slot-array bytes (2 B per entry), not
+//! records — which keeps physical redo records small and realistic.
+//! Deleted heap slots are chained into an in-page free list and reused.
+//!
+//! ```text
+//! | header 16 B | slot array: nkeys × u16 →      ...      ← heap: slots of (key u64 + record) |
+//! ```
+//!
+//! Inner nodes keep a simple sorted (key, child) array: an inner node
+//! with `n` keys has `n+1` children; `child0` covers keys below
+//! `key[0]`, entry `i`'s child covers `[key[i], key[i+1])`.
+
+/// Byte size of the node header.
+pub const HEADER: u16 = 16;
+
+/// Node type tag: leaf.
+pub const TYPE_LEAF: u8 = 0;
+/// Node type tag: inner.
+pub const TYPE_INNER: u8 = 1;
+
+/// Offset of the node type byte.
+pub const OFF_TYPE: u16 = 0;
+/// Offset of the level byte (0 = leaf).
+pub const OFF_LEVEL: u16 = 1;
+/// Offset of the key count.
+pub const OFF_NKEYS: u16 = 2;
+/// Offset of the next-leaf pointer (leaf chain for range scans).
+pub const OFF_NEXT_LEAF: u16 = 4;
+/// Offset of the heap-slots-allocated count (leaf only).
+pub const OFF_HEAP_USED: u16 = 12;
+/// Offset of the heap free-list head (1-based heap index; 0 = empty).
+pub const OFF_FREE_HEAD: u16 = 14;
+/// Offset of inner node's leftmost child pointer.
+pub const OFF_CHILD0: u16 = HEADER;
+
+/// Leaf geometry for a given record size and page size.
+#[derive(Debug, Clone, Copy)]
+pub struct LeafGeo {
+    /// Bytes per record (excluding the 8-byte key).
+    pub record_size: u16,
+    /// Max entries per leaf.
+    pub capacity: u16,
+    /// Page size.
+    pub page_size: u64,
+}
+
+impl LeafGeo {
+    /// Compute leaf geometry: header + slot array (2 B/entry) + heap
+    /// slots (8 + record bytes each) must fit the page.
+    pub fn new(page_size: u64, record_size: u16) -> Self {
+        let per_entry = 2 + 8 + record_size as u64;
+        let capacity = ((page_size - HEADER as u64) / per_entry) as u16;
+        assert!(capacity >= 4, "page too small for 4 records");
+        LeafGeo {
+            record_size,
+            capacity,
+            page_size,
+        }
+    }
+
+    /// Byte offset of slot-array entry `i` (a u16 heap index).
+    pub fn slot_off(&self, i: u16) -> u16 {
+        HEADER + 2 * i
+    }
+
+    /// Bytes per heap slot (key + record).
+    pub fn heap_slot(&self) -> u16 {
+        8 + self.record_size
+    }
+
+    /// Byte offset of heap slot `h`'s key (heap grows down from the
+    /// page end).
+    pub fn heap_off(&self, h: u16) -> u16 {
+        (self.page_size - (h as u64 + 1) * self.heap_slot() as u64) as u16
+    }
+
+    /// Byte offset of heap slot `h`'s record.
+    pub fn heap_rec_off(&self, h: u16) -> u16 {
+        self.heap_off(h) + 8
+    }
+}
+
+/// Inner-node geometry for a given page size.
+#[derive(Debug, Clone, Copy)]
+pub struct InnerGeo {
+    /// Max keys per inner node (children = keys + 1).
+    pub capacity: u16,
+}
+
+impl InnerGeo {
+    /// Compute inner geometry.
+    pub fn new(page_size: u64) -> Self {
+        // header + child0 + capacity * (key + child)
+        let capacity = ((page_size - HEADER as u64 - 8) / 16) as u16;
+        assert!(capacity >= 4, "page too small for 4 separators");
+        InnerGeo { capacity }
+    }
+
+    /// Byte offset of inner entry `i`'s key.
+    pub fn key_off(&self, i: u16) -> u16 {
+        OFF_CHILD0 + 8 + i * 16
+    }
+
+    /// Byte offset of inner entry `i`'s child pointer.
+    pub fn child_off(&self, i: u16) -> u16 {
+        self.key_off(i) + 8
+    }
+}
+
+/// Tree metadata page layout (page 0 of a tree's store):
+/// `magic u64 | root u64 | record_size u64 | height u64`.
+pub mod meta {
+    /// Magic marking a formatted tree.
+    pub const MAGIC: u64 = 0x706F_6C61_7254_7265; // "polarTre"
+    /// Offset of the magic.
+    pub const OFF_MAGIC: u16 = 0;
+    /// Offset of the root page id.
+    pub const OFF_ROOT: u16 = 8;
+    /// Offset of the record size.
+    pub const OFF_RECSIZE: u16 = 16;
+    /// Offset of the tree height (levels above leaf).
+    pub const OFF_HEIGHT: u16 = 24;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_geometry_fits_page() {
+        let g = LeafGeo::new(16 * 1024, 188);
+        // (16384-16)/(2+8+188) = 82 entries
+        assert_eq!(g.capacity, 82);
+        // Slot array top and heap bottom must not collide.
+        let slots_end = g.slot_off(g.capacity) as u64;
+        let heap_start = g.heap_off(g.capacity - 1) as u64;
+        assert!(slots_end <= heap_start);
+    }
+
+    #[test]
+    fn heap_slots_are_disjoint_and_descending() {
+        let g = LeafGeo::new(1024, 56);
+        for h in 1..g.capacity {
+            assert_eq!(
+                g.heap_off(h) + g.heap_slot(),
+                g.heap_off(h - 1),
+                "heap slot {h} adjacency"
+            );
+        }
+        assert_eq!(g.heap_off(0) as u64 + g.heap_slot() as u64, 1024);
+        assert_eq!(g.heap_rec_off(0), g.heap_off(0) + 8);
+    }
+
+    #[test]
+    fn inner_geometry_fits_page() {
+        let g = InnerGeo::new(16 * 1024);
+        assert_eq!(g.capacity, 1022);
+        let last_end = g.child_off(g.capacity - 1) as u64 + 8;
+        assert!(last_end <= 16 * 1024);
+    }
+
+    #[test]
+    fn offsets_do_not_overlap_header() {
+        let g = LeafGeo::new(1024, 56);
+        assert_eq!(g.slot_off(0), HEADER);
+        assert_eq!(g.slot_off(1), HEADER + 2);
+        let ig = InnerGeo::new(1024);
+        assert_eq!(ig.key_off(0), HEADER + 8);
+        assert_eq!(ig.child_off(0), HEADER + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_pages_rejected() {
+        LeafGeo::new(64, 200);
+    }
+}

@@ -1,0 +1,316 @@
+//! The plain local-DRAM buffer pool (DRAM-BP in Figure 3).
+//!
+//! Pages are cached in host DRAM frames; misses read from the storage
+//! service; eviction is LRU with write-back of dirty pages. This is the
+//! configuration every database runs when it has enough local memory —
+//! the upper bound the CXL pool is measured against.
+
+use crate::lru::LruList;
+use crate::{BpStats, BufferPool};
+use memsim::{Access, DramSpace};
+use simkit::SimTime;
+use std::collections::HashMap;
+use storage::{Lsn, PageId, PageStore};
+
+struct Frame {
+    page: PageId,
+    dirty: bool,
+}
+
+/// A local-DRAM buffer pool over a page store.
+pub struct DramBp {
+    space: DramSpace,
+    store: PageStore,
+    frames: Vec<Option<Frame>>,
+    free: Vec<u32>,
+    map: HashMap<PageId, u32>,
+    lru: LruList,
+    lsns: HashMap<PageId, Lsn>,
+    stats: BpStats,
+}
+
+impl std::fmt::Debug for DramBp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DramBp")
+            .field("frames", &self.frames.len())
+            .field("resident", &self.map.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl DramBp {
+    /// A pool with `frames` page frames over `store`, fronted by a CPU
+    /// cache of `cache_bytes`.
+    pub fn new(frames: usize, cache_bytes: usize, store: PageStore) -> Self {
+        assert!(frames > 0);
+        let page = store.page_size() as usize;
+        DramBp {
+            space: DramSpace::new(frames * page, cache_bytes, false),
+            store,
+            frames: (0..frames).map(|_| None).collect(),
+            free: (0..frames as u32).rev().collect(),
+            map: HashMap::new(),
+            lru: LruList::new(frames),
+            lsns: HashMap::new(),
+            stats: BpStats::default(),
+        }
+    }
+
+    fn frame_off(&self, frame: u32) -> u64 {
+        frame as u64 * self.store.page_size()
+    }
+
+    /// Ensure `page` occupies a frame; returns (frame, time after any
+    /// fetch I/O).
+    fn fix(&mut self, page: PageId, now: SimTime) -> (u32, SimTime) {
+        if let Some(&frame) = self.map.get(&page) {
+            self.stats.hits += 1;
+            self.lru.touch(frame);
+            return (frame, now);
+        }
+        self.stats.misses += 1;
+        let mut t = now;
+        let frame = if let Some(f) = self.free.pop() {
+            f
+        } else {
+            let victim = self.lru.pop_back().expect("no free frame and empty LRU");
+            t = self.evict(victim, t);
+            victim
+        };
+        // Fetch from storage into the frame.
+        let ps = self.store.page_size() as usize;
+        let mut buf = vec![0u8; ps];
+        let io = self.store.read_page(page, &mut buf, t);
+        self.stats.storage_read_bytes += ps as u64;
+        t = io.end;
+        let off = self.frame_off(frame);
+        self.space.raw_mut().write(off, &buf);
+        self.frames[frame as usize] = Some(Frame { page, dirty: false });
+        self.map.insert(page, frame);
+        self.lru.push_front(frame);
+        (frame, t)
+    }
+
+    fn evict(&mut self, frame: u32, now: SimTime) -> SimTime {
+        let f = self.frames[frame as usize].take().expect("evicting empty frame");
+        self.map.remove(&f.page);
+        self.stats.evictions += 1;
+        if f.dirty {
+            self.stats.writebacks += 1;
+            let ps = self.store.page_size() as usize;
+            let off = self.frame_off(frame);
+            let data = self.space.raw().slice(off, ps).to_vec();
+            let io = self.store.write_page(f.page, &data, now);
+            self.stats.storage_write_bytes += ps as u64;
+            return io.end;
+        }
+        now
+    }
+
+    /// Crash: all volatile pool state is lost.
+    pub fn crash(&mut self) {
+        self.space.crash();
+        for f in &mut self.frames {
+            *f = None;
+        }
+        self.free = (0..self.frames.len() as u32).rev().collect();
+        self.map.clear();
+        self.lsns.clear();
+        self.lru = LruList::new(self.frames.len());
+    }
+}
+
+impl BufferPool for DramBp {
+    fn page_size(&self) -> u64 {
+        self.store.page_size()
+    }
+
+    fn allocate_page(&mut self, now: SimTime) -> (PageId, SimTime) {
+        (self.store.allocate(), now)
+    }
+
+    fn read(&mut self, page: PageId, off: u16, buf: &mut [u8], now: SimTime) -> Access {
+        let (frame, t) = self.fix(page, now);
+        let base = self.frame_off(frame);
+        self.space.read(base + off as u64, buf, t)
+    }
+
+    fn write(&mut self, page: PageId, off: u16, data: &[u8], lsn: Lsn, now: SimTime) -> Access {
+        let (frame, t) = self.fix(page, now);
+        if let Some(f) = &mut self.frames[frame as usize] {
+            f.dirty = true;
+        }
+        self.lsns.insert(page, lsn);
+        let base = self.frame_off(frame);
+        self.space.write(base + off as u64, data, t)
+    }
+
+    fn page_lsn(&self, page: PageId) -> Option<Lsn> {
+        self.lsns.get(&page).copied()
+    }
+
+    fn is_resident(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    fn flush_all(&mut self, now: SimTime) -> SimTime {
+        let ps = self.store.page_size() as usize;
+        let mut t = now;
+        let frames: Vec<u32> = self.map.values().copied().collect();
+        for frame in frames {
+            let dirty = self.frames[frame as usize]
+                .as_ref()
+                .is_some_and(|f| f.dirty);
+            if dirty {
+                let page = self.frames[frame as usize].as_ref().unwrap().page;
+                let off = self.frame_off(frame);
+                let data = self.space.raw().slice(off, ps).to_vec();
+                t = self.store.write_page(page, &data, t).end;
+                self.stats.storage_write_bytes += ps as u64;
+                self.frames[frame as usize].as_mut().unwrap().dirty = false;
+            }
+        }
+        t
+    }
+
+    fn stats(&self) -> BpStats {
+        self.stats
+    }
+
+    fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut PageStore {
+        &mut self.store
+    }
+
+    fn prewarm(&mut self) {
+        let pages = self.store.allocated_pages();
+        let ps = self.store.page_size() as usize;
+        for pid in 0..pages {
+            let page = PageId(pid);
+            if self.map.contains_key(&page) {
+                continue;
+            }
+            let Some(frame) = self.free.pop() else { break };
+            let data = self.store.raw_page(page).to_vec();
+            let off = self.frame_off(frame);
+            self.space.raw_mut().write(off, &data);
+            let _ = ps;
+            self.frames[frame as usize] = Some(Frame { page, dirty: false });
+            self.map.insert(page, frame);
+            self.lru.push_front(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool(frames: usize) -> DramBp {
+        let mut store = PageStore::with_page_size(16, 256);
+        for _ in 0..8 {
+            store.allocate();
+        }
+        DramBp::new(frames, 64 << 10, store)
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut bp = small_pool(4);
+        bp.write(PageId(0), 10, b"abc", Lsn(1), SimTime::ZERO);
+        let mut buf = [0u8; 3];
+        bp.read(PageId(0), 10, &mut buf, SimTime::ZERO);
+        assert_eq!(&buf, b"abc");
+        assert_eq!(bp.page_lsn(PageId(0)), Some(Lsn(1)));
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut bp = small_pool(4);
+        let mut buf = [0u8; 4];
+        let a = bp.read(PageId(3), 0, &mut buf, SimTime::ZERO);
+        assert!(a.end.as_nanos() >= memsim::calib::STORAGE_READ_NS);
+        let b = bp.read(PageId(3), 0, &mut buf, a.end);
+        assert!(b.end - a.end < 1_000, "hit must not pay storage I/O");
+        assert_eq!(bp.stats().hits, 1);
+        assert_eq!(bp.stats().misses, 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let mut bp = small_pool(2);
+        bp.write(PageId(0), 0, &[1, 2, 3], Lsn(1), SimTime::ZERO);
+        bp.read(PageId(1), 0, &mut [0u8; 1], SimTime::ZERO);
+        // Third page evicts LRU (page 0, dirty).
+        bp.read(PageId(2), 0, &mut [0u8; 1], SimTime::ZERO);
+        assert!(!bp.is_resident(PageId(0)));
+        assert_eq!(bp.stats().writebacks, 1);
+        // The write survived in storage.
+        assert_eq!(&bp.store().raw_page(PageId(0))[0..3], &[1, 2, 3]);
+        // Re-reading it brings the written bytes back.
+        let mut buf = [0u8; 3];
+        bp.read(PageId(0), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn clean_eviction_skips_writeback() {
+        let mut bp = small_pool(2);
+        bp.read(PageId(0), 0, &mut [0u8; 1], SimTime::ZERO);
+        bp.read(PageId(1), 0, &mut [0u8; 1], SimTime::ZERO);
+        bp.read(PageId(2), 0, &mut [0u8; 1], SimTime::ZERO);
+        assert_eq!(bp.stats().evictions, 1);
+        assert_eq!(bp.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn flush_all_clears_dirt() {
+        let mut bp = small_pool(4);
+        bp.write(PageId(0), 0, &[9], Lsn(1), SimTime::ZERO);
+        bp.write(PageId(1), 0, &[8], Lsn(2), SimTime::ZERO);
+        let t = bp.flush_all(SimTime::ZERO);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(bp.store().raw_page(PageId(0))[0], 9);
+        assert_eq!(bp.store().raw_page(PageId(1))[0], 8);
+        // Second flush does nothing.
+        let t2 = bp.flush_all(t);
+        assert_eq!(t2, t);
+    }
+
+    #[test]
+    fn crash_loses_everything() {
+        let mut bp = small_pool(4);
+        bp.write(PageId(0), 0, &[7], Lsn(1), SimTime::ZERO);
+        bp.crash();
+        assert!(!bp.is_resident(PageId(0)));
+        assert_eq!(bp.page_lsn(PageId(0)), None);
+        // The unflushed write is gone: storage still has the old page.
+        assert_eq!(bp.store().raw_page(PageId(0))[0], 0);
+    }
+
+    #[test]
+    fn prewarm_fills_frames() {
+        let mut bp = small_pool(4);
+        bp.prewarm();
+        assert!(bp.is_resident(PageId(0)));
+        assert!(bp.is_resident(PageId(3)));
+        assert!(!bp.is_resident(PageId(4)), "only 4 frames");
+        // Prewarm charges no I/O.
+        assert_eq!(bp.stats().storage_read_bytes, 0);
+    }
+
+    #[test]
+    fn lru_prefers_hot_pages() {
+        let mut bp = small_pool(2);
+        bp.read(PageId(0), 0, &mut [0u8; 1], SimTime::ZERO);
+        bp.read(PageId(1), 0, &mut [0u8; 1], SimTime::ZERO);
+        bp.read(PageId(0), 0, &mut [0u8; 1], SimTime::ZERO); // touch 0
+        bp.read(PageId(2), 0, &mut [0u8; 1], SimTime::ZERO); // evicts 1
+        assert!(bp.is_resident(PageId(0)));
+        assert!(!bp.is_resident(PageId(1)));
+    }
+}

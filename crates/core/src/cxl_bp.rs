@@ -1,0 +1,630 @@
+//! The CXL-resident buffer pool (§3.1).
+//!
+//! The paper's central design move: **no tiered memory**. The entire
+//! buffer pool — page data *and* metadata — lives in CXL memory; local
+//! DRAM keeps only transient engine state (here: the page→block map and
+//! the recency list order, both rebuildable). Queries touch exactly the
+//! bytes they need via load/store, so there is no page-granularity
+//! read/write amplification; and because metadata (`id`, `lock_state`,
+//! `lsn`, list links) is written durably (non-temporal stores / flushed
+//! lines), everything PolarRecv needs survives a crash.
+//!
+//! Crash-consistency protocol per write-latch window:
+//! 1. `set_latch(page, true)` → `lock_state := 1` (ntstore, durable
+//!    *before* any data change);
+//! 2. data writes go through the CPU cache (fast) and are recorded as
+//!    dirty ranges; the page LSN is updated in the (cached) meta line;
+//! 3. `set_latch(page, false)` → `clflush` the dirty ranges + meta line,
+//!    **then** `lock_state := 0` (ntstore).
+//!
+//! If the host dies inside the window, recovery finds `lock_state == 1`
+//! and rebuilds the page from storage + redo (§3.2); if it dies outside,
+//! the CXL copy is complete and trusted.
+
+use crate::layout::{field, BlockMeta, Geometry, RegionHeader, MAGIC, META_SIZE, NO_PAGE};
+use bufferpool::lru::LruList;
+use bufferpool::{BpStats, BufferPool};
+use memsim::{Access, CxlPool, NodeId};
+use simkit::SimTime;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use storage::{Lsn, PageId, PageStore};
+
+/// The CXL fabric shared by every node of a simulation.
+pub type SharedCxl = Rc<RefCell<CxlPool>>;
+
+/// The buffer pool living wholly in CXL memory.
+pub struct CxlBp {
+    cxl: SharedCxl,
+    node: NodeId,
+    geo: Geometry,
+    store: PageStore,
+    /// Volatile page → block map (rebuilt by recovery).
+    map: HashMap<PageId, u32>,
+    /// Volatile recency order over blocks; membership itself is
+    /// authoritative in CXL (`in_use` + list links).
+    lru: LruList,
+    free: Vec<u32>,
+    /// Host-side mirror of every block's metadata (write-through).
+    mirror: Vec<BlockMeta>,
+    /// Mirror of the region header.
+    inuse_head: u64,
+    /// Dirty byte ranges per latched page, flushed on unlatch.
+    dirty_ranges: HashMap<PageId, Vec<(u16, u16)>>,
+    /// Pages with updates not yet checkpointed to storage.
+    dirty_pages: std::collections::HashSet<PageId>,
+    stats: BpStats,
+}
+
+impl std::fmt::Debug for CxlBp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CxlBp")
+            .field("node", &self.node)
+            .field("blocks", &self.geo.nblocks)
+            .field("resident", &self.map.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl CxlBp {
+    /// Format a fresh pool region at `base` (a lease from the
+    /// [`crate::manager::CxlMemoryManager`]) with `nblocks` blocks, and
+    /// attach to it. Formatting is raw (startup, untimed).
+    pub fn format(cxl: SharedCxl, node: NodeId, base: u64, nblocks: u64, store: PageStore) -> Self {
+        let geo = Geometry {
+            base,
+            nblocks,
+            page_size: store.page_size(),
+        };
+        {
+            let mut pool = cxl.borrow_mut();
+            assert!(
+                (base + geo.lease_size()) as usize <= pool.len(),
+                "lease does not fit in the CXL pool"
+            );
+            let hdr = RegionHeader {
+                magic: MAGIC,
+                nblocks,
+                page_size: store.page_size(),
+                inuse_head: 0,
+                list_lock: 0,
+                generation: 1,
+            };
+            pool.raw_mut().write(base, &hdr.encode());
+            let free_meta = BlockMeta::free().encode();
+            for b in 0..nblocks {
+                pool.raw_mut().write(geo.meta_off(b), &free_meta);
+            }
+        }
+        CxlBp {
+            cxl,
+            node,
+            geo,
+            store,
+            map: HashMap::new(),
+            lru: LruList::new(nblocks as usize),
+            free: (0..nblocks as u32).rev().collect(),
+            mirror: vec![BlockMeta::free(); nblocks as usize],
+            inuse_head: 0,
+            dirty_ranges: HashMap::new(),
+            dirty_pages: std::collections::HashSet::new(),
+            stats: BpStats::default(),
+        }
+    }
+
+    /// Attach to an already-formatted region after a crash, *without*
+    /// rebuilding volatile state — [`crate::recovery::polar_recv`] does
+    /// that. Panics if the region is not formatted.
+    pub fn attach(cxl: SharedCxl, node: NodeId, base: u64, store: PageStore) -> Self {
+        let hdr = {
+            let pool = cxl.borrow();
+            RegionHeader::decode(pool.raw().slice(base, META_SIZE as usize))
+        };
+        assert_eq!(hdr.magic, MAGIC, "attaching to unformatted CXL region");
+        assert_eq!(hdr.page_size, store.page_size(), "page size mismatch");
+        let geo = Geometry {
+            base,
+            nblocks: hdr.nblocks,
+            page_size: hdr.page_size,
+        };
+        let nblocks = hdr.nblocks as usize;
+        CxlBp {
+            cxl,
+            node,
+            geo,
+            store,
+            map: HashMap::new(),
+            lru: LruList::new(nblocks),
+            free: Vec::new(),
+            mirror: vec![BlockMeta::free(); nblocks],
+            inuse_head: hdr.inuse_head,
+            dirty_ranges: HashMap::new(),
+            dirty_pages: std::collections::HashSet::new(),
+            stats: BpStats::default(),
+        }
+    }
+
+    /// Region geometry (used by recovery).
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// The node this pool instance runs as.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Shared fabric handle (used by recovery).
+    pub fn fabric(&self) -> &SharedCxl {
+        &self.cxl
+    }
+
+    /// Crash this node: the host's CPU cache and all of the pool's
+    /// volatile host-side state are lost; the CXL region survives.
+    /// Normal use afterwards is [`CxlBp::attach`] + recovery.
+    pub fn crash(&mut self) {
+        self.cxl.borrow_mut().crash_node(self.node);
+        self.map.clear();
+        self.lru = LruList::new(self.geo.nblocks as usize);
+        self.free.clear();
+        for m in &mut self.mirror {
+            *m = BlockMeta::free();
+        }
+        self.dirty_ranges.clear();
+        self.dirty_pages.clear();
+    }
+
+    /// Install recovered metadata (called by
+    /// [`crate::recovery::polar_recv`] after it has repaired the CXL
+    /// image): rebuilds the map, mirror, recency list and free stack.
+    /// `metas` is ordered front (MRU) to back (LRU).
+    pub fn adopt_recovered_state(&mut self, metas: &[(u32, BlockMeta)]) {
+        self.map.clear();
+        self.lru = LruList::new(self.geo.nblocks as usize);
+        for m in &mut self.mirror {
+            *m = BlockMeta::free();
+        }
+        let mut used = vec![false; self.geo.nblocks as usize];
+        // Push in reverse so the first meta ends up most recently used.
+        for (b, m) in metas.iter().rev() {
+            self.mirror[*b as usize] = *m;
+            self.map.insert(PageId(m.page_id), *b);
+            self.lru.push_front(*b);
+            used[*b as usize] = true;
+        }
+        self.free = (0..self.geo.nblocks as u32)
+            .rev()
+            .filter(|&b| !used[b as usize])
+            .collect();
+        self.inuse_head = metas.first().map_or(0, |(b, _)| *b as u64 + 1);
+    }
+
+    /// Mark a page as needing the next checkpoint (its CXL copy is ahead
+    /// of storage). Used by recovery.
+    pub fn mark_dirty_for_checkpoint(&mut self, page: PageId) {
+        self.dirty_pages.insert(page);
+    }
+
+    // ------------------------------------------------- durable helpers
+
+    fn nt_store_u64(&mut self, off: u64, v: u64, now: SimTime) -> SimTime {
+        self.cxl
+            .borrow_mut()
+            .write_uncached(self.node, off, &v.to_le_bytes(), now)
+            .end
+    }
+
+    fn set_meta_field(&mut self, b: u32, foff: u64, v: u64, now: SimTime) -> SimTime {
+        let off = self.geo.meta_off(b as u64) + foff;
+        self.nt_store_u64(off, v, now)
+    }
+
+    /// Splice block `b` at the head of the in-use list, durably, under
+    /// the list lock.
+    fn link_head(&mut self, b: u32, page: PageId, now: SimTime) -> SimTime {
+        let hdr_lock = self.geo.base + field::HDR_LIST_LOCK;
+        let hdr_head = self.geo.base + field::HDR_INUSE_HEAD;
+        let mut t = self.nt_store_u64(hdr_lock, 1, now);
+        let old_head = self.inuse_head;
+        let m = &mut self.mirror[b as usize];
+        m.page_id = page.0;
+        m.in_use = 1;
+        m.lsn = 0;
+        m.prev = 0;
+        m.next = old_head;
+        t = self.set_meta_field(b, field::PAGE_ID, page.0, t);
+        t = self.set_meta_field(b, field::IN_USE, 1, t);
+        t = self.set_meta_field(b, field::LSN, 0, t);
+        t = self.set_meta_field(b, field::PREV, 0, t);
+        t = self.set_meta_field(b, field::NEXT, old_head, t);
+        if old_head != 0 {
+            let ob = (old_head - 1) as u32;
+            self.mirror[ob as usize].prev = b as u64 + 1;
+            t = self.set_meta_field(ob, field::PREV, b as u64 + 1, t);
+        }
+        self.inuse_head = b as u64 + 1;
+        t = self.nt_store_u64(hdr_head, b as u64 + 1, t);
+        self.nt_store_u64(hdr_lock, 0, t)
+    }
+
+    /// Remove block `b` from the in-use list, durably.
+    fn unlink(&mut self, b: u32, now: SimTime) -> SimTime {
+        let hdr_lock = self.geo.base + field::HDR_LIST_LOCK;
+        let hdr_head = self.geo.base + field::HDR_INUSE_HEAD;
+        let mut t = self.nt_store_u64(hdr_lock, 1, now);
+        let m = self.mirror[b as usize];
+        if m.prev != 0 {
+            let pb = (m.prev - 1) as u32;
+            self.mirror[pb as usize].next = m.next;
+            t = self.set_meta_field(pb, field::NEXT, m.next, t);
+        } else {
+            self.inuse_head = m.next;
+            t = self.nt_store_u64(hdr_head, m.next, t);
+        }
+        if m.next != 0 {
+            let nb = (m.next - 1) as u32;
+            self.mirror[nb as usize].prev = m.prev;
+            t = self.set_meta_field(nb, field::PREV, m.prev, t);
+        }
+        let mm = &mut self.mirror[b as usize];
+        mm.page_id = NO_PAGE;
+        mm.in_use = 0;
+        mm.prev = 0;
+        mm.next = 0;
+        t = self.set_meta_field(b, field::IN_USE, 0, t);
+        t = self.set_meta_field(b, field::PAGE_ID, NO_PAGE, t);
+        self.nt_store_u64(hdr_lock, 0, t)
+    }
+
+    /// Ensure `page` occupies a block; returns (block, time).
+    fn fix(&mut self, page: PageId, now: SimTime) -> (u32, SimTime) {
+        if let Some(&b) = self.map.get(&page) {
+            self.stats.hits += 1;
+            self.lru.touch(b);
+            return (b, now);
+        }
+        self.stats.misses += 1;
+        let mut t = now;
+        let b = if let Some(b) = self.free.pop() {
+            b
+        } else {
+            let victim = self.lru.pop_back().expect("no free block and empty LRU");
+            t = self.evict(victim, t);
+            victim
+        };
+        // Durable membership first, with the block marked locked so a
+        // crash mid-fill is detected by recovery.
+        t = self.set_meta_field(b, field::LOCK_STATE, 1, t);
+        self.mirror[b as usize].lock_state = 1;
+        t = self.link_head(b, page, t);
+        // Fill page data from storage with streaming non-temporal stores.
+        let ps = self.geo.page_size as usize;
+        let mut buf = vec![0u8; ps];
+        let io = self.store.read_page(page, &mut buf, t);
+        self.stats.storage_read_bytes += ps as u64;
+        t = io.end;
+        t = self
+            .cxl
+            .borrow_mut()
+            .write_uncached(self.node, self.geo.data_off(b as u64), &buf, t)
+            .end;
+        t = self.set_meta_field(b, field::LOCK_STATE, 0, t);
+        self.mirror[b as usize].lock_state = 0;
+        self.map.insert(page, b);
+        self.lru.push_front(b);
+        (b, t)
+    }
+
+    fn evict(&mut self, b: u32, now: SimTime) -> SimTime {
+        let m = self.mirror[b as usize];
+        let page = PageId(m.page_id);
+        self.map.remove(&page);
+        self.stats.evictions += 1;
+        let mut t = now;
+        if self.dirty_pages.remove(&page) {
+            // Write the page down to storage before the block is reused.
+            self.stats.writebacks += 1;
+            t = self.flush_page_to_storage(b, page, t);
+        }
+        self.unlink(b, t)
+    }
+
+    fn flush_page_to_storage(&mut self, b: u32, page: PageId, now: SimTime) -> SimTime {
+        let ps = self.geo.page_size as usize;
+        // Make sure CXL holds the latest bytes (flush any cached dirt).
+        let data_off = self.geo.data_off(b as u64);
+        let mut t = self.cxl.borrow_mut().clflush(self.node, data_off, ps, now).end;
+        let mut buf = vec![0u8; ps];
+        t = self.cxl.borrow_mut().read(self.node, data_off, &mut buf, t).end;
+        let io = self.store.write_page(page, &buf, t);
+        self.stats.storage_write_bytes += ps as u64;
+        io.end
+    }
+}
+
+impl bufferpool::Crashable for CxlBp {
+    fn crash(&mut self) {
+        CxlBp::crash(self);
+    }
+}
+
+impl BufferPool for CxlBp {
+    fn page_size(&self) -> u64 {
+        self.geo.page_size
+    }
+
+    fn allocate_page(&mut self, now: SimTime) -> (PageId, SimTime) {
+        (self.store.allocate(), now)
+    }
+
+    fn read(&mut self, page: PageId, off: u16, buf: &mut [u8], now: SimTime) -> Access {
+        let (b, t) = self.fix(page, now);
+        let data = self.geo.data_off(b as u64);
+        self.cxl.borrow_mut().read(self.node, data + off as u64, buf, t)
+    }
+
+    fn write(&mut self, page: PageId, off: u16, data: &[u8], lsn: Lsn, now: SimTime) -> Access {
+        let (b, t) = self.fix(page, now);
+        let base = self.geo.data_off(b as u64);
+        let a = self
+            .cxl
+            .borrow_mut()
+            .write(self.node, base + off as u64, data, t);
+        // Update the page LSN in the (cached) meta line; it is flushed
+        // together with the data ranges on unlatch.
+        let meta_lsn_off = self.geo.meta_off(b as u64) + field::LSN;
+        let a2 = self
+            .cxl
+            .borrow_mut()
+            .write(self.node, meta_lsn_off, &lsn.0.to_le_bytes(), a.end);
+        self.mirror[b as usize].lsn = lsn.0;
+        self.dirty_ranges
+            .entry(page)
+            .or_default()
+            .push((off, data.len() as u16));
+        self.dirty_pages.insert(page);
+        Access {
+            end: a2.end,
+            link_bytes: a.link_bytes + a2.link_bytes,
+            hits: a.hits + a2.hits,
+            misses: a.misses + a2.misses,
+        }
+    }
+
+    fn set_latch(&mut self, page: PageId, locked: bool, now: SimTime) -> SimTime {
+        let (b, mut t) = self.fix(page, now);
+        if locked {
+            self.mirror[b as usize].lock_state = 1;
+            self.set_meta_field(b, field::LOCK_STATE, 1, t)
+        } else {
+            // Publish: flush dirty data ranges + meta line, then clear
+            // the lock durably.
+            let base = self.geo.data_off(b as u64);
+            if let Some(ranges) = self.dirty_ranges.remove(&page) {
+                let mut pool = self.cxl.borrow_mut();
+                for (off, len) in ranges {
+                    t = pool.clflush(self.node, base + off as u64, len as usize, t).end;
+                }
+                t = pool
+                    .clflush(self.node, self.geo.meta_off(b as u64), META_SIZE as usize, t)
+                    .end;
+            }
+            self.mirror[b as usize].lock_state = 0;
+            self.set_meta_field(b, field::LOCK_STATE, 0, t)
+        }
+    }
+
+    fn page_lsn(&self, page: PageId) -> Option<Lsn> {
+        let b = *self.map.get(&page)?;
+        let m = &self.mirror[b as usize];
+        (m.lsn != 0).then_some(Lsn(m.lsn))
+    }
+
+    fn is_resident(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    fn flush_all(&mut self, now: SimTime) -> SimTime {
+        let mut t = now;
+        let pages: Vec<PageId> = self.dirty_pages.iter().copied().collect();
+        for page in pages {
+            if let Some(&b) = self.map.get(&page) {
+                t = self.flush_page_to_storage(b, page, t);
+            }
+            self.dirty_pages.remove(&page);
+        }
+        t
+    }
+
+    fn stats(&self) -> BpStats {
+        self.stats
+    }
+
+    fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut PageStore {
+        &mut self.store
+    }
+
+    fn prewarm(&mut self) {
+        let pages = self.store.allocated_pages().min(self.geo.nblocks);
+        let mut prev_link = 0u64; // block index +1 of previous
+        for pid in 0..pages {
+            let page = PageId(pid);
+            if self.map.contains_key(&page) {
+                continue;
+            }
+            let Some(b) = self.free.pop() else { break };
+            let data = self.store.raw_page(page).to_vec();
+            let meta = BlockMeta {
+                page_id: pid,
+                lock_state: 0,
+                prev: prev_link,
+                next: 0,
+                lsn: 0,
+                in_use: 1,
+            };
+            {
+                let mut pool = self.cxl.borrow_mut();
+                pool.raw_mut().write(self.geo.meta_off(b as u64), &meta.encode());
+                pool.raw_mut().write(self.geo.data_off(b as u64), &data);
+                if prev_link != 0 {
+                    let prev_meta_off = self.geo.meta_off(prev_link - 1) + field::NEXT;
+                    pool.raw_mut()
+                        .write(prev_meta_off, &(b as u64 + 1).to_le_bytes());
+                    self.mirror[(prev_link - 1) as usize].next = b as u64 + 1;
+                }
+            }
+            self.mirror[b as usize] = meta;
+            if self.inuse_head == 0 {
+                self.inuse_head = b as u64 + 1;
+                let hdr_head = self.geo.base + field::HDR_INUSE_HEAD;
+                self.cxl
+                    .borrow_mut()
+                    .raw_mut()
+                    .write(hdr_head, &(b as u64 + 1).to_le_bytes());
+            }
+            prev_link = b as u64 + 1;
+            self.map.insert(page, b);
+            self.lru.push_front(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::CxlPool;
+
+    fn setup(nblocks: u64, npages: u64) -> CxlBp {
+        let mut store = PageStore::with_page_size(npages, 1024);
+        for p in 0..npages {
+            store.allocate();
+            store.raw_write_page(PageId(p), &vec![p as u8 + 1; 1024]);
+        }
+        let cxl = Rc::new(RefCell::new(CxlPool::single_host(8 << 20, 1, 256 << 10, false)));
+        let mut bp = CxlBp::format(cxl, NodeId(0), 0, nblocks, store);
+        bp.prewarm();
+        bp
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut bp = setup(8, 8);
+        bp.set_latch(PageId(0), true, SimTime::ZERO);
+        bp.write(PageId(0), 100, b"cxl", Lsn(9), SimTime::ZERO);
+        bp.set_latch(PageId(0), false, SimTime::ZERO);
+        let mut buf = [0u8; 3];
+        bp.read(PageId(0), 100, &mut buf, SimTime::ZERO);
+        assert_eq!(&buf, b"cxl");
+        assert_eq!(bp.page_lsn(PageId(0)), Some(Lsn(9)));
+    }
+
+    #[test]
+    fn small_read_moves_small_bytes() {
+        let mut bp = setup(8, 8);
+        let mut buf = [0u8; 8];
+        let a = bp.read(PageId(3), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [4u8; 8]);
+        // One cache line, not one page: no read amplification.
+        assert!(a.link_bytes <= 64, "{}", a.link_bytes);
+    }
+
+    #[test]
+    fn metadata_is_durable_after_unlatch() {
+        let mut bp = setup(8, 8);
+        let t = bp.set_latch(PageId(2), true, SimTime::ZERO);
+        let a = bp.write(PageId(2), 0, &[0xAB; 16], Lsn(77), t);
+        bp.set_latch(PageId(2), false, a.end);
+        // Inspect raw CXL: lock clear, lsn durable, data durable.
+        let b = *bp.map.get(&PageId(2)).unwrap();
+        let geo = bp.geometry();
+        let pool = bp.fabric().borrow();
+        let meta = BlockMeta::decode(pool.raw().slice(geo.meta_off(b as u64), 64));
+        assert_eq!(meta.lock_state, 0);
+        assert_eq!(meta.lsn, 77);
+        assert_eq!(meta.page_id, 2);
+        assert_eq!(pool.raw().slice(geo.data_off(b as u64), 1)[0], 0xAB);
+    }
+
+    #[test]
+    fn latched_page_is_marked_in_cxl() {
+        let mut bp = setup(8, 8);
+        bp.set_latch(PageId(1), true, SimTime::ZERO);
+        let b = *bp.map.get(&PageId(1)).unwrap();
+        let geo = bp.geometry();
+        let pool = bp.fabric().borrow();
+        let meta = BlockMeta::decode(pool.raw().slice(geo.meta_off(b as u64), 64));
+        assert_eq!(meta.lock_state, 1, "recovery must be able to see the latch");
+    }
+
+    #[test]
+    fn eviction_unlinks_durably_and_writes_back() {
+        let mut bp = setup(2, 4); // 2 blocks, 4 pages
+        bp.set_latch(PageId(0), true, SimTime::ZERO);
+        bp.write(PageId(0), 0, &[0xEE], Lsn(5), SimTime::ZERO);
+        bp.set_latch(PageId(0), false, SimTime::ZERO);
+        // Fault in two more pages: evicts page 0 (LRU) then page 1.
+        bp.read(PageId(2), 0, &mut [0u8; 1], SimTime::ZERO);
+        bp.read(PageId(3), 0, &mut [0u8; 1], SimTime::ZERO);
+        assert!(!bp.is_resident(PageId(0)));
+        assert_eq!(bp.stats().writebacks, 1);
+        assert_eq!(bp.store().raw_page(PageId(0))[0], 0xEE, "dirty page reached storage");
+        // Faulting page 0 back in returns the updated bytes.
+        let mut buf = [0u8; 1];
+        bp.read(PageId(0), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [0xEE]);
+    }
+
+    #[test]
+    fn in_use_list_walkable_from_raw_cxl() {
+        let bp = setup(4, 4);
+        let geo = bp.geometry();
+        let pool = bp.fabric().borrow();
+        let hdr = RegionHeader::decode(pool.raw().slice(geo.base, 64));
+        assert_eq!(hdr.magic, MAGIC);
+        assert_eq!(hdr.list_lock, 0);
+        let mut seen = Vec::new();
+        let mut cur = hdr.inuse_head;
+        while cur != 0 {
+            let m = BlockMeta::decode(pool.raw().slice(geo.meta_off(cur - 1), 64));
+            assert_eq!(m.in_use, 1);
+            seen.push(m.page_id);
+            cur = m.next;
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn flush_all_checkpoints_dirty_pages() {
+        let mut bp = setup(8, 8);
+        bp.set_latch(PageId(5), true, SimTime::ZERO);
+        bp.write(PageId(5), 0, &[0x55], Lsn(3), SimTime::ZERO);
+        bp.set_latch(PageId(5), false, SimTime::ZERO);
+        bp.flush_all(SimTime::ZERO);
+        assert_eq!(bp.store().raw_page(PageId(5))[0], 0x55);
+    }
+
+    #[test]
+    fn attach_reads_existing_header() {
+        let bp = setup(4, 4);
+        let cxl = Rc::clone(bp.fabric());
+        let store2 = PageStore::with_page_size(4, 1024);
+        let bp2 = CxlBp::attach(cxl, NodeId(0), 0, store2);
+        assert_eq!(bp2.geometry().nblocks, 4);
+        assert_eq!(bp2.geometry().page_size, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "unformatted")]
+    fn attach_to_garbage_panics() {
+        let cxl: SharedCxl = Rc::new(RefCell::new(CxlPool::single_host(1 << 20, 1, 1 << 16, false)));
+        let store = PageStore::with_page_size(4, 1024);
+        let _ = CxlBp::attach(cxl, NodeId(0), 0, store);
+    }
+}

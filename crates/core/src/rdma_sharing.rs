@@ -1,0 +1,451 @@
+//! The RDMA data-sharing baseline: PolarDB-MP's distributed buffer pool.
+//!
+//! What the paper compares against in §4.4: each node keeps a **local
+//! buffer pool** of page copies; the shared DBP lives in remote memory
+//! behind RDMA. The protocol synchronizes at *page* granularity:
+//!
+//! - a miss (or an invalidated copy) RDMA-reads the whole 16 KB page;
+//! - releasing a write lock RDMA-writes the whole page back to the DBP —
+//!   even for a one-byte change — prolonging the lock hold time;
+//! - invalidations are RDMA messages to every other active node.
+//!
+//! Contrast with [`crate::fusion`]: no local copies at all, 64-B flush
+//! granularity, and invalidation by a single CXL store.
+
+use bufferpool::lru::LruList;
+use bufferpool::tiered::SharedRdma;
+use memsim::calib::{DRAM_LOCAL_NS, DRAM_STREAM_NS_PER_LINE, RPC_NS};
+use memsim::NodeId;
+use simkit::SimTime;
+use std::collections::{HashMap, HashSet};
+use storage::PageId;
+
+use crate::fusion::SharedStore;
+
+/// Local-DRAM access cost for `len` bytes (no cache model on this path;
+/// both baselines' local tiers use the same approximation).
+fn dram_cost_ns(len: usize) -> u64 {
+    DRAM_LOCAL_NS + (len as u64).div_ceil(64).saturating_sub(1) * DRAM_STREAM_NS_PER_LINE
+}
+
+#[derive(Debug)]
+struct SlotInfo {
+    slot: u32,
+    active: Vec<NodeId>,
+}
+
+/// Server statistics for the RDMA DBP.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RdmaDbpStats {
+    /// Page-address RPCs served.
+    pub rpcs: u64,
+    /// Pages faulted in from storage.
+    pub storage_fills: u64,
+    /// Invalidation messages sent.
+    pub invalidation_msgs: u64,
+}
+
+/// The DBP metadata server for the RDMA baseline.
+pub struct RdmaDbp {
+    rdma: SharedRdma,
+    /// Host whose NIC carries server-side fills and invalidations.
+    server_host: usize,
+    slot_base: u64,
+    nslots: u32,
+    page_size: u64,
+    map: HashMap<PageId, SlotInfo>,
+    slot_page: Vec<Option<PageId>>,
+    free: Vec<u32>,
+    lru: LruList,
+    store: SharedStore,
+    stats: RdmaDbpStats,
+}
+
+impl std::fmt::Debug for RdmaDbp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RdmaDbp")
+            .field("nslots", &self.nslots)
+            .field("in_use", &self.map.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl RdmaDbp {
+    /// Create the DBP server over `nslots` remote slots at `slot_base`.
+    pub fn new(
+        rdma: SharedRdma,
+        server_host: usize,
+        slot_base: u64,
+        nslots: u32,
+        store: SharedStore,
+    ) -> Self {
+        let page_size = store.borrow().page_size();
+        RdmaDbp {
+            rdma,
+            server_host,
+            slot_base,
+            nslots,
+            page_size,
+            map: HashMap::new(),
+            slot_page: vec![None; nslots as usize],
+            free: (0..nslots).rev().collect(),
+            lru: LruList::new(nslots as usize),
+            store,
+            stats: RdmaDbpStats::default(),
+        }
+    }
+
+    /// Server statistics.
+    pub fn stats(&self) -> RdmaDbpStats {
+        self.stats
+    }
+
+    fn slot_addr(&self, slot: u32) -> u64 {
+        self.slot_base + slot as u64 * self.page_size
+    }
+
+    /// Resolve `page` to its remote address for `node`, faulting it in
+    /// from storage when absent.
+    pub fn request_page(&mut self, page: PageId, node: NodeId, now: SimTime) -> (u64, SimTime) {
+        self.stats.rpcs += 1;
+        let mut t = now + RPC_NS;
+        let slot = if let Some(info) = self.map.get_mut(&page) {
+            if !info.active.contains(&node) {
+                info.active.push(node);
+            }
+            self.lru.touch(info.slot);
+            info.slot
+        } else {
+            let slot = if let Some(s) = self.free.pop() {
+                s
+            } else {
+                let victim = self.lru.pop_back().expect("nonempty LRU");
+                let vpage = self.slot_page[victim as usize].take().expect("page in slot");
+                self.map.remove(&vpage);
+                victim
+            };
+            let ps = self.page_size as usize;
+            let mut buf = vec![0u8; ps];
+            let io = self.store.borrow_mut().read_page(page, &mut buf, t);
+            t = io.end;
+            self.stats.storage_fills += 1;
+            let a = self
+                .rdma
+                .borrow_mut()
+                .write(self.server_host, self.slot_addr(slot), &buf, t);
+            t = a.end;
+            self.map.insert(
+                page,
+                SlotInfo {
+                    slot,
+                    active: vec![node],
+                },
+            );
+            self.slot_page[slot as usize] = Some(page);
+            self.lru.push_front(slot);
+            slot
+        };
+        (self.slot_addr(slot), t)
+    }
+
+    /// After `writer` flushed the page and released its lock: send an
+    /// invalidation message per other active node. Returns the targets —
+    /// the harness drops their local copies (the message's effect).
+    pub fn publish(&mut self, page: PageId, writer: NodeId, now: SimTime) -> (Vec<NodeId>, SimTime) {
+        let Some(info) = self.map.get(&page) else {
+            return (Vec::new(), now);
+        };
+        let targets: Vec<NodeId> = info
+            .active
+            .iter()
+            .copied()
+            .filter(|&n| n != writer)
+            .collect();
+        let mut t = now;
+        for _ in &targets {
+            t = self.rdma.borrow_mut().message(self.server_host, t);
+            self.stats.invalidation_msgs += 1;
+        }
+        (targets, t)
+    }
+}
+
+/// Node statistics for the RDMA baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RdmaNodeStats {
+    /// Reads served from the local buffer pool.
+    pub local_hits: u64,
+    /// Full-page RDMA reads.
+    pub page_reads: u64,
+    /// Full-page RDMA write-backs.
+    pub page_writes: u64,
+    /// Invalidations applied.
+    pub invalidations: u64,
+}
+
+/// A database node in the RDMA sharing baseline: local page copies over
+/// a remote DBP.
+pub struct RdmaSharingNode {
+    rdma: SharedRdma,
+    node: NodeId,
+    host: usize,
+    page_size: u64,
+    /// LBP frames (real page copies).
+    frames: Vec<Option<(PageId, Vec<u8>)>>,
+    free: Vec<u32>,
+    map: HashMap<PageId, u32>,
+    lru: LruList,
+    dirty: HashSet<PageId>,
+    addrs: HashMap<PageId, u64>,
+    stats: RdmaNodeStats,
+}
+
+impl std::fmt::Debug for RdmaSharingNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RdmaSharingNode")
+            .field("node", &self.node)
+            .field("frames", &self.frames.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl RdmaSharingNode {
+    /// Create a node with `lbp_frames` local frames riding `host`'s NIC.
+    pub fn new(rdma: SharedRdma, node: NodeId, host: usize, lbp_frames: usize, page_size: u64) -> Self {
+        assert!(lbp_frames > 0);
+        RdmaSharingNode {
+            rdma,
+            node,
+            host,
+            page_size,
+            frames: (0..lbp_frames).map(|_| None).collect(),
+            free: (0..lbp_frames as u32).rev().collect(),
+            map: HashMap::new(),
+            lru: LruList::new(lbp_frames),
+            dirty: HashSet::new(),
+            addrs: HashMap::new(),
+            stats: RdmaNodeStats::default(),
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Node statistics.
+    pub fn stats(&self) -> RdmaNodeStats {
+        self.stats
+    }
+
+    /// Local tier size in bytes (memory-overhead accounting, Table 3).
+    pub fn local_bytes(&self) -> u64 {
+        self.frames.len() as u64 * self.page_size
+    }
+
+    /// Drop the local copy of `page` (invalidation message received).
+    pub fn invalidate_local(&mut self, page: PageId) {
+        if let Some(frame) = self.map.remove(&page) {
+            debug_assert!(!self.dirty.contains(&page), "invalidating a dirty page");
+            self.frames[frame as usize] = None;
+            self.lru.remove(frame);
+            self.free.push(frame);
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Ensure a local copy exists; returns (frame, time).
+    fn fault_in(&mut self, server: &mut RdmaDbp, page: PageId, now: SimTime) -> (u32, SimTime) {
+        if let Some(&frame) = self.map.get(&page) {
+            self.stats.local_hits += 1;
+            self.lru.touch(frame);
+            return (frame, now);
+        }
+        let mut t = now;
+        let addr = if let Some(&a) = self.addrs.get(&page) {
+            a
+        } else {
+            let (a, t2) = server.request_page(page, self.node, t);
+            self.addrs.insert(page, a);
+            t = t2;
+            a
+        };
+        let frame = if let Some(f) = self.free.pop() {
+            f
+        } else {
+            let victim = self.lru.pop_back().expect("nonempty LRU");
+            let (vpage, _) = self.frames[victim as usize].take().expect("page in frame");
+            assert!(!self.dirty.contains(&vpage), "evicting dirty page outside lock");
+            self.map.remove(&vpage);
+            victim
+        };
+        // Whole-page RDMA read — read amplification.
+        let mut buf = vec![0u8; self.page_size as usize];
+        let a = self.rdma.borrow_mut().read(self.host, addr, &mut buf, t);
+        t = a.end;
+        self.stats.page_reads += 1;
+        self.frames[frame as usize] = Some((page, buf));
+        self.map.insert(page, frame);
+        self.lru.push_front(frame);
+        (frame, t)
+    }
+
+    /// Read from a shared page (caller holds ≥ S lock).
+    pub fn read(
+        &mut self,
+        server: &mut RdmaDbp,
+        page: PageId,
+        off: u64,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> SimTime {
+        let (frame, t) = self.fault_in(server, page, now);
+        let (_, data) = self.frames[frame as usize].as_ref().expect("resident");
+        buf.copy_from_slice(&data[off as usize..off as usize + buf.len()]);
+        t + dram_cost_ns(buf.len())
+    }
+
+    /// Write to a shared page (caller holds the X lock). Local only —
+    /// the page reaches the DBP at [`RdmaSharingNode::publish`].
+    pub fn write(
+        &mut self,
+        server: &mut RdmaDbp,
+        page: PageId,
+        off: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> SimTime {
+        let (frame, t) = self.fault_in(server, page, now);
+        let (_, buf) = self.frames[frame as usize].as_mut().expect("resident");
+        buf[off as usize..off as usize + data.len()].copy_from_slice(data);
+        self.dirty.insert(page);
+        t + dram_cost_ns(data.len())
+    }
+
+    /// Release-time publish: RDMA-write the **whole page** back to the
+    /// DBP (write amplification — this sits on the lock hold path), then
+    /// fan out invalidations. Returns the nodes whose copies must drop.
+    pub fn publish(
+        &mut self,
+        server: &mut RdmaDbp,
+        page: PageId,
+        now: SimTime,
+    ) -> (Vec<NodeId>, SimTime) {
+        let mut t = now;
+        if self.dirty.remove(&page) {
+            let frame = *self.map.get(&page).expect("dirty page is resident");
+            let (_, data) = self.frames[frame as usize].as_ref().expect("resident");
+            let addr = *self.addrs.get(&page).expect("dirty page has an address");
+            let data = data.clone();
+            let a = self.rdma.borrow_mut().write(self.host, addr, &data, t);
+            t = a.end;
+            self.stats.page_writes += 1;
+        }
+        server.publish(page, self.node, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::RdmaPool;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use storage::PageStore;
+
+    fn setup(lbp_frames: usize) -> (RdmaDbp, RdmaSharingNode, RdmaSharingNode) {
+        let rdma: SharedRdma = Rc::new(RefCell::new(RdmaPool::new(1 << 20, 3)));
+        let mut store = PageStore::with_page_size(64, 1024);
+        for p in 0..16u64 {
+            store.allocate();
+            store.raw_write_page(PageId(p), &vec![p as u8 + 1; 1024]);
+        }
+        let store: SharedStore = Rc::new(RefCell::new(store));
+        let server = RdmaDbp::new(Rc::clone(&rdma), 2, 0, 32, store);
+        let n0 = RdmaSharingNode::new(Rc::clone(&rdma), NodeId(0), 0, lbp_frames, 1024);
+        let n1 = RdmaSharingNode::new(Rc::clone(&rdma), NodeId(1), 1, lbp_frames, 1024);
+        (server, n0, n1)
+    }
+
+    #[test]
+    fn miss_reads_whole_page() {
+        let (mut server, mut n0, _) = setup(4);
+        let before = n0.rdma.borrow().nic_bytes(0);
+        let mut buf = [0u8; 8];
+        n0.read(&mut server, PageId(3), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [4u8; 8]);
+        assert_eq!(n0.rdma.borrow().nic_bytes(0) - before, 1024);
+        assert_eq!(n0.stats().page_reads, 1);
+    }
+
+    #[test]
+    fn publish_writes_whole_page_and_invalidates() {
+        let (mut server, mut n0, mut n1) = setup(4);
+        let mut buf = [0u8; 8];
+        // Both nodes fault the page in.
+        n1.read(&mut server, PageId(0), 0, &mut buf, SimTime::ZERO);
+        let t = n0.write(&mut server, PageId(0), 0, &[0xCC; 8], SimTime::ZERO);
+        let before = n0.rdma.borrow().nic_bytes(0);
+        let (targets, t) = n0.publish(&mut server, PageId(0), t);
+        assert_eq!(n0.rdma.borrow().nic_bytes(0) - before, 1024, "one-byte-ish change, full page moved");
+        assert_eq!(targets, vec![NodeId(1)]);
+        for n in targets {
+            assert_eq!(n, n1.id());
+            n1.invalidate_local(PageId(0));
+        }
+        // n1 re-reads: full page again, fresh data.
+        n1.read(&mut server, PageId(0), 0, &mut buf, t);
+        assert_eq!(buf, [0xCC; 8]);
+        assert_eq!(n1.stats().page_reads, 2);
+        assert_eq!(n1.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn local_hits_bypass_the_nic() {
+        let (mut server, mut n0, _) = setup(4);
+        let mut buf = [0u8; 8];
+        n0.read(&mut server, PageId(1), 0, &mut buf, SimTime::ZERO);
+        let before = n0.rdma.borrow().nic_bytes(0);
+        let t = n0.read(&mut server, PageId(1), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(n0.rdma.borrow().nic_bytes(0), before);
+        assert!(t.as_nanos() < 1_000);
+        assert_eq!(n0.stats().local_hits, 1);
+    }
+
+    #[test]
+    fn lbp_eviction_is_capacity_bound() {
+        let (mut server, mut n0, _) = setup(2);
+        let mut buf = [0u8; 1];
+        n0.read(&mut server, PageId(0), 0, &mut buf, SimTime::ZERO);
+        n0.read(&mut server, PageId(1), 0, &mut buf, SimTime::ZERO);
+        n0.read(&mut server, PageId(2), 0, &mut buf, SimTime::ZERO);
+        assert!(!n0.map.contains_key(&PageId(0)), "LRU page evicted");
+        // Address cache persists, so the re-read skips the RPC.
+        let rpcs_before = server.stats().rpcs;
+        n0.read(&mut server, PageId(0), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(server.stats().rpcs, rpcs_before);
+        assert_eq!(n0.stats().page_reads, 4);
+    }
+
+    #[test]
+    fn dbp_slot_pressure_recycles() {
+        let (server, mut n0, _) = setup(4);
+        // 32 slots but only 16 pages allocated; force pressure with a
+        // smaller server.
+        let rdma = Rc::clone(&n0.rdma);
+        let mut small = RdmaDbp::new(rdma, 2, 0, 2, Rc::clone(&server.store));
+        drop(server);
+        let mut buf = [0u8; 1];
+        n0.read(&mut small, PageId(0), 0, &mut buf, SimTime::ZERO);
+        n0.invalidate_local(PageId(0)); // keep LBP out of the picture
+        n0.addrs.clear();
+        n0.read(&mut small, PageId(1), 0, &mut buf, SimTime::ZERO);
+        n0.invalidate_local(PageId(1));
+        n0.addrs.clear();
+        n0.read(&mut small, PageId(2), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(small.stats().storage_fills, 3);
+        assert_eq!(small.map.len(), 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! The three crash-recovery schemes compared in Figure 10.
+//!
+//! - **Vanilla** (ARIES-style over a local pool): scan the whole redo
+//!   tail from the checkpoint, fault every touched page in from
+//!   *storage*, re-apply. The buffer starts empty, so post-recovery
+//!   throughput also suffers a long warm-up.
+//! - **RDMA-assisted**: identical logic, but the tiered pool faults
+//!   pages from *remote memory* when resident there — cheaper I/O, same
+//!   full log scan, still an (LBP-sized) warm-up.
+//! - **PolarRecv**: [`polarcxlmem::recovery::polar_recv`] — the pool
+//!   *survives* in CXL memory; only in-flight pages are rebuilt, and the
+//!   buffer is warm immediately.
+//!
+//! All three return a common [`RecoverySummary`] so the harness can plot
+//! them on one axis.
+
+use crate::db::Db;
+use bufferpool::BufferPool;
+use btree::BTree;
+use polarcxlmem::CxlBp;
+use simkit::SimTime;
+use storage::LogRecord;
+
+/// What a recovery run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Scheme name for reports.
+    pub scheme: &'static str,
+    /// Pages written during recovery (faulted + patched).
+    pub pages_rebuilt: u64,
+    /// Redo records applied.
+    pub records_applied: u64,
+    /// Log bytes scanned.
+    pub log_bytes: u64,
+    /// Completion time.
+    pub done: SimTime,
+}
+
+/// ARIES-style replay recovery, used by both the vanilla (local pool)
+/// and RDMA-assisted (tiered pool) schemes — the pool type decides where
+/// page faults are served from.
+pub fn recover_replay<P: BufferPool>(
+    db: &mut Db<P>,
+    scheme: &'static str,
+    now: SimTime,
+) -> RecoverySummary {
+    let ckpt = db.wal.checkpoint_lsn();
+    let log_bytes = db.wal.replay_bytes_from(ckpt);
+    let mut t = db.wal.charge_scan(ckpt, now);
+    // InnoDB-style replay: hash records by page and apply page-at-a-time
+    // (LSN order within a page), so each touched page is faulted exactly
+    // once regardless of buffer size.
+    let mut by_page: std::collections::HashMap<storage::PageId, Vec<LogRecord>> =
+        std::collections::HashMap::new();
+    for rec in db.wal.replay_from(ckpt) {
+        by_page.entry(rec.page).or_default().push(rec.clone());
+    }
+    let mut pages: Vec<_> = by_page.keys().copied().collect();
+    pages.sort_unstable();
+    let mut applied = 0u64;
+    for page in &pages {
+        for rec in &by_page[page] {
+            let a = db.pool.write(rec.page, rec.off, &rec.data, rec.lsn, t);
+            t = a.end;
+            applied += 1;
+        }
+    }
+    // Reattach the table through the (possibly empty) pool.
+    let (table, t2) = BTree::open(&mut db.pool, db.table.meta_page, t);
+    db.table = table;
+    RecoverySummary {
+        scheme,
+        pages_rebuilt: pages.len() as u64,
+        records_applied: applied,
+        log_bytes,
+        done: t2,
+    }
+}
+
+/// PolarRecv over a crashed CXL-resident pool (§3.2).
+pub fn recover_polar(db: &mut Db<CxlBp>, now: SimTime) -> RecoverySummary {
+    let report = polarcxlmem::recovery::polar_recv(&mut db.pool, &mut db.wal, now);
+    let (table, t2) = BTree::open(&mut db.pool, db.table.meta_page, report.done);
+    db.table = table;
+    RecoverySummary {
+        scheme: "polarrecv",
+        pages_rebuilt: report.rebuilt,
+        records_applied: report.records_applied,
+        log_bytes: report.log_bytes_scanned,
+        done: t2,
+    }
+}

@@ -1,0 +1,328 @@
+//! CPU cache model.
+//!
+//! A direct-mapped, write-back cache over a memory region's address space,
+//! with 64-byte lines. Two modes:
+//!
+//! - **Timing mode** (default): only tags are tracked. Reads/writes still
+//!   go to the backing region immediately; the tag array decides whether
+//!   an access costs a cache hit or a fabric miss, and how many bytes hit
+//!   the link. Used for the single-node pooling experiments.
+//! - **Capture mode**: the cache additionally stores *copies of line
+//!   data*. Reads are served from the copies and writes land only in the
+//!   copies until written back (eviction or `clflush`). This makes cache
+//!   coherency *real*: a node that skips the paper's invalidation protocol
+//!   observably reads stale data. Used by the multi-primary sharing
+//!   experiments and their tests (§3.3).
+
+use crate::calib::CACHE_LINE;
+use std::collections::HashMap;
+
+/// What a line access did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineAccess {
+    /// Line was present.
+    Hit,
+    /// Line was absent; filled. If a dirty victim was evicted, its line
+    /// index is reported so the caller can write it back.
+    Miss {
+        /// Dirty victim line that must be written back, if any.
+        evicted_dirty: Option<u64>,
+    },
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CacheStats {
+    /// Line accesses that hit.
+    pub hits: u64,
+    /// Line accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Dirty lines written back by `clflush`.
+    pub flushes: u64,
+    /// Lines invalidated (clean or after flush).
+    pub invalidations: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Slot {
+    /// Line index + 1; 0 = invalid.
+    tag: u64,
+    dirty: bool,
+}
+
+/// Direct-mapped write-back cache. Addresses are byte offsets into the
+/// backing region; lines are [`CACHE_LINE`] bytes.
+pub struct Cache {
+    slots: Vec<Slot>,
+    data: Option<HashMap<u64, Box<[u8]>>>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("sets", &self.slots.len())
+            .field("capture", &self.data.is_some())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Cache {
+    /// A timing-only cache of `capacity_bytes` (rounded down to lines).
+    pub fn new(capacity_bytes: usize) -> Self {
+        let sets = (capacity_bytes / CACHE_LINE as usize).max(1);
+        Cache {
+            slots: vec![Slot { tag: 0, dirty: false }; sets],
+            data: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A data-capturing cache (see module docs).
+    pub fn with_capture(capacity_bytes: usize) -> Self {
+        let mut c = Cache::new(capacity_bytes);
+        c.data = Some(HashMap::new());
+        c
+    }
+
+    /// Whether this cache stores line data copies.
+    pub fn captures(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.slots.len() as u64) as usize
+    }
+
+    /// Touch `line` (byte offset / 64). Returns whether it hit, and any
+    /// dirty victim the caller must write back *before* the fill.
+    pub fn access(&mut self, line: u64, write: bool) -> LineAccess {
+        let set = self.set_of(line);
+        let slot = &mut self.slots[set];
+        if slot.tag == line + 1 {
+            self.stats.hits += 1;
+            if write {
+                slot.dirty = true;
+            }
+            return LineAccess::Hit;
+        }
+        // Miss: evict current occupant.
+        let evicted_dirty = if slot.tag != 0 && slot.dirty {
+            self.stats.writebacks += 1;
+            Some(slot.tag - 1)
+        } else {
+            None
+        };
+        if slot.tag != 0 {
+            if let Some(data) = &mut self.data {
+                if evicted_dirty.is_none() {
+                    // Clean eviction: drop the stale copy.
+                    data.remove(&(slot.tag - 1));
+                }
+                // Dirty copies are removed by `take_line` during writeback.
+            }
+        }
+        slot.tag = line + 1;
+        slot.dirty = write;
+        self.stats.misses += 1;
+        LineAccess::Miss { evicted_dirty }
+    }
+
+    /// Whether `line` is currently cached.
+    pub fn contains(&self, line: u64) -> bool {
+        self.slots[self.set_of(line)].tag == line + 1
+    }
+
+    /// Whether `line` is cached and dirty.
+    pub fn is_dirty(&self, line: u64) -> bool {
+        let s = &self.slots[self.set_of(line)];
+        s.tag == line + 1 && s.dirty
+    }
+
+    /// Flush-and-invalidate one line (the `clflush` instruction, §3.3).
+    /// Returns `true` when the line was present and dirty (the caller must
+    /// write its data back to the region).
+    pub fn clflush(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let slot = &mut self.slots[set];
+        if slot.tag != line + 1 {
+            return false;
+        }
+        let was_dirty = slot.dirty;
+        slot.tag = 0;
+        slot.dirty = false;
+        self.stats.invalidations += 1;
+        if was_dirty {
+            self.stats.flushes += 1;
+        } else if let Some(data) = &mut self.data {
+            data.remove(&line);
+        }
+        was_dirty
+    }
+
+    /// Drop a line without writing back (pure invalidation; used on the
+    /// reader side of the coherency protocol where lines are clean).
+    pub fn invalidate(&mut self, line: u64) {
+        let set = self.set_of(line);
+        let slot = &mut self.slots[set];
+        if slot.tag == line + 1 {
+            slot.tag = 0;
+            slot.dirty = false;
+            self.stats.invalidations += 1;
+            if let Some(data) = &mut self.data {
+                data.remove(&line);
+            }
+        }
+    }
+
+    /// Crash: all contents (including dirty lines) vanish without
+    /// writeback — exactly what happens to a host's CPU cache on power
+    /// loss while the CXL box stays up.
+    pub fn crash(&mut self) {
+        for s in &mut self.slots {
+            s.tag = 0;
+            s.dirty = false;
+        }
+        if let Some(data) = &mut self.data {
+            data.clear();
+        }
+    }
+
+    // ----- capture-mode data plumbing -------------------------------
+
+    /// Install a data copy for `line` (after a miss fill). Capture mode
+    /// only.
+    pub fn put_line(&mut self, line: u64, bytes: &[u8]) {
+        debug_assert_eq!(bytes.len(), CACHE_LINE as usize);
+        if let Some(data) = &mut self.data {
+            data.insert(line, bytes.into());
+        }
+    }
+
+    /// Borrow the cached copy of `line`, if capturing and present.
+    pub fn line(&self, line: u64) -> Option<&[u8]> {
+        self.data.as_ref()?.get(&line).map(|b| &**b)
+    }
+
+    /// Mutably borrow the cached copy of `line`.
+    pub fn line_mut(&mut self, line: u64) -> Option<&mut [u8]> {
+        self.data.as_mut()?.get_mut(&line).map(|b| &mut **b)
+    }
+
+    /// Remove and return the data copy of `line` (for writeback).
+    pub fn take_line(&mut self, line: u64) -> Option<Box<[u8]>> {
+        self.data.as_mut()?.remove(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(4096);
+        assert!(matches!(c.access(5, false), LineAccess::Miss { evicted_dirty: None }));
+        assert_eq!(c.access(5, false), LineAccess::Hit);
+        assert!(c.contains(5));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        // 2 sets: lines 0 and 2 collide.
+        let mut c = Cache::new(128);
+        c.access(0, true); // dirty
+        let out = c.access(2, false);
+        assert_eq!(out, LineAccess::Miss { evicted_dirty: Some(0) });
+        assert!(!c.contains(0));
+        assert!(c.contains(2));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_needs_no_writeback() {
+        let mut c = Cache::new(128);
+        c.access(0, false);
+        assert_eq!(c.access(2, false), LineAccess::Miss { evicted_dirty: None });
+    }
+
+    #[test]
+    fn clflush_reports_dirty() {
+        let mut c = Cache::new(4096);
+        c.access(3, true);
+        assert!(c.is_dirty(3));
+        assert!(c.clflush(3));
+        assert!(!c.contains(3));
+        // Second flush is a no-op.
+        assert!(!c.clflush(3));
+        assert_eq!(c.stats().flushes, 1);
+    }
+
+    #[test]
+    fn clflush_clean_line_invalidates_only() {
+        let mut c = Cache::new(4096);
+        c.access(3, false);
+        assert!(!c.clflush(3));
+        assert!(!c.contains(3));
+        assert_eq!(c.stats().flushes, 0);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn crash_discards_dirty_lines() {
+        let mut c = Cache::with_capture(4096);
+        c.access(1, true);
+        c.put_line(1, &[7u8; 64]);
+        c.crash();
+        assert!(!c.contains(1));
+        assert!(c.line(1).is_none());
+    }
+
+    #[test]
+    fn capture_roundtrip() {
+        let mut c = Cache::with_capture(4096);
+        c.access(9, true);
+        c.put_line(9, &[1u8; 64]);
+        c.line_mut(9).unwrap()[0] = 42;
+        assert_eq!(c.line(9).unwrap()[0], 42);
+        let taken = c.take_line(9).unwrap();
+        assert_eq!(taken[0], 42);
+        assert!(c.line(9).is_none());
+    }
+
+    #[test]
+    fn capture_drops_copy_on_clean_eviction() {
+        let mut c = Cache::with_capture(128);
+        c.access(0, false);
+        c.put_line(0, &[1u8; 64]);
+        c.access(2, false); // evicts line 0 (clean)
+        assert!(c.line(0).is_none());
+    }
+
+    #[test]
+    fn invalidate_is_silent_drop() {
+        let mut c = Cache::with_capture(4096);
+        c.access(4, true);
+        c.put_line(4, &[9u8; 64]);
+        c.invalidate(4);
+        assert!(!c.contains(4));
+        assert!(c.line(4).is_none());
+        assert_eq!(c.stats().flushes, 0);
+    }
+}

@@ -1,0 +1,655 @@
+//! The CXL-switch memory pool (§2.3, Figure 5).
+//!
+//! A [`CxlPool`] bundles the shared memory region in the CXL memory box,
+//! the aggregate switch fabric, one x16 host link per host, and one CPU
+//! cache per attached node. All node accesses flow through here so that
+//! latency (Table 1), streaming cost (Table 2), link bandwidth and cache
+//! behaviour are charged consistently.
+//!
+//! Two access paths exist, matching how the database uses the hardware:
+//! - **cached** loads/stores ([`CxlPool::read`]/[`CxlPool::write`]) for
+//!   page data — fast when hot, but dirty lines live in the CPU cache
+//!   until written back or `clflush`ed;
+//! - **uncached** accesses ([`CxlPool::read_uncached`]/
+//!   [`CxlPool::write_uncached`]) for metadata flags (lock state, LSN,
+//!   invalid/removal flags) that must be immediately visible to other
+//!   nodes and survive a crash (non-temporal stores).
+
+use crate::cache::{Cache, LineAccess};
+use crate::calib::{
+    CACHE_HIT_NS, CACHE_LINE, CLFLUSH_ISSUE_NS, CXL_COPY_READ_BASE_NS, CXL_COPY_WRITE_BASE_NS,
+    CXL_HOST_LINK_GBPS, CXL_HW_SNOOP_NS, CXL_STREAM_READ_NS_PER_LINE,
+    CXL_STREAM_WRITE_NS_PER_LINE, CXL_SWITCH_GBPS, CXL_SWITCH_LOCAL_NS, CXL_SWITCH_REMOTE_NS,
+};
+use crate::region::Region;
+use crate::{Access, NodeId};
+use simkit::{Link, SimTime};
+
+/// Per-node attachment configuration.
+#[derive(Debug, Clone)]
+pub struct CxlNodeConfig {
+    /// Which host (and therefore which x16 link) the node runs on.
+    pub host: usize,
+    /// CPU cache capacity dedicated to this node's CXL traffic.
+    pub cache_bytes: usize,
+    /// Whether the cache captures line data (required for coherency
+    /// experiments; see [`crate::cache`]).
+    pub capture: bool,
+    /// Whether the node's CPUs sit on a remote NUMA socket relative to
+    /// the CXL attach point (Table 1's "remote" column).
+    pub remote_numa: bool,
+    /// Direct-attached CXL (no switch): Table 1's lower latency row.
+    /// Pooling/sharing require the switch; this models the counterfactual
+    /// for the §2.3 claim that switch latency is negligible end-to-end.
+    pub direct_attach: bool,
+}
+
+impl Default for CxlNodeConfig {
+    fn default() -> Self {
+        CxlNodeConfig {
+            host: 0,
+            cache_bytes: 32 << 20,
+            capture: false,
+            remote_numa: false,
+            direct_attach: false,
+        }
+    }
+}
+
+/// The shared CXL memory pool with its fabric and per-node caches.
+#[derive(Debug)]
+pub struct CxlPool {
+    region: Region,
+    switch: Link,
+    host_links: Vec<Link>,
+    caches: Vec<Cache>,
+    node_host: Vec<usize>,
+    node_remote: Vec<bool>,
+    node_direct: Vec<bool>,
+}
+
+impl CxlPool {
+    /// Create a pool of `size` bytes (rounded up to a cache line) with the
+    /// given node attachments.
+    pub fn new(size: usize, nodes: &[CxlNodeConfig]) -> Self {
+        assert!(!nodes.is_empty(), "a pool needs at least one node");
+        let size = size.next_multiple_of(CACHE_LINE as usize);
+        let hosts = nodes.iter().map(|n| n.host).max().unwrap() + 1;
+        CxlPool {
+            region: Region::persistent(size),
+            switch: Link::new("cxl-switch", CXL_SWITCH_GBPS),
+            host_links: (0..hosts)
+                .map(|_| Link::new("cxl-host-link", CXL_HOST_LINK_GBPS))
+                .collect(),
+            caches: nodes
+                .iter()
+                .map(|n| {
+                    if n.capture {
+                        Cache::with_capture(n.cache_bytes)
+                    } else {
+                        Cache::new(n.cache_bytes)
+                    }
+                })
+                .collect(),
+            node_host: nodes.iter().map(|n| n.host).collect(),
+            node_remote: nodes.iter().map(|n| n.remote_numa).collect(),
+            node_direct: nodes.iter().map(|n| n.direct_attach).collect(),
+        }
+    }
+
+    /// Convenience: single-host pool with `n` identical local nodes.
+    pub fn single_host(size: usize, n: usize, cache_bytes: usize, capture: bool) -> Self {
+        let cfg = CxlNodeConfig {
+            cache_bytes,
+            capture,
+            ..CxlNodeConfig::default()
+        };
+        Self::new(size, &vec![cfg; n])
+    }
+
+    /// Pool size in bytes.
+    pub fn len(&self) -> usize {
+        self.region.len()
+    }
+
+    /// True when zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.region.is_empty()
+    }
+
+    /// Number of attached nodes.
+    pub fn nodes(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Raw region access for tests/assertions (no timing charged).
+    pub fn raw(&self) -> &Region {
+        &self.region
+    }
+
+    /// Raw mutable region access (bulk initialization; no timing).
+    pub fn raw_mut(&mut self) -> &mut Region {
+        &mut self.region
+    }
+
+    /// This node's cache statistics.
+    pub fn cache_stats(&self, node: NodeId) -> crate::cache::CacheStats {
+        self.caches[node.0].stats()
+    }
+
+    /// Bytes moved over a host's link so far.
+    pub fn host_link_bytes(&self, host: usize) -> u64 {
+        self.host_links[host].bytes()
+    }
+
+    /// Total bytes through the switch.
+    pub fn switch_bytes(&self) -> u64 {
+        self.switch.bytes()
+    }
+
+    /// Reset link byte counters and backlog clocks (between an untimed
+    /// setup phase and a measurement window).
+    pub fn reset_link_counters(&mut self) {
+        self.switch.reset_counters();
+        self.switch.reset_queue();
+        for l in &mut self.host_links {
+            l.reset_counters();
+            l.reset_queue();
+        }
+    }
+
+    /// Latency adjustment for a node's attach point: NUMA distance adds
+    /// the Table 1 remote premium; direct attach removes the switch hop.
+    #[inline]
+    fn attach_delta_ns(&self, node: NodeId) -> i64 {
+        let mut delta = 0i64;
+        if self.node_remote[node.0] {
+            delta += (CXL_SWITCH_REMOTE_NS - CXL_SWITCH_LOCAL_NS) as i64;
+        }
+        if self.node_direct[node.0] {
+            delta -= (CXL_SWITCH_LOCAL_NS - crate::calib::CXL_DIRECT_LOCAL_NS) as i64;
+        }
+        delta
+    }
+
+    #[inline]
+    fn base_read_ns(&self, node: NodeId) -> u64 {
+        (CXL_COPY_READ_BASE_NS as i64 + self.attach_delta_ns(node)) as u64
+    }
+
+    #[inline]
+    fn base_write_ns(&self, node: NodeId) -> u64 {
+        (CXL_COPY_WRITE_BASE_NS as i64 + self.attach_delta_ns(node)) as u64
+    }
+
+    #[inline]
+    fn line_range(off: u64, len: usize) -> std::ops::Range<u64> {
+        off / CACHE_LINE..(off + len as u64).div_ceil(CACHE_LINE)
+    }
+
+    fn charge_link(&mut self, node: NodeId, now: SimTime, bytes: u64, latency_ns: u64) -> SimTime {
+        let lat_end = now + latency_ns;
+        if bytes == 0 {
+            return lat_end;
+        }
+        let host = self.node_host[node.0];
+        let g1 = self.host_links[host].transfer(now, bytes);
+        let g2 = self.switch.transfer(now, bytes);
+        lat_end.max(g1.end).max(g2.end)
+    }
+
+    /// Cached read of `buf.len()` bytes at `off` by `node`.
+    pub fn read(&mut self, node: NodeId, off: u64, buf: &mut [u8], now: SimTime) -> Access {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut link_bytes = 0u64;
+        let end_off = off + buf.len() as u64;
+        for line in Self::line_range(off, buf.len()) {
+            let line_start = line * CACHE_LINE;
+            let copy_from = off.max(line_start);
+            let copy_to = end_off.min(line_start + CACHE_LINE);
+            let dst = &mut buf[(copy_from - off) as usize..(copy_to - off) as usize];
+            match self.caches[node.0].access(line, false) {
+                LineAccess::Hit => {
+                    hits += 1;
+                    if let Some(data) = self.caches[node.0].line(line) {
+                        let s = (copy_from - line_start) as usize;
+                        dst.copy_from_slice(&data[s..s + dst.len()]);
+                    } else {
+                        self.region.read(copy_from, dst);
+                    }
+                }
+                LineAccess::Miss { evicted_dirty } => {
+                    misses += 1;
+                    link_bytes += CACHE_LINE;
+                    if let Some(victim) = evicted_dirty {
+                        link_bytes += CACHE_LINE;
+                        if let Some(bytes) = self.caches[node.0].take_line(victim) {
+                            self.region.write(victim * CACHE_LINE, &bytes);
+                        }
+                    }
+                    if self.caches[node.0].captures() {
+                        let mut fill = [0u8; CACHE_LINE as usize];
+                        self.region.read(line_start, &mut fill);
+                        let s = (copy_from - line_start) as usize;
+                        dst.copy_from_slice(&fill[s..s + dst.len()]);
+                        self.caches[node.0].put_line(line, &fill);
+                    } else {
+                        self.region.read(copy_from, dst);
+                    }
+                }
+            }
+        }
+        let latency = if misses == 0 {
+            hits * CACHE_HIT_NS
+        } else {
+            self.base_read_ns(node)
+                + misses.saturating_sub(1) * CXL_STREAM_READ_NS_PER_LINE
+                + hits * CACHE_HIT_NS
+        };
+        Access {
+            end: self.charge_link(node, now, link_bytes, latency),
+            link_bytes,
+            hits,
+            misses,
+        }
+    }
+
+    /// Cached write of `data` at `off` by `node` (write-allocate,
+    /// write-back: dirty lines stay in the node's cache).
+    pub fn write(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut link_bytes = 0u64;
+        let end_off = off + data.len() as u64;
+        for line in Self::line_range(off, data.len()) {
+            let line_start = line * CACHE_LINE;
+            let copy_from = off.max(line_start);
+            let copy_to = end_off.min(line_start + CACHE_LINE);
+            let src = &data[(copy_from - off) as usize..(copy_to - off) as usize];
+            match self.caches[node.0].access(line, true) {
+                LineAccess::Hit => {
+                    hits += 1;
+                    if self.caches[node.0].line(line).is_some() {
+                        let s = (copy_from - line_start) as usize;
+                        self.caches[node.0].line_mut(line).unwrap()[s..s + src.len()]
+                            .copy_from_slice(src);
+                    } else {
+                        self.region.write(copy_from, src);
+                    }
+                }
+                LineAccess::Miss { evicted_dirty } => {
+                    misses += 1;
+                    // Write-allocate: the line is fetched before modification
+                    // unless the store covers it entirely.
+                    if src.len() < CACHE_LINE as usize {
+                        link_bytes += CACHE_LINE;
+                    }
+                    if let Some(victim) = evicted_dirty {
+                        link_bytes += CACHE_LINE;
+                        if let Some(bytes) = self.caches[node.0].take_line(victim) {
+                            self.region.write(victim * CACHE_LINE, &bytes);
+                        }
+                    }
+                    if self.caches[node.0].captures() {
+                        let mut fill = [0u8; CACHE_LINE as usize];
+                        self.region.read(line_start, &mut fill);
+                        let s = (copy_from - line_start) as usize;
+                        fill[s..s + src.len()].copy_from_slice(src);
+                        self.caches[node.0].put_line(line, &fill);
+                    } else {
+                        self.region.write(copy_from, src);
+                    }
+                }
+            }
+        }
+        let latency = if misses == 0 {
+            hits * CACHE_HIT_NS
+        } else {
+            self.base_write_ns(node)
+                + misses.saturating_sub(1) * CXL_STREAM_WRITE_NS_PER_LINE
+                + hits * CACHE_HIT_NS
+        };
+        Access {
+            end: self.charge_link(node, now, link_bytes, latency),
+            link_bytes,
+            hits,
+            misses,
+        }
+    }
+
+    /// Uncached read (metadata flags): always goes to the device,
+    /// observing other nodes' non-temporal stores immediately.
+    pub fn read_uncached(&mut self, node: NodeId, off: u64, buf: &mut [u8], now: SimTime) -> Access {
+        // Drop any locally cached copies so a later cached read refetches.
+        for line in Self::line_range(off, buf.len()) {
+            if self.caches[node.0].clflush(line) {
+                if let Some(bytes) = self.caches[node.0].take_line(line) {
+                    self.region.write(line * CACHE_LINE, &bytes);
+                }
+            }
+        }
+        self.region.read(off, buf);
+        let lines = Self::line_range(off, buf.len()).count() as u64;
+        let link_bytes = lines * CACHE_LINE;
+        let latency = self.base_read_ns(node) + (lines - 1) * CXL_STREAM_READ_NS_PER_LINE;
+        Access {
+            end: self.charge_link(node, now, link_bytes, latency),
+            link_bytes,
+            hits: 0,
+            misses: lines,
+        }
+    }
+
+    /// Uncached (non-temporal) store: bytes land in the device directly
+    /// and become visible to every node; local cache copies are dropped.
+    pub fn write_uncached(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
+        for line in Self::line_range(off, data.len()) {
+            // An ntstore invalidates the local cached copy. A *dirty*
+            // overlapping line must be written back first: the store may
+            // cover it only partially, and dropping it would lose the
+            // non-overlapped dirty bytes (found by the property tests).
+            if self.caches[node.0].clflush(line) {
+                if let Some(bytes) = self.caches[node.0].take_line(line) {
+                    self.region.write(line * CACHE_LINE, &bytes);
+                }
+            }
+        }
+        self.region.write(off, data);
+        let lines = Self::line_range(off, data.len()).count() as u64;
+        let link_bytes = lines * CACHE_LINE;
+        let latency = self.base_write_ns(node) + (lines - 1) * CXL_STREAM_WRITE_NS_PER_LINE;
+        Access {
+            end: self.charge_link(node, now, link_bytes, latency),
+            link_bytes,
+            hits: 0,
+            misses: lines,
+        }
+    }
+
+    /// `clflush` the byte range: write back dirty lines and invalidate all
+    /// cached lines (the §3.3 protocol's publish / self-invalidate step).
+    pub fn clflush(&mut self, node: NodeId, off: u64, len: usize, now: SimTime) -> Access {
+        let mut flushed = 0u64;
+        let mut issued = 0u64;
+        for line in Self::line_range(off, len) {
+            issued += 1;
+            if self.caches[node.0].clflush(line) {
+                flushed += 1;
+                if let Some(bytes) = self.caches[node.0].take_line(line) {
+                    self.region.write(line * CACHE_LINE, &bytes);
+                }
+            }
+        }
+        let link_bytes = flushed * CACHE_LINE;
+        let latency = issued * CLFLUSH_ISSUE_NS
+            + if flushed > 0 {
+                self.base_write_ns(node) + (flushed - 1) * CXL_STREAM_WRITE_NS_PER_LINE
+            } else {
+                0
+            };
+        Access {
+            end: self.charge_link(node, now, link_bytes, latency),
+            link_bytes,
+            hits: 0,
+            misses: flushed,
+        }
+    }
+
+    /// Invalidate (without writeback) every cached line of the range —
+    /// the reader-side step after observing an `invalid` flag (§3.3: the
+    /// lines are clean because writers hold the page lock exclusively).
+    pub fn invalidate(&mut self, node: NodeId, off: u64, len: usize, now: SimTime) -> Access {
+        let mut issued = 0u64;
+        for line in Self::line_range(off, len) {
+            issued += 1;
+            self.caches[node.0].invalidate(line);
+        }
+        Access {
+            end: now + issued * CLFLUSH_ISSUE_NS,
+            link_bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Crash the node's host: its CPU cache (including dirty lines) is
+    /// lost. The pool region itself survives — the memory box has an
+    /// independent power supply (§3.2).
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.caches[node.0].crash();
+    }
+
+    /// Hardware-coherent store (CXL 3.0 semantics, §2.1/§2.2(4)): the
+    /// write lands in the device *and* every other node's cached copy of
+    /// the touched lines is back-invalidated by the fabric — no software
+    /// `clflush`, no invalidation flags. The store pays the normal write
+    /// path plus a per-sharer snoop latency; the writer's own cache keeps
+    /// a clean copy.
+    pub fn write_coherent(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
+        // Write through to the device.
+        self.region.write(off, data);
+        let mut snooped = 0u64;
+        for line in Self::line_range(off, data.len()) {
+            for (j, cache) in self.caches.iter_mut().enumerate() {
+                if j == node.0 {
+                    continue;
+                }
+                if cache.contains(line) {
+                    cache.invalidate(line);
+                    snooped += 1;
+                }
+            }
+            // Writer keeps a clean, up-to-date copy.
+            let line_start = line * CACHE_LINE;
+            self.caches[node.0].access(line, false);
+            if self.caches[node.0].captures() {
+                let mut fill = [0u8; CACHE_LINE as usize];
+                self.region.read(line_start, &mut fill);
+                self.caches[node.0].put_line(line, &fill);
+            }
+        }
+        let lines = Self::line_range(off, data.len()).count() as u64;
+        let link_bytes = lines * CACHE_LINE;
+        // Back-invalidation snoops traverse the switch once per sharer.
+        let latency = self.base_write_ns(node)
+            + (lines - 1) * CXL_STREAM_WRITE_NS_PER_LINE
+            + snooped * CXL_HW_SNOOP_NS;
+        Access {
+            end: self.charge_link(node, now, link_bytes, latency),
+            link_bytes,
+            hits: 0,
+            misses: lines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::PAGE_SIZE;
+
+    fn pool(capture: bool) -> CxlPool {
+        CxlPool::single_host(1 << 20, 2, 64 << 10, capture)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip_same_node() {
+        for capture in [false, true] {
+            let mut p = pool(capture);
+            let a = p.write(NodeId(0), 128, b"polarcxlmem", SimTime::ZERO);
+            let mut buf = [0u8; 11];
+            let b = p.read(NodeId(0), 128, &mut buf, a.end);
+            assert_eq!(&buf, b"polarcxlmem");
+            assert!(b.end > a.end);
+        }
+    }
+
+    #[test]
+    fn second_read_hits_cache_and_skips_link() {
+        let mut p = pool(false);
+        let mut buf = [0u8; 64];
+        let first = p.read(NodeId(0), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(first.misses, 1);
+        assert_eq!(first.link_bytes, 64);
+        let second = p.read(NodeId(0), 0, &mut buf, first.end);
+        assert_eq!(second.hits, 1);
+        assert_eq!(second.link_bytes, 0);
+        assert!(second.end - first.end < first.end - SimTime::ZERO);
+    }
+
+    #[test]
+    fn page_read_latency_matches_table2() {
+        let mut p = pool(false);
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        let a = p.read(NodeId(0), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(a.misses, 256);
+        let ns = a.end.as_nanos();
+        // Paper Table 2: 16 KB CXL read ≈ 2.46 µs.
+        assert!((2_000..3_000).contains(&ns), "{ns}");
+    }
+
+    #[test]
+    fn capture_mode_holds_dirty_data_out_of_region() {
+        let mut p = pool(true);
+        p.write(NodeId(0), 0, &[0xAB; 64], SimTime::ZERO);
+        // The store is still in node 0's cache: the region has old bytes.
+        assert_eq!(p.raw().slice(0, 1), &[0]);
+        // ...and node 1, reading the device, sees stale data (no CXL 2.0
+        // hardware coherency!).
+        let mut buf = [0u8; 64];
+        p.read(NodeId(1), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf[0], 0, "node 1 must see pre-store bytes");
+        // After clflush the store is visible.
+        p.clflush(NodeId(0), 0, 64, SimTime::ZERO);
+        assert_eq!(p.raw().slice(0, 1), &[0xAB]);
+    }
+
+    #[test]
+    fn stale_cache_without_invalidation_is_observable() {
+        // The failure mode the §3.3 protocol exists to prevent.
+        let mut p = pool(true);
+        let mut buf = [0u8; 64];
+        p.read(NodeId(1), 0, &mut buf, SimTime::ZERO); // node 1 caches zeros
+        p.write_uncached(NodeId(0), 0, &[0x77; 64], SimTime::ZERO);
+        p.read(NodeId(1), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf[0], 0, "without invalidation node 1 reads stale data");
+        p.invalidate(NodeId(1), 0, 64, SimTime::ZERO);
+        p.read(NodeId(1), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf[0], 0x77, "after invalidation the new data is visible");
+    }
+
+    #[test]
+    fn uncached_ops_bypass_cache_both_ways() {
+        let mut p = pool(true);
+        let mut buf = [0u8; 8];
+        p.read(NodeId(0), 0, &mut [0u8; 64], SimTime::ZERO); // cache the line
+        p.write_uncached(NodeId(1), 0, &[9; 8], SimTime::ZERO);
+        p.read_uncached(NodeId(0), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [9; 8]);
+        // And the cached path was invalidated by our own uncached read.
+        let mut b2 = [0u8; 8];
+        p.read(NodeId(0), 0, &mut b2, SimTime::ZERO);
+        assert_eq!(b2, [9; 8]);
+    }
+
+    #[test]
+    fn crash_loses_dirty_lines_but_region_survives() {
+        let mut p = pool(true);
+        p.write_uncached(NodeId(0), 0, &[1; 64], SimTime::ZERO); // durable
+        p.write(NodeId(0), 64, &[2; 64], SimTime::ZERO); // dirty in cache
+        p.crash_node(NodeId(0));
+        assert_eq!(p.raw().slice(0, 1), &[1], "flushed data survives");
+        assert_eq!(p.raw().slice(64, 1), &[0], "unflushed dirty line is lost");
+    }
+
+    #[test]
+    fn direct_attach_is_faster_than_switched() {
+        let mk = |direct: bool| {
+            CxlPool::new(
+                1 << 16,
+                &[CxlNodeConfig {
+                    cache_bytes: 64,
+                    direct_attach: direct,
+                    ..CxlNodeConfig::default()
+                }],
+            )
+        };
+        let mut sw = mk(false);
+        let mut di = mk(true);
+        let mut b = [0u8; 64];
+        let s = sw.read(NodeId(0), 0, &mut b, SimTime::ZERO).end.as_nanos();
+        let d = di.read(NodeId(0), 0, &mut b, SimTime::ZERO).end.as_nanos();
+        // Table 1: switch adds 549-265 = 284 ns per load.
+        assert_eq!(s - d, 284, "switch premium: {s} vs {d}");
+    }
+
+    #[test]
+    fn remote_numa_pays_extra_latency() {
+        let cfgs = vec![
+            CxlNodeConfig::default(),
+            CxlNodeConfig {
+                remote_numa: true,
+                ..CxlNodeConfig::default()
+            },
+        ];
+        let mut p = CxlPool::new(1 << 16, &cfgs);
+        let mut b = [0u8; 64];
+        let local = p.read(NodeId(0), 0, &mut b, SimTime::ZERO);
+        let remote = p.read(NodeId(1), 64, &mut b, SimTime::ZERO);
+        assert!(remote.end - SimTime::ZERO > local.end - SimTime::ZERO);
+    }
+
+    #[test]
+    fn link_accounts_miss_traffic_only() {
+        let mut p = pool(false);
+        let mut buf = vec![0u8; 1024];
+        p.read(NodeId(0), 0, &mut buf, SimTime::ZERO);
+        p.read(NodeId(0), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(p.host_link_bytes(0), 1024);
+        assert_eq!(p.switch_bytes(), 1024);
+    }
+
+    #[test]
+    fn hardware_coherent_store_back_invalidates_sharers() {
+        let mut p = pool(true);
+        let mut buf = [0u8; 8];
+        // Node 1 caches the line.
+        p.read(NodeId(1), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [0; 8]);
+        // Node 0 issues a CXL 3.0 coherent store: no clflush anywhere.
+        p.write_coherent(NodeId(0), 0, &[0x3A; 8], SimTime::ZERO);
+        // Node 1's next read misses (invalidated) and sees fresh data.
+        p.read(NodeId(1), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [0x3A; 8], "hardware coherency delivers the store");
+        // The writer's own copy is clean and current.
+        let mut b0 = [0u8; 8];
+        p.read(NodeId(0), 0, &mut b0, SimTime::ZERO);
+        assert_eq!(b0, [0x3A; 8]);
+    }
+
+    #[test]
+    fn coherent_store_charges_per_sharer_snoop() {
+        let mut p = pool(false);
+        let mut buf = [0u8; 64];
+        let base = p.write_coherent(NodeId(0), 0, &[1; 64], SimTime::ZERO).end;
+        // Make node 1 a sharer, then store again: must cost more.
+        p.read(NodeId(1), 64, &mut buf, SimTime::ZERO);
+        let with_sharer = {
+            let a = p.write_coherent(NodeId(0), 64, &[1; 64], SimTime::ZERO);
+            a.end
+        };
+        assert!(with_sharer.as_nanos() > base.as_nanos(), "snoop adds latency");
+    }
+
+    #[test]
+    fn clflush_clean_range_moves_no_bytes() {
+        let mut p = pool(false);
+        let mut buf = [0u8; 256];
+        p.read(NodeId(0), 0, &mut buf, SimTime::ZERO);
+        let before = p.host_link_bytes(0);
+        let a = p.clflush(NodeId(0), 0, 256, SimTime::ZERO);
+        assert_eq!(a.link_bytes, 0);
+        assert_eq!(p.host_link_bytes(0), before);
+    }
+}

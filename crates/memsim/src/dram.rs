@@ -1,0 +1,164 @@
+//! Host-local DRAM.
+//!
+//! [`DramSpace`] models the local DRAM an instance uses for its buffer
+//! pool (DRAM-BP baseline) or local tier (tiered RDMA baseline). Accesses
+//! go through the same CPU cache model as CXL so the comparison between
+//! DRAM-BP and CXL-BP (Figure 3) is apples-to-apples: both enjoy cache
+//! hits; they differ in miss latency (146 ns vs 549 ns + stream) and in
+//! that DRAM bandwidth is effectively unconstrained at these scales.
+
+use crate::cache::{Cache, LineAccess};
+use crate::calib::{
+    CACHE_HIT_NS, CACHE_LINE, DRAM_LOCAL_NS, DRAM_REMOTE_NS, DRAM_STREAM_NS_PER_LINE,
+};
+use crate::region::Region;
+use crate::Access;
+use simkit::SimTime;
+
+/// A node-private DRAM space with a CPU cache in front.
+#[derive(Debug)]
+pub struct DramSpace {
+    region: Region,
+    cache: Cache,
+    remote_numa: bool,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl DramSpace {
+    /// Create `size` bytes of local DRAM fronted by a cache of
+    /// `cache_bytes`.
+    pub fn new(size: usize, cache_bytes: usize, remote_numa: bool) -> Self {
+        DramSpace {
+            region: Region::volatile(size.next_multiple_of(CACHE_LINE as usize)),
+            cache: Cache::new(cache_bytes),
+            remote_numa,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.region.len()
+    }
+
+    /// True when zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.region.is_empty()
+    }
+
+    /// Raw region (no timing) — test and bulk-load use.
+    pub fn raw(&self) -> &Region {
+        &self.region
+    }
+
+    /// Raw mutable region (no timing).
+    pub fn raw_mut(&mut self) -> &mut Region {
+        &mut self.region
+    }
+
+    /// Total bytes read / written through the timed interface.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.bytes_read, self.bytes_written)
+    }
+
+    fn base_ns(&self) -> u64 {
+        if self.remote_numa {
+            DRAM_REMOTE_NS
+        } else {
+            DRAM_LOCAL_NS
+        }
+    }
+
+    fn access_cost(&mut self, off: u64, len: usize, write: bool) -> (u64, u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for line in off / CACHE_LINE..(off + len as u64).div_ceil(CACHE_LINE) {
+            match self.cache.access(line, write) {
+                LineAccess::Hit => hits += 1,
+                LineAccess::Miss { .. } => misses += 1,
+            }
+        }
+        let latency = if misses == 0 {
+            hits * CACHE_HIT_NS
+        } else {
+            self.base_ns() + (misses - 1) * DRAM_STREAM_NS_PER_LINE + hits * CACHE_HIT_NS
+        };
+        (latency, hits, misses)
+    }
+
+    /// Timed read.
+    pub fn read(&mut self, off: u64, buf: &mut [u8], now: SimTime) -> Access {
+        let (latency, hits, misses) = self.access_cost(off, buf.len(), false);
+        self.region.read(off, buf);
+        self.bytes_read += buf.len() as u64;
+        Access {
+            end: now + latency,
+            link_bytes: 0,
+            hits,
+            misses,
+        }
+    }
+
+    /// Timed write.
+    pub fn write(&mut self, off: u64, data: &[u8], now: SimTime) -> Access {
+        let (latency, hits, misses) = self.access_cost(off, data.len(), true);
+        self.region.write(off, data);
+        self.bytes_written += data.len() as u64;
+        Access {
+            end: now + latency,
+            link_bytes: 0,
+            hits,
+            misses,
+        }
+    }
+
+    /// Crash: local DRAM contents are lost.
+    pub fn crash(&mut self) {
+        self.region.crash();
+        self.cache.crash();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_traffic() {
+        let mut d = DramSpace::new(4096, 1024, false);
+        d.write(0, &[5; 100], SimTime::ZERO);
+        let mut buf = [0u8; 100];
+        d.read(0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [5; 100]);
+        assert_eq!(d.traffic(), (100, 100));
+    }
+
+    #[test]
+    fn dram_miss_is_much_cheaper_than_cxl_miss() {
+        let mut d = DramSpace::new(4096, 64, false);
+        let mut buf = [0u8; 64];
+        let a = d.read(0, &mut buf, SimTime::ZERO);
+        let dram_ns = a.end.as_nanos();
+        assert!(dram_ns < crate::calib::CXL_SWITCH_LOCAL_NS, "{dram_ns}");
+    }
+
+    #[test]
+    fn remote_numa_slower() {
+        let mut local = DramSpace::new(4096, 64, false);
+        let mut remote = DramSpace::new(4096, 64, true);
+        let mut buf = [0u8; 64];
+        let a = local.read(0, &mut buf, SimTime::ZERO);
+        let b = remote.read(0, &mut buf, SimTime::ZERO);
+        assert!(b.end > a.end);
+    }
+
+    #[test]
+    fn crash_wipes_contents() {
+        let mut d = DramSpace::new(128, 128, false);
+        d.write(0, &[1; 64], SimTime::ZERO);
+        d.crash();
+        assert_eq!(d.raw().slice(0, 1), &[0xDE]);
+    }
+}

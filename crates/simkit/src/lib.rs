@@ -1,0 +1,36 @@
+//! # simkit — deterministic virtual-time simulation kernel
+//!
+//! The foundation of the PolarCXLMem reproduction: a small discrete
+//! virtual-time kernel. Real data structures (pages, B+trees, WAL) execute
+//! real operations, while *time* is simulated — latencies, bandwidth
+//! queueing, CPU service and lock contention are all accounted in
+//! nanoseconds of virtual time. This yields deterministic,
+//! hardware-independent reproductions of the paper's throughput, latency,
+//! bandwidth and recovery-timeline figures.
+//!
+//! Building blocks:
+//! - [`time::SimTime`] — the virtual clock unit (ns).
+//! - [`resource::MultiServer`] — M/G/k-style station (instance vCPUs).
+//! - [`resource::Link`] — FIFO bandwidth pipe (RDMA NIC, CXL host link,
+//!   NVMe channel), the origin of every saturation knee in the paper.
+//! - [`lock::LockTable`] — virtual-time S/X locks (page latches,
+//!   distributed page locks).
+//! - [`worker::WorkerSet`] — closed-loop scheduler that interleaves
+//!   sysbench-style workers in start-time order.
+//! - [`stats`] — counters, HDR-style histograms, time-bucketed series.
+//! - [`rng`] — seeded, stream-split randomness.
+
+#![warn(missing_docs)]
+
+pub mod lock;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod worker;
+
+pub use lock::{LockMode, LockTable, VLock};
+pub use resource::{Grant, Link, MultiServer};
+pub use stats::{Counter, Histogram, TimeSeries};
+pub use time::{dur, SimTime};
+pub use worker::{Step, WorkerId, WorkerSet};

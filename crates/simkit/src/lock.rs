@@ -1,0 +1,264 @@
+//! Virtual-time locks.
+//!
+//! The sharing experiments (§4.4) live and die by lock contention: at high
+//! shared-data percentages, distributed page locks serialize writers and
+//! throughput collapses for *both* systems. [`VLock`] models a single
+//! shared/exclusive lock whose hold intervals are known at grant time, and
+//! [`LockTable`] manages a keyed population of them with contention stats.
+//!
+//! The model: because the closed-loop scheduler executes operations in
+//! start-time order, the holder's release instant is already known when a
+//! later requester arrives, so a conflicting acquire is granted at the
+//! release instant (FIFO). Shared holders overlap; an exclusive grant waits
+//! for every earlier holder.
+
+use crate::time::SimTime;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) — concurrent with other shared holders.
+    Shared,
+    /// Exclusive (write) — conflicts with everything.
+    Exclusive,
+}
+
+/// A single S/X lock in virtual time.
+///
+/// ```
+/// use simkit::{LockMode, SimTime, VLock};
+/// let mut lock = VLock::default();
+/// let (g1, r1) = lock.acquire(SimTime::ZERO, LockMode::Exclusive, 100);
+/// let (g2, _) = lock.acquire(SimTime::ZERO, LockMode::Exclusive, 100);
+/// assert_eq!(g1, SimTime::ZERO);
+/// assert_eq!(g2, r1); // the second writer queues behind the first
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct VLock {
+    /// End of the latest exclusive hold granted so far.
+    x_free_at: SimTime,
+    /// End of the latest shared hold granted so far.
+    s_free_at: SimTime,
+    /// Exclusive grants issued (for stats).
+    x_grants: u64,
+    s_grants: u64,
+}
+
+impl VLock {
+    /// Acquire the lock at `now` in `mode`, holding it for `hold_ns`.
+    /// Returns `(grant, release)`: the caller's critical section is
+    /// `[grant, release)`.
+    pub fn acquire(&mut self, now: SimTime, mode: LockMode, hold_ns: u64) -> (SimTime, SimTime) {
+        let grant = match mode {
+            // A reader only waits for the last writer.
+            LockMode::Shared => now.max(self.x_free_at),
+            // A writer waits for the last writer *and* all readers.
+            LockMode::Exclusive => now.max(self.x_free_at).max(self.s_free_at),
+        };
+        let release = grant + hold_ns;
+        match mode {
+            LockMode::Shared => {
+                self.s_free_at = self.s_free_at.max(release);
+                self.s_grants += 1;
+            }
+            LockMode::Exclusive => {
+                self.x_free_at = release;
+                self.x_grants += 1;
+            }
+        }
+        (grant, release)
+    }
+
+    /// Extend the most recent exclusive hold to `release` (used when the
+    /// hold length is only known after executing the critical section).
+    pub fn extend_exclusive(&mut self, release: SimTime) {
+        self.x_free_at = self.x_free_at.max(release);
+    }
+
+    /// Extend the latest shared hold to `release`.
+    pub fn extend_shared(&mut self, release: SimTime) {
+        self.s_free_at = self.s_free_at.max(release);
+    }
+
+    /// Earliest time an exclusive request arriving now could be granted.
+    pub fn exclusive_free_at(&self) -> SimTime {
+        self.x_free_at.max(self.s_free_at)
+    }
+
+    /// Grants issued as (shared, exclusive).
+    pub fn grants(&self) -> (u64, u64) {
+        (self.s_grants, self.x_grants)
+    }
+}
+
+/// A keyed table of [`VLock`]s with aggregate contention statistics.
+#[derive(Debug)]
+pub struct LockTable<K: Eq + Hash> {
+    locks: HashMap<K, VLock>,
+    /// Total time requesters spent waiting for grants, ns.
+    wait_ns: u64,
+    /// Number of acquires that had to wait.
+    contended: u64,
+    acquires: u64,
+}
+
+impl<K: Eq + Hash> Default for LockTable<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash> LockTable<K> {
+    /// Create an empty lock table.
+    pub fn new() -> Self {
+        LockTable {
+            locks: HashMap::new(),
+            wait_ns: 0,
+            contended: 0,
+            acquires: 0,
+        }
+    }
+
+    /// Acquire lock `key` at `now` in `mode` for `hold_ns`.
+    pub fn acquire(&mut self, key: K, now: SimTime, mode: LockMode, hold_ns: u64) -> (SimTime, SimTime) {
+        let lock = self.locks.entry(key).or_default();
+        let (grant, release) = lock.acquire(now, mode, hold_ns);
+        let wait = grant.saturating_since(now);
+        self.wait_ns += wait;
+        self.acquires += 1;
+        if wait > 0 {
+            self.contended += 1;
+        }
+        (grant, release)
+    }
+
+    /// Extend the exclusive hold on `key` to `release`.
+    pub fn extend_exclusive(&mut self, key: K, release: SimTime) {
+        if let Some(lock) = self.locks.get_mut(&key) {
+            lock.extend_exclusive(release);
+        }
+    }
+
+    /// Extend the latest shared hold on `key` to `release`.
+    pub fn extend_shared(&mut self, key: K, release: SimTime) {
+        if let Some(lock) = self.locks.get_mut(&key) {
+            lock.extend_shared(release);
+        }
+    }
+
+    /// Extend the hold on `key` in `mode` to `release`.
+    pub fn extend(&mut self, key: K, mode: LockMode, release: SimTime) {
+        match mode {
+            LockMode::Shared => self.extend_shared(key, release),
+            LockMode::Exclusive => self.extend_exclusive(key, release),
+        }
+    }
+
+    /// Total acquires issued.
+    pub fn acquires(&self) -> u64 {
+        self.acquires
+    }
+
+    /// Acquires that experienced queueing.
+    pub fn contended(&self) -> u64 {
+        self.contended
+    }
+
+    /// Total queueing time in nanoseconds.
+    pub fn wait_ns(&self) -> u64 {
+        self.wait_ns
+    }
+
+    /// Mean wait per acquire, ns.
+    pub fn mean_wait_ns(&self) -> f64 {
+        if self.acquires == 0 {
+            0.0
+        } else {
+            self.wait_ns as f64 / self.acquires as f64
+        }
+    }
+
+    /// Number of distinct keys ever locked.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// True if no key was ever locked.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_serializes() {
+        let mut l = VLock::default();
+        let (g1, r1) = l.acquire(SimTime::ZERO, LockMode::Exclusive, 100);
+        let (g2, r2) = l.acquire(SimTime::ZERO, LockMode::Exclusive, 100);
+        assert_eq!((g1, r1), (SimTime(0), SimTime(100)));
+        assert_eq!((g2, r2), (SimTime(100), SimTime(200)));
+    }
+
+    #[test]
+    fn readers_share() {
+        let mut l = VLock::default();
+        let (g1, _) = l.acquire(SimTime::ZERO, LockMode::Shared, 100);
+        let (g2, _) = l.acquire(SimTime(10), LockMode::Shared, 100);
+        assert_eq!(g1, SimTime(0));
+        assert_eq!(g2, SimTime(10)); // no queueing between readers
+    }
+
+    #[test]
+    fn writer_waits_for_readers() {
+        let mut l = VLock::default();
+        l.acquire(SimTime::ZERO, LockMode::Shared, 100);
+        l.acquire(SimTime(20), LockMode::Shared, 100); // held until 120
+        let (g, _) = l.acquire(SimTime(30), LockMode::Exclusive, 50);
+        assert_eq!(g, SimTime(120));
+    }
+
+    #[test]
+    fn reader_waits_for_writer_only() {
+        let mut l = VLock::default();
+        l.acquire(SimTime::ZERO, LockMode::Exclusive, 100);
+        let (g, _) = l.acquire(SimTime(10), LockMode::Shared, 10);
+        assert_eq!(g, SimTime(100));
+    }
+
+    #[test]
+    fn extend_exclusive_pushes_release() {
+        let mut l = VLock::default();
+        let (_, r) = l.acquire(SimTime::ZERO, LockMode::Exclusive, 10);
+        assert_eq!(r, SimTime(10));
+        l.extend_exclusive(SimTime(500));
+        let (g, _) = l.acquire(SimTime::ZERO, LockMode::Exclusive, 1);
+        assert_eq!(g, SimTime(500));
+    }
+
+    #[test]
+    fn table_tracks_contention() {
+        let mut t: LockTable<u32> = LockTable::new();
+        t.acquire(1, SimTime::ZERO, LockMode::Exclusive, 100);
+        t.acquire(1, SimTime::ZERO, LockMode::Exclusive, 100);
+        t.acquire(2, SimTime::ZERO, LockMode::Exclusive, 100); // uncontended
+        assert_eq!(t.acquires(), 3);
+        assert_eq!(t.contended(), 1);
+        assert_eq!(t.wait_ns(), 100);
+        assert_eq!(t.len(), 2);
+        assert!((t.mean_wait_ns() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_keys_do_not_interact() {
+        let mut t: LockTable<&'static str> = LockTable::new();
+        let (g1, _) = t.acquire("a", SimTime::ZERO, LockMode::Exclusive, 1_000);
+        let (g2, _) = t.acquire("b", SimTime::ZERO, LockMode::Exclusive, 1_000);
+        assert_eq!(g1, SimTime::ZERO);
+        assert_eq!(g2, SimTime::ZERO);
+    }
+}

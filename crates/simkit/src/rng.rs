@@ -1,0 +1,56 @@
+//! Deterministic randomness helpers.
+//!
+//! All stochastic choices in the simulator (workload keys, crash points,
+//! think times) flow through seeded PRNGs derived from a single root seed,
+//! so every experiment is reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derive a child seed from a root seed and a stream label.
+///
+/// Uses SplitMix64 finalization so nearby labels produce decorrelated
+/// streams (important when instance 3's workload must not echo
+/// instance 2's).
+pub fn derive_seed(root: u64, stream: u64) -> u64 {
+    let mut z = root ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded [`StdRng`] for the given root seed and stream label.
+pub fn stream_rng(root: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(root, stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+        assert_ne!(derive_seed(42, 7), derive_seed(42, 8));
+        assert_ne!(derive_seed(42, 7), derive_seed(43, 7));
+    }
+
+    #[test]
+    fn adjacent_streams_decorrelate() {
+        let mut a = stream_rng(1, 0);
+        let mut b = stream_rng(1, 1);
+        let xs: Vec<u32> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn same_stream_replays() {
+        let mut a = stream_rng(9, 3);
+        let mut b = stream_rng(9, 3);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Measurement instruments: counters, latency histograms, time series.
+//!
+//! Every number the bench harness prints — QPS, average/p95 latency,
+//! GB/s, recovery timelines — comes out of these three types.
+
+use crate::time::{dur, SimTime};
+
+/// A monotonically increasing event/byte counter with a rate helper.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Events per second over `[0, horizon)`.
+    pub fn rate_per_sec(&self, horizon: SimTime) -> f64 {
+        let s = horizon.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.value as f64 / s
+        }
+    }
+
+    /// Interpreting the counter as bytes: GB/s over `[0, horizon)`.
+    pub fn gbps(&self, horizon: SimTime) -> f64 {
+        let ns = horizon.as_nanos();
+        if ns == 0 {
+            0.0
+        } else {
+            self.value as f64 / ns as f64
+        }
+    }
+}
+
+/// Log-bucketed latency histogram (HDR-style: 2^k major buckets, each with
+/// linear sub-buckets), covering 1 ns .. ~18 s with bounded relative error.
+///
+/// ```
+/// use simkit::Histogram;
+/// let mut h = Histogram::new();
+/// for latency_ns in [100u64, 200, 400, 100_000] {
+///     h.record(latency_ns);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.mean_us() > 25.0);
+/// assert!(h.quantile_ns(0.5) <= 400);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// counts[major][minor]
+    counts: Vec<[u64; SUB]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+const SUB: usize = 32;
+const MAJORS: usize = 40; // covers up to 2^(40+5) ns >> 18s
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![[0; SUB]; MAJORS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(v: u64) -> (usize, usize) {
+        // Values below SUB land in major 0 with exact minors.
+        if v < SUB as u64 {
+            return (0, v as usize);
+        }
+        // Major bucket m holds values whose top bit is m+4 (i.e. log2 in
+        // [m+4, m+5)); the minor index is the next 5 bits below the top bit.
+        let b = 63 - v.leading_zeros();
+        let major = (b as usize - 4).min(MAJORS - 1);
+        let minor = ((v >> (b - 5)) & 0x1f) as usize;
+        (major, minor)
+    }
+
+    /// Record one latency sample, in nanoseconds.
+    #[inline]
+    pub fn record(&mut self, ns: u64) {
+        let (major, minor) = Self::bucket(ns);
+        self.counts[major][minor] += 1;
+        self.count += 1;
+        self.sum += ns;
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, ns (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Mean in microseconds, the unit the paper plots.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns() / dur::US as f64
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, ns. Returns the representative
+    /// (lower bound) value of the bucket containing the q-th sample.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (major, subs) in self.counts.iter().enumerate() {
+            for (minor, &c) in subs.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                seen += c;
+                if seen >= target {
+                    return Self::bucket_low(major, minor);
+                }
+            }
+        }
+        self.max
+    }
+
+    /// p95 in microseconds.
+    pub fn p95_us(&self) -> f64 {
+        self.quantile_ns(0.95) as f64 / dur::US as f64
+    }
+
+    /// p99 in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_ns(0.99) as f64 / dur::US as f64
+    }
+
+    fn bucket_low(major: usize, minor: usize) -> u64 {
+        if major == 0 {
+            minor as u64
+        } else {
+            // major m holds values with log2 in [m+4, m+5)
+            let base = 1u64 << (major + 4);
+            base + (minor as u64) * (base >> 5)
+        }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x += y;
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Per-bucket time series: counts events into fixed-width virtual-time
+/// buckets (e.g. 1 s), producing the throughput-over-time curves of
+/// Figure 10.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket_ns: u64,
+    buckets: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// New series with `bucket_ns`-wide buckets.
+    pub fn new(bucket_ns: u64) -> Self {
+        assert!(bucket_ns > 0);
+        TimeSeries {
+            bucket_ns,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Record `n` events at instant `t`.
+    pub fn record_at(&mut self, t: SimTime, n: u64) {
+        let idx = (t.as_nanos() / self.bucket_ns) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
+    /// Bucket width in nanoseconds.
+    pub fn bucket_ns(&self) -> u64 {
+        self.bucket_ns
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Events-per-second for each bucket.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let scale = dur::SEC as f64 / self.bucket_ns as f64;
+        self.buckets.iter().map(|&c| c as f64 * scale).collect()
+    }
+
+    /// First bucket index at or after `from` whose rate reaches
+    /// `threshold` events/sec; `None` if never.
+    pub fn first_reaching(&self, from: SimTime, threshold: f64) -> Option<usize> {
+        let start = (from.as_nanos() / self.bucket_ns) as usize;
+        let scale = dur::SEC as f64 / self.bucket_ns as f64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .skip(start)
+            .find(|(_, &c)| c as f64 * scale >= threshold)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rates() {
+        let mut c = Counter::new();
+        c.add(500);
+        c.inc();
+        assert_eq!(c.get(), 501);
+        assert!((c.rate_per_sec(SimTime::from_secs(2)) - 250.5).abs() < 1e-9);
+        // 1 GB in 1 s == 1 GB/s
+        let mut b = Counter::new();
+        b.add(1_000_000_000);
+        assert!((b.gbps(SimTime::from_secs(1)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_mean_and_extremes() {
+        let mut h = Histogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean_ns() - 200.0).abs() < 1e-9);
+        assert_eq!(h.min_ns(), 100);
+        assert_eq!(h.max_ns(), 300);
+    }
+
+    #[test]
+    fn histogram_quantiles_bounded_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile_ns(0.50);
+        let p95 = h.quantile_ns(0.95);
+        // Bucket lower bounds are within ~3.2% (1/32) of the true value.
+        assert!((4700..=5000).contains(&p50), "{p50}");
+        assert!((9100..=9500).contains(&p95), "{p95}");
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_ns(1.0 / 32.0), 0);
+        assert_eq!(h.quantile_ns(1.0), 31);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean_ns() - 20.0).abs() < 1e-9);
+        assert_eq!(a.max_ns(), 30);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_ns(0.95), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    fn timeseries_buckets_and_rates() {
+        let mut ts = TimeSeries::new(dur::SEC);
+        ts.record_at(SimTime::from_millis(100), 5);
+        ts.record_at(SimTime::from_millis(900), 5);
+        ts.record_at(SimTime::from_millis(1500), 7);
+        assert_eq!(ts.buckets(), &[10, 7]);
+        let rates = ts.rates_per_sec();
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+        assert!((rates[1] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeseries_first_reaching() {
+        let mut ts = TimeSeries::new(dur::SEC);
+        ts.record_at(SimTime::from_secs(0), 1);
+        ts.record_at(SimTime::from_secs(1), 2);
+        ts.record_at(SimTime::from_secs(2), 100);
+        assert_eq!(ts.first_reaching(SimTime::ZERO, 50.0), Some(2));
+        assert_eq!(ts.first_reaching(SimTime::from_secs(3), 1.0), None);
+        assert_eq!(ts.first_reaching(SimTime::ZERO, 1000.0), None);
+    }
+}

@@ -1,0 +1,433 @@
+//! The ARIES-style redo write-ahead log.
+//!
+//! Matches the recovery story of §3.2:
+//!
+//! - every page update appends a physiological redo record to a
+//!   **volatile** log buffer in local DRAM;
+//! - commit (and mini-transaction commit for SMOs) flushes the buffer to
+//!   the durable tail — so after a crash, everything up to
+//!   [`Wal::durable_lsn`] is replayable and everything after is *gone*;
+//! - records belonging to one mini-transaction become durable atomically
+//!   (the encoder marks the group end, and replay never surfaces a torn
+//!   group);
+//! - checkpoints bound how far back replay must scan.
+
+use memsim::calib::{WAL_FLUSH_NS, WAL_GBPS};
+use simkit::{Link, SimTime};
+
+use crate::{Lsn, PageId};
+
+/// One physiological redo record: "write `data` at `off` within `page`".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// This record's LSN (unique, dense, ascending).
+    pub lsn: Lsn,
+    /// Target page.
+    pub page: PageId,
+    /// Byte offset within the page.
+    pub off: u16,
+    /// Bytes to write at `off`.
+    pub data: Vec<u8>,
+    /// True on the last record of a mini-transaction: the group
+    /// `(.., mtr_end]` applies atomically.
+    pub mtr_end: bool,
+}
+
+/// Encoded size of a record on the log device (header + payload).
+pub fn encoded_len(rec: &LogRecord) -> u64 {
+    // lsn(8) + page(8) + off(2) + len(2) + flags(1) + crc(4)
+    25 + rec.data.len() as u64
+}
+
+/// Encode a record to bytes (the on-device format; exercised by tests and
+/// used to size flush I/O).
+pub fn encode(rec: &LogRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&rec.lsn.0.to_le_bytes());
+    out.extend_from_slice(&rec.page.0.to_le_bytes());
+    out.extend_from_slice(&rec.off.to_le_bytes());
+    out.extend_from_slice(&(rec.data.len() as u16).to_le_bytes());
+    out.push(rec.mtr_end as u8);
+    out.extend_from_slice(&crc32(&rec.data).to_le_bytes());
+    out.extend_from_slice(&rec.data);
+}
+
+/// Decode one record from `buf`, returning it and the bytes consumed.
+/// Returns `None` on truncation or CRC mismatch (a torn tail).
+pub fn decode(buf: &[u8]) -> Option<(LogRecord, usize)> {
+    if buf.len() < 25 {
+        return None;
+    }
+    let lsn = Lsn(u64::from_le_bytes(buf[0..8].try_into().unwrap()));
+    let page = PageId(u64::from_le_bytes(buf[8..16].try_into().unwrap()));
+    let off = u16::from_le_bytes(buf[16..18].try_into().unwrap());
+    let len = u16::from_le_bytes(buf[18..20].try_into().unwrap()) as usize;
+    let mtr_end = buf[20] != 0;
+    let crc = u32::from_le_bytes(buf[21..25].try_into().unwrap());
+    if buf.len() < 25 + len {
+        return None;
+    }
+    let data = buf[25..25 + len].to_vec();
+    if crc32(&data) != crc {
+        return None;
+    }
+    Some((
+        LogRecord {
+            lsn,
+            page,
+            off,
+            data,
+            mtr_end,
+        },
+        25 + len,
+    ))
+}
+
+/// Small table-less CRC32 (IEEE) — integrity check for the log format.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A redo-only WAL with a volatile buffer and durable tail.
+///
+/// ```
+/// use storage::{Lsn, PageId, Wal};
+/// use simkit::SimTime;
+///
+/// let mut wal = Wal::new();
+/// wal.append_update(PageId(3), 16, vec![0xAB; 8]);
+/// wal.seal_mtr();
+/// wal.flush(SimTime::ZERO);               // durable
+/// wal.append_update(PageId(4), 0, vec![1]); // still volatile...
+/// wal.crash();                              // ...and now gone
+/// let survivors: Vec<_> = wal.replay_from(Lsn::ZERO).collect();
+/// assert_eq!(survivors.len(), 1);
+/// assert_eq!(survivors[0].page, PageId(3));
+/// ```
+#[derive(Debug)]
+pub struct Wal {
+    next_lsn: u64,
+    /// Volatile log buffer (local DRAM): lost on crash.
+    buffer: Vec<LogRecord>,
+    buffer_bytes: u64,
+    /// Durable tail (log device): survives crashes.
+    durable: Vec<LogRecord>,
+    durable_lsn: Lsn,
+    checkpoint_lsn: Lsn,
+    device: Link,
+    flushes: u64,
+    bytes_flushed: u64,
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Wal {
+    /// A fresh, empty log.
+    pub fn new() -> Self {
+        Wal {
+            next_lsn: 1,
+            buffer: Vec::new(),
+            buffer_bytes: 0,
+            durable: Vec::new(),
+            durable_lsn: Lsn::ZERO,
+            checkpoint_lsn: Lsn::ZERO,
+            device: Link::new("wal", WAL_GBPS),
+            flushes: 0,
+            bytes_flushed: 0,
+        }
+    }
+
+    /// Append one mini-transaction's records to the volatile buffer.
+    /// Assigns LSNs; the last record is the group end. Returns the LSN of
+    /// the last record.
+    ///
+    /// # Panics
+    /// When `updates` is empty — an empty mini-transaction is a caller bug.
+    pub fn append_mtr(&mut self, updates: Vec<(PageId, u16, Vec<u8>)>) -> Lsn {
+        assert!(!updates.is_empty(), "mini-transaction must contain updates");
+        let n = updates.len();
+        let mut last = Lsn::ZERO;
+        for (i, (page, off, data)) in updates.into_iter().enumerate() {
+            let rec = LogRecord {
+                lsn: Lsn(self.next_lsn),
+                page,
+                off,
+                data,
+                mtr_end: i + 1 == n,
+            };
+            self.next_lsn += 1;
+            last = rec.lsn;
+            self.buffer_bytes += encoded_len(&rec);
+            self.buffer.push(rec);
+        }
+        last
+    }
+
+    /// Append a single update record (ARIES WAL rule: callers log before
+    /// writing the page). The record joins the current mini-transaction
+    /// group; call [`Wal::seal_mtr`] at group end.
+    pub fn append_update(&mut self, page: PageId, off: u16, data: Vec<u8>) -> Lsn {
+        let rec = LogRecord {
+            lsn: Lsn(self.next_lsn),
+            page,
+            off,
+            data,
+            mtr_end: false,
+        };
+        self.next_lsn += 1;
+        self.buffer_bytes += encoded_len(&rec);
+        let lsn = rec.lsn;
+        self.buffer.push(rec);
+        lsn
+    }
+
+    /// Mark the end of the current mini-transaction group (idempotent;
+    /// a group with no updates is a no-op).
+    pub fn seal_mtr(&mut self) {
+        if let Some(last) = self.buffer.last_mut() {
+            last.mtr_end = true;
+        }
+    }
+
+    /// Highest LSN assigned so far (durable or not).
+    pub fn max_assigned_lsn(&self) -> Lsn {
+        Lsn(self.next_lsn - 1)
+    }
+
+    /// Highest durable LSN — the replay ceiling after a crash (§3.2:
+    /// pages "newer" than this lack redo and must not be trusted).
+    pub fn durable_lsn(&self) -> Lsn {
+        self.durable_lsn
+    }
+
+    /// Current checkpoint LSN (replay floor for vanilla recovery).
+    pub fn checkpoint_lsn(&self) -> Lsn {
+        self.checkpoint_lsn
+    }
+
+    /// Bytes waiting in the volatile buffer.
+    pub fn pending_bytes(&self) -> u64 {
+        self.buffer_bytes
+    }
+
+    /// Flush the volatile buffer to the durable tail. Charges device
+    /// latency + bandwidth; returns completion time. A flush with an
+    /// empty buffer is free (group commit fast path).
+    pub fn flush(&mut self, now: SimTime) -> SimTime {
+        if self.buffer.is_empty() {
+            return now;
+        }
+        let bytes = self.buffer_bytes;
+        self.durable_lsn = self.buffer.last().unwrap().lsn;
+        self.durable.append(&mut self.buffer);
+        self.buffer_bytes = 0;
+        self.flushes += 1;
+        self.bytes_flushed += bytes;
+        self.device.transfer(now, bytes).end + WAL_FLUSH_NS
+    }
+
+    /// Record a checkpoint at `lsn`: replay after a crash starts here.
+    /// (The engine is responsible for having flushed the corresponding
+    /// dirty pages first.)
+    pub fn set_checkpoint(&mut self, lsn: Lsn) {
+        assert!(lsn <= self.durable_lsn, "cannot checkpoint beyond durability");
+        assert!(lsn >= self.checkpoint_lsn, "checkpoints move forward");
+        self.checkpoint_lsn = lsn;
+        // Durable records at or below the checkpoint can be discarded.
+        self.durable.retain(|r| r.lsn > lsn);
+    }
+
+    /// Crash: the volatile buffer is lost; the durable tail survives.
+    pub fn crash(&mut self) {
+        self.buffer.clear();
+        self.buffer_bytes = 0;
+    }
+
+    /// Iterate durable records with `lsn > from`, in LSN order, stopping
+    /// after the last *complete* mini-transaction group (a torn group at
+    /// the tail is never surfaced — though flush-atomicity means one can
+    /// only appear if callers flush mid-group).
+    pub fn replay_from(&self, from: Lsn) -> impl Iterator<Item = &LogRecord> {
+        let end = {
+            let mut end = 0;
+            for (i, r) in self.durable.iter().enumerate() {
+                if r.mtr_end {
+                    end = i + 1;
+                }
+            }
+            end
+        };
+        self.durable[..end].iter().filter(move |r| r.lsn > from)
+    }
+
+    /// Bytes of durable log with `lsn > from` — what a recovery scan must
+    /// read.
+    pub fn replay_bytes_from(&self, from: Lsn) -> u64 {
+        self.durable
+            .iter()
+            .filter(|r| r.lsn > from)
+            .map(encoded_len)
+            .sum()
+    }
+
+    /// (flush count, bytes flushed) so far.
+    pub fn flush_stats(&self) -> (u64, u64) {
+        (self.flushes, self.bytes_flushed)
+    }
+
+    /// Reset the log device's backlog clock (between setup and
+    /// measurement).
+    pub fn reset_device_queue(&mut self) {
+        self.device.reset_queue();
+    }
+
+    /// Charge the device cost of scanning the durable log with
+    /// `lsn > from` (what every recovery scheme pays to read its redo
+    /// tail). Returns the scan completion time.
+    pub fn charge_scan(&mut self, from: Lsn, now: SimTime) -> SimTime {
+        let bytes = self.replay_bytes_from(from);
+        if bytes == 0 {
+            return now;
+        }
+        self.device.transfer(now, bytes).end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(page: u64, off: u16, byte: u8) -> (PageId, u16, Vec<u8>) {
+        (PageId(page), off, vec![byte; 8])
+    }
+
+    #[test]
+    fn lsns_are_dense_and_ascending() {
+        let mut wal = Wal::new();
+        let l1 = wal.append_mtr(vec![upd(1, 0, 1), upd(2, 0, 2)]);
+        let l2 = wal.append_mtr(vec![upd(3, 0, 3)]);
+        assert_eq!(l1, Lsn(2));
+        assert_eq!(l2, Lsn(3));
+        assert_eq!(wal.max_assigned_lsn(), Lsn(3));
+    }
+
+    #[test]
+    fn unflushed_records_die_in_a_crash() {
+        let mut wal = Wal::new();
+        wal.append_mtr(vec![upd(1, 0, 1)]);
+        wal.flush(SimTime::ZERO);
+        wal.append_mtr(vec![upd(2, 0, 2)]);
+        wal.crash();
+        assert_eq!(wal.durable_lsn(), Lsn(1));
+        let survivors: Vec<_> = wal.replay_from(Lsn::ZERO).collect();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].page, PageId(1));
+    }
+
+    #[test]
+    fn replay_respects_floor() {
+        let mut wal = Wal::new();
+        wal.append_mtr(vec![upd(1, 0, 1)]);
+        wal.append_mtr(vec![upd(2, 0, 2)]);
+        wal.append_mtr(vec![upd(3, 0, 3)]);
+        wal.flush(SimTime::ZERO);
+        let from2: Vec<_> = wal.replay_from(Lsn(2)).map(|r| r.page).collect();
+        assert_eq!(from2, vec![PageId(3)]);
+    }
+
+    #[test]
+    fn checkpoint_discards_old_records() {
+        let mut wal = Wal::new();
+        wal.append_mtr(vec![upd(1, 0, 1)]);
+        wal.append_mtr(vec![upd(2, 0, 2)]);
+        wal.flush(SimTime::ZERO);
+        wal.set_checkpoint(Lsn(1));
+        assert_eq!(wal.replay_from(Lsn::ZERO).count(), 1);
+        assert_eq!(wal.checkpoint_lsn(), Lsn(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond durability")]
+    fn checkpoint_cannot_pass_durable() {
+        let mut wal = Wal::new();
+        wal.append_mtr(vec![upd(1, 0, 1)]);
+        wal.set_checkpoint(Lsn(1)); // not yet flushed
+    }
+
+    #[test]
+    fn mtr_groups_flag_their_end() {
+        let mut wal = Wal::new();
+        wal.append_mtr(vec![upd(1, 0, 1), upd(2, 0, 2), upd(3, 0, 3)]);
+        wal.flush(SimTime::ZERO);
+        let flags: Vec<bool> = wal.replay_from(Lsn::ZERO).map(|r| r.mtr_end).collect();
+        assert_eq!(flags, vec![false, false, true]);
+    }
+
+    #[test]
+    fn flush_is_timed_and_idempotent_when_empty() {
+        let mut wal = Wal::new();
+        wal.append_mtr(vec![upd(1, 0, 9)]);
+        let end = wal.flush(SimTime::ZERO);
+        assert!(end.as_nanos() >= WAL_FLUSH_NS);
+        // Nothing pending: free.
+        let again = wal.flush(end);
+        assert_eq!(again, end);
+        assert_eq!(wal.flush_stats().0, 1);
+        assert_eq!(wal.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let rec = LogRecord {
+            lsn: Lsn(42),
+            page: PageId(7),
+            off: 513,
+            data: vec![1, 2, 3, 4, 5],
+            mtr_end: true,
+        };
+        let mut bytes = Vec::new();
+        encode(&rec, &mut bytes);
+        assert_eq!(bytes.len() as u64, encoded_len(&rec));
+        let (back, used) = decode(&bytes).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn decode_rejects_corruption_and_truncation() {
+        let rec = LogRecord {
+            lsn: Lsn(1),
+            page: PageId(1),
+            off: 0,
+            data: vec![9; 16],
+            mtr_end: false,
+        };
+        let mut bytes = Vec::new();
+        encode(&rec, &mut bytes);
+        assert!(decode(&bytes[..10]).is_none(), "truncated header");
+        assert!(decode(&bytes[..30]).is_none(), "truncated payload");
+        let mut corrupt = bytes.clone();
+        *corrupt.last_mut().unwrap() ^= 0xFF;
+        assert!(decode(&corrupt).is_none(), "payload corruption");
+    }
+
+    #[test]
+    fn replay_bytes_matches_encoded_sizes() {
+        let mut wal = Wal::new();
+        wal.append_mtr(vec![upd(1, 0, 1)]);
+        wal.flush(SimTime::ZERO);
+        assert_eq!(wal.replay_bytes_from(Lsn::ZERO), 25 + 8);
+        assert_eq!(wal.replay_bytes_from(Lsn(1)), 0);
+    }
+}

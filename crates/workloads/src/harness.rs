@@ -1,0 +1,335 @@
+//! The multi-instance pooling harness (§4.2, Figures 1/3/7/8/9).
+//!
+//! Builds N database instances on one 192-vCPU host, all backed by the
+//! pool design under test (local DRAM, tiered RDMA, or PolarCXLMem),
+//! drives closed-loop sysbench workers over them in virtual time, and
+//! reports throughput, latency and interconnect bandwidth.
+
+use crate::metrics::RunMetrics;
+use crate::sysbench::{make_record, Statement, Sysbench, SysbenchKind, C_LEN, C_OFF, K_OFF, RANGE_LEN};
+use bufferpool::dram_bp::DramBp;
+use bufferpool::tiered::TieredRdmaBp;
+use bufferpool::BufferPool;
+use engine::Db;
+use memsim::calib::PAGE_SIZE;
+use memsim::{CxlPool, NodeId, RdmaPool};
+use polarcxlmem::{CxlBp, CxlMemoryManager};
+use simkit::rng::stream_rng;
+use simkit::{Histogram, SimTime, Step, WorkerId, WorkerSet};
+use std::cell::RefCell;
+use std::rc::Rc;
+use storage::PageStore;
+
+/// Which buffer pool design backs the instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Local DRAM buffer pool (DRAM-BP).
+    Dram,
+    /// Tiered RDMA disaggregated memory (the baseline).
+    TieredRdma,
+    /// PolarCXLMem: the whole pool in CXL memory.
+    Cxl,
+}
+
+/// Pooling experiment configuration.
+#[derive(Debug, Clone)]
+pub struct PoolingConfig {
+    /// Pool design under test.
+    pub kind: PoolKind,
+    /// Sysbench variant.
+    pub workload: SysbenchKind,
+    /// Number of instances on the host (1–12 in the paper).
+    pub instances: usize,
+    /// Closed-loop workers per instance (48 for point workloads, 32 for
+    /// range-select in the paper).
+    pub workers_per_instance: usize,
+    /// Rows per instance's table.
+    pub table_size: u64,
+    /// Measured window of virtual time.
+    pub duration: SimTime,
+    /// CPU cache available per instance for its pool traffic.
+    pub cache_bytes: usize,
+    /// Local buffer fraction of the dataset (tiered RDMA only; the
+    /// paper's default is 0.3).
+    pub lbp_fraction: f64,
+    /// CXL only: model direct-attached memory (no switch) instead of the
+    /// switched pool — the §2.3 latency counterfactual.
+    pub direct_attach: bool,
+    /// Root RNG seed.
+    pub seed: u64,
+}
+
+impl PoolingConfig {
+    /// The paper's standard setup for a given design/workload/scale,
+    /// scaled down in dataset size to keep simulation time reasonable.
+    pub fn standard(kind: PoolKind, workload: SysbenchKind, instances: usize) -> Self {
+        PoolingConfig {
+            kind,
+            workload,
+            instances,
+            workers_per_instance: if workload == SysbenchKind::RangeSelect { 32 } else { 48 },
+            table_size: 30_000,
+            duration: SimTime::from_millis(300),
+            cache_bytes: 4 << 20,
+            lbp_fraction: 0.3,
+            direct_attach: false,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of a pooling run.
+#[derive(Debug, Clone)]
+pub struct PoolingResult {
+    /// Aggregate metrics.
+    pub metrics: RunMetrics,
+    /// Per-instance QPS (for scaling plots).
+    pub per_instance_qps: Vec<f64>,
+}
+
+/// Pages needed to hold `table_size` rows plus B+tree overhead and
+/// insert slack.
+fn pages_for(table_size: u64, page_size: u64) -> u64 {
+    let rows_per_page = (page_size - 16) / (8 + crate::sysbench::RECORD_SIZE as u64);
+    let leaves = table_size.div_ceil(rows_per_page.max(1));
+    // meta + root chain + split slack.
+    leaves * 2 + leaves / 8 + 64
+}
+
+/// Execute one sysbench transaction against a database; returns its
+/// completion time.
+pub fn exec_txn<P: BufferPool>(
+    db: &mut Db<P>,
+    txn: &[Statement],
+    start: SimTime,
+) -> SimTime {
+    let mut t = start;
+    let mut wrote = false;
+    let mut cbuf = [0u8; C_LEN as usize];
+    for s in txn {
+        match s {
+            Statement::PointSelect { key } => {
+                t = db.select_field(*key, C_OFF, &mut cbuf, t).1;
+            }
+            Statement::RangeSelect { start } => {
+                t = db.range_select(*start, RANGE_LEN, t).1;
+            }
+            Statement::UpdateIndex { key, value } => {
+                t = db.update_no_commit(*key, K_OFF, &value.to_le_bytes(), t).1;
+                wrote = true;
+            }
+            Statement::UpdateNonIndex { key, fill } => {
+                let payload = [*fill; C_LEN as usize];
+                t = db.update_no_commit(*key, C_OFF, &payload, t).1;
+                wrote = true;
+            }
+            Statement::Delete { key } => {
+                t = db.delete_no_commit(*key, t).1;
+                wrote = true;
+            }
+            Statement::Insert { key, fill } => {
+                t = db.insert_no_commit(*key, &make_record(*key, *fill), t).1;
+                wrote = true;
+            }
+        }
+    }
+    if wrote {
+        t = db.commit(t);
+    }
+    t
+}
+
+fn drive<P: BufferPool>(
+    dbs: &mut [Db<P>],
+    cfg: &PoolingConfig,
+) -> (u64, u64, Histogram, SimTime, Vec<u64>) {
+    for db in dbs.iter_mut() {
+        db.reset_timing_queues();
+    }
+    let wpi = cfg.workers_per_instance;
+    let gen = Sysbench::new(cfg.workload, cfg.table_size);
+    let mut rngs: Vec<_> = (0..dbs.len() * wpi)
+        .map(|w| stream_rng(cfg.seed, w as u64))
+        .collect();
+    let mut ws = WorkerSet::new();
+    for w in 0..dbs.len() * wpi {
+        ws.spawn(WorkerId(w), SimTime::ZERO);
+    }
+    let mut hist = Histogram::new();
+    let mut queries = 0u64;
+    let mut txns = 0u64;
+    let mut per_instance = vec![0u64; dbs.len()];
+    ws.run_until(cfg.duration, |WorkerId(w), start| {
+        let inst = w / wpi;
+        let txn = gen.next_txn(&mut rngs[w]);
+        let end = exec_txn(&mut dbs[inst], &txn, start);
+        hist.record(end - start);
+        queries += txn.len() as u64;
+        txns += 1;
+        per_instance[inst] += txn.len() as u64;
+        Step::Done(end)
+    });
+    (queries, txns, hist, cfg.duration, per_instance)
+}
+
+fn finish(
+    queries: u64,
+    txns: u64,
+    hist: Histogram,
+    window: SimTime,
+    interconnect_bytes: u64,
+    memory_bytes: u64,
+) -> RunMetrics {
+    let secs = window.as_secs_f64();
+    RunMetrics {
+        qps: queries as f64 / secs,
+        tps: txns as f64 / secs,
+        avg_latency_us: hist.mean_us(),
+        p95_latency_us: hist.p95_us(),
+        interconnect_gbps: interconnect_bytes as f64 / window.as_nanos() as f64,
+        memory_bytes,
+        window,
+        latency: hist,
+    }
+}
+
+/// Run a pooling experiment.
+pub fn run_pooling(cfg: &PoolingConfig) -> PoolingResult {
+    let pages = pages_for(cfg.table_size, PAGE_SIZE);
+    let rows = || (1..=cfg.table_size).map(|k| (k, make_record(k, (k % 251) as u8)));
+    match cfg.kind {
+        PoolKind::Dram => {
+            let mut dbs: Vec<Db<DramBp>> = (0..cfg.instances)
+                .map(|_| {
+                    let store = PageStore::new(pages);
+                    let mut db = Db::create(
+                        DramBp::new(pages as usize, cfg.cache_bytes, store),
+                        crate::sysbench::RECORD_SIZE,
+                    );
+                    db.load(rows());
+                    db
+                })
+                .collect();
+            let (q, x, h, w, per) = drive(&mut dbs, cfg);
+            let mem = cfg.instances as u64 * pages * PAGE_SIZE;
+            PoolingResult {
+                metrics: finish(q, x, h, w, 0, mem),
+                per_instance_qps: per.iter().map(|&c| c as f64 / w.as_secs_f64()).collect(),
+            }
+        }
+        PoolKind::TieredRdma => {
+            let slice = pages * PAGE_SIZE;
+            let rdma = Rc::new(RefCell::new(RdmaPool::new(
+                (slice * cfg.instances as u64) as usize,
+                1,
+            )));
+            let lbp_frames = ((pages as f64 * cfg.lbp_fraction).ceil() as usize).max(8);
+            let mut dbs: Vec<Db<TieredRdmaBp>> = (0..cfg.instances)
+                .map(|i| {
+                    let store = PageStore::new(pages);
+                    let mut db = Db::create(
+                        TieredRdmaBp::new(
+                            Rc::clone(&rdma),
+                            0,
+                            i as u64 * slice,
+                            lbp_frames,
+                            cfg.cache_bytes,
+                            store,
+                        ),
+                        crate::sysbench::RECORD_SIZE,
+                    );
+                    db.load(rows());
+                    db
+                })
+                .collect();
+            rdma.borrow_mut().reset_link_counters();
+            let (q, x, h, w, per) = drive(&mut dbs, cfg);
+            let bytes = rdma.borrow().total_bytes();
+            let mem = cfg.instances as u64 * (slice + lbp_frames as u64 * PAGE_SIZE);
+            PoolingResult {
+                metrics: finish(q, x, h, w, bytes, mem),
+                per_instance_qps: per.iter().map(|&c| c as f64 / w.as_secs_f64()).collect(),
+            }
+        }
+        PoolKind::Cxl => {
+            // One CXL pool on the host, carved up by the memory manager.
+            let geo_size = 64 + pages * (64 + PAGE_SIZE);
+            let pool_size = (geo_size + 4096) * cfg.instances as u64;
+            let node_cfg = memsim::CxlNodeConfig {
+                host: 0,
+                cache_bytes: cfg.cache_bytes,
+                capture: false,
+                remote_numa: false,
+                direct_attach: cfg.direct_attach,
+            };
+            let cxl = Rc::new(RefCell::new(CxlPool::new(
+                pool_size as usize,
+                &vec![node_cfg; cfg.instances],
+            )));
+            let mut mgr = CxlMemoryManager::new(pool_size);
+            let mut dbs: Vec<Db<CxlBp>> = (0..cfg.instances)
+                .map(|i| {
+                    let (lease, _) = mgr
+                        .allocate(NodeId(i), geo_size, SimTime::ZERO)
+                        .expect("pool sized for all instances");
+                    let store = PageStore::new(pages);
+                    let mut db = Db::create(
+                        CxlBp::format(Rc::clone(&cxl), NodeId(i), lease.offset, pages, store),
+                        crate::sysbench::RECORD_SIZE,
+                    );
+                    db.load(rows());
+                    db
+                })
+                .collect();
+            cxl.borrow_mut().reset_link_counters();
+            let (q, x, h, w, per) = drive(&mut dbs, cfg);
+            let bytes = cxl.borrow().switch_bytes();
+            let mem = cfg.instances as u64 * geo_size;
+            PoolingResult {
+                metrics: finish(q, x, h, w, bytes, mem),
+                per_instance_qps: per.iter().map(|&c| c as f64 / w.as_secs_f64()).collect(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_for_covers_rows_with_slack() {
+        let pages = pages_for(30_000, PAGE_SIZE);
+        // 82 rows/page => ~366 leaves; with tree overhead and slack the
+        // estimate must exceed that comfortably but not absurdly.
+        assert!(pages > 400, "{pages}");
+        assert!(pages < 2_000, "{pages}");
+    }
+
+    #[test]
+    fn standard_configs_follow_the_paper() {
+        let p = PoolingConfig::standard(PoolKind::Cxl, SysbenchKind::PointSelect, 3);
+        assert_eq!(p.workers_per_instance, 48);
+        let r = PoolingConfig::standard(PoolKind::Cxl, SysbenchKind::RangeSelect, 3);
+        assert_eq!(r.workers_per_instance, 32);
+        assert_eq!(p.instances, 3);
+        assert!((p.lbp_fraction - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_run_produces_consistent_metrics() {
+        let mut cfg = PoolingConfig::standard(PoolKind::Dram, SysbenchKind::PointSelect, 1);
+        cfg.table_size = 4_000;
+        cfg.duration = SimTime::from_millis(10);
+        let r = run_pooling(&cfg);
+        assert!(r.metrics.qps > 0.0);
+        // Closed loop: qps * latency ≈ workers (Little's law).
+        let in_flight = r.metrics.qps * r.metrics.avg_latency_us / 1e6;
+        assert!(
+            (in_flight - 48.0).abs() < 6.0,
+            "Little's law violated: {in_flight} in flight"
+        );
+        assert_eq!(r.metrics.qps, r.metrics.tps, "point-select: 1 query per txn");
+        assert_eq!(r.per_instance_qps.len(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Result types shared by all experiment harnesses.
+
+use simkit::{Histogram, SimTime};
+
+/// Aggregate metrics of one measured run, in the units the paper plots.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Queries per second (K-QPS when divided by 1000).
+    pub qps: f64,
+    /// Transactions per second.
+    pub tps: f64,
+    /// Mean query/transaction latency, µs.
+    pub avg_latency_us: f64,
+    /// 95th percentile latency, µs.
+    pub p95_latency_us: f64,
+    /// Interconnect bandwidth consumed (RDMA NIC or CXL link), GB/s.
+    pub interconnect_gbps: f64,
+    /// Total memory footprint of the design, bytes (pool + any local
+    /// tier) — the cost axis of the paper's comparisons.
+    pub memory_bytes: u64,
+    /// Measured window length.
+    pub window: SimTime,
+    /// Raw latency histogram.
+    pub latency: Histogram,
+}
+
+impl RunMetrics {
+    /// Pretty single-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:>9.1} K-QPS  {:>8.1} us avg  {:>8.1} us p95  {:>6.2} GB/s  {:>7.1} MB mem",
+            self.qps / 1e3,
+            self.avg_latency_us,
+            self.p95_latency_us,
+            self.interconnect_gbps,
+            self.memory_bytes as f64 / 1e6,
+        )
+    }
+}
+
+/// One point of a throughput-over-time curve (Figure 10).
+#[derive(Debug, Clone, Copy)]
+pub struct TimelinePoint {
+    /// Seconds since run start.
+    pub second: u64,
+    /// Queries completed in that second.
+    pub qps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_formats() {
+        let m = RunMetrics {
+            qps: 123_456.0,
+            tps: 12_345.6,
+            avg_latency_us: 55.5,
+            p95_latency_us: 99.9,
+            interconnect_gbps: 4.7,
+            memory_bytes: 100 << 20,
+            window: SimTime::from_secs(1),
+            latency: Histogram::new(),
+        };
+        let s = m.summary();
+        assert!(s.contains("123.5 K-QPS"), "{s}");
+        assert!(s.contains("4.70 GB/s"), "{s}");
+    }
+}

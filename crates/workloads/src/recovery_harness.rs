@@ -1,0 +1,247 @@
+//! The crash-recovery timeline harness (§4.3, Figure 10).
+//!
+//! Runs one instance under a sysbench workload, kills the database
+//! process at a chosen instant (volatile state dies; storage, remote
+//! memory, and the CXL box survive per design), runs the recovery scheme
+//! under test, resumes the workload, and reports the
+//! throughput-over-time curve plus the derived recovery and warm-up
+//! times the paper quotes.
+
+use crate::harness::exec_txn;
+use crate::metrics::TimelinePoint;
+use crate::sysbench::{make_record, Sysbench, SysbenchKind};
+use bufferpool::dram_bp::DramBp;
+use bufferpool::tiered::TieredRdmaBp;
+use bufferpool::{BufferPool, Crashable};
+use engine::{recover_polar, recover_replay, Db, RecoverySummary};
+use memsim::calib::PAGE_SIZE;
+use memsim::{CxlPool, NodeId, RdmaPool};
+use polarcxlmem::CxlBp;
+use simkit::rng::stream_rng;
+use simkit::{dur, SimTime, Step, TimeSeries, WorkerId, WorkerSet};
+use std::cell::RefCell;
+use std::rc::Rc;
+use storage::PageStore;
+
+/// Which recovery scheme (and therefore which pool design) to test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Local DRAM pool + full ARIES replay from storage.
+    Vanilla,
+    /// Tiered RDMA pool + replay served from remote memory.
+    RdmaBased,
+    /// PolarCXLMem + PolarRecv.
+    PolarRecv,
+    /// Ablation: PolarCXLMem *without* trusting the durable metadata —
+    /// every in-use page is rebuilt from storage + redo.
+    PolarRecvNoMeta,
+}
+
+impl Scheme {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Vanilla => "vanilla",
+            Scheme::RdmaBased => "rdma-based",
+            Scheme::PolarRecv => "polarrecv",
+            Scheme::PolarRecvNoMeta => "polarrecv-nometa",
+        }
+    }
+}
+
+/// Recovery experiment configuration.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Scheme (implies the pool design).
+    pub scheme: Scheme,
+    /// Sysbench variant (read-only / read-write / write-only in §4.3).
+    pub workload: SysbenchKind,
+    /// Rows in the table.
+    pub table_size: u64,
+    /// Closed-loop workers.
+    pub workers: usize,
+    /// When the process is killed.
+    pub crash_at: SimTime,
+    /// Total simulated duration.
+    pub duration: SimTime,
+    /// Time-series bucket width.
+    pub bucket: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RecoveryConfig {
+    /// A scaled-down version of the paper's setup (crash at 1/3 of the
+    /// run). Buckets are 100 ms so the curves have useful resolution at
+    /// simulation scale.
+    pub fn standard(scheme: Scheme, workload: SysbenchKind) -> Self {
+        RecoveryConfig {
+            scheme,
+            workload,
+            table_size: 30_000,
+            workers: 48,
+            crash_at: SimTime::from_secs(2),
+            duration: SimTime::from_secs(6),
+            bucket: 100 * dur::MS,
+            seed: 7,
+        }
+    }
+}
+
+/// Result of a recovery run.
+#[derive(Debug, Clone)]
+pub struct RecoveryRunResult {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Throughput curve (queries per bucket, normalized to QPS).
+    pub timeline: Vec<TimelinePoint>,
+    /// Mean pre-crash QPS (steady state).
+    pub pre_crash_qps: f64,
+    /// Seconds from crash until the engine accepts queries again.
+    pub recovery_secs: f64,
+    /// Seconds from recovery completion until throughput regains 90 %
+    /// of the pre-crash level.
+    pub warmup_secs: f64,
+    /// Details from the recovery scheme.
+    pub summary: RecoverySummary,
+}
+
+fn run_phases<P, FR>(cfg: &RecoveryConfig, mut db: Db<P>, recover: FR) -> RecoveryRunResult
+where
+    P: BufferPool + Crashable,
+    FR: FnOnce(&mut Db<P>, SimTime) -> RecoverySummary,
+{
+    let gen = Sysbench::new(cfg.workload, cfg.table_size);
+    let mut rngs: Vec<_> = (0..cfg.workers)
+        .map(|w| stream_rng(cfg.seed, w as u64))
+        .collect();
+    let mut series = TimeSeries::new(cfg.bucket);
+    let mut ws = WorkerSet::new();
+    for w in 0..cfg.workers {
+        ws.spawn(WorkerId(w), SimTime::ZERO);
+    }
+    db.reset_timing_queues();
+
+    // Phase 1: steady state until the crash.
+    ws.run_until(cfg.crash_at, |WorkerId(w), start| {
+        let txn = gen.next_txn(&mut rngs[w]);
+        let end = exec_txn(&mut db, &txn, start);
+        series.record_at(end, txn.len() as u64);
+        Step::Done(end)
+    });
+
+    // Crash: every worker dies with the process.
+    ws.park_matching(|_| true);
+    db.crash();
+
+    // Recovery.
+    let summary = recover(&mut db, cfg.crash_at);
+    let recovery_secs = (summary.done - cfg.crash_at) as f64 / dur::SEC as f64;
+
+    // Phase 2: workers restart when the engine is back.
+    for w in 0..cfg.workers {
+        ws.spawn(WorkerId(w), summary.done);
+    }
+    ws.run_until(cfg.duration, |WorkerId(w), start| {
+        let txn = gen.next_txn(&mut rngs[w]);
+        let end = exec_txn(&mut db, &txn, start);
+        series.record_at(end, txn.len() as u64);
+        Step::Done(end)
+    });
+
+    // Derived numbers.
+    let rates = series.rates_per_sec();
+    let crash_bucket = (cfg.crash_at.as_nanos() / cfg.bucket) as usize;
+    let warm = &rates[crash_bucket / 2..crash_bucket.max(1)];
+    let pre_crash_qps = if warm.is_empty() {
+        0.0
+    } else {
+        warm.iter().sum::<f64>() / warm.len() as f64
+    };
+    let warmup_secs = series
+        .first_reaching(summary.done, 0.9 * pre_crash_qps)
+        .map(|b| {
+            (b as f64 * cfg.bucket as f64 - summary.done.as_nanos() as f64).max(0.0)
+                / dur::SEC as f64
+        })
+        .unwrap_or(f64::INFINITY);
+    let timeline = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &qps)| TimelinePoint {
+            second: (i as u64 * cfg.bucket) / dur::SEC,
+            qps,
+        })
+        .collect();
+    RecoveryRunResult {
+        scheme: cfg.scheme.name(),
+        timeline,
+        pre_crash_qps,
+        recovery_secs,
+        warmup_secs,
+        summary,
+    }
+}
+
+/// Pages needed for the table (shared with the pooling harness).
+fn pages_for(table_size: u64) -> u64 {
+    let rows_per_page = (PAGE_SIZE - 16) / (8 + crate::sysbench::RECORD_SIZE as u64);
+    let leaves = table_size.div_ceil(rows_per_page);
+    leaves * 2 + leaves / 8 + 64
+}
+
+/// Run one recovery experiment.
+pub fn run_recovery(cfg: &RecoveryConfig) -> RecoveryRunResult {
+    let pages = pages_for(cfg.table_size);
+    let rows = || (1..=cfg.table_size).map(|k| (k, make_record(k, (k % 251) as u8)));
+    match cfg.scheme {
+        Scheme::Vanilla => {
+            let store = PageStore::new(pages);
+            let mut db = Db::create(
+                DramBp::new(pages as usize, 4 << 20, store),
+                crate::sysbench::RECORD_SIZE,
+            );
+            db.load(rows());
+            run_phases(cfg, db, |db, t| recover_replay(db, "vanilla", t))
+        }
+        Scheme::RdmaBased => {
+            let store = PageStore::new(pages);
+            let rdma = Rc::new(RefCell::new(RdmaPool::new((pages * PAGE_SIZE) as usize, 1)));
+            let lbp = ((pages as f64 * 0.3).ceil() as usize).max(8);
+            let mut db = Db::create(
+                TieredRdmaBp::new(rdma, 0, 0, lbp, 4 << 20, store),
+                crate::sysbench::RECORD_SIZE,
+            );
+            db.load(rows());
+            run_phases(cfg, db, |db, t| recover_replay(db, "rdma-based", t))
+        }
+        Scheme::PolarRecv | Scheme::PolarRecvNoMeta => {
+            let trust = cfg.scheme == Scheme::PolarRecv;
+            let store = PageStore::new(pages);
+            let geo = 64 + pages * (64 + PAGE_SIZE) + 4096;
+            let cxl = Rc::new(RefCell::new(CxlPool::single_host(geo as usize, 1, 4 << 20, false)));
+            let mut db = Db::create(
+                CxlBp::format(cxl, NodeId(0), 0, pages, store),
+                crate::sysbench::RECORD_SIZE,
+            );
+            db.load(rows());
+            run_phases(cfg, db, move |db, t| {
+                if trust {
+                    recover_polar(db, t)
+                } else {
+                    let report =
+                        polarcxlmem::recovery::polar_recv_with(&mut db.pool, &mut db.wal, t, false);
+                    let (table, t2) = btree::BTree::open(&mut db.pool, db.table.meta_page, report.done);
+                    db.table = table;
+                    engine::RecoverySummary {
+                        scheme: "polarrecv-nometa",
+                        pages_rebuilt: report.rebuilt,
+                        records_applied: report.records_applied,
+                        log_bytes: report.log_bytes_scanned,
+                        done: t2,
+                    }
+                }
+            })
+        }
+    }
+}

@@ -1,0 +1,586 @@
+//! The multi-primary data-sharing harness (§4.4, Figures 11–13, Table 3).
+//!
+//! N database nodes share one dataset through a distributed buffer pool:
+//! either PolarCXLMem (buffer fusion + cache-line coherency protocol) or
+//! the RDMA baseline (local page copies + page-granularity flushes and
+//! invalidation messages). Tables are divided into N private groups plus
+//! one shared group; a knob directs X % of statements at the shared
+//! group (§4.4's methodology).
+//!
+//! The sharing layer operates below the transaction engine — nodes read
+//! and write record slots in pages of a fixed-layout heap table (the
+//! B+tree is exercised by the pooling experiments). Every statement
+//! acquires the page's distributed S/X lock; writers publish (flush +
+//! invalidate) before the lock is observed released, which is exactly
+//! the interaction that makes RDMA's full-page flushes hurt under
+//! contention.
+
+use crate::metrics::RunMetrics;
+use crate::sysbench::RECORD_SIZE;
+use memsim::calib::{
+    CPU_POINT_SELECT_NS, CPU_TXN_OVERHEAD_NS, CPU_WRITE_STMT_NS, LOCK_SERVICE_NS, PAGE_SIZE,
+};
+use memsim::{CxlNodeConfig, CxlPool, NodeId, RdmaPool};
+use polarcxlmem::fusion::CoherencyMode;
+use polarcxlmem::{FusionServer, RdmaDbp, RdmaSharingNode, SharingNode};
+use rand::rngs::StdRng;
+use rand::Rng;
+use simkit::rng::stream_rng;
+use simkit::{
+    Histogram, LockMode, LockTable, MultiServer, SimTime, Step, WorkerId, WorkerSet,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+use storage::{PageId, PageStore};
+
+/// Maps (group, row) to (page, in-page offset) for a fixed-layout heap
+/// table of [`RECORD_SIZE`]-byte records.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupLayout {
+    /// Table groups (N private + 1 shared).
+    pub groups: usize,
+    /// Rows in each group.
+    pub rows_per_group: u64,
+}
+
+impl GroupLayout {
+    /// Records per page (8-byte key + record, 16-byte page header).
+    pub fn rows_per_page(&self) -> u64 {
+        (PAGE_SIZE - 16) / (8 + RECORD_SIZE as u64)
+    }
+
+    /// Pages each group occupies.
+    pub fn pages_per_group(&self) -> u64 {
+        self.rows_per_group.div_ceil(self.rows_per_page())
+    }
+
+    /// Total pages across all groups.
+    pub fn total_pages(&self) -> u64 {
+        self.pages_per_group() * self.groups as u64
+    }
+
+    /// Locate a row: (page, byte offset of its record).
+    pub fn locate(&self, group: usize, row: u64) -> (PageId, u16) {
+        debug_assert!(group < self.groups && row < self.rows_per_group);
+        let rpp = self.rows_per_page();
+        let page = group as u64 * self.pages_per_group() + row / rpp;
+        let off = 16 + (row % rpp) * (8 + RECORD_SIZE as u64) + 8;
+        (PageId(page), off as u16)
+    }
+}
+
+/// One statement in a sharing transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShOp {
+    /// Read `len` bytes of a row's record.
+    Read {
+        /// Target page.
+        page: PageId,
+        /// Byte offset within the page.
+        off: u16,
+        /// Bytes read.
+        len: u16,
+    },
+    /// Write `len` bytes of a row's record.
+    Write {
+        /// Target page.
+        page: PageId,
+        /// Byte offset within the page.
+        off: u16,
+        /// Bytes written.
+        len: u16,
+    },
+}
+
+impl ShOp {
+    /// Whether this is a write.
+    pub fn is_write(&self) -> bool {
+        matches!(self, ShOp::Write { .. })
+    }
+}
+
+/// Which sharing system runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SharingSystem {
+    /// PolarCXLMem-based sharing (buffer fusion, §3.3): software
+    /// coherency at cache-line granularity.
+    Cxl,
+    /// Ablation: the software protocol but flushing whole pages on
+    /// publish (page-granularity thinking ported to CXL).
+    CxlFullPageFlush,
+    /// Forward-looking: CXL 3.0 hardware coherency — no flushes, no
+    /// invalid flags.
+    Cxl3Hw,
+    /// RDMA-based PolarDB-MP with a local buffer pool sized to the given
+    /// fraction of each node's accessed dataset.
+    Rdma {
+        /// LBP size as a fraction of the node's accessed dataset.
+        lbp_fraction: f64,
+    },
+}
+
+/// Sharing experiment configuration.
+#[derive(Debug, Clone)]
+pub struct SharingConfig {
+    /// System under test.
+    pub system: SharingSystem,
+    /// Database nodes.
+    pub nodes: usize,
+    /// Closed-loop workers per node.
+    pub workers_per_node: usize,
+    /// Data layout (nodes + 1 groups).
+    pub layout: GroupLayout,
+    /// Measured window.
+    pub duration: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SharingConfig {
+    /// Standard scaled-down setup for `nodes` nodes.
+    pub fn standard(system: SharingSystem, nodes: usize) -> Self {
+        SharingConfig {
+            system,
+            nodes,
+            workers_per_node: 16,
+            layout: GroupLayout {
+                groups: nodes + 1,
+                rows_per_group: 8_000,
+            },
+            duration: SimTime::from_millis(200),
+            seed: 11,
+        }
+    }
+}
+
+/// Sysbench point-update transactions (10 updates of the `c` column),
+/// X % of statements on the shared group.
+pub fn point_update_gen(
+    layout: GroupLayout,
+    shared_pct: u32,
+) -> impl FnMut(&mut StdRng, usize) -> Vec<ShOp> {
+    move |rng, node| {
+        (0..10)
+            .map(|_| {
+                let group = if rng.gen_range(0..100) < shared_pct {
+                    layout.groups - 1
+                } else {
+                    node
+                };
+                let row = rng.gen_range(0..layout.rows_per_group);
+                let (page, off) = layout.locate(group, row);
+                ShOp::Write {
+                    page,
+                    off: off + 8,
+                    len: 120,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Sysbench read-write transactions (14 reads + 4 writes), X % of
+/// statements on the shared group.
+pub fn read_write_gen(
+    layout: GroupLayout,
+    shared_pct: u32,
+) -> impl FnMut(&mut StdRng, usize) -> Vec<ShOp> {
+    move |rng, node| {
+        let pick = |rng: &mut StdRng| {
+            let group = if rng.gen_range(0..100) < shared_pct {
+                layout.groups - 1
+            } else {
+                node
+            };
+            let row = rng.gen_range(0..layout.rows_per_group);
+            layout.locate(group, row)
+        };
+        let mut txn = Vec::with_capacity(18);
+        for _ in 0..14 {
+            let (page, off) = pick(rng);
+            txn.push(ShOp::Read {
+                page,
+                off: off + 8,
+                len: 120,
+            });
+        }
+        for _ in 0..4 {
+            let (page, off) = pick(rng);
+            txn.push(ShOp::Write {
+                page,
+                off: off + 8,
+                len: 120,
+            });
+        }
+        txn
+    }
+}
+
+/// Result of a sharing run.
+#[derive(Debug, Clone)]
+pub struct SharingResult {
+    /// Aggregate metrics (QPS = statements/s, latency = txn latency).
+    pub metrics: RunMetrics,
+    /// Distributed lock acquisitions that had to wait.
+    pub lock_contended: u64,
+    /// Mean lock wait, ns.
+    pub lock_mean_wait_ns: f64,
+}
+
+fn seed_storage(layout: &GroupLayout) -> PageStore {
+    let mut store = PageStore::new(layout.total_pages());
+    for _ in 0..layout.total_pages() {
+        store.allocate();
+    }
+    // Deterministic row payloads so coherency checks can verify data.
+    for g in 0..layout.groups {
+        for r in 0..layout.rows_per_group {
+            let (page, off) = layout.locate(g, r);
+            let mut rec = vec![(g as u8).wrapping_add(r as u8); 8 + RECORD_SIZE as usize - 8];
+            rec.truncate(RECORD_SIZE as usize);
+            let po = page.0 * PAGE_SIZE + off as u64;
+            let _ = po;
+            let base = off as usize;
+            let pagebuf = {
+                let mut buf = store.raw_page(page).to_vec();
+                buf[base - 8..base].copy_from_slice(&r.to_le_bytes());
+                buf[base..base + RECORD_SIZE as usize].copy_from_slice(&rec);
+                buf
+            };
+            store.raw_write_page(page, &pagebuf);
+        }
+    }
+    store
+}
+
+/// Run a sharing experiment with the given transaction generator.
+pub fn run_sharing<F>(cfg: &SharingConfig, mut gen: F) -> SharingResult
+where
+    F: FnMut(&mut StdRng, usize) -> Vec<ShOp>,
+{
+    match cfg.system {
+        SharingSystem::Cxl => run_cxl(cfg, &mut gen, CoherencyMode::SoftwareLines),
+        SharingSystem::CxlFullPageFlush => {
+            run_cxl(cfg, &mut gen, CoherencyMode::SoftwareFullPage)
+        }
+        SharingSystem::Cxl3Hw => run_cxl(cfg, &mut gen, CoherencyMode::Hardware),
+        SharingSystem::Rdma { lbp_fraction } => run_rdma(cfg, &mut gen, lbp_fraction),
+    }
+}
+
+fn finish(
+    queries: u64,
+    txns: u64,
+    hist: Histogram,
+    window: SimTime,
+    bytes: u64,
+    memory: u64,
+    locks: &LockTable<PageId>,
+) -> SharingResult {
+    let secs = window.as_secs_f64();
+    SharingResult {
+        metrics: RunMetrics {
+            qps: queries as f64 / secs,
+            tps: txns as f64 / secs,
+            avg_latency_us: hist.mean_us(),
+            p95_latency_us: hist.p95_us(),
+            interconnect_gbps: bytes as f64 / window.as_nanos() as f64,
+            memory_bytes: memory,
+            window,
+            latency: hist,
+        },
+        lock_contended: locks.contended(),
+        lock_mean_wait_ns: locks.mean_wait_ns(),
+    }
+}
+
+fn run_cxl<F>(cfg: &SharingConfig, gen: &mut F, mode: CoherencyMode) -> SharingResult
+where
+    F: FnMut(&mut StdRng, usize) -> Vec<ShOp>,
+{
+    let layout = cfg.layout;
+    let n = cfg.nodes;
+    let total_pages = layout.total_pages();
+    // CXL layout: DBP slots, then one flag array per node.
+    let slots_bytes = total_pages * PAGE_SIZE;
+    let flags_bytes = total_pages * 16;
+    let pool_size = slots_bytes + flags_bytes * n as u64 + 4096;
+    // Node i = DB node on host i; node n = fusion server on its own host.
+    let node_cfg = |_: usize| CxlNodeConfig {
+        host: 0,
+        cache_bytes: 8 << 20,
+        capture: true,
+        remote_numa: false,
+        direct_attach: false,
+    };
+    let mut cfgs: Vec<CxlNodeConfig> = (0..=n).map(node_cfg).collect();
+    for (host, c) in cfgs.iter_mut().enumerate() {
+        c.host = host; // each node on its own host/link
+    }
+    let cxl = Rc::new(RefCell::new(CxlPool::new(pool_size as usize, &cfgs)));
+    let store = Rc::new(RefCell::new(seed_storage(&layout)));
+    let mut server = FusionServer::new(
+        Rc::clone(&cxl),
+        NodeId(n),
+        0,
+        total_pages as u32,
+        Rc::clone(&store),
+    );
+    let mut nodes: Vec<SharingNode> = (0..n)
+        .map(|i| {
+            let flag_base = slots_bytes + i as u64 * flags_bytes;
+            server.register_node(NodeId(i), flag_base);
+            SharingNode::with_mode(Rc::clone(&cxl), NodeId(i), flag_base, PAGE_SIZE, mode)
+        })
+        .collect();
+    // Warm the DBP: every node resolves the pages of the groups it can
+    // touch (its own + shared).
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        for g in [i, layout.groups - 1] {
+            for p in 0..layout.pages_per_group() {
+                let page = PageId(g as u64 * layout.pages_per_group() + p);
+                nodes[i].access(&mut server, page, SimTime::ZERO);
+            }
+        }
+    }
+    cxl.borrow_mut().reset_link_counters();
+
+    let mut cpus: Vec<MultiServer> = (0..n).map(|_| MultiServer::new(16)).collect();
+    let mut locks: LockTable<PageId> = LockTable::new();
+    let wpn = cfg.workers_per_node;
+    let mut rngs: Vec<StdRng> = (0..n * wpn).map(|w| stream_rng(cfg.seed, w as u64)).collect();
+    let mut ws = WorkerSet::new();
+    for w in 0..n * wpn {
+        ws.spawn(WorkerId(w), SimTime::ZERO);
+    }
+    let mut hist = Histogram::new();
+    let mut queries = 0u64;
+    let mut txns = 0u64;
+    let payload = [0xC5u8; 120];
+    ws.run_until(cfg.duration, |WorkerId(w), start| {
+        let node = w / wpn;
+        let txn = gen(&mut rngs[w], node);
+        let mut t = start + CPU_TXN_OVERHEAD_NS;
+        for op in &txn {
+            match *op {
+                ShOp::Read { page, off, len } => {
+                    t = cpus[node].acquire(t, CPU_POINT_SELECT_NS).end;
+                    t += LOCK_SERVICE_NS;
+                    let (grant, _) = locks.acquire(page, t, LockMode::Shared, 0);
+                    t = grant;
+                    let mut buf = vec![0u8; len as usize];
+                    t = nodes[node].read(&mut server, page, off as u64, &mut buf, t);
+                    locks.extend_shared(page, t);
+                }
+                ShOp::Write { page, off, len } => {
+                    t = cpus[node].acquire(t, CPU_WRITE_STMT_NS).end;
+                    t += LOCK_SERVICE_NS;
+                    let (grant, _) = locks.acquire(page, t, LockMode::Exclusive, 0);
+                    t = grant;
+                    t = nodes[node].write(&mut server, page, off as u64, &payload[..len as usize], t);
+                    // Publish (clflush modified lines + invalid flags)
+                    // happens before the lock is observed released.
+                    t = nodes[node].publish(&mut server, page, t);
+                    locks.extend_exclusive(page, t);
+                }
+            }
+            queries += 1;
+        }
+        txns += 1;
+        hist.record(t - start);
+        Step::Done(t)
+    });
+    let bytes = cxl.borrow().switch_bytes();
+    let memory = slots_bytes + flags_bytes * n as u64;
+    finish(queries, txns, hist, cfg.duration, bytes, memory, &locks)
+}
+
+fn run_rdma<F>(cfg: &SharingConfig, gen: &mut F, lbp_fraction: f64) -> SharingResult
+where
+    F: FnMut(&mut StdRng, usize) -> Vec<ShOp>,
+{
+    let layout = cfg.layout;
+    let n = cfg.nodes;
+    let total_pages = layout.total_pages();
+    let rdma = Rc::new(RefCell::new(RdmaPool::new(
+        (total_pages * PAGE_SIZE) as usize,
+        n + 1,
+    )));
+    let store = Rc::new(RefCell::new(seed_storage(&layout)));
+    let mut server = RdmaDbp::new(Rc::clone(&rdma), n, 0, total_pages as u32, Rc::clone(&store));
+    // Each node accesses 2 groups (its own + shared): LBP sized to a
+    // fraction of that.
+    let accessed_pages = 2 * layout.pages_per_group();
+    let lbp_frames = ((accessed_pages as f64 * lbp_fraction).ceil() as usize).max(4);
+    let mut nodes: Vec<RdmaSharingNode> = (0..n)
+        .map(|i| RdmaSharingNode::new(Rc::clone(&rdma), NodeId(i), i, lbp_frames, PAGE_SIZE))
+        .collect();
+    // Warm: each node faults in up to its LBP capacity from its groups.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let mut warmed = 0;
+        'outer: for g in [i, layout.groups - 1] {
+            for p in 0..layout.pages_per_group() {
+                if warmed >= lbp_frames {
+                    break 'outer;
+                }
+                let page = PageId(g as u64 * layout.pages_per_group() + p);
+                let mut b = [0u8; 8];
+                nodes[i].read(&mut server, page, 16, &mut b, SimTime::ZERO);
+                warmed += 1;
+            }
+        }
+    }
+    rdma.borrow_mut().reset_link_counters();
+
+    let mut cpus: Vec<MultiServer> = (0..n).map(|_| MultiServer::new(16)).collect();
+    let mut locks: LockTable<PageId> = LockTable::new();
+    let wpn = cfg.workers_per_node;
+    let mut rngs: Vec<StdRng> = (0..n * wpn).map(|w| stream_rng(cfg.seed, w as u64)).collect();
+    let mut ws = WorkerSet::new();
+    for w in 0..n * wpn {
+        ws.spawn(WorkerId(w), SimTime::ZERO);
+    }
+    let mut hist = Histogram::new();
+    let mut queries = 0u64;
+    let mut txns = 0u64;
+    let payload = [0xC5u8; 120];
+    ws.run_until(cfg.duration, |WorkerId(w), start| {
+        let node = w / wpn;
+        let txn = gen(&mut rngs[w], node);
+        let mut t = start + CPU_TXN_OVERHEAD_NS;
+        for op in &txn {
+            match *op {
+                ShOp::Read { page, off, len } => {
+                    t = cpus[node].acquire(t, CPU_POINT_SELECT_NS).end;
+                    t += LOCK_SERVICE_NS;
+                    let (grant, _) = locks.acquire(page, t, LockMode::Shared, 0);
+                    t = grant;
+                    let mut buf = vec![0u8; len as usize];
+                    t = nodes[node].read(&mut server, page, off as u64, &mut buf, t);
+                    locks.extend_shared(page, t);
+                }
+                ShOp::Write { page, off, len } => {
+                    t = cpus[node].acquire(t, CPU_WRITE_STMT_NS).end;
+                    t += LOCK_SERVICE_NS;
+                    let (grant, _) = locks.acquire(page, t, LockMode::Exclusive, 0);
+                    t = grant;
+                    t = nodes[node].write(&mut server, page, off as u64, &payload[..len as usize], t);
+                    // Full-page flush + invalidation messages sit on the
+                    // lock hold path.
+                    let (targets, t2) = nodes[node].publish(&mut server, page, t);
+                    t = t2;
+                    for target in targets {
+                        nodes[target.0].invalidate_local(page);
+                    }
+                    locks.extend_exclusive(page, t);
+                }
+            }
+            queries += 1;
+        }
+        txns += 1;
+        hist.record(t - start);
+        Step::Done(t)
+    });
+    let bytes = rdma.borrow().total_bytes();
+    let memory = total_pages * PAGE_SIZE + n as u64 * lbp_frames as u64 * PAGE_SIZE;
+    finish(queries, txns, hist, cfg.duration, bytes, memory, &locks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(system: SharingSystem, shared_pct: u32) -> SharingResult {
+        let mut cfg = SharingConfig::standard(system, 4);
+        cfg.layout.rows_per_group = 1_000;
+        cfg.duration = SimTime::from_millis(30);
+        cfg.workers_per_node = 4;
+        let layout = cfg.layout;
+        run_sharing(&cfg, point_update_gen(layout, shared_pct))
+    }
+
+    #[test]
+    fn both_systems_complete_work() {
+        let c = tiny(SharingSystem::Cxl, 20);
+        let r = tiny(SharingSystem::Rdma { lbp_fraction: 0.3 }, 20);
+        assert!(c.metrics.qps > 0.0);
+        assert!(r.metrics.qps > 0.0);
+    }
+
+    #[test]
+    fn cxl_outperforms_rdma_under_sharing() {
+        // Figure 11's core claim, at small scale.
+        let c = tiny(SharingSystem::Cxl, 40);
+        let r = tiny(SharingSystem::Rdma { lbp_fraction: 0.3 }, 40);
+        assert!(
+            c.metrics.qps > r.metrics.qps,
+            "cxl {} <= rdma {}",
+            c.metrics.qps,
+            r.metrics.qps
+        );
+    }
+
+    #[test]
+    fn cxl_memory_footprint_is_lower() {
+        let c = tiny(SharingSystem::Cxl, 20);
+        let r = tiny(SharingSystem::Rdma { lbp_fraction: 0.3 }, 20);
+        assert!(c.metrics.memory_bytes < r.metrics.memory_bytes);
+    }
+
+    #[test]
+    fn contention_rises_with_shared_percentage() {
+        // At 0 % sharing each node's workers spread over their private
+        // group; at 100 % all nodes pile onto the single shared group,
+        // so cross-node lock waits must grow and throughput must drop.
+        let lo = tiny(SharingSystem::Cxl, 0);
+        let hi = tiny(SharingSystem::Cxl, 100);
+        assert!(
+            hi.lock_mean_wait_ns > lo.lock_mean_wait_ns,
+            "hi {} <= lo {}",
+            hi.lock_mean_wait_ns,
+            lo.lock_mean_wait_ns
+        );
+        assert!(hi.metrics.qps < lo.metrics.qps, "contention must cost throughput");
+    }
+
+    #[test]
+    fn layout_is_dense_and_disjoint() {
+        let l = GroupLayout {
+            groups: 3,
+            rows_per_group: 500,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..3 {
+            for r in 0..500 {
+                let (p, off) = l.locate(g, r);
+                assert!(p.0 < l.total_pages());
+                assert!((off as u64) < PAGE_SIZE);
+                assert!(seen.insert((p, off)), "rows must not alias");
+            }
+        }
+    }
+
+    #[test]
+    fn generators_respect_sharing_percentage() {
+        let l = GroupLayout {
+            groups: 5,
+            rows_per_group: 1_000,
+        };
+        let shared_range =
+            (l.pages_per_group() * 4)..(l.pages_per_group() * 5);
+        let mut rng = stream_rng(3, 0);
+        let mut gen = point_update_gen(l, 100);
+        for op in gen(&mut rng, 0) {
+            let ShOp::Write { page, .. } = op else { panic!() };
+            assert!(shared_range.contains(&page.0), "100% shared");
+        }
+        let mut gen0 = point_update_gen(l, 0);
+        let own_range = 0..l.pages_per_group();
+        for op in gen0(&mut rng, 0) {
+            let ShOp::Write { page, .. } = op else { panic!() };
+            assert!(own_range.contains(&page.0), "0% shared hits own group");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! TATP workload generator (Table 3).
+//!
+//! The telecom benchmark: 80 % reads / 20 % writes over a subscriber
+//! table, fully partitionable — "in TATP, there is no data sharing at
+//! all" — so each node's transactions stay inside its own group and the
+//! comparison reduces to the pooling advantages (§4.2). Subscriber ids
+//! use TATP's non-uniform distribution.
+
+use crate::sharing::{GroupLayout, ShOp};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The seven TATP transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TatpTxn {
+    /// GET_SUBSCRIBER_DATA (35 %).
+    GetSubscriberData,
+    /// GET_NEW_DESTINATION (10 %).
+    GetNewDestination,
+    /// GET_ACCESS_DATA (35 %).
+    GetAccessData,
+    /// UPDATE_SUBSCRIBER_DATA (2 %).
+    UpdateSubscriberData,
+    /// UPDATE_LOCATION (14 %).
+    UpdateLocation,
+    /// INSERT_CALL_FORWARDING (2 %).
+    InsertCallForwarding,
+    /// DELETE_CALL_FORWARDING (2 %).
+    DeleteCallForwarding,
+}
+
+/// Standard mix for a uniform draw in 0..100.
+pub fn mix(draw: u32) -> TatpTxn {
+    match draw {
+        0..=34 => TatpTxn::GetSubscriberData,
+        35..=44 => TatpTxn::GetNewDestination,
+        45..=79 => TatpTxn::GetAccessData,
+        80..=81 => TatpTxn::UpdateSubscriberData,
+        82..=95 => TatpTxn::UpdateLocation,
+        96..=97 => TatpTxn::InsertCallForwarding,
+        _ => TatpTxn::DeleteCallForwarding,
+    }
+}
+
+/// TATP transaction generator for the sharing harness.
+pub struct Tatp {
+    layout: GroupLayout,
+    /// Non-uniformity parameter A (65535 for the standard population).
+    a: u64,
+}
+
+impl Tatp {
+    /// Create a generator over `layout` (group i = node i's partition).
+    /// The non-uniformity parameter scales with the population as the
+    /// TATP spec prescribes (A = 65535 at 1 M subscribers).
+    pub fn new(layout: GroupLayout) -> Self {
+        let a = (layout.rows_per_group / 4).next_power_of_two().max(2) - 1;
+        Tatp { layout, a }
+    }
+
+    /// TATP non-uniform subscriber id in `0..n`:
+    /// `(rand(0, A) | rand(1, n)) % n`.
+    fn subscriber(&self, rng: &mut StdRng) -> u64 {
+        let n = self.layout.rows_per_group;
+        (rng.gen_range(0..=self.a) | rng.gen_range(1..=n)) % n
+    }
+
+    fn read(&self, node: usize, row: u64, len: u16) -> ShOp {
+        let (page, off) = self.layout.locate(node, row);
+        ShOp::Read { page, off, len }
+    }
+
+    fn write(&self, node: usize, row: u64, len: u16) -> ShOp {
+        let (page, off) = self.layout.locate(node, row);
+        ShOp::Write { page, off, len }
+    }
+
+    /// Generate one transaction for `node`; returns (ops, type).
+    pub fn next_txn(&self, rng: &mut StdRng, node: usize) -> (Vec<ShOp>, TatpTxn) {
+        let ty = mix(rng.gen_range(0..100));
+        let s = self.subscriber(rng);
+        let ops = match ty {
+            TatpTxn::GetSubscriberData => vec![self.read(node, s, 100)],
+            TatpTxn::GetNewDestination => {
+                let s2 = self.subscriber(rng);
+                vec![self.read(node, s, 32), self.read(node, s2, 32)]
+            }
+            TatpTxn::GetAccessData => vec![self.read(node, s, 24)],
+            TatpTxn::UpdateSubscriberData => {
+                vec![self.write(node, s, 8), self.write(node, self.subscriber(rng), 8)]
+            }
+            TatpTxn::UpdateLocation => vec![self.write(node, s, 8)],
+            TatpTxn::InsertCallForwarding => vec![
+                self.read(node, s, 32),
+                self.read(node, self.subscriber(rng), 32),
+                self.write(node, s, 40),
+            ],
+            TatpTxn::DeleteCallForwarding => {
+                vec![self.read(node, s, 32), self.write(node, s, 40)]
+            }
+        };
+        (ops, ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::stream_rng;
+
+    fn layout() -> GroupLayout {
+        GroupLayout {
+            groups: 3,
+            rows_per_group: 5_000,
+        }
+    }
+
+    #[test]
+    fn mix_is_80_20() {
+        let mut writes = 0;
+        for d in 0..100 {
+            match mix(d) {
+                TatpTxn::UpdateSubscriberData
+                | TatpTxn::UpdateLocation
+                | TatpTxn::InsertCallForwarding
+                | TatpTxn::DeleteCallForwarding => writes += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(writes, 20);
+    }
+
+    #[test]
+    fn no_cross_partition_access() {
+        let l = layout();
+        let g = Tatp::new(l);
+        let mut rng = stream_rng(5, 0);
+        let node = 1usize;
+        let range = l.pages_per_group()..(2 * l.pages_per_group());
+        for _ in 0..300 {
+            let (ops, _) = g.next_txn(&mut rng, node);
+            for op in ops {
+                let page = match op {
+                    ShOp::Read { page, .. } | ShOp::Write { page, .. } => page.0,
+                };
+                assert!(range.contains(&page), "TATP never shares");
+            }
+        }
+    }
+
+    #[test]
+    fn subscriber_distribution_is_nonuniform() {
+        let g = Tatp::new(layout());
+        let mut rng = stream_rng(9, 0);
+        let n = g.layout.rows_per_group;
+        const DRAWS: u32 = 40_000;
+        const BUCKETS: usize = 16;
+        let mut counts = [0u32; BUCKETS];
+        for _ in 0..DRAWS {
+            let id = g.subscriber(&mut rng);
+            counts[(id * BUCKETS as u64 / n) as usize] += 1;
+        }
+        let mean = DRAWS as f64 / BUCKETS as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        // The OR-based generator concentrates mass: the hottest bucket
+        // must be well above what a uniform draw would give.
+        assert!(max > 1.15 * mean, "max {max} vs mean {mean}: {counts:?}");
+    }
+
+    #[test]
+    fn transactions_are_nonempty_and_typed() {
+        let g = Tatp::new(layout());
+        let mut rng = stream_rng(2, 0);
+        for _ in 0..100 {
+            let (ops, ty) = g.next_txn(&mut rng, 0);
+            assert!(!ops.is_empty());
+            let has_write = ops.iter().any(|o| o.is_write());
+            match ty {
+                TatpTxn::GetSubscriberData
+                | TatpTxn::GetNewDestination
+                | TatpTxn::GetAccessData => assert!(!has_write),
+                _ => assert!(has_write),
+            }
+        }
+    }
+}

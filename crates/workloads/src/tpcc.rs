@@ -1,0 +1,260 @@
+//! TPC-C workload generator (Table 3), scaled for the sharing harness.
+//!
+//! Each node owns one warehouse group; the five transaction profiles
+//! run with the standard mix. Cross-warehouse accesses (1 % of New-Order
+//! items, 15 % of Payment customers — "only about 10 % of transactions
+//! involve cross-warehouse operations") touch *another node's* group,
+//! which is the only data sharing TPC-C produces.
+//!
+//! Rows within a group are segmented: warehouse (row 0), districts
+//! (1–10), customers, stock, and an orders area; reads/writes use the
+//! segment appropriate to each statement. Row populations are scaled
+//! down with the rest of the simulation.
+
+use crate::sharing::{GroupLayout, ShOp};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The five TPC-C transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpccTxn {
+    /// New-Order (45 %).
+    NewOrder,
+    /// Payment (43 %).
+    Payment,
+    /// Order-Status (4 %).
+    OrderStatus,
+    /// Delivery (4 %).
+    Delivery,
+    /// Stock-Level (4 %).
+    StockLevel,
+}
+
+/// Standard mix: returns the txn type for a uniform draw in 0..100.
+pub fn mix(draw: u32) -> TpccTxn {
+    match draw {
+        0..=44 => TpccTxn::NewOrder,
+        45..=87 => TpccTxn::Payment,
+        88..=91 => TpccTxn::OrderStatus,
+        92..=95 => TpccTxn::Delivery,
+        _ => TpccTxn::StockLevel,
+    }
+}
+
+/// Row segments within a warehouse group.
+#[derive(Debug, Clone, Copy)]
+pub struct Segments {
+    customers: (u64, u64),
+    stock: (u64, u64),
+    orders: (u64, u64),
+}
+
+impl Segments {
+    /// Carve a group's row space into TPC-C segments.
+    pub fn new(rows: u64) -> Self {
+        assert!(rows >= 100, "group too small for TPC-C segments");
+        let c_end = 11 + (rows - 11) * 4 / 10;
+        let s_end = c_end + (rows - 11) * 4 / 10;
+        Segments {
+            customers: (11, c_end),
+            stock: (c_end, s_end),
+            orders: (s_end, rows),
+        }
+    }
+
+    fn pick(r: &mut StdRng, seg: (u64, u64)) -> u64 {
+        r.gen_range(seg.0..seg.1)
+    }
+}
+
+/// Statement read/write widths (bytes of the row touched).
+const READ_LEN: u16 = 64;
+const WRITE_LEN: u16 = 32;
+
+/// A TPC-C transaction generator for the sharing harness. `nodes` is
+/// the warehouse count (one per node); the generator returns the ops
+/// and the transaction type (for TpmC accounting).
+pub struct Tpcc {
+    layout: GroupLayout,
+    nodes: usize,
+    seg: Segments,
+    /// New-Order transactions generated (TpmC numerator).
+    pub new_orders: u64,
+}
+
+impl Tpcc {
+    /// Create a generator over `layout` with one warehouse per node.
+    pub fn new(layout: GroupLayout, nodes: usize) -> Self {
+        assert!(layout.groups >= nodes);
+        Tpcc {
+            layout,
+            nodes,
+            seg: Segments::new(layout.rows_per_group),
+            new_orders: 0,
+        }
+    }
+
+    fn read(&self, group: usize, row: u64) -> ShOp {
+        let (page, off) = self.layout.locate(group, row);
+        ShOp::Read {
+            page,
+            off,
+            len: READ_LEN,
+        }
+    }
+
+    fn write(&self, group: usize, row: u64) -> ShOp {
+        let (page, off) = self.layout.locate(group, row);
+        ShOp::Write {
+            page,
+            off,
+            len: WRITE_LEN,
+        }
+    }
+
+    fn remote_wh(&self, rng: &mut StdRng, home: usize) -> usize {
+        if self.nodes == 1 {
+            return home;
+        }
+        loop {
+            let w = rng.gen_range(0..self.nodes);
+            if w != home {
+                return w;
+            }
+        }
+    }
+
+    /// Generate one transaction for `node`; returns (ops, type).
+    pub fn next_txn(&mut self, rng: &mut StdRng, node: usize) -> (Vec<ShOp>, TpccTxn) {
+        let ty = mix(rng.gen_range(0..100));
+        let w = node;
+        let ops = match ty {
+            TpccTxn::NewOrder => {
+                self.new_orders += 1;
+                let mut ops = Vec::with_capacity(26);
+                ops.push(self.read(w, 0)); // warehouse tax
+                let d = rng.gen_range(1..11);
+                ops.push(self.read(w, d)); // district
+                ops.push(self.write(w, d)); // next_o_id
+                ops.push(self.read(w, Segments::pick(rng, self.seg.customers)));
+                let items = rng.gen_range(5..16);
+                for _ in 0..items {
+                    // 1 % of items come from a remote warehouse.
+                    let sw = if rng.gen_range(0..100) == 0 {
+                        self.remote_wh(rng, w)
+                    } else {
+                        w
+                    };
+                    let stock = Segments::pick(rng, self.seg.stock);
+                    ops.push(self.read(sw, stock)); // item/stock read
+                    ops.push(self.write(sw, stock)); // stock update
+                    ops.push(self.write(w, Segments::pick(rng, self.seg.orders))); // order line
+                }
+                ops.push(self.write(w, Segments::pick(rng, self.seg.orders))); // order header
+                ops
+            }
+            TpccTxn::Payment => {
+                let mut ops = Vec::with_capacity(4);
+                ops.push(self.write(w, 0)); // warehouse ytd
+                ops.push(self.write(w, rng.gen_range(1..11))); // district ytd
+                // 15 % remote customer.
+                let cw = if rng.gen_range(0..100) < 15 {
+                    self.remote_wh(rng, w)
+                } else {
+                    w
+                };
+                ops.push(self.write(cw, Segments::pick(rng, self.seg.customers)));
+                ops
+            }
+            TpccTxn::OrderStatus => vec![
+                self.read(w, Segments::pick(rng, self.seg.customers)),
+                self.read(w, Segments::pick(rng, self.seg.orders)),
+                self.read(w, Segments::pick(rng, self.seg.orders)),
+            ],
+            TpccTxn::Delivery => (0..10)
+                .map(|_| self.write(w, Segments::pick(rng, self.seg.orders)))
+                .collect(),
+            TpccTxn::StockLevel => (0..20)
+                .map(|_| self.read(w, Segments::pick(rng, self.seg.stock)))
+                .collect(),
+        };
+        (ops, ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::stream_rng;
+
+    fn layout() -> GroupLayout {
+        GroupLayout {
+            groups: 4,
+            rows_per_group: 4_000,
+        }
+    }
+
+    #[test]
+    fn mix_matches_spec() {
+        let mut counts = [0u32; 5];
+        for d in 0..100 {
+            match mix(d) {
+                TpccTxn::NewOrder => counts[0] += 1,
+                TpccTxn::Payment => counts[1] += 1,
+                TpccTxn::OrderStatus => counts[2] += 1,
+                TpccTxn::Delivery => counts[3] += 1,
+                TpccTxn::StockLevel => counts[4] += 1,
+            }
+        }
+        assert_eq!(counts, [45, 43, 4, 4, 4]);
+    }
+
+    #[test]
+    fn new_order_counts_accumulate() {
+        let mut g = Tpcc::new(layout(), 4);
+        let mut rng = stream_rng(1, 0);
+        let mut total = 0;
+        for _ in 0..200 {
+            let (_, ty) = g.next_txn(&mut rng, 0);
+            if ty == TpccTxn::NewOrder {
+                total += 1;
+            }
+        }
+        assert_eq!(g.new_orders, total);
+        assert!((60..120).contains(&total), "{total} ≈ 45%");
+    }
+
+    #[test]
+    fn most_transactions_stay_home() {
+        let l = layout();
+        let mut g = Tpcc::new(l, 4);
+        let mut rng = stream_rng(2, 0);
+        let home_range = 0..l.pages_per_group();
+        let mut cross = 0;
+        let mut total = 0;
+        for _ in 0..500 {
+            let (ops, _) = g.next_txn(&mut rng, 0);
+            total += 1;
+            if ops.iter().any(|op| {
+                let page = match op {
+                    ShOp::Read { page, .. } | ShOp::Write { page, .. } => page.0,
+                };
+                !home_range.contains(&page)
+            }) {
+                cross += 1;
+            }
+        }
+        let pct = cross as f64 / total as f64;
+        // Paper: ~10 % of transactions are cross-warehouse.
+        assert!((0.02..0.25).contains(&pct), "{pct}");
+    }
+
+    #[test]
+    fn segments_partition_rows() {
+        let s = Segments::new(4_000);
+        assert!(s.customers.0 == 11);
+        assert!(s.customers.1 <= s.stock.0);
+        assert!(s.stock.1 <= s.orders.0);
+        assert_eq!(s.orders.1, 4_000);
+    }
+}

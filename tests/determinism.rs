@@ -1,0 +1,64 @@
+//! Determinism: every harness must reproduce bit-identical results for
+//! the same seed, and diverge when the seed changes. Reproducibility is
+//! the property that makes a simulation-based reproduction auditable.
+
+use polardb_cxl_repro::prelude::*;
+use polardb_cxl_repro::workloads::sharing::point_update_gen;
+use simkit::SimTime;
+
+fn pooling(seed: u64) -> (f64, f64, f64) {
+    let mut c = PoolingConfig::standard(PoolKind::TieredRdma, SysbenchKind::ReadWrite, 2);
+    c.table_size = 6_000;
+    c.duration = SimTime::from_millis(40);
+    c.seed = seed;
+    let r = run_pooling(&c);
+    (
+        r.metrics.qps,
+        r.metrics.avg_latency_us,
+        r.metrics.interconnect_gbps,
+    )
+}
+
+#[test]
+fn pooling_is_deterministic() {
+    assert_eq!(pooling(1), pooling(1));
+}
+
+#[test]
+fn pooling_depends_on_seed() {
+    assert_ne!(pooling(1), pooling(2));
+}
+
+fn sharing(seed: u64) -> (f64, f64) {
+    let mut c = SharingConfig::standard(SharingSystem::Cxl, 3);
+    c.layout.rows_per_group = 1_000;
+    c.duration = SimTime::from_millis(20);
+    c.seed = seed;
+    let layout = c.layout;
+    let r = run_sharing(&c, point_update_gen(layout, 30));
+    (r.metrics.qps, r.metrics.avg_latency_us)
+}
+
+#[test]
+fn sharing_is_deterministic() {
+    assert_eq!(sharing(5), sharing(5));
+    assert_ne!(sharing(5), sharing(6));
+}
+
+#[test]
+fn recovery_is_deterministic() {
+    let run = || {
+        let mut c = RecoveryConfig::standard(Scheme::PolarRecv, SysbenchKind::ReadWrite);
+        c.table_size = 6_000;
+        c.crash_at = SimTime::from_millis(300);
+        c.duration = SimTime::from_millis(800);
+        let r = run_recovery(&c);
+        (
+            r.pre_crash_qps,
+            r.recovery_secs,
+            r.summary.pages_rebuilt,
+            r.summary.records_applied,
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,194 @@
+//! End-to-end sharing integration: the full multi-primary stack (lock
+//! service + fusion server + coherency protocol + capture-mode caches)
+//! on both systems, checking the paper's qualitative claims and the
+//! protocol's observable correctness.
+
+use polardb_cxl_repro::polarcxlmem::{FusionServer, SharingNode};
+use polardb_cxl_repro::prelude::*;
+use polardb_cxl_repro::workloads::sharing::{point_update_gen, read_write_gen, GroupLayout};
+use simkit::{LockMode, LockTable};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn tiny(system: SharingSystem, nodes: usize, pct: u32, rw: bool) -> SharingResult {
+    let mut c = SharingConfig::standard(system, nodes);
+    c.layout.rows_per_group = 2_000;
+    c.duration = SimTime::from_millis(25);
+    c.workers_per_node = 4;
+    let layout = c.layout;
+    if rw {
+        run_sharing(&c, read_write_gen(layout, pct))
+    } else {
+        run_sharing(&c, point_update_gen(layout, pct))
+    }
+}
+
+#[test]
+fn cxl_beats_rdma_across_sharing_levels() {
+    for pct in [20u32, 60, 100] {
+        let c = tiny(SharingSystem::Cxl, 4, pct, false);
+        let r = tiny(SharingSystem::Rdma { lbp_fraction: 0.3 }, 4, pct, false);
+        assert!(
+            c.metrics.qps > r.metrics.qps,
+            "{pct}% shared: cxl {} <= rdma {}",
+            c.metrics.qps,
+            r.metrics.qps
+        );
+    }
+}
+
+#[test]
+fn more_nodes_amplify_the_gap_under_read_write() {
+    let c8 = tiny(SharingSystem::Cxl, 8, 60, true);
+    let r8 = tiny(SharingSystem::Rdma { lbp_fraction: 0.3 }, 8, 60, true);
+    let gap8 = c8.metrics.qps / r8.metrics.qps;
+    assert!(gap8 > 1.0, "gap8 {gap8}");
+}
+
+#[test]
+fn bigger_lbp_narrows_but_does_not_close_the_gap() {
+    // Figure 13's claim: even LBP-100% loses to PolarCXLMem once
+    // synchronization dominates.
+    let cxl = tiny(SharingSystem::Cxl, 4, 80, false);
+    let small = tiny(SharingSystem::Rdma { lbp_fraction: 0.1 }, 4, 80, false);
+    let big = tiny(SharingSystem::Rdma { lbp_fraction: 1.0 }, 4, 80, false);
+    assert!(big.metrics.qps >= small.metrics.qps * 0.95);
+    assert!(cxl.metrics.qps > big.metrics.qps, "cxl {} vs lbp100 {}", cxl.metrics.qps, big.metrics.qps);
+}
+
+/// The background recycler under DBP pressure: a fusion server whose
+/// slot pool is much smaller than the dataset keeps recycling LRU slots
+/// (setting removal flags); nodes must transparently re-request and
+/// still read correct data.
+#[test]
+fn dbp_pressure_recycles_without_corruption() {
+    use polardb_cxl_repro::memsim::calib::PAGE_SIZE;
+    let layout = GroupLayout {
+        groups: 1,
+        rows_per_group: 2_000,
+    };
+    let total_pages = layout.total_pages();
+    let slots = (total_pages / 4).max(2) as u32; // 4x oversubscribed DBP
+    let cfg = polardb_cxl_repro::memsim::CxlNodeConfig {
+        host: 0,
+        cache_bytes: 1 << 20,
+        capture: true,
+        remote_numa: false,
+        direct_attach: false,
+    };
+    let mut cfgs = vec![cfg; 3];
+    for (h, c) in cfgs.iter_mut().enumerate() {
+        c.host = h;
+    }
+    let pool_size = slots as u64 * PAGE_SIZE + 2 * total_pages * 16 + 4096;
+    let cxl = Rc::new(RefCell::new(CxlPool::new(pool_size as usize, &cfgs)));
+    let mut store = PageStore::new(total_pages);
+    for p in 0..total_pages {
+        store.allocate();
+        // Row r's slot holds r as a u64 at a fixed offset.
+        let mut page = vec![0u8; PAGE_SIZE as usize];
+        page[0..8].copy_from_slice(&p.to_le_bytes());
+        store.raw_write_page(PageId(p), &page);
+    }
+    let store = Rc::new(RefCell::new(store));
+    let mut server = FusionServer::new(Rc::clone(&cxl), NodeId(2), 0, slots, store);
+    let mut nodes: Vec<SharingNode> = (0..2)
+        .map(|i| {
+            let flag_base = slots as u64 * PAGE_SIZE + i as u64 * total_pages * 16;
+            server.register_node(NodeId(i), flag_base);
+            SharingNode::new(Rc::clone(&cxl), NodeId(i), flag_base, PAGE_SIZE)
+        })
+        .collect();
+    let mut t = SimTime::ZERO;
+    // Sweep all pages repeatedly from both nodes with background
+    // recycling interleaved: every page read must return its own id.
+    for round in 0..3u64 {
+        for p in 0..total_pages {
+            let node = ((p + round) % 2) as usize;
+            let mut buf = [0u8; 8];
+            t = nodes[node].read(&mut server, PageId(p), 0, &mut buf, t);
+            assert_eq!(
+                u64::from_le_bytes(buf),
+                p,
+                "round {round}: page {p} corrupted under recycling"
+            );
+            if p % 7 == 0 {
+                t = server.background_recycle(2, slots as usize / 2, t);
+            }
+        }
+    }
+    assert!(server.stats().recycles > 0, "pressure must trigger recycling");
+    assert!(
+        nodes[0].stats().removal_reloads + nodes[1].stats().removal_reloads > 0,
+        "nodes must observe removal flags"
+    );
+}
+
+/// Serializes writers through the distributed lock and checks that
+/// every read on every node observes the latest published write — the
+/// protocol-level linearizability check on top of capture-mode caches.
+#[test]
+fn cross_node_reads_always_see_committed_writes() {
+    let layout = GroupLayout {
+        groups: 1,
+        rows_per_group: 500,
+    };
+    let total_pages = layout.total_pages();
+    let cfg = polardb_cxl_repro::memsim::CxlNodeConfig {
+        host: 0,
+        cache_bytes: 1 << 20,
+        capture: true,
+        remote_numa: false,
+        direct_attach: false,
+    };
+    let mut cfgs = vec![cfg; 4]; // 3 DB nodes + server
+    for (h, c) in cfgs.iter_mut().enumerate() {
+        c.host = h;
+    }
+    let pool_size = total_pages * 16384 + 3 * total_pages * 16 + 4096;
+    let cxl = Rc::new(RefCell::new(CxlPool::new(pool_size as usize, &cfgs)));
+    let mut store = PageStore::new(total_pages);
+    for _ in 0..total_pages {
+        store.allocate();
+    }
+    let store = Rc::new(RefCell::new(store));
+    let mut server = FusionServer::new(Rc::clone(&cxl), NodeId(3), 0, total_pages as u32, store);
+    let mut nodes: Vec<SharingNode> = (0..3)
+        .map(|i| {
+            let flag_base = total_pages * 16384 + i as u64 * total_pages * 16;
+            server.register_node(NodeId(i), flag_base);
+            SharingNode::new(Rc::clone(&cxl), NodeId(i), flag_base, 16384)
+        })
+        .collect();
+
+    let mut locks: LockTable<PageId> = LockTable::new();
+    let mut t = SimTime::ZERO;
+    let mut expect = [0u64; 8]; // per row slot: last committed value
+    for step in 0..200u64 {
+        let writer = (step % 3) as usize;
+        let slot = (step % 8) as usize;
+        let (page, off) = layout.locate(0, slot as u64 * 60);
+        // Writer: lock, write, publish, release.
+        let (grant, _) = locks.acquire(page, t, LockMode::Exclusive, 0);
+        let val = step + 1;
+        let t2 = nodes[writer].write(&mut server, page, off as u64, &val.to_le_bytes(), grant);
+        let t3 = nodes[writer].publish(&mut server, page, t2);
+        locks.extend_exclusive(page, t3);
+        expect[slot] = val;
+        t = t3;
+        // All nodes read after the lock is free: must see the new value.
+        #[allow(clippy::needless_range_loop)]
+        for reader in 0..3 {
+            let (grant, _) = locks.acquire(page, t, LockMode::Shared, 0);
+            let mut buf = [0u8; 8];
+            let t4 = nodes[reader].read(&mut server, page, off as u64, &mut buf, grant);
+            locks.extend_shared(page, t4);
+            t = t.max(t4);
+            assert_eq!(
+                u64::from_le_bytes(buf),
+                expect[slot],
+                "step {step}: node {reader} read a stale value"
+            );
+        }
+    }
+}
