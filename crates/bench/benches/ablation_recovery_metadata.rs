@@ -33,5 +33,7 @@ fn main() {
             );
         }
     }
-    footer("without metadata the 'instant' recovery degenerates to a full rebuild of the resident set");
+    footer(
+        "without metadata the 'instant' recovery degenerates to a full rebuild of the resident set",
+    );
 }

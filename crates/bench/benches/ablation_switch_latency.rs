@@ -39,5 +39,7 @@ fn main() {
             );
         }
     }
-    footer("the switch's ~284 ns per miss disappears under CPU service time - the paper's claim holds");
+    footer(
+        "the switch's ~284 ns per miss disappears under CPU service time - the paper's claim holds",
+    );
 }

@@ -31,7 +31,11 @@ fn main() {
                 r.scheme,
                 r.pre_crash_qps / 1e3,
                 r.recovery_secs,
-                if r.warmup_secs.is_finite() { r.warmup_secs } else { -1.0 },
+                if r.warmup_secs.is_finite() {
+                    r.warmup_secs
+                } else {
+                    -1.0
+                },
                 r.summary.pages_rebuilt,
                 r.summary.log_bytes
             );

@@ -1,8 +1,23 @@
 //! Figure 12: sharing under sysbench read-write on 8- and 12-node
 //! clusters, 20–100 % shared data.
 
-use bench::{banner, footer, improvement_pct, kqps};
-use workloads::sharing::{read_write_gen, run_sharing, SharingConfig, SharingSystem};
+use bench::{banner, footer, improvement_pct, kqps, run_sweep};
+use workloads::sharing::{
+    read_write_gen, run_sharing, SharingConfig, SharingResult, SharingSystem,
+};
+
+const NODES: [usize; 2] = [8, 12];
+const SHARED: [u32; 5] = [20, 40, 60, 80, 100];
+
+fn run_point(&(nodes, pct, cxl): &(usize, u32, bool)) -> SharingResult {
+    let system = if cxl {
+        SharingSystem::Cxl
+    } else {
+        SharingSystem::Rdma { lbp_fraction: 0.3 }
+    };
+    let cfg = SharingConfig::standard(system, nodes);
+    run_sharing(&cfg, read_write_gen(cfg.layout, pct))
+}
 
 fn main() {
     banner(
@@ -10,23 +25,29 @@ fn main() {
         "Sharing: read-write, 8 and 12 nodes",
         "peak improvement +68.2% (8 nodes) and +154.4% (12 nodes) at 60% shared; +34%/+126% even at 100%",
     );
-    for nodes in [8usize, 12] {
+    let configs: Vec<(usize, u32, bool)> = NODES
+        .iter()
+        .flat_map(|&nodes| {
+            SHARED
+                .iter()
+                .flat_map(move |&pct| [(nodes, pct, false), (nodes, pct, true)])
+        })
+        .collect();
+    let results = run_sweep(&configs, run_point);
+    for (series, &nodes) in results.chunks(2 * SHARED.len()).zip(NODES.iter()) {
         println!("[{nodes} nodes]");
         println!(
             "{:>7} | {:>12} {:>12} {:>8}",
             "shared", "RDMA K-QPS", "CXL K-QPS", "improve"
         );
-        for &pct in &[20u32, 40, 60, 80, 100] {
-            let rcfg = SharingConfig::standard(SharingSystem::Rdma { lbp_fraction: 0.3 }, nodes);
-            let ccfg = SharingConfig::standard(SharingSystem::Cxl, nodes);
-            let r = run_sharing(&rcfg, read_write_gen(rcfg.layout, pct));
-            let c = run_sharing(&ccfg, read_write_gen(ccfg.layout, pct));
+        for (pair, &pct) in series.chunks(2).zip(SHARED.iter()) {
+            let (r, c) = (&pair[0].metrics, &pair[1].metrics);
             println!(
                 "{:>6}% | {:>12} {:>12} {:>7.0}%",
                 pct,
-                kqps(r.metrics.qps),
-                kqps(c.metrics.qps),
-                improvement_pct(c.metrics.qps, r.metrics.qps)
+                kqps(r.qps),
+                kqps(c.qps),
+                improvement_pct(c.qps, r.qps)
             );
         }
         println!();

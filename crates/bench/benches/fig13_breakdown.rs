@@ -2,8 +2,18 @@
 //! to 100 % of each node's accessed dataset vs PolarCXLMem, sysbench
 //! point-update, 8 nodes.
 
-use bench::{banner, footer, kqps};
-use workloads::sharing::{point_update_gen, run_sharing, SharingConfig, SharingSystem};
+use bench::{banner, footer, kqps, run_sweep};
+use workloads::sharing::{
+    point_update_gen, run_sharing, SharingConfig, SharingResult, SharingSystem,
+};
+
+const FRACS: [f64; 5] = [0.10, 0.30, 0.50, 0.70, 1.00];
+const SHARED: [u32; 5] = [20, 40, 60, 80, 100];
+
+fn run_point(&(pct, system): &(u32, SharingSystem)) -> SharingResult {
+    let cfg = SharingConfig::standard(system, 8);
+    run_sharing(&cfg, point_update_gen(cfg.layout, pct))
+}
 
 fn main() {
     banner(
@@ -11,22 +21,29 @@ fn main() {
         "Breakdown: RDMA LBP size sweep vs PolarCXLMem (point-update, 8 nodes)",
         "at 20% shared CXL = 2.14x RDMA-LBP10; LBP size stops mattering as sharing grows; CXL wins even vs LBP-100",
     );
-    let fracs = [0.10f64, 0.30, 0.50, 0.70, 1.00];
     print!("{:>7} |", "shared");
-    for f in fracs {
+    for f in FRACS {
         print!(" {:>10}", format!("LBP-{:.0}%", f * 100.0));
     }
     println!(" {:>12}", "PolarCXLMem");
-    for &pct in &[20u32, 40, 60, 80, 100] {
+    let configs: Vec<(u32, SharingSystem)> = SHARED
+        .iter()
+        .flat_map(|&pct| {
+            FRACS
+                .iter()
+                .map(move |&f| (pct, SharingSystem::Rdma { lbp_fraction: f }))
+                .chain(std::iter::once((pct, SharingSystem::Cxl)))
+        })
+        .collect();
+    let results = run_sweep(&configs, run_point);
+    for (row, &pct) in results.chunks(FRACS.len() + 1).zip(SHARED.iter()) {
         print!("{:>6}% |", pct);
-        for &f in &fracs {
-            let cfg = SharingConfig::standard(SharingSystem::Rdma { lbp_fraction: f }, 8);
-            let r = run_sharing(&cfg, point_update_gen(cfg.layout, pct));
+        for r in &row[..FRACS.len()] {
             print!(" {:>10}", kqps(r.metrics.qps));
         }
-        let ccfg = SharingConfig::standard(SharingSystem::Cxl, 8);
-        let c = run_sharing(&ccfg, point_update_gen(ccfg.layout, pct));
-        println!(" {:>12}", kqps(c.metrics.qps));
+        println!(" {:>12}", kqps(row[FRACS.len()].metrics.qps));
     }
-    footer("all columns are K-QPS; growing the LBP buys RDMA little once synchronization dominates");
+    footer(
+        "all columns are K-QPS; growing the LBP buys RDMA little once synchronization dominates",
+    );
 }

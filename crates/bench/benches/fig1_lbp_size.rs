@@ -3,30 +3,11 @@
 //! to 100 % of the disaggregated memory, for point-select and
 //! read-write.
 
-use bench::{banner, footer, kqps};
+use bench::{banner, footer, kqps, run_sweep};
 use simkit::SimTime;
 use workloads::{run_pooling, PoolKind, PoolingConfig, SysbenchKind};
 
-fn sweep(workload: SysbenchKind) {
-    println!("[{workload:?}]");
-    println!(
-        "{:>6} {:>14} {:>16} {:>14}",
-        "LBP", "K-QPS", "RDMA GB/s", "avg lat (us)"
-    );
-    for &frac in &[0.10f64, 0.30, 0.50, 0.70, 1.00] {
-        let mut cfg = PoolingConfig::standard(PoolKind::TieredRdma, workload, 1);
-        cfg.lbp_fraction = frac;
-        cfg.duration = SimTime::from_millis(200);
-        let r = run_pooling(&cfg);
-        println!(
-            "{:>5.0}% {:>14} {:>16.2} {:>14.1}",
-            frac * 100.0,
-            kqps(r.metrics.qps),
-            r.metrics.interconnect_gbps,
-            r.metrics.avg_latency_us
-        );
-    }
-}
+const FRACS: [f64; 5] = [0.10, 0.30, 0.50, 0.70, 1.00];
 
 fn main() {
     banner(
@@ -34,8 +15,37 @@ fn main() {
         "Impact of LBP size in RDMA-based systems",
         "point-select: 6.9 GB/s at 10% LBP falling to 0 at 100%; read-write: 3.9 GB/s at 10%; throughput rises as LBP grows",
     );
-    sweep(SysbenchKind::PointSelect);
-    println!();
-    sweep(SysbenchKind::ReadWrite);
-    footer("bandwidth falls and throughput rises with LBP size - the cost is the LBP memory itself");
+    let workloads = [SysbenchKind::PointSelect, SysbenchKind::ReadWrite];
+    let configs: Vec<PoolingConfig> = workloads
+        .iter()
+        .flat_map(|&w| {
+            FRACS.iter().map(move |&frac| {
+                let mut cfg = PoolingConfig::standard(PoolKind::TieredRdma, w, 1);
+                cfg.lbp_fraction = frac;
+                cfg.duration = SimTime::from_millis(200);
+                cfg
+            })
+        })
+        .collect();
+    let results = run_sweep(&configs, run_pooling);
+    for (series, &w) in results.chunks(FRACS.len()).zip(workloads.iter()) {
+        println!("[{w:?}]");
+        println!(
+            "{:>6} {:>14} {:>16} {:>14}",
+            "LBP", "K-QPS", "RDMA GB/s", "avg lat (us)"
+        );
+        for (r, &frac) in series.iter().zip(FRACS.iter()) {
+            println!(
+                "{:>5.0}% {:>14} {:>16.2} {:>14.1}",
+                frac * 100.0,
+                kqps(r.metrics.qps),
+                r.metrics.interconnect_gbps,
+                r.metrics.avg_latency_us
+            );
+        }
+        println!();
+    }
+    footer(
+        "bandwidth falls and throughput rises with LBP size - the cost is the LBP memory itself",
+    );
 }

@@ -2,27 +2,10 @@
 //! number of instances on one 192-vCPU host grows from 1 to 12, for
 //! point-select, range-select and read-write.
 
-use bench::{banner, footer, kqps};
+use bench::{banner, footer, kqps, run_sweep};
 use workloads::{run_pooling, PoolKind, PoolingConfig, SysbenchKind};
 
-fn sweep(workload: SysbenchKind, instances: &[usize]) {
-    println!("[{workload:?}]");
-    println!(
-        "{:>10} {:>14} {:>14} {:>8}",
-        "instances", "DRAM-BP K-QPS", "CXL-BP K-QPS", "CXL/DRAM"
-    );
-    for &n in instances {
-        let d = run_pooling(&PoolingConfig::standard(PoolKind::Dram, workload, n));
-        let c = run_pooling(&PoolingConfig::standard(PoolKind::Cxl, workload, n));
-        println!(
-            "{:>10} {:>14} {:>14} {:>7.1}%",
-            n,
-            kqps(d.metrics.qps),
-            kqps(c.metrics.qps),
-            100.0 * c.metrics.qps / d.metrics.qps
-        );
-    }
-}
+const POINTS: [usize; 7] = [1, 2, 4, 6, 8, 10, 12];
 
 fn main() {
     banner(
@@ -30,11 +13,40 @@ fn main() {
         "DRAM-based vs CXL-based buffer pool in the database",
         "CXL-BP within ~7-10% of DRAM-BP at every scale; both scale to 12 instances",
     );
-    let pts = [1usize, 2, 4, 6, 8, 10, 12];
-    sweep(SysbenchKind::PointSelect, &pts);
-    println!();
-    sweep(SysbenchKind::RangeSelect, &pts);
-    println!();
-    sweep(SysbenchKind::ReadWrite, &pts);
+    let workloads = [
+        SysbenchKind::PointSelect,
+        SysbenchKind::RangeSelect,
+        SysbenchKind::ReadWrite,
+    ];
+    let configs: Vec<PoolingConfig> = workloads
+        .iter()
+        .flat_map(|&w| {
+            POINTS.iter().flat_map(move |&n| {
+                [
+                    PoolingConfig::standard(PoolKind::Dram, w, n),
+                    PoolingConfig::standard(PoolKind::Cxl, w, n),
+                ]
+            })
+        })
+        .collect();
+    let results = run_sweep(&configs, run_pooling);
+    for (series, &w) in results.chunks(2 * POINTS.len()).zip(workloads.iter()) {
+        println!("[{w:?}]");
+        println!(
+            "{:>10} {:>14} {:>14} {:>8}",
+            "instances", "DRAM-BP K-QPS", "CXL-BP K-QPS", "CXL/DRAM"
+        );
+        for (pair, &n) in series.chunks(2).zip(POINTS.iter()) {
+            let (d, c) = (&pair[0].metrics, &pair[1].metrics);
+            println!(
+                "{:>10} {:>14} {:>14} {:>7.1}%",
+                n,
+                kqps(d.qps),
+                kqps(c.qps),
+                100.0 * c.qps / d.qps
+            );
+        }
+        println!();
+    }
     footer("running the buffer pool directly on CXL memory costs only a few percent vs local DRAM");
 }

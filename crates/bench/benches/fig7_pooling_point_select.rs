@@ -2,7 +2,7 @@
 //! point-select — total throughput, average latency, and RDMA/CXL
 //! bandwidth as instances scale 1–12 on one host.
 
-use bench::{banner, footer, kqps};
+use bench::{banner, footer, kqps, run_sweep};
 use workloads::{run_pooling, PoolKind, PoolingConfig, SysbenchKind};
 
 fn main() {
@@ -15,26 +15,26 @@ fn main() {
         "{:>4} | {:>12} {:>12} | {:>12} {:>12} | {:>10} {:>10}",
         "n", "RDMA K-QPS", "CXL K-QPS", "RDMA lat us", "CXL lat us", "RDMA GB/s", "CXL GB/s"
     );
-    for n in 1..=12usize {
-        let r = run_pooling(&PoolingConfig::standard(
-            PoolKind::TieredRdma,
-            SysbenchKind::PointSelect,
-            n,
-        ));
-        let c = run_pooling(&PoolingConfig::standard(
-            PoolKind::Cxl,
-            SysbenchKind::PointSelect,
-            n,
-        ));
+    let configs: Vec<PoolingConfig> = (1..=12usize)
+        .flat_map(|n| {
+            [
+                PoolingConfig::standard(PoolKind::TieredRdma, SysbenchKind::PointSelect, n),
+                PoolingConfig::standard(PoolKind::Cxl, SysbenchKind::PointSelect, n),
+            ]
+        })
+        .collect();
+    let results = run_sweep(&configs, run_pooling);
+    for (pair, n) in results.chunks(2).zip(1..) {
+        let (r, c) = (&pair[0].metrics, &pair[1].metrics);
         println!(
             "{:>4} | {:>12} {:>12} | {:>12.1} {:>12.1} | {:>10.2} {:>10.2}",
             n,
-            kqps(r.metrics.qps),
-            kqps(c.metrics.qps),
-            r.metrics.avg_latency_us,
-            c.metrics.avg_latency_us,
-            r.metrics.interconnect_gbps,
-            c.metrics.interconnect_gbps
+            kqps(r.qps),
+            kqps(c.qps),
+            r.avg_latency_us,
+            c.avg_latency_us,
+            r.interconnect_gbps,
+            c.interconnect_gbps
         );
     }
     footer("RDMA hits its NIC ceiling early (read amplification: whole pages per row); CXL touches only needed lines");

@@ -1,0 +1,117 @@
+//! host_perf: how fast does the simulator itself run, and how much does
+//! the parallel sweep runner buy?
+//!
+//! Times a standard fig7-style pooling sweep (RDMA vs CXL point-select
+//! across instance counts) twice in host wall-clock — once on a single
+//! thread, once across [`host_threads`] workers — verifies the two
+//! produce bit-identical simulation results, and writes the numbers to
+//! `BENCH_host_perf.json` at the repository root.
+//!
+//! Regenerate with:
+//! `cargo bench -p bench --bench host_perf`
+
+use bench::sweep::json;
+use bench::{host_threads, run_sweep_threads};
+use simkit::SimTime;
+use std::time::Instant;
+use workloads::{run_pooling, PoolKind, PoolingConfig, SysbenchKind};
+
+fn sweep_configs() -> Vec<PoolingConfig> {
+    (1..=8usize)
+        .flat_map(|n| {
+            [
+                PoolingConfig::standard(PoolKind::TieredRdma, SysbenchKind::PointSelect, n),
+                PoolingConfig::standard(PoolKind::Cxl, SysbenchKind::PointSelect, n),
+            ]
+        })
+        .map(|mut c| {
+            c.duration = SimTime::from_millis(100);
+            c
+        })
+        .collect()
+}
+
+fn main() {
+    let threads = host_threads();
+    let configs = sweep_configs();
+    println!(
+        "host_perf: {} configs, {} host threads",
+        configs.len(),
+        threads
+    );
+
+    // Warm up with one full (untimed) sweep pass so the serial and
+    // parallel timings below see the same allocator / page-cache state.
+    // A partial warm-up makes the first timed pass look slower for
+    // reasons that have nothing to do with threading.
+    let _ = run_sweep_threads(&configs, 1, run_pooling);
+
+    let t0 = Instant::now();
+    let serial = run_sweep_threads(&configs, 1, run_pooling);
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = run_sweep_threads(&configs, threads, run_pooling);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+
+    // Parallelism is across runs, never within one virtual timeline:
+    // the results must be bit-identical.
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep changed simulation results"
+    );
+
+    let sim_queries: f64 = serial
+        .iter()
+        .map(|r| r.metrics.qps * r.metrics.window.as_secs_f64())
+        .sum();
+    let speedup = serial_secs / parallel_secs;
+    println!(
+        "serial:   {serial_secs:.2} s  ({:.0} simulated queries/s)",
+        sim_queries / serial_secs
+    );
+    println!(
+        "parallel: {parallel_secs:.2} s  ({:.0} simulated queries/s)",
+        sim_queries / parallel_secs
+    );
+    println!("speedup:  {speedup:.2}x on {threads} threads (results bit-identical)");
+
+    let runs: Vec<String> = serial
+        .iter()
+        .zip(configs.iter())
+        .map(|(r, c)| {
+            json::Obj::new()
+                .str("kind", &format!("{:?}", c.kind))
+                .int("instances", c.instances as u64)
+                .num("qps", r.metrics.qps)
+                .num("avg_latency_us", r.metrics.avg_latency_us)
+                .build()
+        })
+        .collect();
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let doc = json::Obj::new()
+        .str("bench", "host_perf")
+        .str(
+            "sweep",
+            "fig7-style pooling point-select, RDMA vs CXL, 1-8 instances, 100 ms windows",
+        )
+        .int("generated_unix", unix_secs)
+        .int("host_threads", threads as u64)
+        .int("configs", configs.len() as u64)
+        .num("serial_secs", serial_secs)
+        .num("parallel_secs", parallel_secs)
+        .num("speedup", speedup)
+        .num("simulated_queries", sim_queries)
+        .num("serial_sim_queries_per_sec", sim_queries / serial_secs)
+        .num("parallel_sim_queries_per_sec", sim_queries / parallel_secs)
+        .raw("results_bit_identical", "true")
+        .arr("runs", &runs)
+        .build_pretty();
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_host_perf.json");
+    std::fs::write(&path, doc + "\n").expect("write BENCH_host_perf.json");
+    println!("wrote {}", path.display());
+}

@@ -1,41 +1,65 @@
-//! Criterion microbenchmarks of the core data structures: CXL pool
-//! accesses, cache probes, B+tree operations, the CXL memory manager,
-//! and WAL encode/append. These guard the simulator's own performance
-//! (host time per simulated operation), which bounds how much virtual
-//! time the figure harnesses can afford.
+//! Microbenchmarks of the core data structures: CXL pool accesses,
+//! B+tree operations, the CXL memory manager, and WAL encode/append.
+//! These guard the simulator's own performance (host time per simulated
+//! operation), which bounds how much virtual time the figure harnesses
+//! can afford.
+//!
+//! Self-contained timing loops (no external harness): each benchmark
+//! warms up, then reports ns/op over a fixed iteration count.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use memsim::{CxlPool, NodeId};
 use polarcxlmem::CxlMemoryManager;
 use simkit::SimTime;
+use std::hint::black_box;
+use std::time::Instant;
 use storage::{PageId, Wal};
 
-fn bench_cxl_access(c: &mut Criterion) {
+/// Time `iters` runs of `f` after `warmup` untimed runs; print ns/op.
+fn bench(name: &str, warmup: u64, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<32} {:>12.1} ns/op   ({iters} iters in {:.1} ms)",
+        elapsed.as_nanos() as f64 / iters as f64,
+        elapsed.as_secs_f64() * 1e3
+    );
+}
+
+fn bench_cxl_access() {
     let mut pool = CxlPool::single_host(8 << 20, 1, 1 << 20, false);
     let mut buf = [0u8; 64];
     let mut t = SimTime::ZERO;
     let mut off = 0u64;
-    c.bench_function("cxl_cached_read_64B", |b| {
-        b.iter(|| {
-            off = (off + 64) % (4 << 20);
-            let a = pool.read(NodeId(0), off, &mut buf, t);
-            t = a.end;
-            a.misses
-        })
+    bench("cxl_cached_read_64B", 10_000, 1_000_000, || {
+        off = (off + 64) % (4 << 20);
+        let a = pool.read(NodeId(0), off, &mut buf, t);
+        t = a.end;
+        black_box(a.misses);
     });
-    c.bench_function("cxl_ntstore_64B", |b| {
-        b.iter(|| {
-            off = (off + 64) % (4 << 20);
-            let a = pool.write_uncached(NodeId(0), off, &buf, t);
-            t = a.end;
-            a.link_bytes
-        })
+    bench("cxl_cached_read_16KB", 1_000, 50_000, || {
+        let mut page = [0u8; 16 << 10];
+        off = (off + (16 << 10)) % (4 << 20);
+        let a = pool.read(NodeId(0), off, &mut page, t);
+        t = a.end;
+        black_box(a.misses);
+    });
+    bench("cxl_ntstore_64B", 10_000, 1_000_000, || {
+        off = (off + 64) % (4 << 20);
+        let a = pool.write_uncached(NodeId(0), off, &buf, t);
+        t = a.end;
+        black_box(a.link_bytes);
     });
 }
 
-fn bench_btree(c: &mut Criterion) {
-    use bufferpool::dram_bp::DramBp;
+fn bench_btree() {
     use btree::BTree;
+    use bufferpool::dram_bp::DramBp;
     use storage::PageStore;
     let store = PageStore::with_page_size(4096, 16 * 1024);
     let mut bp = DramBp::new(4096, 8 << 20, store);
@@ -45,53 +69,45 @@ fn bench_btree(c: &mut Criterion) {
         tree.insert(&mut bp, &mut wal, k, &[7u8; 188], SimTime::ZERO);
     }
     let mut k = 0u64;
-    c.bench_function("btree_get_100k", |b| {
-        b.iter(|| {
-            k = (k + 7919) % 100_000;
-            tree.get(&mut bp, k, SimTime::ZERO).0.is_some()
-        })
+    bench("btree_get_100k", 10_000, 500_000, || {
+        k = (k + 7919) % 100_000;
+        black_box(tree.get(&mut bp, k, SimTime::ZERO).0.is_some());
     });
-    c.bench_function("btree_update_field_100k", |b| {
-        b.iter(|| {
-            k = (k + 104_729) % 100_000;
-            tree.update_field(&mut bp, &mut wal, k, 8, &[1u8; 16], SimTime::ZERO)
-        })
+    bench("btree_update_field_100k", 10_000, 500_000, || {
+        k = (k + 104_729) % 100_000;
+        black_box(tree.update_field(&mut bp, &mut wal, k, 8, &[1u8; 16], SimTime::ZERO));
     });
 }
 
-fn bench_manager(c: &mut Criterion) {
-    c.bench_function("cxl_manager_alloc_release", |b| {
-        b.iter_batched(
-            || CxlMemoryManager::new(1 << 30),
-            |mut m| {
-                let mut leases = Vec::new();
-                for i in 0..64 {
-                    leases.push(m.allocate(NodeId(i % 4), 1 << 16, SimTime::ZERO).unwrap().0);
-                }
-                for l in leases {
-                    m.release(l, SimTime::ZERO);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_manager() {
+    bench("cxl_manager_alloc_release_64", 100, 10_000, || {
+        let mut m = CxlMemoryManager::new(1 << 30);
+        let mut leases = Vec::new();
+        for i in 0..64 {
+            leases.push(m.allocate(NodeId(i % 4), 1 << 16, SimTime::ZERO).unwrap().0);
+        }
+        for l in leases {
+            m.release(l, SimTime::ZERO);
+        }
     });
 }
 
-fn bench_wal(c: &mut Criterion) {
-    c.bench_function("wal_append_seal_flush", |b| {
-        b.iter_batched(
-            Wal::new,
-            |mut wal| {
-                for i in 0..128u64 {
-                    wal.append_update(PageId(i % 8), 0, vec![0u8; 128]);
-                    wal.seal_mtr();
-                }
-                wal.flush(SimTime::ZERO)
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_wal() {
+    bench("wal_append_seal_flush_128", 100, 10_000, || {
+        let mut wal = Wal::new();
+        for i in 0..128u64 {
+            wal.append_update(PageId(i % 8), 0, vec![0u8; 128]);
+            wal.seal_mtr();
+        }
+        black_box(wal.flush(SimTime::ZERO));
     });
 }
 
-criterion_group!(benches, bench_cxl_access, bench_btree, bench_manager, bench_wal);
-criterion_main!(benches);
+fn main() {
+    println!("\n=== micro_structures: host ns per simulated operation ===");
+    bench_cxl_access();
+    bench_btree();
+    bench_manager();
+    bench_wal();
+    println!();
+}

@@ -58,10 +58,7 @@ fn main() {
     let mut cxl_local = mk_pool(false);
     let mut cxl_remote = mk_pool(true);
 
-    println!(
-        "{:<22} {:>12} {:>12}",
-        "path", "local (ns)", "remote (ns)"
-    );
+    println!("{:<22} {:>12} {:>12}", "path", "local (ns)", "remote (ns)");
     println!(
         "{:<22} {:>12.0} {:>12.0}",
         "DRAM",

@@ -2,7 +2,7 @@
 //! with 10 % and 30 % LBP vs PolarCXLMem; throughput, latency and
 //! relative memory overhead.
 
-use bench::{banner, footer, improvement_pct};
+use bench::{banner, footer, improvement_pct, run_sweep};
 use workloads::sharing::{run_sharing, GroupLayout, SharingConfig, SharingSystem};
 use workloads::tatp::Tatp;
 use workloads::tpcc::Tpcc;
@@ -36,7 +36,11 @@ fn run_tatp(system: SharingSystem) -> (f64, f64, u64) {
     let layout = c.layout;
     let gen = Tatp::new(layout);
     let r = run_sharing(&c, |rng, node| gen.next_txn(rng, node).0);
-    (r.metrics.qps, r.metrics.avg_latency_us / 1e3, r.metrics.memory_bytes)
+    (
+        r.metrics.qps,
+        r.metrics.avg_latency_us / 1e3,
+        r.metrics.memory_bytes,
+    )
 }
 
 fn main() {
@@ -51,14 +55,30 @@ fn main() {
         ("PolarCXLMem", SharingSystem::Cxl),
     ];
 
+    // One sweep over benchmark x system: all six cluster simulations are
+    // independent worlds, so they fan out across host threads.
+    let configs: Vec<(bool, SharingSystem)> = [false, true]
+        .into_iter()
+        .flat_map(|tatp| systems.iter().map(move |&(_, sys)| (tatp, sys)))
+        .collect();
+    let results = run_sweep(
+        &configs,
+        |&(tatp, sys)| {
+            if tatp {
+                run_tatp(sys)
+            } else {
+                run_tpcc(sys)
+            }
+        },
+    );
+
     println!("[TPC-C]");
     println!(
         "{:<14} {:>12} {:>16} {:>14}",
         "system", "TpmC (K)", "p95 lat (ms)", "memory (MB)"
     );
     let mut tpcc = Vec::new();
-    for (name, sys) in systems {
-        let (tpmc, lat, mem) = run_tpcc(sys);
+    for ((name, _), &(tpmc, lat, mem)) in systems.iter().zip(&results[..3]) {
         println!(
             "{:<14} {:>12.1} {:>16.2} {:>14.1}",
             name,
@@ -80,8 +100,7 @@ fn main() {
         "system", "K-QPS", "avg lat (ms)", "memory (MB)"
     );
     let mut tatp = Vec::new();
-    for (name, sys) in systems {
-        let (qps, lat, mem) = run_tatp(sys);
+    for ((name, _), &(qps, lat, mem)) in systems.iter().zip(&results[3..]) {
         println!(
             "{:<14} {:>12.1} {:>16.3} {:>14.1}",
             name,
@@ -96,5 +115,7 @@ fn main() {
         improvement_pct(tatp[2], tatp[0]),
         improvement_pct(tatp[2], tatp[1])
     );
-    footer("well-partitioned workloads still benefit from no amplification and no LBP memory overhead");
+    footer(
+        "well-partitioned workloads still benefit from no amplification and no LBP memory overhead",
+    );
 }

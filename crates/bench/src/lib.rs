@@ -6,6 +6,10 @@
 //! shapes can be compared side by side. `EXPERIMENTS.md` records a
 //! paper-vs-measured summary for every target.
 
+pub mod sweep;
+
+pub use sweep::{host_threads, run_sweep, run_sweep_threads};
+
 /// Print a figure/table banner.
 pub fn banner(id: &str, title: &str, paper_summary: &str) {
     println!("\n=== {id}: {title} ===");

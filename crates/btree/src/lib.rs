@@ -21,7 +21,7 @@ mod tests {
     use crate::BTree;
     use bufferpool::dram_bp::DramBp;
     use bufferpool::BufferPool;
-    use proptest::prelude::*;
+    use simkit::rng::SimRng;
     use simkit::SimTime;
     use storage::{PageStore, Wal};
 
@@ -248,41 +248,50 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// The tree agrees with a BTreeMap model under random workloads.
-        #[test]
-        fn matches_btreemap_model(ops in prop::collection::vec((0u8..4, 0u64..500), 1..300)) {
+    /// The tree agrees with a BTreeMap model under seeded random
+    /// workloads (32 independent cases).
+    #[test]
+    fn matches_btreemap_model() {
+        for case in 0..32u64 {
+            let mut rng = SimRng::seed_from_u64(0xB7EE_0000 + case);
+            let n_ops = rng.gen_range(1usize..300);
             let mut bp = pool(2048);
             let mut wal = Wal::new();
             let (mut t, _) = BTree::create(&mut bp, &mut wal, REC, SimTime::ZERO);
             let mut model = std::collections::BTreeMap::new();
-            for (op, key) in ops {
+            for _ in 0..n_ops {
+                let op = rng.gen_range(0u8..4);
+                let key = rng.gen_range(0u64..500);
                 match op {
                     0 | 1 => {
                         let v = rec((key % 251) as u8);
                         let (ins, _) = t.insert(&mut bp, &mut wal, key, &v, SimTime::ZERO);
                         let model_ins = !model.contains_key(&key);
-                        prop_assert_eq!(ins, model_ins);
-                        if model_ins { model.insert(key, v); }
+                        assert_eq!(ins, model_ins, "case {case}");
+                        if model_ins {
+                            model.insert(key, v);
+                        }
                     }
                     2 => {
                         let (del, _) = t.delete(&mut bp, &mut wal, key, SimTime::ZERO);
-                        prop_assert_eq!(del, model.remove(&key).is_some());
+                        assert_eq!(del, model.remove(&key).is_some(), "case {case}");
                     }
                     _ => {
                         let (got, _) = t.get(&mut bp, key, SimTime::ZERO);
-                        prop_assert_eq!(got.as_ref(), model.get(&key));
+                        assert_eq!(got.as_ref(), model.get(&key), "case {case}");
                     }
                 }
             }
-            prop_assert_eq!(t.check_invariants(&mut bp), model.len() as u64);
+            assert_eq!(
+                t.check_invariants(&mut bp),
+                model.len() as u64,
+                "case {case}"
+            );
             // Full scan equals model iteration.
             let (rows, _) = t.scan(&mut bp, 0, usize::MAX, SimTime::ZERO);
             let scan_keys: Vec<u64> = rows.iter().map(|(k, _)| *k).collect();
             let model_keys: Vec<u64> = model.keys().copied().collect();
-            prop_assert_eq!(scan_keys, model_keys);
+            assert_eq!(scan_keys, model_keys, "case {case}");
         }
     }
 }

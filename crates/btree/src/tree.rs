@@ -193,7 +193,12 @@ impl BTree {
         lo
     }
 
-    fn descend<R: PageReader>(&self, r: &mut R, key: u64, path: Option<&mut Vec<(PageId, u16)>>) -> PageId {
+    fn descend<R: PageReader>(
+        &self,
+        r: &mut R,
+        key: u64,
+        path: Option<&mut Vec<(PageId, u16)>>,
+    ) -> PageId {
         let mut page = self.root;
         let mut path = path;
         for _ in 0..self.height {
@@ -393,7 +398,11 @@ impl BTree {
         record: &[u8],
         now: SimTime,
     ) -> (bool, SimTime) {
-        assert_eq!(record.len(), self.leaf.record_size as usize, "record size mismatch");
+        assert_eq!(
+            record.len(),
+            self.leaf.record_size as usize,
+            "record size mismatch"
+        );
         let mut mtr = Mtr::begin(pool, wal, now);
         let mut path = Vec::with_capacity(self.height as usize);
         let mut leafp = self.descend(&mut mtr, key, Some(&mut path));
@@ -731,7 +740,10 @@ impl BTree {
         let mut last: Option<u64> = None;
         let mut chain_count = 0u64;
         loop {
-            let mut cur = Cursor { pool, now: SimTime::ZERO };
+            let mut cur = Cursor {
+                pool,
+                now: SimTime::ZERO,
+            };
             let nkeys = cur.ru16(leaf, OFF_NKEYS);
             for i in 0..nkeys {
                 let h = cur.ru16(leaf, self.leaf.slot_off(i));
@@ -753,7 +765,10 @@ impl BTree {
     }
 
     fn leftmost_leaf<P: BufferPool>(&self, pool: &mut P) -> PageId {
-        let mut cur = Cursor { pool, now: SimTime::ZERO };
+        let mut cur = Cursor {
+            pool,
+            now: SimTime::ZERO,
+        };
         let mut page = self.root;
         for _ in 0..self.height {
             page = PageId(cur.ru64(page, OFF_CHILD0));
@@ -769,7 +784,10 @@ impl BTree {
         lo: u64,
         hi: u64,
     ) -> u64 {
-        let mut cur = Cursor { pool, now: SimTime::ZERO };
+        let mut cur = Cursor {
+            pool,
+            now: SimTime::ZERO,
+        };
         let mut ty = [0u8; 1];
         cur.rbytes(page, OFF_TYPE, &mut ty);
         let nkeys = cur.ru16(page, OFF_NKEYS);
@@ -825,7 +843,10 @@ impl BTree {
             assert!(w[0] < w[1], "unsorted inner keys");
         }
         if !keys.is_empty() {
-            assert!(keys[0] >= lo && *keys.last().unwrap() < hi, "inner keys out of range");
+            assert!(
+                keys[0] >= lo && *keys.last().unwrap() < hi,
+                "inner keys out of range"
+            );
         }
         let mut total = 0;
         for (i, child) in children.iter().enumerate() {

@@ -93,7 +93,9 @@ impl DramBp {
     }
 
     fn evict(&mut self, frame: u32, now: SimTime) -> SimTime {
-        let f = self.frames[frame as usize].take().expect("evicting empty frame");
+        let f = self.frames[frame as usize]
+            .take()
+            .expect("evicting empty frame");
         self.map.remove(&f.page);
         self.stats.evictions += 1;
         if f.dirty {
@@ -157,7 +159,9 @@ impl BufferPool for DramBp {
     fn flush_all(&mut self, now: SimTime) -> SimTime {
         let ps = self.store.page_size() as usize;
         let mut t = now;
-        let frames: Vec<u32> = self.map.values().copied().collect();
+        let mut frames: Vec<u32> = self.map.values().copied().collect();
+        // Hash-map order varies per instance; keep flushes deterministic.
+        frames.sort_unstable();
         for frame in frames {
             let dirty = self.frames[frame as usize]
                 .as_ref()

@@ -128,7 +128,7 @@ impl LruList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simkit::rng::SimRng;
 
     #[test]
     fn push_touch_pop_order() {
@@ -168,52 +168,58 @@ mod tests {
         assert_eq!(l.front(), None);
     }
 
-    proptest! {
-        /// The list behaves like a reference VecDeque-based model under
-        /// arbitrary interleavings of operations.
-        #[test]
-        fn matches_reference_model(ops in prop::collection::vec(0u8..4, 1..200)) {
-            const CAP: usize = 8;
+    /// The list behaves like a reference Vec-based model under seeded
+    /// random interleavings of operations.
+    #[test]
+    fn matches_reference_model() {
+        const CAP: usize = 8;
+        for case in 0..64u64 {
+            let mut rng = SimRng::seed_from_u64(0x14B0_0000 + case);
+            let n_ops = rng.gen_range(1usize..200);
             let mut l = LruList::new(CAP);
             let mut model: Vec<u32> = Vec::new(); // front = MRU
             let mut in_list = [false; CAP];
-            let mut rng_slot = 0usize;
-            for op in ops {
-                rng_slot = (rng_slot * 7 + 3) % CAP;
+            for _ in 0..n_ops {
+                let op = rng.gen_range(0u8..4);
+                let rng_slot = rng.gen_range(0usize..CAP);
                 let slot = rng_slot as u32;
                 match op {
-                    0 => { // push if absent
+                    0 => {
+                        // push if absent
                         if !in_list[rng_slot] {
                             l.push_front(slot);
                             model.insert(0, slot);
                             in_list[rng_slot] = true;
                         }
                     }
-                    1 => { // touch if present
+                    1 => {
+                        // touch if present
                         if in_list[rng_slot] {
                             l.touch(slot);
                             model.retain(|&s| s != slot);
                             model.insert(0, slot);
                         }
                     }
-                    2 => { // remove if present
+                    2 => {
+                        // remove if present
                         if in_list[rng_slot] {
                             l.remove(slot);
                             model.retain(|&s| s != slot);
                             in_list[rng_slot] = false;
                         }
                     }
-                    _ => { // pop_back
+                    _ => {
+                        // pop_back
                         let got = l.pop_back();
                         let want = model.pop();
-                        prop_assert_eq!(got, want);
+                        assert_eq!(got, want, "case {case}");
                         if let Some(s) = got {
                             in_list[s as usize] = false;
                         }
                     }
                 }
-                prop_assert_eq!(l.len(), model.len());
-                prop_assert_eq!(l.iter().collect::<Vec<_>>(), model.clone());
+                assert_eq!(l.len(), model.len(), "case {case}");
+                assert_eq!(l.iter().collect::<Vec<_>>(), model, "case {case}");
             }
         }
     }

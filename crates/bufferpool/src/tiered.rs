@@ -152,7 +152,9 @@ impl TieredRdmaBp {
     }
 
     fn evict(&mut self, frame: u32, now: SimTime) -> SimTime {
-        let f = self.frames[frame as usize].take().expect("evicting empty frame");
+        let f = self.frames[frame as usize]
+            .take()
+            .expect("evicting empty frame");
         self.map.remove(&f.page);
         self.stats.evictions += 1;
         if f.dirty {
@@ -233,9 +235,13 @@ impl BufferPool for TieredRdmaBp {
     fn flush_all(&mut self, now: SimTime) -> SimTime {
         let ps = self.store.page_size() as usize;
         let mut t = now;
-        let frames: Vec<u32> = self.map.values().copied().collect();
+        let mut frames: Vec<u32> = self.map.values().copied().collect();
+        // Hash-map order varies per instance; keep flushes deterministic.
+        frames.sort_unstable();
         for frame in frames {
-            let Some(f) = &self.frames[frame as usize] else { continue };
+            let Some(f) = &self.frames[frame as usize] else {
+                continue;
+            };
             if !f.dirty {
                 continue;
             }
@@ -257,7 +263,8 @@ impl BufferPool for TieredRdmaBp {
         }
         // Pages whose newest version lives only in remote memory must
         // also reach storage, or the checkpoint would be a lie.
-        let remote_only: Vec<PageId> = self.remote_dirty.iter().copied().collect();
+        let mut remote_only: Vec<PageId> = self.remote_dirty.iter().copied().collect();
+        remote_only.sort_unstable();
         for page in remote_only {
             let mut buf = vec![0u8; ps];
             let a = self
@@ -350,7 +357,10 @@ mod tests {
         let a = bp.read(PageId(5), 0, &mut buf, SimTime::ZERO);
         assert_eq!(buf, [6u8; 8]);
         let moved = bp.rdma.borrow().nic_bytes(0) - before;
-        assert_eq!(moved, 1024, "8-byte request moved a full page: amplification");
+        assert_eq!(
+            moved, 1024,
+            "8-byte request moved a full page: amplification"
+        );
         assert!(a.end.as_nanos() >= RDMA_READ_BASE_NS);
         assert_eq!(bp.stats().remote_read_bytes, 1024);
     }

@@ -335,9 +335,17 @@ impl CxlBp {
         let ps = self.geo.page_size as usize;
         // Make sure CXL holds the latest bytes (flush any cached dirt).
         let data_off = self.geo.data_off(b as u64);
-        let mut t = self.cxl.borrow_mut().clflush(self.node, data_off, ps, now).end;
+        let mut t = self
+            .cxl
+            .borrow_mut()
+            .clflush(self.node, data_off, ps, now)
+            .end;
         let mut buf = vec![0u8; ps];
-        t = self.cxl.borrow_mut().read(self.node, data_off, &mut buf, t).end;
+        t = self
+            .cxl
+            .borrow_mut()
+            .read(self.node, data_off, &mut buf, t)
+            .end;
         let io = self.store.write_page(page, &buf, t);
         self.stats.storage_write_bytes += ps as u64;
         io.end
@@ -362,7 +370,9 @@ impl BufferPool for CxlBp {
     fn read(&mut self, page: PageId, off: u16, buf: &mut [u8], now: SimTime) -> Access {
         let (b, t) = self.fix(page, now);
         let data = self.geo.data_off(b as u64);
-        self.cxl.borrow_mut().read(self.node, data + off as u64, buf, t)
+        self.cxl
+            .borrow_mut()
+            .read(self.node, data + off as u64, buf, t)
     }
 
     fn write(&mut self, page: PageId, off: u16, data: &[u8], lsn: Lsn, now: SimTime) -> Access {
@@ -405,10 +415,17 @@ impl BufferPool for CxlBp {
             if let Some(ranges) = self.dirty_ranges.remove(&page) {
                 let mut pool = self.cxl.borrow_mut();
                 for (off, len) in ranges {
-                    t = pool.clflush(self.node, base + off as u64, len as usize, t).end;
+                    t = pool
+                        .clflush(self.node, base + off as u64, len as usize, t)
+                        .end;
                 }
                 t = pool
-                    .clflush(self.node, self.geo.meta_off(b as u64), META_SIZE as usize, t)
+                    .clflush(
+                        self.node,
+                        self.geo.meta_off(b as u64),
+                        META_SIZE as usize,
+                        t,
+                    )
                     .end;
             }
             self.mirror[b as usize].lock_state = 0;
@@ -428,7 +445,10 @@ impl BufferPool for CxlBp {
 
     fn flush_all(&mut self, now: SimTime) -> SimTime {
         let mut t = now;
-        let pages: Vec<PageId> = self.dirty_pages.iter().copied().collect();
+        let mut pages: Vec<PageId> = self.dirty_pages.iter().copied().collect();
+        // Hash-set order varies per instance; flush order changes cache
+        // eviction traffic, so pin it for run-to-run determinism.
+        pages.sort_unstable();
         for page in pages {
             if let Some(&b) = self.map.get(&page) {
                 t = self.flush_page_to_storage(b, page, t);
@@ -470,7 +490,8 @@ impl BufferPool for CxlBp {
             };
             {
                 let mut pool = self.cxl.borrow_mut();
-                pool.raw_mut().write(self.geo.meta_off(b as u64), &meta.encode());
+                pool.raw_mut()
+                    .write(self.geo.meta_off(b as u64), &meta.encode());
                 pool.raw_mut().write(self.geo.data_off(b as u64), &data);
                 if prev_link != 0 {
                     let prev_meta_off = self.geo.meta_off(prev_link - 1) + field::NEXT;
@@ -506,7 +527,12 @@ mod tests {
             store.allocate();
             store.raw_write_page(PageId(p), &vec![p as u8 + 1; 1024]);
         }
-        let cxl = Rc::new(RefCell::new(CxlPool::single_host(8 << 20, 1, 256 << 10, false)));
+        let cxl = Rc::new(RefCell::new(CxlPool::single_host(
+            8 << 20,
+            1,
+            256 << 10,
+            false,
+        )));
         let mut bp = CxlBp::format(cxl, NodeId(0), 0, nblocks, store);
         bp.prewarm();
         bp
@@ -573,7 +599,11 @@ mod tests {
         bp.read(PageId(3), 0, &mut [0u8; 1], SimTime::ZERO);
         assert!(!bp.is_resident(PageId(0)));
         assert_eq!(bp.stats().writebacks, 1);
-        assert_eq!(bp.store().raw_page(PageId(0))[0], 0xEE, "dirty page reached storage");
+        assert_eq!(
+            bp.store().raw_page(PageId(0))[0],
+            0xEE,
+            "dirty page reached storage"
+        );
         // Faulting page 0 back in returns the updated bytes.
         let mut buf = [0u8; 1];
         bp.read(PageId(0), 0, &mut buf, SimTime::ZERO);
@@ -623,7 +653,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "unformatted")]
     fn attach_to_garbage_panics() {
-        let cxl: SharedCxl = Rc::new(RefCell::new(CxlPool::single_host(1 << 20, 1, 1 << 16, false)));
+        let cxl: SharedCxl = Rc::new(RefCell::new(CxlPool::single_host(
+            1 << 20,
+            1,
+            1 << 16,
+            false,
+        )));
         let store = PageStore::with_page_size(4, 1024);
         let _ = CxlBp::attach(cxl, NodeId(0), 0, store);
     }

@@ -164,10 +164,12 @@ impl FusionServer {
             let io = self.store.borrow_mut().read_page(page, &mut buf, t);
             t = io.end;
             self.stats.storage_fills += 1;
-            let a = self
-                .cxl
-                .borrow_mut()
-                .write_uncached(self.server_node, self.slot_addr(slot), &buf, t);
+            let a = self.cxl.borrow_mut().write_uncached(
+                self.server_node,
+                self.slot_addr(slot),
+                &buf,
+                t,
+            );
             t = a.end;
             self.map.insert(
                 page,
@@ -202,10 +204,12 @@ impl FusionServer {
         let mut t = now;
         for node in info.active {
             let foff = removal_flag_off(self.flag_bases[&node], page);
-            let a = self
-                .cxl
-                .borrow_mut()
-                .write_uncached(self.server_node, foff, &1u64.to_le_bytes(), t);
+            let a = self.cxl.borrow_mut().write_uncached(
+                self.server_node,
+                foff,
+                &1u64.to_le_bytes(),
+                t,
+            );
             t = a.end;
         }
         self.slot_page[victim as usize] = None;
@@ -230,10 +234,12 @@ impl FusionServer {
             .collect();
         for node in targets {
             let foff = invalid_flag_off(self.flag_bases[&node], page);
-            let a = self
-                .cxl
-                .borrow_mut()
-                .write_uncached(self.server_node, foff, &1u64.to_le_bytes(), t);
+            let a = self.cxl.borrow_mut().write_uncached(
+                self.server_node,
+                foff,
+                &1u64.to_le_bytes(),
+                t,
+            );
             t = a.end;
             self.stats.invalidations += 1;
         }
@@ -310,7 +316,13 @@ impl SharingNode {
     /// Create the node's sharing agent. `flag_base` is its flag-array
     /// lease (16 bytes per page id).
     pub fn new(cxl: SharedCxl, node: NodeId, flag_base: u64, page_size: u64) -> Self {
-        Self::with_mode(cxl, node, flag_base, page_size, CoherencyMode::SoftwareLines)
+        Self::with_mode(
+            cxl,
+            node,
+            flag_base,
+            page_size,
+            CoherencyMode::SoftwareLines,
+        )
     }
 
     /// Create the agent with an explicit coherency mode (ablations and
@@ -346,7 +358,12 @@ impl SharingNode {
 
     /// Resolve `page` to its CXL address, enforcing the removal/invalid
     /// protocol. Returns (address, completion time).
-    pub fn access(&mut self, server: &mut FusionServer, page: PageId, now: SimTime) -> (u64, SimTime) {
+    pub fn access(
+        &mut self,
+        server: &mut FusionServer,
+        page: PageId,
+        now: SimTime,
+    ) -> (u64, SimTime) {
         if let Some(&addr) = self.entries.get(&page) {
             // One uncached 16-B load covers both flags (same line).
             // Hardware coherency still needs the removal flag (slot
@@ -370,10 +387,10 @@ impl SharingNode {
                 // The granted slot may have been recycled from under a
                 // page we had cached: drop any stale lines for its range
                 // before first use.
-                let inv = self
-                    .cxl
-                    .borrow_mut()
-                    .invalidate(self.node, addr, self.page_size as usize, t2);
+                let inv =
+                    self.cxl
+                        .borrow_mut()
+                        .invalidate(self.node, addr, self.page_size as usize, t2);
                 self.entries.insert(page, addr);
                 return (addr, inv.end);
             }
@@ -381,10 +398,10 @@ impl SharingNode {
                 // Modified by another node: drop (clean) cached lines and
                 // clear our flag; subsequent loads fetch fresh data.
                 self.stats.invalid_drops += 1;
-                let inv = self
-                    .cxl
-                    .borrow_mut()
-                    .invalidate(self.node, addr, self.page_size as usize, t);
+                let inv =
+                    self.cxl
+                        .borrow_mut()
+                        .invalidate(self.node, addr, self.page_size as usize, t);
                 t = inv.end;
                 let a = self.cxl.borrow_mut().write_uncached(
                     self.node,
@@ -420,7 +437,10 @@ impl SharingNode {
         now: SimTime,
     ) -> SimTime {
         let (addr, t) = self.access(server, page, now);
-        self.cxl.borrow_mut().read(self.node, addr + off, buf, t).end
+        self.cxl
+            .borrow_mut()
+            .read(self.node, addr + off, buf, t)
+            .end
     }
 
     /// Write bytes to a shared page (caller holds the X page lock). The
@@ -493,7 +513,10 @@ mod tests {
             ..CxlNodeConfig::default()
         };
         // nodes 0,1 = DB nodes; node 2 = fusion server.
-        let cxl: SharedCxl = Rc::new(RefCell::new(CxlPool::new(4 << 20, &[cfg.clone(), cfg.clone(), cfg])));
+        let cxl: SharedCxl = Rc::new(RefCell::new(CxlPool::new(
+            4 << 20,
+            &[cfg.clone(), cfg.clone(), cfg],
+        )));
         let mut store = PageStore::with_page_size(64, 1024);
         for p in 0..16u64 {
             store.allocate();
@@ -589,8 +612,8 @@ mod tests {
         }
         assert_eq!(server.pages_in_use(), 16);
         n0.read(&mut server, PageId(0), 0, &mut buf, SimTime::ZERO); // touch 0
-        // A new page must evict the LRU (page 1, since 0 was re-touched).
-        // We need a 17th page in storage:
+                                                                     // A new page must evict the LRU (page 1, since 0 was re-touched).
+                                                                     // We need a 17th page in storage:
         server.store.borrow_mut().allocate();
         n0.read(&mut server, PageId(16), 0, &mut buf, SimTime::ZERO);
         assert_eq!(server.stats().recycles, 1);
@@ -618,8 +641,10 @@ mod tests {
             capture: true,
             ..CxlNodeConfig::default()
         };
-        let cxl: SharedCxl =
-            Rc::new(RefCell::new(CxlPool::new(4 << 20, &[cfg.clone(), cfg.clone(), cfg])));
+        let cxl: SharedCxl = Rc::new(RefCell::new(CxlPool::new(
+            4 << 20,
+            &[cfg.clone(), cfg.clone(), cfg],
+        )));
         let mut store = PageStore::with_page_size(64, 1024);
         for p in 0..16u64 {
             store.allocate();
@@ -628,9 +653,19 @@ mod tests {
         let store: SharedStore = Rc::new(RefCell::new(store));
         let mut server = FusionServer::new(Rc::clone(&cxl), NodeId(2), 0, 16, store);
         let mut n0 = SharingNode::with_mode(
-            Rc::clone(&cxl), NodeId(0), 64 << 10, 1024, CoherencyMode::Hardware);
+            Rc::clone(&cxl),
+            NodeId(0),
+            64 << 10,
+            1024,
+            CoherencyMode::Hardware,
+        );
         let mut n1 = SharingNode::with_mode(
-            Rc::clone(&cxl), NodeId(1), 96 << 10, 1024, CoherencyMode::Hardware);
+            Rc::clone(&cxl),
+            NodeId(1),
+            96 << 10,
+            1024,
+            CoherencyMode::Hardware,
+        );
         server.register_node(NodeId(0), 64 << 10);
         server.register_node(NodeId(1), 96 << 10);
         let mut buf = [0u8; 8];
@@ -639,7 +674,10 @@ mod tests {
         // Write WITHOUT publish: hardware coherency makes it visible.
         let t = n0.write(&mut server, PageId(0), 0, &[0x5C; 8], SimTime::ZERO);
         n1.read(&mut server, PageId(0), 0, &mut buf, t);
-        assert_eq!(buf, [0x5C; 8], "CXL 3.0 store visible with no software protocol");
+        assert_eq!(
+            buf, [0x5C; 8],
+            "CXL 3.0 store visible with no software protocol"
+        );
         assert_eq!(server.stats().invalidations, 0);
     }
 

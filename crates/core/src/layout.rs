@@ -279,7 +279,8 @@ mod tests {
             in_use: 6,
         };
         let buf = m.encode();
-        let read = |off: u64| u64::from_le_bytes(buf[off as usize..off as usize + 8].try_into().unwrap());
+        let read =
+            |off: u64| u64::from_le_bytes(buf[off as usize..off as usize + 8].try_into().unwrap());
         assert_eq!(read(field::PAGE_ID), 1);
         assert_eq!(read(field::LOCK_STATE), 2);
         assert_eq!(read(field::PREV), 3);

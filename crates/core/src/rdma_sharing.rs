@@ -121,7 +121,9 @@ impl RdmaDbp {
                 s
             } else {
                 let victim = self.lru.pop_back().expect("nonempty LRU");
-                let vpage = self.slot_page[victim as usize].take().expect("page in slot");
+                let vpage = self.slot_page[victim as usize]
+                    .take()
+                    .expect("page in slot");
                 self.map.remove(&vpage);
                 victim
             };
@@ -152,7 +154,12 @@ impl RdmaDbp {
     /// After `writer` flushed the page and released its lock: send an
     /// invalidation message per other active node. Returns the targets —
     /// the harness drops their local copies (the message's effect).
-    pub fn publish(&mut self, page: PageId, writer: NodeId, now: SimTime) -> (Vec<NodeId>, SimTime) {
+    pub fn publish(
+        &mut self,
+        page: PageId,
+        writer: NodeId,
+        now: SimTime,
+    ) -> (Vec<NodeId>, SimTime) {
         let Some(info) = self.map.get(&page) else {
             return (Vec::new(), now);
         };
@@ -213,7 +220,13 @@ impl std::fmt::Debug for RdmaSharingNode {
 
 impl RdmaSharingNode {
     /// Create a node with `lbp_frames` local frames riding `host`'s NIC.
-    pub fn new(rdma: SharedRdma, node: NodeId, host: usize, lbp_frames: usize, page_size: u64) -> Self {
+    pub fn new(
+        rdma: SharedRdma,
+        node: NodeId,
+        host: usize,
+        lbp_frames: usize,
+        page_size: u64,
+    ) -> Self {
         assert!(lbp_frames > 0);
         RdmaSharingNode {
             rdma,
@@ -277,7 +290,10 @@ impl RdmaSharingNode {
         } else {
             let victim = self.lru.pop_back().expect("nonempty LRU");
             let (vpage, _) = self.frames[victim as usize].take().expect("page in frame");
-            assert!(!self.dirty.contains(&vpage), "evicting dirty page outside lock");
+            assert!(
+                !self.dirty.contains(&vpage),
+                "evicting dirty page outside lock"
+            );
             self.map.remove(&vpage);
             victim
         };
@@ -389,7 +405,11 @@ mod tests {
         let t = n0.write(&mut server, PageId(0), 0, &[0xCC; 8], SimTime::ZERO);
         let before = n0.rdma.borrow().nic_bytes(0);
         let (targets, t) = n0.publish(&mut server, PageId(0), t);
-        assert_eq!(n0.rdma.borrow().nic_bytes(0) - before, 1024, "one-byte-ish change, full page moved");
+        assert_eq!(
+            n0.rdma.borrow().nic_bytes(0) - before,
+            1024,
+            "one-byte-ish change, full page moved"
+        );
         assert_eq!(targets, vec![NodeId(1)]);
         for n in targets {
             assert_eq!(n, n1.id());

@@ -68,7 +68,9 @@ pub fn polar_recv_with(
     let mut hdr_buf = [0u8; META_SIZE as usize];
     let mut t = {
         let fabric = bp.fabric().clone();
-        let a = fabric.borrow_mut().read_uncached(node, geo.base, &mut hdr_buf, now);
+        let a = fabric
+            .borrow_mut()
+            .read_uncached(node, geo.base, &mut hdr_buf, now);
         a.end
     };
     let hdr = RegionHeader::decode(&hdr_buf);
@@ -155,9 +157,12 @@ pub fn polar_recv_with(
         }
         for (b, off, data, lsn) in applied {
             let fabric = bp.fabric().clone();
-            let a = fabric
-                .borrow_mut()
-                .write_uncached(node, geo.data_off(b as u64) + off as u64, &data, t);
+            let a = fabric.borrow_mut().write_uncached(
+                node,
+                geo.data_off(b as u64) + off as u64,
+                &data,
+                t,
+            );
             t = a.end;
             records_applied += 1;
             // Track the newest LSN per block in the metas vector.

@@ -7,8 +7,8 @@
 //! recovery story revolves around redo); statements are the durability
 //! unit.
 
-use bufferpool::{BufferPool, Crashable};
 use btree::BTree;
+use bufferpool::{BufferPool, Crashable};
 use memsim::calib::{
     CPU_PER_ROW_NS, CPU_POINT_SELECT_NS, CPU_TXN_OVERHEAD_NS, CPU_WRITE_STMT_NS, INSTANCE_VCPUS,
 };
@@ -122,7 +122,9 @@ impl<P: BufferPool> Db<P> {
         now: SimTime,
     ) -> (bool, SimTime) {
         let g = self.cpus.acquire(now, CPU_POINT_SELECT_NS);
-        let (found, t) = self.table.get_field(&mut self.pool, key, field_off, buf, g.end);
+        let (found, t) = self
+            .table
+            .get_field(&mut self.pool, key, field_off, buf, g.end);
         self.stats.queries += 1;
         if found {
             self.stats.rows_read += 1;
@@ -151,9 +153,9 @@ impl<P: BufferPool> Db<P> {
         now: SimTime,
     ) -> (bool, SimTime) {
         let g = self.cpus.acquire(now, CPU_WRITE_STMT_NS);
-        let (found, t) = self
-            .table
-            .update_field(&mut self.pool, &mut self.wal, key, field_off, data, g.end);
+        let (found, t) =
+            self.table
+                .update_field(&mut self.pool, &mut self.wal, key, field_off, data, g.end);
         self.stats.queries += 1;
         let t = self.commit(t);
         (found, t)
@@ -189,9 +191,9 @@ impl<P: BufferPool> Db<P> {
         now: SimTime,
     ) -> (bool, SimTime) {
         let g = self.cpus.acquire(now, CPU_WRITE_STMT_NS);
-        let (found, t) = self
-            .table
-            .update_field(&mut self.pool, &mut self.wal, key, field_off, data, g.end);
+        let (found, t) =
+            self.table
+                .update_field(&mut self.pool, &mut self.wal, key, field_off, data, g.end);
         self.stats.queries += 1;
         (found, t)
     }

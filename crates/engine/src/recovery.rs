@@ -15,8 +15,8 @@
 //! them on one axis.
 
 use crate::db::Db;
-use bufferpool::BufferPool;
 use btree::BTree;
+use bufferpool::BufferPool;
 use polarcxlmem::CxlBp;
 use simkit::SimTime;
 use storage::LogRecord;

@@ -30,8 +30,23 @@ pub enum LineAccess {
     },
 }
 
+/// Outcome of a contiguous run of line accesses ([`Cache::access_run`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RunAccess {
+    /// Lines that hit.
+    pub hits: u64,
+    /// Lines that missed (and were filled).
+    pub misses: u64,
+    /// Dirty victims evicted by the fills (each needs a writeback).
+    pub dirty_evictions: u64,
+    /// Whether the first line of the run missed.
+    pub first_missed: bool,
+    /// Whether the last line of the run missed.
+    pub last_missed: bool,
+}
+
 /// Aggregate cache statistics.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Line accesses that hit.
     pub hits: u64,
@@ -75,7 +90,13 @@ impl Cache {
     pub fn new(capacity_bytes: usize) -> Self {
         let sets = (capacity_bytes / CACHE_LINE as usize).max(1);
         Cache {
-            slots: vec![Slot { tag: 0, dirty: false }; sets],
+            slots: vec![
+                Slot {
+                    tag: 0,
+                    dirty: false
+                };
+                sets
+            ],
             data: None,
             stats: CacheStats::default(),
         }
@@ -140,6 +161,45 @@ impl Cache {
         slot.dirty = write;
         self.stats.misses += 1;
         LineAccess::Miss { evicted_dirty }
+    }
+
+    /// Touch a contiguous run of lines in order, exactly as repeated
+    /// [`Cache::access`] calls would — including intra-run aliasing,
+    /// where a later line of the run evicts an earlier one — but with a
+    /// single stats update and no per-line enum dispatch. Timing mode
+    /// only: capture mode needs the per-line data plumbing.
+    pub fn access_run(&mut self, lines: std::ops::Range<u64>, write: bool) -> RunAccess {
+        debug_assert!(self.data.is_none(), "access_run is timing-mode only");
+        let n_sets = self.slots.len() as u64;
+        let first = lines.start;
+        let last = lines.end.saturating_sub(1);
+        let mut run = RunAccess::default();
+        for line in lines {
+            let slot = &mut self.slots[(line % n_sets) as usize];
+            if slot.tag == line + 1 {
+                run.hits += 1;
+                if write {
+                    slot.dirty = true;
+                }
+            } else {
+                if slot.tag != 0 && slot.dirty {
+                    run.dirty_evictions += 1;
+                }
+                slot.tag = line + 1;
+                slot.dirty = write;
+                run.misses += 1;
+                if line == first {
+                    run.first_missed = true;
+                }
+                if line == last {
+                    run.last_missed = true;
+                }
+            }
+        }
+        self.stats.hits += run.hits;
+        self.stats.misses += run.misses;
+        self.stats.writebacks += run.dirty_evictions;
+        run
     }
 
     /// Whether `line` is currently cached.
@@ -236,7 +296,12 @@ mod tests {
     #[test]
     fn hit_after_fill() {
         let mut c = Cache::new(4096);
-        assert!(matches!(c.access(5, false), LineAccess::Miss { evicted_dirty: None }));
+        assert!(matches!(
+            c.access(5, false),
+            LineAccess::Miss {
+                evicted_dirty: None
+            }
+        ));
         assert_eq!(c.access(5, false), LineAccess::Hit);
         assert!(c.contains(5));
         assert_eq!(c.stats().hits, 1);
@@ -249,7 +314,12 @@ mod tests {
         let mut c = Cache::new(128);
         c.access(0, true); // dirty
         let out = c.access(2, false);
-        assert_eq!(out, LineAccess::Miss { evicted_dirty: Some(0) });
+        assert_eq!(
+            out,
+            LineAccess::Miss {
+                evicted_dirty: Some(0)
+            }
+        );
         assert!(!c.contains(0));
         assert!(c.contains(2));
         assert_eq!(c.stats().writebacks, 1);
@@ -259,7 +329,12 @@ mod tests {
     fn clean_eviction_needs_no_writeback() {
         let mut c = Cache::new(128);
         c.access(0, false);
-        assert_eq!(c.access(2, false), LineAccess::Miss { evicted_dirty: None });
+        assert_eq!(
+            c.access(2, false),
+            LineAccess::Miss {
+                evicted_dirty: None
+            }
+        );
     }
 
     #[test]

@@ -141,21 +141,31 @@ mod tests {
     #[test]
     fn cxl_copy_model_matches_table2_within_tolerance() {
         let lines = |bytes: u64| bytes.div_ceil(CACHE_LINE);
-        let read = |bytes: u64| CXL_COPY_READ_BASE_NS + (lines(bytes) - 1) * CXL_STREAM_READ_NS_PER_LINE;
+        let read =
+            |bytes: u64| CXL_COPY_READ_BASE_NS + (lines(bytes) - 1) * CXL_STREAM_READ_NS_PER_LINE;
         let write =
             |bytes: u64| CXL_COPY_WRITE_BASE_NS + (lines(bytes) - 1) * CXL_STREAM_WRITE_NS_PER_LINE;
         // 64 B: paper 0.75 / 0.78 µs.
         assert!((600..900).contains(&read(64)), "{}", read(64));
         assert!((600..900).contains(&write(64)), "{}", write(64));
         // 16 KB: paper 2.46 / 1.68 µs.
-        assert!((2_200..2_700).contains(&read(16 * 1024)), "{}", read(16 * 1024));
-        assert!((1_400..1_900).contains(&write(16 * 1024)), "{}", write(16 * 1024));
+        assert!(
+            (2_200..2_700).contains(&read(16 * 1024)),
+            "{}",
+            read(16 * 1024)
+        );
+        assert!(
+            (1_400..1_900).contains(&write(16 * 1024)),
+            "{}",
+            write(16 * 1024)
+        );
     }
 
     #[test]
     fn cxl_beats_rdma_for_small_transfers_by_paper_factor() {
         // Paper: 5.74× (write) and 6.07× (read) at 64 B.
-        let rdma_w = RDMA_WRITE_BASE_NS + RDMA_PER_OP_NS + simkit::dur::transfer_ns(64, RDMA_NIC_GBPS);
+        let rdma_w =
+            RDMA_WRITE_BASE_NS + RDMA_PER_OP_NS + simkit::dur::transfer_ns(64, RDMA_NIC_GBPS);
         let cxl_w = CXL_COPY_WRITE_BASE_NS;
         let ratio = rdma_w as f64 / cxl_w as f64;
         assert!((4.5..8.0).contains(&ratio), "{ratio}");

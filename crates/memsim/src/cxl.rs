@@ -18,8 +18,8 @@
 use crate::cache::{Cache, LineAccess};
 use crate::calib::{
     CACHE_HIT_NS, CACHE_LINE, CLFLUSH_ISSUE_NS, CXL_COPY_READ_BASE_NS, CXL_COPY_WRITE_BASE_NS,
-    CXL_HOST_LINK_GBPS, CXL_HW_SNOOP_NS, CXL_STREAM_READ_NS_PER_LINE,
-    CXL_STREAM_WRITE_NS_PER_LINE, CXL_SWITCH_GBPS, CXL_SWITCH_LOCAL_NS, CXL_SWITCH_REMOTE_NS,
+    CXL_HOST_LINK_GBPS, CXL_HW_SNOOP_NS, CXL_STREAM_READ_NS_PER_LINE, CXL_STREAM_WRITE_NS_PER_LINE,
+    CXL_SWITCH_GBPS, CXL_SWITCH_LOCAL_NS, CXL_SWITCH_REMOTE_NS,
 };
 use crate::region::Region;
 use crate::{Access, NodeId};
@@ -200,6 +200,31 @@ impl CxlPool {
 
     /// Cached read of `buf.len()` bytes at `off` by `node`.
     pub fn read(&mut self, node: NodeId, off: u64, buf: &mut [u8], now: SimTime) -> Access {
+        if !self.caches[node.0].captures() {
+            // Timing-mode fast path: one tag sweep over the whole run, one
+            // bulk copy, one link charge. In timing mode the region always
+            // holds current data (capture mode is what defers stores), so
+            // the per-line copies below collapse to a single `region.read`
+            // and the latency/link formulas depend only on the hit/miss/
+            // eviction counts the sweep returns. Batched-vs-reference
+            // equivalence is pinned by the `batched_*` tests.
+            let run = self.caches[node.0].access_run(Self::line_range(off, buf.len()), false);
+            self.region.read(off, buf);
+            let link_bytes = (run.misses + run.dirty_evictions) * CACHE_LINE;
+            let latency = if run.misses == 0 {
+                run.hits * CACHE_HIT_NS
+            } else {
+                self.base_read_ns(node)
+                    + (run.misses - 1) * CXL_STREAM_READ_NS_PER_LINE
+                    + run.hits * CACHE_HIT_NS
+            };
+            return Access {
+                end: self.charge_link(node, now, link_bytes, latency),
+                link_bytes,
+                hits: run.hits,
+                misses: run.misses,
+            };
+        }
         let mut hits = 0u64;
         let mut misses = 0u64;
         let mut link_bytes = 0u64;
@@ -258,6 +283,40 @@ impl CxlPool {
     /// Cached write of `data` at `off` by `node` (write-allocate,
     /// write-back: dirty lines stay in the node's cache).
     pub fn write(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
+        if !self.caches[node.0].captures() {
+            // Timing-mode fast path (see `read`). The only per-line detail
+            // that survives batching is write-allocate accounting: a missed
+            // line is fetched over the link unless the store covers all 64
+            // bytes, which can only be false for the first and last lines
+            // of the run.
+            let lines = Self::line_range(off, data.len());
+            let single_line = lines.end - lines.start == 1;
+            let run = self.caches[node.0].access_run(lines, true);
+            self.region.write(off, data);
+            let end_off = off + data.len() as u64;
+            let first_partial = !off.is_multiple_of(CACHE_LINE);
+            let last_partial = !end_off.is_multiple_of(CACHE_LINE);
+            let fetches = if single_line {
+                u64::from(run.first_missed && (first_partial || last_partial))
+            } else {
+                u64::from(run.first_missed && first_partial)
+                    + u64::from(run.last_missed && last_partial)
+            };
+            let link_bytes = (fetches + run.dirty_evictions) * CACHE_LINE;
+            let latency = if run.misses == 0 {
+                run.hits * CACHE_HIT_NS
+            } else {
+                self.base_write_ns(node)
+                    + (run.misses - 1) * CXL_STREAM_WRITE_NS_PER_LINE
+                    + run.hits * CACHE_HIT_NS
+            };
+            return Access {
+                end: self.charge_link(node, now, link_bytes, latency),
+                link_bytes,
+                hits: run.hits,
+                misses: run.misses,
+            };
+        }
         let mut hits = 0u64;
         let mut misses = 0u64;
         let mut link_bytes = 0u64;
@@ -320,11 +379,18 @@ impl CxlPool {
 
     /// Uncached read (metadata flags): always goes to the device,
     /// observing other nodes' non-temporal stores immediately.
-    pub fn read_uncached(&mut self, node: NodeId, off: u64, buf: &mut [u8], now: SimTime) -> Access {
+    pub fn read_uncached(
+        &mut self,
+        node: NodeId,
+        off: u64,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Access {
         // Drop any locally cached copies so a later cached read refetches.
+        let cache = &mut self.caches[node.0];
         for line in Self::line_range(off, buf.len()) {
-            if self.caches[node.0].clflush(line) {
-                if let Some(bytes) = self.caches[node.0].take_line(line) {
+            if cache.clflush(line) {
+                if let Some(bytes) = cache.take_line(line) {
                     self.region.write(line * CACHE_LINE, &bytes);
                 }
             }
@@ -344,13 +410,14 @@ impl CxlPool {
     /// Uncached (non-temporal) store: bytes land in the device directly
     /// and become visible to every node; local cache copies are dropped.
     pub fn write_uncached(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
+        let cache = &mut self.caches[node.0];
         for line in Self::line_range(off, data.len()) {
             // An ntstore invalidates the local cached copy. A *dirty*
             // overlapping line must be written back first: the store may
             // cover it only partially, and dropping it would lose the
             // non-overlapped dirty bytes (found by the property tests).
-            if self.caches[node.0].clflush(line) {
-                if let Some(bytes) = self.caches[node.0].take_line(line) {
+            if cache.clflush(line) {
+                if let Some(bytes) = cache.take_line(line) {
                     self.region.write(line * CACHE_LINE, &bytes);
                 }
             }
@@ -372,11 +439,12 @@ impl CxlPool {
     pub fn clflush(&mut self, node: NodeId, off: u64, len: usize, now: SimTime) -> Access {
         let mut flushed = 0u64;
         let mut issued = 0u64;
+        let cache = &mut self.caches[node.0];
         for line in Self::line_range(off, len) {
             issued += 1;
-            if self.caches[node.0].clflush(line) {
+            if cache.clflush(line) {
                 flushed += 1;
-                if let Some(bytes) = self.caches[node.0].take_line(line) {
+                if let Some(bytes) = cache.take_line(line) {
                     self.region.write(line * CACHE_LINE, &bytes);
                 }
             }
@@ -401,9 +469,10 @@ impl CxlPool {
     /// lines are clean because writers hold the page lock exclusively).
     pub fn invalidate(&mut self, node: NodeId, off: u64, len: usize, now: SimTime) -> Access {
         let mut issued = 0u64;
+        let cache = &mut self.caches[node.0];
         for line in Self::line_range(off, len) {
             issued += 1;
-            self.caches[node.0].invalidate(line);
+            cache.invalidate(line);
         }
         Access {
             end: now + issued * CLFLUSH_ISSUE_NS,
@@ -429,8 +498,14 @@ impl CxlPool {
     pub fn write_coherent(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
         // Write through to the device.
         self.region.write(off, data);
+        // Back-invalidate sharers first, then refresh the writer's copy:
+        // snoops touch only other nodes' caches and the writer's accesses
+        // touch only its own, so this order is equivalent to interleaving
+        // them per line — and lets the writer side run as one batched
+        // sweep in timing mode.
+        let line_range = Self::line_range(off, data.len());
         let mut snooped = 0u64;
-        for line in Self::line_range(off, data.len()) {
+        for line in line_range.clone() {
             for (j, cache) in self.caches.iter_mut().enumerate() {
                 if j == node.0 {
                     continue;
@@ -440,16 +515,20 @@ impl CxlPool {
                     snooped += 1;
                 }
             }
+        }
+        if self.caches[node.0].captures() {
             // Writer keeps a clean, up-to-date copy.
-            let line_start = line * CACHE_LINE;
-            self.caches[node.0].access(line, false);
-            if self.caches[node.0].captures() {
+            for line in line_range.clone() {
+                let line_start = line * CACHE_LINE;
+                self.caches[node.0].access(line, false);
                 let mut fill = [0u8; CACHE_LINE as usize];
                 self.region.read(line_start, &mut fill);
                 self.caches[node.0].put_line(line, &fill);
             }
+        } else {
+            self.caches[node.0].access_run(line_range.clone(), false);
         }
-        let lines = Self::line_range(off, data.len()).count() as u64;
+        let lines = line_range.count() as u64;
         let link_bytes = lines * CACHE_LINE;
         // Back-invalidation snoops traverse the switch once per sharer.
         let latency = self.base_write_ns(node)
@@ -639,7 +718,142 @@ mod tests {
             let a = p.write_coherent(NodeId(0), 64, &[1; 64], SimTime::ZERO);
             a.end
         };
-        assert!(with_sharer.as_nanos() > base.as_nanos(), "snoop adds latency");
+        assert!(
+            with_sharer.as_nanos() > base.as_nanos(),
+            "snoop adds latency"
+        );
+    }
+
+    // ---- batched fast path vs per-line reference ----------------------
+    //
+    // The capture-mode pool still runs the original per-line loop, and
+    // capture only changes where line *data* lives — never the hit/miss
+    // accounting or the latency/link formulas. Driving the same access
+    // sequence through a timing pool (batched path) and a capture pool
+    // (per-line path) therefore pins the batched `read`/`write`/
+    // `write_coherent` to the per-line reference bit for bit: Access,
+    // CacheStats, link counters, and returned data must all agree.
+
+    fn assert_batched_matches_reference(ops: &[(u8, u64, usize)]) {
+        let cache_bytes = 4 << 10; // 64 slots: small enough to thrash
+        let mut fast = CxlPool::single_host(1 << 20, 2, cache_bytes, false);
+        let mut refp = CxlPool::single_host(1 << 20, 2, cache_bytes, true);
+        let mut t_fast = SimTime::ZERO;
+        let mut t_ref = SimTime::ZERO;
+        for &(kind, off, len) in ops {
+            let (a, b) = match kind {
+                0 => {
+                    let mut b1 = vec![0u8; len];
+                    let mut b2 = vec![0u8; len];
+                    let a = fast.read(NodeId(0), off, &mut b1, t_fast);
+                    let b = refp.read(NodeId(0), off, &mut b2, t_ref);
+                    assert_eq!(b1, b2, "read data diverged at off={off} len={len}");
+                    (a, b)
+                }
+                1 => {
+                    let data: Vec<u8> = (0..len).map(|i| (off as usize + i) as u8).collect();
+                    (
+                        fast.write(NodeId(0), off, &data, t_fast),
+                        refp.write(NodeId(0), off, &data, t_ref),
+                    )
+                }
+                _ => {
+                    let data: Vec<u8> = (0..len).map(|i| (off as usize + i) as u8).collect();
+                    (
+                        fast.write_coherent(NodeId(0), off, &data, t_fast),
+                        refp.write_coherent(NodeId(0), off, &data, t_ref),
+                    )
+                }
+            };
+            assert_eq!(a, b, "Access diverged at kind={kind} off={off} len={len}");
+            t_fast = a.end;
+            t_ref = b.end;
+        }
+        assert_eq!(fast.cache_stats(NodeId(0)), refp.cache_stats(NodeId(0)));
+        assert_eq!(fast.host_link_bytes(0), refp.host_link_bytes(0));
+        assert_eq!(fast.switch_bytes(), refp.switch_bytes());
+    }
+
+    #[test]
+    fn batched_matches_reference_aligned() {
+        assert_batched_matches_reference(&[
+            (0, 0, 16 << 10), // cold page read
+            (0, 0, 16 << 10), // warm re-read (partially evicted by itself)
+            (1, 0, 4 << 10),  // full-line writes, no allocate fetch
+            (0, 2 << 10, 4 << 10),
+            (1, 0, 64),
+            (0, 0, 64),
+        ]);
+    }
+
+    #[test]
+    fn batched_matches_reference_unaligned() {
+        assert_batched_matches_reference(&[
+            (1, 7, 50),     // sub-line store: allocate fetch
+            (1, 60, 8),     // straddles two lines, both partial
+            (1, 64, 64),    // exactly one full line
+            (1, 100, 1000), // partial head + full middles + partial tail
+            (0, 3, 801),
+            (1, 100, 1000), // same range again: all hits now
+            (0, 99, 1002),
+        ]);
+    }
+
+    #[test]
+    fn batched_matches_reference_thrashing() {
+        // 64-slot cache, 128-line ranges: every run aliases with itself,
+        // so later lines of one request evict earlier lines of the same
+        // request (dirty evictions inside a single write).
+        assert_batched_matches_reference(&[
+            (1, 0, 8 << 10),
+            (0, 0, 8 << 10),
+            (1, 31, 8 << 10),
+            (0, 4096, 8 << 10),
+            (2, 0, 4 << 10),
+            (0, 0, 8 << 10),
+        ]);
+    }
+
+    #[test]
+    fn batched_matches_reference_coherent_with_sharers() {
+        let cache_bytes = 4 << 10;
+        let mut fast = CxlPool::single_host(1 << 20, 3, cache_bytes, false);
+        let mut refp = CxlPool::single_host(1 << 20, 3, cache_bytes, true);
+        for p in [&mut fast, &mut refp] {
+            let mut buf = vec![0u8; 4096];
+            p.read(NodeId(1), 0, &mut buf, SimTime::ZERO);
+            p.read(NodeId(2), 2048, &mut buf[..2048], SimTime::ZERO);
+        }
+        let data = vec![0x42u8; 4096];
+        let a = fast.write_coherent(NodeId(0), 0, &data, SimTime::ZERO);
+        let b = refp.write_coherent(NodeId(0), 0, &data, SimTime::ZERO);
+        assert_eq!(a, b, "snoop accounting must match per-line reference");
+        for n in 0..3 {
+            assert_eq!(fast.cache_stats(NodeId(n)), refp.cache_stats(NodeId(n)));
+        }
+    }
+
+    #[test]
+    fn batched_matches_reference_randomized() {
+        use simkit::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(0xBA7C_4ED0);
+        for _ in 0..8 {
+            // Cached reads and writes only: coherent stores over lines the
+            // writer holds dirty legitimately return different *data* in
+            // capture vs timing mode (back-invalidation drops unflushed
+            // bytes that timing mode had already written through), so the
+            // write_coherent equivalence is pinned by the deterministic
+            // tests above instead.
+            let ops: Vec<(u8, u64, usize)> = (0..40)
+                .map(|_| {
+                    let kind = rng.gen_range(0..2u32) as u8;
+                    let off = rng.gen_range(0..(1u64 << 19));
+                    let len = rng.gen_range(1..20_000usize).min((1 << 20) - off as usize);
+                    (kind, off, len)
+                })
+                .collect();
+            assert_batched_matches_reference(&ops);
+        }
     }
 
     #[test]

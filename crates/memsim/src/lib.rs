@@ -36,7 +36,7 @@ use simkit::SimTime;
 pub struct NodeId(pub usize);
 
 /// Result of a timed memory access.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Access {
     /// Virtual time at which the access completes.
     pub end: SimTime,

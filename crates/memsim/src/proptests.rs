@@ -1,15 +1,16 @@
-//! Property tests over the memory substrate.
+//! Randomized-model tests over the memory substrate.
 //!
 //! The simulator's value rests on two invariants: (1) data moved through
 //! any access-path combination is byte-identical to a plain memory model
 //! (single writer), and (2) timed resources conserve capacity. Both are
-//! checked here against reference models under randomized operation
-//! sequences.
+//! checked here against reference models under seeded random operation
+//! sequences (the deterministic, dependency-free stand-in for the
+//! original proptest suite).
 
 #![cfg(test)]
 
 use crate::{CxlPool, NodeId};
-use proptest::prelude::*;
+use simkit::rng::SimRng;
 use simkit::SimTime;
 
 #[derive(Debug, Clone)]
@@ -24,43 +25,53 @@ enum Op {
 
 const SPACE: u64 = 4096;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let span = (0u64..SPACE - 256, 1usize..256);
-    prop_oneof![
-        span.clone().prop_map(|(off, len)| Op::Read { off, len }),
-        (span.clone(), any::<u8>())
-            .prop_map(|((off, len), fill)| Op::Write { off, len, fill }),
-        (span.clone(), any::<u8>())
-            .prop_map(|((off, len), fill)| Op::WriteUncached { off, len, fill }),
-        span.clone().prop_map(|(off, len)| Op::Clflush { off, len }),
-        span.prop_map(|(off, len)| Op::Invalidate { off, len }),
-        Just(Op::Crash),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    let off = rng.gen_range(0u64..SPACE - 256);
+    let len = rng.gen_range(1usize..256);
+    match rng.gen_range(0u32..6) {
+        0 => Op::Read { off, len },
+        1 => Op::Write {
+            off,
+            len,
+            fill: rng.gen(),
+        },
+        2 => Op::WriteUncached {
+            off,
+            len,
+            fill: rng.gen(),
+        },
+        3 => Op::Clflush { off, len },
+        4 => Op::Invalidate { off, len },
+        _ => Op::Crash,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A single node's view through the cached/uncached/flush paths is
-    /// always coherent with a flat byte-array model — *except* across a
-    /// crash, where unflushed cached writes may be lost (we model that
-    /// by flushing the model state only when the simulated bytes are
-    /// durable; after a crash we resynchronize the model from the
-    /// device, which must itself be a prefix-consistent image).
-    #[test]
-    fn single_node_cached_view_matches_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+/// A single node's view through the cached/uncached/flush paths is
+/// always coherent with a flat byte-array model — *except* across a
+/// crash, where unflushed cached writes may be lost (we model that
+/// by flushing the model state only when the simulated bytes are
+/// durable; after a crash we resynchronize the model from the
+/// device, which must itself be a prefix-consistent image).
+#[test]
+fn single_node_cached_view_matches_model() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(0x11EE_0000 + case);
+        let n_ops = rng.gen_range(1usize..120);
         // Tiny cache: maximal eviction/writeback churn.
         let mut pool = CxlPool::single_host(SPACE as usize, 1, 512, true);
         let mut model = vec![0u8; SPACE as usize];
         let n = NodeId(0);
         let t = SimTime::ZERO;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
                 Op::Read { off, len } => {
                     let mut buf = vec![0u8; len];
                     pool.read(n, off, &mut buf, t);
-                    prop_assert_eq!(&buf[..], &model[off as usize..off as usize + len],
-                        "cached read diverged at {}", off);
+                    assert_eq!(
+                        &buf[..],
+                        &model[off as usize..off as usize + len],
+                        "case {case}: cached read diverged at {off}"
+                    );
                 }
                 Op::Write { off, len, fill } => {
                     pool.write(n, off, &vec![fill; len], t);
@@ -92,42 +103,67 @@ proptest! {
         }
         // Final flush: afterwards the device equals the model exactly.
         pool.clflush(n, 0, SPACE as usize, t);
-        prop_assert_eq!(pool.raw().slice(0, SPACE as usize), &model[..]);
+        assert_eq!(
+            pool.raw().slice(0, SPACE as usize),
+            &model[..],
+            "case {case}"
+        );
     }
+}
 
-    /// Links conserve capacity: after any request sequence, the last
-    /// pipe-completion time is at least total_occupancy, and no grant
-    /// completes before its own request + service.
-    #[test]
-    fn links_conserve_capacity(reqs in prop::collection::vec((0u64..1_000_000, 1u64..100_000), 1..100)) {
-        use simkit::Link;
+/// Links conserve capacity: after any request sequence, the last
+/// pipe-completion time is at least total_occupancy, and no grant
+/// completes before its own request + service.
+#[test]
+fn links_conserve_capacity() {
+    use simkit::Link;
+    for case in 0..100u64 {
+        let mut rng = SimRng::seed_from_u64(0x11EE_1000 + case);
+        let n_reqs = rng.gen_range(1usize..100);
         let mut link = Link::new("test", 1.0); // 1 byte/ns
         let mut total = 0u64;
         let mut max_end = 0u64;
-        for (now, bytes) in reqs {
+        for _ in 0..n_reqs {
+            let now = rng.gen_range(0u64..1_000_000);
+            let bytes = rng.gen_range(1u64..100_000);
             let g = link.transfer(SimTime(now), bytes);
-            prop_assert!(g.end.as_nanos() >= now + bytes, "grant can't beat its own service");
+            assert!(
+                g.end.as_nanos() >= now + bytes,
+                "grant can't beat its own service"
+            );
             total += bytes;
             max_end = max_end.max(g.end.as_nanos());
         }
-        prop_assert!(max_end >= total, "capacity conservation: {max_end} < {total}");
+        assert!(
+            max_end >= total,
+            "capacity conservation: {max_end} < {total}"
+        );
     }
+}
 
-    /// MultiServer conserves capacity: k servers cannot complete more
-    /// than k * horizon worth of service by any horizon.
-    #[test]
-    fn multiserver_conserves_capacity(reqs in prop::collection::vec((0u64..100_000, 1u64..10_000), 1..200)) {
-        use simkit::MultiServer;
+/// MultiServer conserves capacity: k servers cannot complete more
+/// than k * horizon worth of service by any horizon.
+#[test]
+fn multiserver_conserves_capacity() {
+    use simkit::MultiServer;
+    for case in 0..100u64 {
+        let mut rng = SimRng::seed_from_u64(0x11EE_2000 + case);
+        let n_reqs = rng.gen_range(1usize..200);
         let k = 4u64;
         let mut cpu = MultiServer::new(k as usize);
         let mut total = 0u64;
         let mut max_end = 0u64;
-        for (now, service) in reqs {
+        for _ in 0..n_reqs {
+            let now = rng.gen_range(0u64..100_000);
+            let service = rng.gen_range(1u64..10_000);
             let g = cpu.acquire(SimTime(now), service);
-            prop_assert!(g.end.as_nanos() >= now + service);
+            assert!(g.end.as_nanos() >= now + service);
             total += service;
             max_end = max_end.max(g.end.as_nanos());
         }
-        prop_assert!(max_end * k >= total, "{} servers finished {} by {}", k, total, max_end);
+        assert!(
+            max_end * k >= total,
+            "{k} servers finished {total} by {max_end}"
+        );
     }
 }

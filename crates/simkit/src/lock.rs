@@ -122,7 +122,13 @@ impl<K: Eq + Hash> LockTable<K> {
     }
 
     /// Acquire lock `key` at `now` in `mode` for `hold_ns`.
-    pub fn acquire(&mut self, key: K, now: SimTime, mode: LockMode, hold_ns: u64) -> (SimTime, SimTime) {
+    pub fn acquire(
+        &mut self,
+        key: K,
+        now: SimTime,
+        mode: LockMode,
+        hold_ns: u64,
+    ) -> (SimTime, SimTime) {
         let lock = self.locks.entry(key).or_default();
         let (grant, release) = lock.acquire(now, mode, hold_ns);
         let wait = grant.saturating_since(now);

@@ -76,7 +76,10 @@ impl MultiServer {
     /// Request `service_ns` of exclusive service starting no earlier than
     /// `now`. Returns the granted interval and occupies the chosen server.
     pub fn acquire(&mut self, now: SimTime, service_ns: u64) -> Grant {
-        let Reverse(free) = self.free_at.pop().expect("heap always has `servers` entries");
+        let Reverse(free) = self
+            .free_at
+            .pop()
+            .expect("heap always has `servers` entries");
         let start = now.max(SimTime(free));
         let end = start + service_ns;
         // Cumulative capacity accounting (see type docs): the server's

@@ -6,7 +6,7 @@
 use crate::time::{dur, SimTime};
 
 /// A monotonically increasing event/byte counter with a rate helper.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Counter {
     value: u64,
 }
@@ -68,7 +68,7 @@ impl Counter {
 /// assert!(h.mean_us() > 25.0);
 /// assert!(h.quantile_ns(0.5) <= 400);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// counts[major][minor]
     counts: Vec<[u64; SUB]>,
@@ -217,7 +217,7 @@ impl Histogram {
 /// Per-bucket time series: counts events into fixed-width virtual-time
 /// buckets (e.g. 1 s), producing the throughput-over-time curves of
 /// Figure 10.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimeSeries {
     bucket_ns: u64,
     buckets: Vec<u64>,

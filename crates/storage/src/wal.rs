@@ -241,7 +241,10 @@ impl Wal {
     /// (The engine is responsible for having flushed the corresponding
     /// dirty pages first.)
     pub fn set_checkpoint(&mut self, lsn: Lsn) {
-        assert!(lsn <= self.durable_lsn, "cannot checkpoint beyond durability");
+        assert!(
+            lsn <= self.durable_lsn,
+            "cannot checkpoint beyond durability"
+        );
         assert!(lsn >= self.checkpoint_lsn, "checkpoints move forward");
         self.checkpoint_lsn = lsn;
         // Durable records at or below the checkpoint can be discarded.

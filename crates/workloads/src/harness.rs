@@ -6,7 +6,10 @@
 //! reports throughput, latency and interconnect bandwidth.
 
 use crate::metrics::RunMetrics;
-use crate::sysbench::{make_record, Statement, Sysbench, SysbenchKind, C_LEN, C_OFF, K_OFF, RANGE_LEN};
+use crate::sysbench::{
+    fill_record, make_record, Statement, Sysbench, SysbenchKind, C_LEN, C_OFF, K_OFF, RANGE_LEN,
+    RECORD_SIZE,
+};
 use bufferpool::dram_bp::DramBp;
 use bufferpool::tiered::TieredRdmaBp;
 use bufferpool::BufferPool;
@@ -67,7 +70,11 @@ impl PoolingConfig {
             kind,
             workload,
             instances,
-            workers_per_instance: if workload == SysbenchKind::RangeSelect { 32 } else { 48 },
+            workers_per_instance: if workload == SysbenchKind::RangeSelect {
+                32
+            } else {
+                48
+            },
             table_size: 30_000,
             duration: SimTime::from_millis(300),
             cache_bytes: 4 << 20,
@@ -79,7 +86,7 @@ impl PoolingConfig {
 }
 
 /// Result of a pooling run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PoolingResult {
     /// Aggregate metrics.
     pub metrics: RunMetrics,
@@ -98,14 +105,11 @@ fn pages_for(table_size: u64, page_size: u64) -> u64 {
 
 /// Execute one sysbench transaction against a database; returns its
 /// completion time.
-pub fn exec_txn<P: BufferPool>(
-    db: &mut Db<P>,
-    txn: &[Statement],
-    start: SimTime,
-) -> SimTime {
+pub fn exec_txn<P: BufferPool>(db: &mut Db<P>, txn: &[Statement], start: SimTime) -> SimTime {
     let mut t = start;
     let mut wrote = false;
     let mut cbuf = [0u8; C_LEN as usize];
+    let mut rec = [0u8; RECORD_SIZE as usize];
     for s in txn {
         match s {
             Statement::PointSelect { key } => {
@@ -128,7 +132,8 @@ pub fn exec_txn<P: BufferPool>(
                 wrote = true;
             }
             Statement::Insert { key, fill } => {
-                t = db.insert_no_commit(*key, &make_record(*key, *fill), t).1;
+                fill_record(*key, *fill, &mut rec);
+                t = db.insert_no_commit(*key, &rec, t).1;
                 wrote = true;
             }
         }
@@ -159,9 +164,12 @@ fn drive<P: BufferPool>(
     let mut queries = 0u64;
     let mut txns = 0u64;
     let mut per_instance = vec![0u64; dbs.len()];
+    // One transaction buffer for the whole run: `fill_txn` clears and
+    // refills it, so the hot loop never touches the allocator.
+    let mut txn = crate::sysbench::Transaction::with_capacity(18);
     ws.run_until(cfg.duration, |WorkerId(w), start| {
         let inst = w / wpi;
-        let txn = gen.next_txn(&mut rngs[w]);
+        gen.fill_txn(&mut rngs[w], &mut txn);
         let end = exec_txn(&mut dbs[inst], &txn, start);
         hist.record(end - start);
         queries += txn.len() as u64;
@@ -329,7 +337,10 @@ mod tests {
             (in_flight - 48.0).abs() < 6.0,
             "Little's law violated: {in_flight} in flight"
         );
-        assert_eq!(r.metrics.qps, r.metrics.tps, "point-select: 1 query per txn");
+        assert_eq!(
+            r.metrics.qps, r.metrics.tps,
+            "point-select: 1 query per txn"
+        );
         assert_eq!(r.per_instance_qps.len(), 1);
     }
 }

@@ -19,5 +19,5 @@ pub mod tpcc;
 pub use harness::{run_pooling, PoolKind, PoolingConfig, PoolingResult};
 pub use metrics::RunMetrics;
 pub use recovery_harness::{run_recovery, RecoveryConfig, RecoveryRunResult, Scheme};
-pub use sharing::{run_sharing, GroupLayout, SharingConfig, SharingResult, SharingSystem, ShOp};
+pub use sharing::{run_sharing, GroupLayout, ShOp, SharingConfig, SharingResult, SharingSystem};
 pub use sysbench::{Sysbench, SysbenchKind};

@@ -3,7 +3,11 @@
 use simkit::{Histogram, SimTime};
 
 /// Aggregate metrics of one measured run, in the units the paper plots.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field bit-for-bit (including the raw
+/// histogram) — the determinism tests rely on exact equality, not
+/// approximate closeness.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Queries per second (K-QPS when divided by 1000).
     pub qps: f64,

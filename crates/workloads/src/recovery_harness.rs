@@ -219,7 +219,12 @@ pub fn run_recovery(cfg: &RecoveryConfig) -> RecoveryRunResult {
             let trust = cfg.scheme == Scheme::PolarRecv;
             let store = PageStore::new(pages);
             let geo = 64 + pages * (64 + PAGE_SIZE) + 4096;
-            let cxl = Rc::new(RefCell::new(CxlPool::single_host(geo as usize, 1, 4 << 20, false)));
+            let cxl = Rc::new(RefCell::new(CxlPool::single_host(
+                geo as usize,
+                1,
+                4 << 20,
+                false,
+            )));
             let mut db = Db::create(
                 CxlBp::format(cxl, NodeId(0), 0, pages, store),
                 crate::sysbench::RECORD_SIZE,
@@ -231,7 +236,8 @@ pub fn run_recovery(cfg: &RecoveryConfig) -> RecoveryRunResult {
                 } else {
                     let report =
                         polarcxlmem::recovery::polar_recv_with(&mut db.pool, &mut db.wal, t, false);
-                    let (table, t2) = btree::BTree::open(&mut db.pool, db.table.meta_page, report.done);
+                    let (table, t2) =
+                        btree::BTree::open(&mut db.pool, db.table.meta_page, report.done);
                     db.table = table;
                     engine::RecoverySummary {
                         scheme: "polarrecv-nometa",

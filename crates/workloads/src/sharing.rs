@@ -23,12 +23,8 @@ use memsim::calib::{
 use memsim::{CxlNodeConfig, CxlPool, NodeId, RdmaPool};
 use polarcxlmem::fusion::CoherencyMode;
 use polarcxlmem::{FusionServer, RdmaDbp, RdmaSharingNode, SharingNode};
-use rand::rngs::StdRng;
-use rand::Rng;
-use simkit::rng::stream_rng;
-use simkit::{
-    Histogram, LockMode, LockTable, MultiServer, SimTime, Step, WorkerId, WorkerSet,
-};
+use simkit::rng::{stream_rng, SimRng};
+use simkit::{Histogram, LockMode, LockTable, MultiServer, SimTime, Step, WorkerId, WorkerSet};
 use std::cell::RefCell;
 use std::rc::Rc;
 use storage::{PageId, PageStore};
@@ -158,7 +154,7 @@ impl SharingConfig {
 pub fn point_update_gen(
     layout: GroupLayout,
     shared_pct: u32,
-) -> impl FnMut(&mut StdRng, usize) -> Vec<ShOp> {
+) -> impl FnMut(&mut SimRng, usize) -> Vec<ShOp> {
     move |rng, node| {
         (0..10)
             .map(|_| {
@@ -184,9 +180,9 @@ pub fn point_update_gen(
 pub fn read_write_gen(
     layout: GroupLayout,
     shared_pct: u32,
-) -> impl FnMut(&mut StdRng, usize) -> Vec<ShOp> {
+) -> impl FnMut(&mut SimRng, usize) -> Vec<ShOp> {
     move |rng, node| {
-        let pick = |rng: &mut StdRng| {
+        let pick = |rng: &mut SimRng| {
             let group = if rng.gen_range(0..100) < shared_pct {
                 layout.groups - 1
             } else {
@@ -217,7 +213,7 @@ pub fn read_write_gen(
 }
 
 /// Result of a sharing run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SharingResult {
     /// Aggregate metrics (QPS = statements/s, latency = txn latency).
     pub metrics: RunMetrics,
@@ -256,13 +252,11 @@ fn seed_storage(layout: &GroupLayout) -> PageStore {
 /// Run a sharing experiment with the given transaction generator.
 pub fn run_sharing<F>(cfg: &SharingConfig, mut gen: F) -> SharingResult
 where
-    F: FnMut(&mut StdRng, usize) -> Vec<ShOp>,
+    F: FnMut(&mut SimRng, usize) -> Vec<ShOp>,
 {
     match cfg.system {
         SharingSystem::Cxl => run_cxl(cfg, &mut gen, CoherencyMode::SoftwareLines),
-        SharingSystem::CxlFullPageFlush => {
-            run_cxl(cfg, &mut gen, CoherencyMode::SoftwareFullPage)
-        }
+        SharingSystem::CxlFullPageFlush => run_cxl(cfg, &mut gen, CoherencyMode::SoftwareFullPage),
         SharingSystem::Cxl3Hw => run_cxl(cfg, &mut gen, CoherencyMode::Hardware),
         SharingSystem::Rdma { lbp_fraction } => run_rdma(cfg, &mut gen, lbp_fraction),
     }
@@ -296,7 +290,7 @@ fn finish(
 
 fn run_cxl<F>(cfg: &SharingConfig, gen: &mut F, mode: CoherencyMode) -> SharingResult
 where
-    F: FnMut(&mut StdRng, usize) -> Vec<ShOp>,
+    F: FnMut(&mut SimRng, usize) -> Vec<ShOp>,
 {
     let layout = cfg.layout;
     let n = cfg.nodes;
@@ -349,7 +343,9 @@ where
     let mut cpus: Vec<MultiServer> = (0..n).map(|_| MultiServer::new(16)).collect();
     let mut locks: LockTable<PageId> = LockTable::new();
     let wpn = cfg.workers_per_node;
-    let mut rngs: Vec<StdRng> = (0..n * wpn).map(|w| stream_rng(cfg.seed, w as u64)).collect();
+    let mut rngs: Vec<SimRng> = (0..n * wpn)
+        .map(|w| stream_rng(cfg.seed, w as u64))
+        .collect();
     let mut ws = WorkerSet::new();
     for w in 0..n * wpn {
         ws.spawn(WorkerId(w), SimTime::ZERO);
@@ -378,7 +374,13 @@ where
                     t += LOCK_SERVICE_NS;
                     let (grant, _) = locks.acquire(page, t, LockMode::Exclusive, 0);
                     t = grant;
-                    t = nodes[node].write(&mut server, page, off as u64, &payload[..len as usize], t);
+                    t = nodes[node].write(
+                        &mut server,
+                        page,
+                        off as u64,
+                        &payload[..len as usize],
+                        t,
+                    );
                     // Publish (clflush modified lines + invalid flags)
                     // happens before the lock is observed released.
                     t = nodes[node].publish(&mut server, page, t);
@@ -398,7 +400,7 @@ where
 
 fn run_rdma<F>(cfg: &SharingConfig, gen: &mut F, lbp_fraction: f64) -> SharingResult
 where
-    F: FnMut(&mut StdRng, usize) -> Vec<ShOp>,
+    F: FnMut(&mut SimRng, usize) -> Vec<ShOp>,
 {
     let layout = cfg.layout;
     let n = cfg.nodes;
@@ -408,7 +410,13 @@ where
         n + 1,
     )));
     let store = Rc::new(RefCell::new(seed_storage(&layout)));
-    let mut server = RdmaDbp::new(Rc::clone(&rdma), n, 0, total_pages as u32, Rc::clone(&store));
+    let mut server = RdmaDbp::new(
+        Rc::clone(&rdma),
+        n,
+        0,
+        total_pages as u32,
+        Rc::clone(&store),
+    );
     // Each node accesses 2 groups (its own + shared): LBP sized to a
     // fraction of that.
     let accessed_pages = 2 * layout.pages_per_group();
@@ -437,7 +445,9 @@ where
     let mut cpus: Vec<MultiServer> = (0..n).map(|_| MultiServer::new(16)).collect();
     let mut locks: LockTable<PageId> = LockTable::new();
     let wpn = cfg.workers_per_node;
-    let mut rngs: Vec<StdRng> = (0..n * wpn).map(|w| stream_rng(cfg.seed, w as u64)).collect();
+    let mut rngs: Vec<SimRng> = (0..n * wpn)
+        .map(|w| stream_rng(cfg.seed, w as u64))
+        .collect();
     let mut ws = WorkerSet::new();
     for w in 0..n * wpn {
         ws.spawn(WorkerId(w), SimTime::ZERO);
@@ -466,7 +476,13 @@ where
                     t += LOCK_SERVICE_NS;
                     let (grant, _) = locks.acquire(page, t, LockMode::Exclusive, 0);
                     t = grant;
-                    t = nodes[node].write(&mut server, page, off as u64, &payload[..len as usize], t);
+                    t = nodes[node].write(
+                        &mut server,
+                        page,
+                        off as u64,
+                        &payload[..len as usize],
+                        t,
+                    );
                     // Full-page flush + invalidation messages sit on the
                     // lock hold path.
                     let (targets, t2) = nodes[node].publish(&mut server, page, t);
@@ -542,7 +558,10 @@ mod tests {
             hi.lock_mean_wait_ns,
             lo.lock_mean_wait_ns
         );
-        assert!(hi.metrics.qps < lo.metrics.qps, "contention must cost throughput");
+        assert!(
+            hi.metrics.qps < lo.metrics.qps,
+            "contention must cost throughput"
+        );
     }
 
     #[test]
@@ -568,18 +587,21 @@ mod tests {
             groups: 5,
             rows_per_group: 1_000,
         };
-        let shared_range =
-            (l.pages_per_group() * 4)..(l.pages_per_group() * 5);
+        let shared_range = (l.pages_per_group() * 4)..(l.pages_per_group() * 5);
         let mut rng = stream_rng(3, 0);
         let mut gen = point_update_gen(l, 100);
         for op in gen(&mut rng, 0) {
-            let ShOp::Write { page, .. } = op else { panic!() };
+            let ShOp::Write { page, .. } = op else {
+                panic!()
+            };
             assert!(shared_range.contains(&page.0), "100% shared");
         }
         let mut gen0 = point_update_gen(l, 0);
         let own_range = 0..l.pages_per_group();
         for op in gen0(&mut rng, 0) {
-            let ShOp::Write { page, .. } = op else { panic!() };
+            let ShOp::Write { page, .. } = op else {
+                panic!()
+            };
             assert!(own_range.contains(&page.0), "0% shared hits own group");
         }
     }

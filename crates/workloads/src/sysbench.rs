@@ -5,8 +5,7 @@
 //! and point-update. A sysbench row is `id` (the B+tree key) plus
 //! `k INT, c CHAR(120), pad CHAR(60)` — 188 bytes of record.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use simkit::rng::SimRng;
 
 /// Sysbench record size (k + c + pad).
 pub const RECORD_SIZE: u16 = 188;
@@ -83,7 +82,10 @@ pub enum Statement {
 impl Statement {
     /// Whether this statement modifies data.
     pub fn is_write(&self) -> bool {
-        !matches!(self, Statement::PointSelect { .. } | Statement::RangeSelect { .. })
+        !matches!(
+            self,
+            Statement::PointSelect { .. } | Statement::RangeSelect { .. }
+        )
     }
 }
 
@@ -110,23 +112,25 @@ impl Sysbench {
         self.kind
     }
 
-    fn key(&self, rng: &mut StdRng) -> u64 {
+    fn key(&self, rng: &mut SimRng) -> u64 {
         rng.gen_range(1..=self.table_size)
     }
 
-    fn range_start(&self, rng: &mut StdRng) -> u64 {
+    fn range_start(&self, rng: &mut SimRng) -> u64 {
         rng.gen_range(1..=self.table_size - RANGE_LEN as u64)
     }
 
-    /// Generate the next transaction.
-    pub fn next_txn(&self, rng: &mut StdRng) -> Transaction {
+    /// Generate the next transaction into a caller-owned buffer,
+    /// clearing it first. The hot harness loop reuses one buffer for
+    /// the whole run instead of allocating a `Vec` per transaction.
+    pub fn fill_txn(&self, rng: &mut SimRng, txn: &mut Transaction) {
+        txn.clear();
         match self.kind {
-            SysbenchKind::PointSelect => vec![Statement::PointSelect { key: self.key(rng) }],
-            SysbenchKind::RangeSelect => vec![Statement::RangeSelect {
+            SysbenchKind::PointSelect => txn.push(Statement::PointSelect { key: self.key(rng) }),
+            SysbenchKind::RangeSelect => txn.push(Statement::RangeSelect {
                 start: self.range_start(rng),
-            }],
+            }),
             SysbenchKind::ReadOnly => {
-                let mut txn = Vec::with_capacity(14);
                 for _ in 0..10 {
                     txn.push(Statement::PointSelect { key: self.key(rng) });
                 }
@@ -135,11 +139,9 @@ impl Sysbench {
                         start: self.range_start(rng),
                     });
                 }
-                txn
             }
-            SysbenchKind::WriteOnly => self.write_tail(rng),
+            SysbenchKind::WriteOnly => self.write_tail(rng, txn),
             SysbenchKind::ReadWrite => {
-                let mut txn = Vec::with_capacity(18);
                 for _ in 0..10 {
                     txn.push(Statement::PointSelect { key: self.key(rng) });
                 }
@@ -148,56 +150,69 @@ impl Sysbench {
                         start: self.range_start(rng),
                     });
                 }
-                txn.extend(self.write_tail(rng));
-                txn
+                self.write_tail(rng, txn);
             }
-            SysbenchKind::PointUpdate => (0..10)
-                .map(|_| Statement::UpdateNonIndex {
-                    key: self.key(rng),
-                    fill: rng.gen(),
-                })
-                .collect(),
+            SysbenchKind::PointUpdate => {
+                for _ in 0..10 {
+                    txn.push(Statement::UpdateNonIndex {
+                        key: self.key(rng),
+                        fill: rng.gen(),
+                    });
+                }
+            }
         }
+    }
+
+    /// Generate the next transaction as a fresh vector.
+    pub fn next_txn(&self, rng: &mut SimRng) -> Transaction {
+        let mut txn = Vec::new();
+        self.fill_txn(rng, &mut txn);
+        txn
     }
 
     /// The write statements shared by write-only and read-write:
     /// index update, non-index update, delete + insert of the same key.
-    fn write_tail(&self, rng: &mut StdRng) -> Vec<Statement> {
+    fn write_tail(&self, rng: &mut SimRng, txn: &mut Transaction) {
         let del_key = self.key(rng);
-        vec![
-            Statement::UpdateIndex {
-                key: self.key(rng),
-                value: rng.gen(),
-            },
-            Statement::UpdateNonIndex {
-                key: self.key(rng),
-                fill: rng.gen(),
-            },
-            Statement::Delete { key: del_key },
-            Statement::Insert {
-                key: del_key,
-                fill: rng.gen(),
-            },
-        ]
+        txn.push(Statement::UpdateIndex {
+            key: self.key(rng),
+            value: rng.gen(),
+        });
+        txn.push(Statement::UpdateNonIndex {
+            key: self.key(rng),
+            fill: rng.gen(),
+        });
+        txn.push(Statement::Delete { key: del_key });
+        txn.push(Statement::Insert {
+            key: del_key,
+            fill: rng.gen(),
+        });
     }
+}
+
+/// Write the initial sysbench row for `key` into a caller-owned
+/// [`RECORD_SIZE`]-byte buffer (the allocation-free sibling of
+/// [`make_record`]).
+pub fn fill_record(key: u64, fill: u8, rec: &mut [u8]) {
+    assert_eq!(rec.len(), RECORD_SIZE as usize);
+    rec[K_OFF as usize..K_OFF as usize + 8].copy_from_slice(&(key % 4999).to_le_bytes());
+    rec[C_OFF as usize..(C_OFF + C_LEN) as usize].fill(fill);
+    rec[PAD_OFF as usize..].fill(0x20);
 }
 
 /// Build the initial sysbench row for `key`.
 pub fn make_record(key: u64, fill: u8) -> Vec<u8> {
     let mut rec = vec![0u8; RECORD_SIZE as usize];
-    rec[K_OFF as usize..K_OFF as usize + 8].copy_from_slice(&(key % 4999).to_le_bytes());
-    rec[C_OFF as usize..(C_OFF + C_LEN) as usize].fill(fill);
-    rec[PAD_OFF as usize..].fill(0x20);
+    fill_record(key, fill, &mut rec);
     rec
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
     }
 
     #[test]
@@ -264,10 +279,25 @@ mod tests {
     }
 
     #[test]
+    fn fill_txn_reuses_buffer_and_matches_next_txn() {
+        let g = Sysbench::new(SysbenchKind::ReadWrite, 10_000);
+        let mut buf = Transaction::new();
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..20 {
+            g.fill_txn(&mut a, &mut buf);
+            assert_eq!(buf, g.next_txn(&mut b));
+        }
+    }
+
+    #[test]
     fn record_layout() {
         let r = make_record(42, 7);
         assert_eq!(r.len(), RECORD_SIZE as usize);
         assert_eq!(&r[C_OFF as usize..C_OFF as usize + 4], &[7; 4]);
         assert_eq!(r[PAD_OFF as usize], 0x20);
+        let mut buf = [0u8; RECORD_SIZE as usize];
+        fill_record(42, 7, &mut buf);
+        assert_eq!(r, buf);
     }
 }

@@ -7,8 +7,7 @@
 //! use TATP's non-uniform distribution.
 
 use crate::sharing::{GroupLayout, ShOp};
-use rand::rngs::StdRng;
-use rand::Rng;
+use simkit::rng::SimRng;
 
 /// The seven TATP transaction types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,7 +59,7 @@ impl Tatp {
 
     /// TATP non-uniform subscriber id in `0..n`:
     /// `(rand(0, A) | rand(1, n)) % n`.
-    fn subscriber(&self, rng: &mut StdRng) -> u64 {
+    fn subscriber(&self, rng: &mut SimRng) -> u64 {
         let n = self.layout.rows_per_group;
         (rng.gen_range(0..=self.a) | rng.gen_range(1..=n)) % n
     }
@@ -76,7 +75,7 @@ impl Tatp {
     }
 
     /// Generate one transaction for `node`; returns (ops, type).
-    pub fn next_txn(&self, rng: &mut StdRng, node: usize) -> (Vec<ShOp>, TatpTxn) {
+    pub fn next_txn(&self, rng: &mut SimRng, node: usize) -> (Vec<ShOp>, TatpTxn) {
         let ty = mix(rng.gen_range(0..100));
         let s = self.subscriber(rng);
         let ops = match ty {
@@ -87,7 +86,10 @@ impl Tatp {
             }
             TatpTxn::GetAccessData => vec![self.read(node, s, 24)],
             TatpTxn::UpdateSubscriberData => {
-                vec![self.write(node, s, 8), self.write(node, self.subscriber(rng), 8)]
+                vec![
+                    self.write(node, s, 8),
+                    self.write(node, self.subscriber(rng), 8),
+                ]
             }
             TatpTxn::UpdateLocation => vec![self.write(node, s, 8)],
             TatpTxn::InsertCallForwarding => vec![

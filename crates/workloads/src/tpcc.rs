@@ -12,8 +12,7 @@
 //! down with the rest of the simulation.
 
 use crate::sharing::{GroupLayout, ShOp};
-use rand::rngs::StdRng;
-use rand::Rng;
+use simkit::rng::SimRng;
 
 /// The five TPC-C transaction types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +61,7 @@ impl Segments {
         }
     }
 
-    fn pick(r: &mut StdRng, seg: (u64, u64)) -> u64 {
+    fn pick(r: &mut SimRng, seg: (u64, u64)) -> u64 {
         r.gen_range(seg.0..seg.1)
     }
 }
@@ -112,7 +111,7 @@ impl Tpcc {
         }
     }
 
-    fn remote_wh(&self, rng: &mut StdRng, home: usize) -> usize {
+    fn remote_wh(&self, rng: &mut SimRng, home: usize) -> usize {
         if self.nodes == 1 {
             return home;
         }
@@ -125,7 +124,7 @@ impl Tpcc {
     }
 
     /// Generate one transaction for `node`; returns (ops, type).
-    pub fn next_txn(&mut self, rng: &mut StdRng, node: usize) -> (Vec<ShOp>, TpccTxn) {
+    pub fn next_txn(&mut self, rng: &mut SimRng, node: usize) -> (Vec<ShOp>, TpccTxn) {
         let ty = mix(rng.gen_range(0..100));
         let w = node;
         let ops = match ty {
@@ -148,7 +147,8 @@ impl Tpcc {
                     let stock = Segments::pick(rng, self.seg.stock);
                     ops.push(self.read(sw, stock)); // item/stock read
                     ops.push(self.write(sw, stock)); // stock update
-                    ops.push(self.write(w, Segments::pick(rng, self.seg.orders))); // order line
+                    ops.push(self.write(w, Segments::pick(rng, self.seg.orders)));
+                    // order line
                 }
                 ops.push(self.write(w, Segments::pick(rng, self.seg.orders))); // order header
                 ops
@@ -157,7 +157,7 @@ impl Tpcc {
                 let mut ops = Vec::with_capacity(4);
                 ops.push(self.write(w, 0)); // warehouse ytd
                 ops.push(self.write(w, rng.gen_range(1..11))); // district ytd
-                // 15 % remote customer.
+                                                               // 15 % remote customer.
                 let cw = if rng.gen_range(0..100) < 15 {
                     self.remote_wh(rng, w)
                 } else {

@@ -50,7 +50,10 @@ fn main() {
 
     // 1. Reader faults the page in (RPC to the fusion server) and caches it.
     let t = reader.read(&mut server, page, 0, &mut buf, t0);
-    println!("reader sees        : {:?}", std::str::from_utf8(&buf).unwrap());
+    println!(
+        "reader sees        : {:?}",
+        std::str::from_utf8(&buf).unwrap()
+    );
 
     // 2. Writer updates 8 bytes under the (externally held) X page lock.
     let t = writer.write(&mut server, page, 0, b"version1", t);
@@ -74,7 +77,10 @@ fn main() {
     // 5. Reader's next access sees its invalid flag, drops its (clean)
     //    cached lines, and reads fresh data from the device.
     reader.read(&mut server, page, 0, &mut buf, t);
-    println!("reader sees        : {:?}", std::str::from_utf8(&buf).unwrap());
+    println!(
+        "reader sees        : {:?}",
+        std::str::from_utf8(&buf).unwrap()
+    );
     assert_eq!(&buf, b"version1");
 
     let s = server.stats();

@@ -19,7 +19,11 @@ fn main() {
             r.scheme,
             r.pre_crash_qps / 1e3,
             r.recovery_secs,
-            if r.warmup_secs.is_finite() { r.warmup_secs } else { f64::NAN },
+            if r.warmup_secs.is_finite() {
+                r.warmup_secs
+            } else {
+                f64::NAN
+            },
             r.summary.pages_rebuilt
         );
     }

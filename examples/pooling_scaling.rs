@@ -2,9 +2,15 @@
 //! host against tiered-RDMA vs CXL disaggregated memory and watch the
 //! RDMA NIC saturate while CXL keeps scaling.
 //!
+//! The scaling points are independent simulated worlds, so they fan out
+//! across host threads via the bench crate's sweep runner.
+//!
 //! Run with: `cargo run --release --example pooling_scaling`
 
+use bench::run_sweep;
 use polardb_cxl_repro::prelude::*;
+
+const POINTS: [usize; 5] = [1, 2, 4, 8, 12];
 
 fn main() {
     println!("sysbench point-select, 48 workers/instance, whole dataset in disaggregated memory\n");
@@ -12,24 +18,25 @@ fn main() {
         "{:>10} {:>16} {:>16} {:>12} {:>12}",
         "instances", "RDMA K-QPS", "CXL K-QPS", "RDMA GB/s", "CXL GB/s"
     );
-    for n in [1usize, 2, 4, 8, 12] {
-        let rdma = run_pooling(&PoolingConfig::standard(
-            PoolKind::TieredRdma,
-            SysbenchKind::PointSelect,
-            n,
-        ));
-        let cxl = run_pooling(&PoolingConfig::standard(
-            PoolKind::Cxl,
-            SysbenchKind::PointSelect,
-            n,
-        ));
+    let configs: Vec<PoolingConfig> = POINTS
+        .iter()
+        .flat_map(|&n| {
+            [
+                PoolingConfig::standard(PoolKind::TieredRdma, SysbenchKind::PointSelect, n),
+                PoolingConfig::standard(PoolKind::Cxl, SysbenchKind::PointSelect, n),
+            ]
+        })
+        .collect();
+    let results = run_sweep(&configs, run_pooling);
+    for (pair, &n) in results.chunks(2).zip(POINTS.iter()) {
+        let (rdma, cxl) = (&pair[0].metrics, &pair[1].metrics);
         println!(
             "{:>10} {:>16.1} {:>16.1} {:>12.2} {:>12.2}",
             n,
-            rdma.metrics.qps / 1e3,
-            cxl.metrics.qps / 1e3,
-            rdma.metrics.interconnect_gbps,
-            cxl.metrics.interconnect_gbps
+            rdma.qps / 1e3,
+            cxl.qps / 1e3,
+            rdma.interconnect_gbps,
+            cxl.interconnect_gbps
         );
     }
     println!("\nthe tiered design moves a 16 KB page per miss; the ConnectX-6 (12 GB/s) becomes the wall.");

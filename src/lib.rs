@@ -64,6 +64,7 @@ pub mod prelude {
     pub use engine::{recover_polar, recover_replay, Db};
     pub use memsim::{CxlPool, NodeId, RdmaPool};
     pub use polarcxlmem::{CxlBp, CxlMemoryManager, FusionServer, SharingNode};
+    pub use simkit::rng::{stream_rng, SimRng};
     pub use simkit::{dur, SimTime};
     pub use storage::{Lsn, PageId, PageStore, Wal};
     pub use workloads::{

@@ -6,7 +6,6 @@
 //! content mismatch.
 
 use polardb_cxl_repro::prelude::*;
-use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -16,7 +15,12 @@ const KEYS: u64 = 300;
 
 fn build() -> Db<CxlBp> {
     let store = PageStore::with_page_size(512, 2048);
-    let cxl = Rc::new(RefCell::new(CxlPool::single_host(4 << 20, 1, 1 << 20, false)));
+    let cxl = Rc::new(RefCell::new(CxlPool::single_host(
+        4 << 20,
+        1,
+        1 << 20,
+        false,
+    )));
     let mut db = Db::create(CxlBp::format(cxl, NodeId(0), 0, 512, store), REC);
     db.load((1..=KEYS).map(|k| (k, vec![(k % 250) as u8; REC as usize])));
     db
@@ -25,9 +29,10 @@ fn build() -> Db<CxlBp> {
 #[test]
 fn five_crashes_cannot_corrupt_committed_state() {
     let mut db = build();
-    let mut model: BTreeMap<u64, Vec<u8>> =
-        (1..=KEYS).map(|k| (k, vec![(k % 250) as u8; REC as usize])).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut model: BTreeMap<u64, Vec<u8>> = (1..=KEYS)
+        .map(|k| (k, vec![(k % 250) as u8; REC as usize]))
+        .collect();
+    let mut rng = SimRng::seed_from_u64(99);
     let mut now = SimTime::ZERO;
     let mut next_key = KEYS + 1;
 
@@ -96,8 +101,8 @@ fn recovery_after_torn_latch_rebuilds_from_redo() {
     // contain the half-applied update.
     let mut db = build();
     let t = db.update(7, 0, &[0x31; 8], SimTime::ZERO).1; // committed
-    // Start an update but "die" before unlatch: write data + latch
-    // without ever flushing or clearing the latch.
+                                                          // Start an update but "die" before unlatch: write data + latch
+                                                          // without ever flushing or clearing the latch.
     use polardb_cxl_repro::bufferpool::BufferPool;
     let t2 = db.pool.set_latch(PageId(0), true, t); // any page: use the real one below
     let _ = t2;
@@ -112,5 +117,9 @@ fn recovery_after_torn_latch_rebuilds_from_redo() {
     let report = recover_polar(&mut db, t3);
     assert!(report.pages_rebuilt >= 1, "too-new page must be rebuilt");
     let (got, _) = db.table.get(&mut db.pool, 7, SimTime::ZERO);
-    assert_eq!(&got.unwrap()[0..8], &[0x31; 8], "only durable state survives");
+    assert_eq!(
+        &got.unwrap()[0..8],
+        &[0x31; 8],
+        "only durable state survives"
+    );
 }

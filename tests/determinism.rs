@@ -45,6 +45,67 @@ fn sharing_is_deterministic() {
     assert_ne!(sharing(5), sharing(6));
 }
 
+// ---- serial vs parallel sweeps -----------------------------------------
+//
+// The parallel sweep runner fans independent runs across host threads;
+// each run constructs its own simulated world (pools, links, caches, RNG
+// streams all derive from the run's config), so host-thread scheduling
+// can never leak into virtual time. `RunMetrics` derives `PartialEq`
+// including the full latency histogram, so equality here is bit-for-bit.
+
+fn sweep_pooling_configs() -> Vec<PoolingConfig> {
+    let mut configs = Vec::new();
+    for kind in [PoolKind::Dram, PoolKind::TieredRdma, PoolKind::Cxl] {
+        for n in [1usize, 2] {
+            let mut c = PoolingConfig::standard(kind, SysbenchKind::ReadWrite, n);
+            c.table_size = 6_000;
+            c.duration = SimTime::from_millis(20);
+            configs.push(c);
+        }
+    }
+    configs
+}
+
+#[test]
+fn pooling_sweep_is_thread_count_invariant() {
+    use bench::run_sweep_threads;
+    let configs = sweep_pooling_configs();
+    let serial = run_sweep_threads(&configs, 1, run_pooling);
+    let parallel = run_sweep_threads(&configs, 4, run_pooling);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(parallel.iter()).enumerate() {
+        assert_eq!(s.metrics, p.metrics, "config {i}: metrics diverged");
+        assert_eq!(
+            s.per_instance_qps, p.per_instance_qps,
+            "config {i}: per-instance QPS diverged"
+        );
+    }
+    // And a second parallel pass agrees too (no run-to-run drift).
+    let again = run_sweep_threads(&configs, 4, run_pooling);
+    assert_eq!(parallel, again);
+}
+
+#[test]
+fn sharing_sweep_is_thread_count_invariant() {
+    use bench::run_sweep_threads;
+    let configs: Vec<(SharingSystem, usize, u32)> = vec![
+        (SharingSystem::Rdma { lbp_fraction: 0.3 }, 4, 40),
+        (SharingSystem::Cxl, 4, 40),
+        (SharingSystem::Cxl, 6, 80),
+    ];
+    let run = |&(system, nodes, pct): &(SharingSystem, usize, u32)| {
+        let mut cfg = SharingConfig::standard(system, nodes);
+        cfg.layout.rows_per_group = 1_000;
+        cfg.duration = SimTime::from_millis(20);
+        run_sharing(&cfg, point_update_gen(cfg.layout, pct))
+    };
+    let serial = run_sweep_threads(&configs, 1, run);
+    let parallel = run_sweep_threads(&configs, 4, run);
+    for (i, (s, p)) in serial.iter().zip(parallel.iter()).enumerate() {
+        assert_eq!(s.metrics, p.metrics, "config {i}: metrics diverged");
+    }
+}
+
 #[test]
 fn recovery_is_deterministic() {
     let run = || {

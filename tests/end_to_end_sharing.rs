@@ -53,7 +53,12 @@ fn bigger_lbp_narrows_but_does_not_close_the_gap() {
     let small = tiny(SharingSystem::Rdma { lbp_fraction: 0.1 }, 4, 80, false);
     let big = tiny(SharingSystem::Rdma { lbp_fraction: 1.0 }, 4, 80, false);
     assert!(big.metrics.qps >= small.metrics.qps * 0.95);
-    assert!(cxl.metrics.qps > big.metrics.qps, "cxl {} vs lbp100 {}", cxl.metrics.qps, big.metrics.qps);
+    assert!(
+        cxl.metrics.qps > big.metrics.qps,
+        "cxl {} vs lbp100 {}",
+        cxl.metrics.qps,
+        big.metrics.qps
+    );
 }
 
 /// The background recycler under DBP pressure: a fusion server whose
@@ -117,7 +122,10 @@ fn dbp_pressure_recycles_without_corruption() {
             }
         }
     }
-    assert!(server.stats().recycles > 0, "pressure must trigger recycling");
+    assert!(
+        server.stats().recycles > 0,
+        "pressure must trigger recycling"
+    );
     assert!(
         nodes[0].stats().removal_reloads + nodes[1].stats().removal_reloads > 0,
         "nodes must observe removal flags"
