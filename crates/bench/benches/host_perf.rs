@@ -1,23 +1,60 @@
-//! host_perf: how fast does the simulator itself run, and how much does
-//! the parallel sweep runner buy?
+//! host_perf: how fast does the simulator itself run, and where does the
+//! host time go?
 //!
 //! Times a standard fig7-style pooling sweep (RDMA vs CXL point-select
 //! across instance counts) twice in host wall-clock — once on a single
 //! thread, once across [`host_threads`] workers — verifies the two
-//! produce bit-identical simulation results, and writes the numbers to
-//! `BENCH_host_perf.json` at the repository root.
+//! produce bit-identical simulation results, then runs a separate
+//! profiled pass (single thread, `simkit::profile` enabled) to break the
+//! host time down by simulator subsystem, and measures steady-state heap
+//! allocations per simulated query on the two disaggregated designs.
+//! Everything is written to `BENCH_host_perf.json` at the repository
+//! root; `BENCH_host_perf.baseline.json` (if present) supplies the
+//! pre-optimization reference the speedup is reported against.
 //!
 //! Regenerate with:
 //! `cargo bench -p bench --bench host_perf`
+//!
+//! Set `HOST_PERF_SMOKE=1` for a CI-sized run (2 configs, short
+//! windows) that exercises every code path but skips the JSON artifact.
 
 use bench::sweep::json;
 use bench::{host_threads, run_sweep_threads};
-use simkit::SimTime;
+use simkit::{profile, SimTime};
 use std::time::Instant;
 use workloads::{run_pooling, PoolKind, PoolingConfig, SysbenchKind};
 
-fn sweep_configs() -> Vec<PoolingConfig> {
-    (1..=8usize)
+// Count every heap allocation the simulator makes; the profiler's
+// per-subsystem allocation columns and the allocs-per-query numbers
+// below both read this counter.
+#[global_allocator]
+static ALLOC: profile::CountingAlloc = profile::CountingAlloc;
+
+/// Scale knobs for the full run vs the CI smoke run.
+struct Scale {
+    max_instances: usize,
+    window: SimTime,
+    table_size: u64,
+}
+
+fn scale(smoke: bool) -> Scale {
+    if smoke {
+        Scale {
+            max_instances: 1,
+            window: SimTime::from_millis(20),
+            table_size: 5_000,
+        }
+    } else {
+        Scale {
+            max_instances: 8,
+            window: SimTime::from_millis(100),
+            table_size: 30_000,
+        }
+    }
+}
+
+fn sweep_configs(sc: &Scale) -> Vec<PoolingConfig> {
+    (1..=sc.max_instances)
         .flat_map(|n| {
             [
                 PoolingConfig::standard(PoolKind::TieredRdma, SysbenchKind::PointSelect, n),
@@ -25,19 +62,63 @@ fn sweep_configs() -> Vec<PoolingConfig> {
             ]
         })
         .map(|mut c| {
-            c.duration = SimTime::from_millis(100);
+            c.duration = sc.window;
+            c.table_size = sc.table_size;
             c
         })
         .collect()
 }
 
+/// Steady-state heap allocations per simulated query for `kind`
+/// point-select, isolated from setup costs by differencing two runs that
+/// differ only in window length (setup allocations are identical, so
+/// the difference is purely the measurement loop).
+fn hot_path_allocs_per_query(kind: PoolKind, sc: &Scale) -> f64 {
+    let mk = |window: SimTime| {
+        let mut c = PoolingConfig::standard(kind, SysbenchKind::PointSelect, 1);
+        c.duration = window;
+        c.table_size = sc.table_size;
+        c
+    };
+    let run = |cfg: &PoolingConfig| {
+        let a0 = profile::alloc_count();
+        let r = run_pooling(cfg);
+        let allocs = profile::alloc_count().saturating_sub(a0);
+        let queries = r.metrics.qps * r.metrics.window.as_secs_f64();
+        (allocs as f64, queries)
+    };
+    let (a_short, q_short) = run(&mk(sc.window));
+    let (a_long, q_long) = run(&mk(SimTime::from_nanos(sc.window.as_nanos() * 3)));
+    ((a_long - a_short) / (q_long - q_short).max(1.0)).max(0.0)
+}
+
+/// Pull a top-level numeric field out of a previously written
+/// `BENCH_host_perf` JSON document (enough of a parser for our own
+/// artifact format).
+fn extract_num(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = doc.find(&pat)? + pat.len();
+    let rest = doc[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() {
-    let threads = host_threads();
-    let configs = sweep_configs();
+    let smoke = std::env::var("HOST_PERF_SMOKE").is_ok_and(|v| v == "1");
+    let sc = scale(smoke);
+    let threads_available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads_used = host_threads();
+    let configs = sweep_configs(&sc);
     println!(
-        "host_perf: {} configs, {} host threads",
+        "host_perf{}: {} configs, {} host threads used ({} available)",
+        if smoke { " [smoke]" } else { "" },
         configs.len(),
-        threads
+        threads_used,
+        threads_available,
     );
 
     // Warm up with one full (untimed) sweep pass so the serial and
@@ -46,13 +127,48 @@ fn main() {
     // reasons that have nothing to do with threading.
     let _ = run_sweep_threads(&configs, 1, run_pooling);
 
-    let t0 = Instant::now();
-    let serial = run_sweep_threads(&configs, 1, run_pooling);
-    let serial_secs = t0.elapsed().as_secs_f64();
+    // Timed passes. Wall time on a shared box is noisy (scheduler,
+    // frequency scaling, neighbours), so each sweep is timed over
+    // several passes and the best one is reported — the standard way to
+    // measure the cost of the *code* rather than of the interference.
+    // The simulation results themselves are bit-identical across passes
+    // (asserted below), so the extra passes only refine the clock.
+    let passes = if smoke { 1 } else { 3 };
 
-    let t1 = Instant::now();
-    let parallel = run_sweep_threads(&configs, threads, run_pooling);
-    let parallel_secs = t1.elapsed().as_secs_f64();
+    // Serial passes, one config at a time so each gets a wall time.
+    let mut serial = Vec::new();
+    let mut wall_secs = Vec::new();
+    let mut serial_secs = f64::INFINITY;
+    for _ in 0..passes {
+        let t0 = Instant::now();
+        let mut pass = Vec::with_capacity(configs.len());
+        let mut walls = Vec::with_capacity(configs.len());
+        for c in &configs {
+            let tc = Instant::now();
+            pass.push(run_pooling(c));
+            walls.push(tc.elapsed().as_secs_f64());
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        if !serial.is_empty() {
+            assert_eq!(serial, pass, "serial passes disagree: nondeterminism");
+        }
+        if secs < serial_secs {
+            serial_secs = secs;
+            wall_secs = walls;
+        }
+        if serial.is_empty() {
+            serial = pass;
+        }
+    }
+
+    let mut parallel = Vec::new();
+    let mut parallel_secs = f64::INFINITY;
+    for _ in 0..passes {
+        let t1 = Instant::now();
+        let pass = run_sweep_threads(&configs, threads_used, run_pooling);
+        parallel_secs = parallel_secs.min(t1.elapsed().as_secs_f64());
+        parallel = pass;
+    }
 
     // Parallelism is across runs, never within one virtual timeline:
     // the results must be bit-identical.
@@ -65,26 +181,111 @@ fn main() {
         .iter()
         .map(|r| r.metrics.qps * r.metrics.window.as_secs_f64())
         .sum();
+    let serial_qps = sim_queries / serial_secs;
     let speedup = serial_secs / parallel_secs;
-    println!(
-        "serial:   {serial_secs:.2} s  ({:.0} simulated queries/s)",
-        sim_queries / serial_secs
-    );
+    println!("serial:   {serial_secs:.2} s  ({serial_qps:.0} simulated queries/s)");
     println!(
         "parallel: {parallel_secs:.2} s  ({:.0} simulated queries/s)",
         sim_queries / parallel_secs
     );
-    println!("speedup:  {speedup:.2}x on {threads} threads (results bit-identical)");
+    println!("speedup:  {speedup:.2}x on {threads_used} threads (results bit-identical)");
+
+    // Steady-state allocations per query on the two disaggregated
+    // designs; ~0 after the zero-allocation page-path work.
+    let allocs_rdma = hot_path_allocs_per_query(PoolKind::TieredRdma, &sc);
+    let allocs_cxl = hot_path_allocs_per_query(PoolKind::Cxl, &sc);
+    println!("hot-path allocs/query: tiered_rdma {allocs_rdma:.4}, cxl {allocs_cxl:.4}");
+
+    // Profiled pass: one representative config per design, single
+    // thread, profiler on. Not used for any timing number above — the
+    // guards cost a few ns each — only for the breakdown.
+    let profiled: Vec<PoolingConfig> = [PoolKind::TieredRdma, PoolKind::Cxl]
+        .into_iter()
+        .map(|kind| {
+            let mut c =
+                PoolingConfig::standard(kind, SysbenchKind::PointSelect, sc.max_instances.min(4));
+            c.duration = sc.window;
+            c.table_size = sc.table_size;
+            c
+        })
+        .collect();
+    profile::reset();
+    profile::enable(true);
+    for c in &profiled {
+        let _ = run_pooling(c);
+    }
+    profile::enable(false);
+    let snap = profile::snapshot();
+
+    println!("profile breakdown (serial, RDMA + CXL point-select):");
+    println!(
+        "  {:<12} {:>12} {:>12} {:>14}",
+        "subsys", "calls", "self_ms", "self_allocs"
+    );
+    for s in profile::Subsys::ALL {
+        let row = snap.row(s);
+        println!(
+            "  {:<12} {:>12} {:>12.3} {:>14}",
+            s.name(),
+            row.calls,
+            row.self_ns as f64 / 1e6,
+            row.self_allocs
+        );
+    }
+    println!(
+        "  {:<12} {:>12} {:>12.3} {:>14}",
+        "total",
+        "",
+        snap.total_self_ns() as f64 / 1e6,
+        snap.total_self_allocs()
+    );
+    if snap.row(profile::Subsys::Btree).calls == 0 {
+        println!("  (empty: build without the simkit `profile` feature)");
+    }
+
+    // Compare against the committed pre-optimization baseline, if any.
+    let baseline_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_host_perf.baseline.json");
+    let baseline_qps = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|doc| extract_num(&doc, "serial_sim_queries_per_sec"));
+    if let Some(b) = baseline_qps {
+        if !smoke {
+            println!(
+                "baseline: {b:.0} simulated queries/s serial -> {:.2}x vs baseline",
+                serial_qps / b
+            );
+        }
+    }
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_host_perf.json");
+        return;
+    }
 
     let runs: Vec<String> = serial
         .iter()
         .zip(configs.iter())
-        .map(|(r, c)| {
+        .zip(wall_secs.iter())
+        .map(|((r, c), w)| {
             json::Obj::new()
                 .str("kind", &format!("{:?}", c.kind))
                 .int("instances", c.instances as u64)
                 .num("qps", r.metrics.qps)
                 .num("avg_latency_us", r.metrics.avg_latency_us)
+                .num("wall_secs", *w)
+                .build()
+        })
+        .collect();
+    let breakdown: Vec<String> = profile::Subsys::ALL
+        .iter()
+        .map(|&s| {
+            let row = snap.row(s);
+            json::Obj::new()
+                .str("subsys", s.name())
+                .int("calls", row.calls)
+                .int("self_ns", row.self_ns)
+                .int("self_allocs", row.self_allocs)
                 .build()
         })
         .collect();
@@ -92,22 +293,33 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let doc = json::Obj::new()
+    let mut doc = json::Obj::new()
         .str("bench", "host_perf")
         .str(
             "sweep",
             "fig7-style pooling point-select, RDMA vs CXL, 1-8 instances, 100 ms windows",
         )
         .int("generated_unix", unix_secs)
-        .int("host_threads", threads as u64)
+        .int("host_threads_available", threads_available as u64)
+        .int("host_threads_used", threads_used as u64)
         .int("configs", configs.len() as u64)
+        .int("timing_passes", passes as u64)
         .num("serial_secs", serial_secs)
         .num("parallel_secs", parallel_secs)
         .num("speedup", speedup)
         .num("simulated_queries", sim_queries)
-        .num("serial_sim_queries_per_sec", sim_queries / serial_secs)
+        .num("serial_sim_queries_per_sec", serial_qps)
         .num("parallel_sim_queries_per_sec", sim_queries / parallel_secs)
         .raw("results_bit_identical", "true")
+        .num("hot_path_allocs_per_query_tiered_rdma", allocs_rdma)
+        .num("hot_path_allocs_per_query_cxl", allocs_cxl);
+    if let Some(b) = baseline_qps {
+        doc = doc
+            .num("baseline_serial_sim_queries_per_sec", b)
+            .num("speedup_vs_baseline", serial_qps / b);
+    }
+    let doc = doc
+        .arr("profile_breakdown", &breakdown)
         .arr("runs", &runs)
         .build_pretty();
 

@@ -96,7 +96,7 @@ fn bench_wal() {
     bench("wal_append_seal_flush_128", 100, 10_000, || {
         let mut wal = Wal::new();
         for i in 0..128u64 {
-            wal.append_update(PageId(i % 8), 0, vec![0u8; 128]);
+            wal.append_update(PageId(i % 8), 0, &[0u8; 128]);
             wal.seal_mtr();
         }
         black_box(wal.flush(SimTime::ZERO));

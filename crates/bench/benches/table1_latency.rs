@@ -46,7 +46,7 @@ fn main() {
     let mk_pool = |remote: bool| {
         CxlPool::new(
             2 << 20,
-            &[CxlNodeConfig {
+            [CxlNodeConfig {
                 host: 0,
                 cache_bytes: 64,
                 capture: false,

@@ -81,7 +81,7 @@ impl<'a, P: BufferPool> Mtr<'a, P> {
             self.latched.push(page);
         }
         // WAL rule: log first, then write the page.
-        let lsn = self.wal.append_update(page, off, data.to_vec());
+        let lsn = self.wal.append_update(page, off, data);
         let a = self.pool.write(page, off, data, lsn, self.now);
         self.now = a.end;
         self.writes += 1;

@@ -8,8 +8,8 @@
 use crate::lru::LruList;
 use crate::{BpStats, BufferPool};
 use memsim::{Access, DramSpace};
+use simkit::FastMap;
 use simkit::SimTime;
-use std::collections::HashMap;
 use storage::{Lsn, PageId, PageStore};
 
 struct Frame {
@@ -23,9 +23,9 @@ pub struct DramBp {
     store: PageStore,
     frames: Vec<Option<Frame>>,
     free: Vec<u32>,
-    map: HashMap<PageId, u32>,
+    map: FastMap<PageId, u32>,
     lru: LruList,
-    lsns: HashMap<PageId, Lsn>,
+    lsns: FastMap<PageId, Lsn>,
     stats: BpStats,
 }
 
@@ -50,9 +50,9 @@ impl DramBp {
             store,
             frames: (0..frames).map(|_| None).collect(),
             free: (0..frames as u32).rev().collect(),
-            map: HashMap::new(),
+            map: FastMap::default(),
             lru: LruList::new(frames),
-            lsns: HashMap::new(),
+            lsns: FastMap::default(),
             stats: BpStats::default(),
         }
     }
@@ -78,14 +78,15 @@ impl DramBp {
             t = self.evict(victim, t);
             victim
         };
-        // Fetch from storage into the frame.
+        // Fetch from storage straight into the frame: no intermediate
+        // heap buffer, one copy instead of two.
         let ps = self.store.page_size() as usize;
-        let mut buf = vec![0u8; ps];
-        let io = self.store.read_page(page, &mut buf, t);
+        let off = self.frame_off(frame);
+        let io = self
+            .store
+            .read_page(page, self.space.raw_mut().slice_mut(off, ps), t);
         self.stats.storage_read_bytes += ps as u64;
         t = io.end;
-        let off = self.frame_off(frame);
-        self.space.raw_mut().write(off, &buf);
         self.frames[frame as usize] = Some(Frame { page, dirty: false });
         self.map.insert(page, frame);
         self.lru.push_front(frame);
@@ -102,8 +103,9 @@ impl DramBp {
             self.stats.writebacks += 1;
             let ps = self.store.page_size() as usize;
             let off = self.frame_off(frame);
-            let data = self.space.raw().slice(off, ps).to_vec();
-            let io = self.store.write_page(f.page, &data, now);
+            let io = self
+                .store
+                .write_page(f.page, self.space.raw().slice(off, ps), now);
             self.stats.storage_write_bytes += ps as u64;
             return io.end;
         }
@@ -133,12 +135,14 @@ impl BufferPool for DramBp {
     }
 
     fn read(&mut self, page: PageId, off: u16, buf: &mut [u8], now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let (frame, t) = self.fix(page, now);
         let base = self.frame_off(frame);
         self.space.read(base + off as u64, buf, t)
     }
 
     fn write(&mut self, page: PageId, off: u16, data: &[u8], lsn: Lsn, now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let (frame, t) = self.fix(page, now);
         if let Some(f) = &mut self.frames[frame as usize] {
             f.dirty = true;
@@ -157,6 +161,7 @@ impl BufferPool for DramBp {
     }
 
     fn flush_all(&mut self, now: SimTime) -> SimTime {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let ps = self.store.page_size() as usize;
         let mut t = now;
         let mut frames: Vec<u32> = self.map.values().copied().collect();
@@ -169,8 +174,10 @@ impl BufferPool for DramBp {
             if dirty {
                 let page = self.frames[frame as usize].as_ref().unwrap().page;
                 let off = self.frame_off(frame);
-                let data = self.space.raw().slice(off, ps).to_vec();
-                t = self.store.write_page(page, &data, t).end;
+                t = self
+                    .store
+                    .write_page(page, self.space.raw().slice(off, ps), t)
+                    .end;
                 self.stats.storage_write_bytes += ps as u64;
                 self.frames[frame as usize].as_mut().unwrap().dirty = false;
             }
@@ -192,17 +199,14 @@ impl BufferPool for DramBp {
 
     fn prewarm(&mut self) {
         let pages = self.store.allocated_pages();
-        let ps = self.store.page_size() as usize;
         for pid in 0..pages {
             let page = PageId(pid);
             if self.map.contains_key(&page) {
                 continue;
             }
             let Some(frame) = self.free.pop() else { break };
-            let data = self.store.raw_page(page).to_vec();
             let off = self.frame_off(frame);
-            self.space.raw_mut().write(off, &data);
-            let _ = ps;
+            self.space.raw_mut().write(off, self.store.raw_page(page));
             self.frames[frame as usize] = Some(Frame { page, dirty: false });
             self.map.insert(page, frame);
             self.lru.push_front(frame);

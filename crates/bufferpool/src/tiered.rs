@@ -17,8 +17,8 @@ use crate::lru::LruList;
 use crate::{BpStats, BufferPool};
 use memsim::{Access, DramSpace, RdmaPool};
 use simkit::SimTime;
+use simkit::{FastMap, FastSet};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use storage::{Lsn, PageId, PageStore};
 
@@ -41,15 +41,19 @@ pub struct TieredRdmaBp {
     remote_resident: Vec<bool>,
     /// Pages whose remote copy is newer than storage (written down at
     /// the next checkpoint).
-    remote_dirty: std::collections::HashSet<PageId>,
+    remote_dirty: FastSet<PageId>,
     space: DramSpace,
     store: PageStore,
     frames: Vec<Option<Frame>>,
     free: Vec<u32>,
-    map: HashMap<PageId, u32>,
+    map: FastMap<PageId, u32>,
     lru: LruList,
-    lsns: HashMap<PageId, Lsn>,
+    lsns: FastMap<PageId, Lsn>,
     stats: BpStats,
+    /// Page-sized staging buffer for checkpoint transfers that cross two
+    /// owned stores (remote → storage), so cold paths allocate nothing
+    /// per page either.
+    scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for TieredRdmaBp {
@@ -86,15 +90,16 @@ impl TieredRdmaBp {
             host,
             remote_base,
             remote_resident: vec![false; capacity],
-            remote_dirty: std::collections::HashSet::new(),
+            remote_dirty: FastSet::default(),
             space: DramSpace::new(lbp_frames * page, cache_bytes, false),
             store,
             frames: (0..lbp_frames).map(|_| None).collect(),
             free: (0..lbp_frames as u32).rev().collect(),
-            map: HashMap::new(),
+            map: FastMap::default(),
             lru: LruList::new(lbp_frames),
-            lsns: HashMap::new(),
+            lsns: FastMap::default(),
             stats: BpStats::default(),
+            scratch: vec![0u8; page],
         }
     }
 
@@ -128,23 +133,27 @@ impl TieredRdmaBp {
             victim
         };
         let ps = self.store.page_size() as usize;
-        let mut buf = vec![0u8; ps];
+        let off = self.frame_off(frame);
         if self.remote_resident[page.0 as usize] {
-            // Page-granularity RDMA read: the whole page crosses the NIC
-            // no matter how few bytes the query wants.
-            let a = self
-                .rdma
-                .borrow_mut()
-                .read(self.host, self.remote_off(page), &mut buf, t);
+            // Page-granularity RDMA read, landing directly in the frame:
+            // the whole page crosses the NIC no matter how few bytes the
+            // query wants — but the host-side copy is a single one.
+            let roff = self.remote_off(page);
+            let a = self.rdma.borrow_mut().read(
+                self.host,
+                roff,
+                self.space.raw_mut().slice_mut(off, ps),
+                t,
+            );
             self.stats.remote_read_bytes += ps as u64;
             t = a.end;
         } else {
-            let io = self.store.read_page(page, &mut buf, t);
+            let io = self
+                .store
+                .read_page(page, self.space.raw_mut().slice_mut(off, ps), t);
             self.stats.storage_read_bytes += ps as u64;
             t = io.end;
         }
-        let off = self.frame_off(frame);
-        self.space.raw_mut().write(off, &buf);
         self.frames[frame as usize] = Some(Frame { page, dirty: false });
         self.map.insert(page, frame);
         self.lru.push_front(frame);
@@ -162,11 +171,14 @@ impl TieredRdmaBp {
             // write amplification.
             self.stats.writebacks += 1;
             let ps = self.store.page_size() as usize;
-            let data = self.space.raw().slice(self.frame_off(frame), ps).to_vec();
-            let a = self
-                .rdma
-                .borrow_mut()
-                .write(self.host, self.remote_off(f.page), &data, now);
+            let foff = self.frame_off(frame);
+            let roff = self.remote_off(f.page);
+            let a = self.rdma.borrow_mut().write(
+                self.host,
+                roff,
+                self.space.raw().slice(foff, ps),
+                now,
+            );
             self.stats.remote_write_bytes += ps as u64;
             self.remote_resident[f.page.0 as usize] = true;
             self.remote_dirty.insert(f.page);
@@ -209,12 +221,14 @@ impl BufferPool for TieredRdmaBp {
     }
 
     fn read(&mut self, page: PageId, off: u16, buf: &mut [u8], now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let (frame, t) = self.fix(page, now);
         let base = self.frame_off(frame);
         self.space.read(base + off as u64, buf, t)
     }
 
     fn write(&mut self, page: PageId, off: u16, data: &[u8], lsn: Lsn, now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let (frame, t) = self.fix(page, now);
         if let Some(f) = &mut self.frames[frame as usize] {
             f.dirty = true;
@@ -233,6 +247,7 @@ impl BufferPool for TieredRdmaBp {
     }
 
     fn flush_all(&mut self, now: SimTime) -> SimTime {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let ps = self.store.page_size() as usize;
         let mut t = now;
         let mut frames: Vec<u32> = self.map.values().copied().collect();
@@ -246,33 +261,41 @@ impl BufferPool for TieredRdmaBp {
                 continue;
             }
             let page = f.page;
-            let data = self.space.raw().slice(self.frame_off(frame), ps).to_vec();
-            t = self.store.write_page(page, &data, t).end;
+            let foff = self.frame_off(frame);
+            t = self
+                .store
+                .write_page(page, self.space.raw().slice(foff, ps), t)
+                .end;
             self.stats.storage_write_bytes += ps as u64;
             self.remote_dirty.remove(&page);
             // Keep the remote copy coherent with the checkpoint.
             if self.remote_resident[page.0 as usize] {
-                let a = self
-                    .rdma
-                    .borrow_mut()
-                    .write(self.host, self.remote_off(page), &data, t);
+                let roff = self.remote_off(page);
+                let a = self.rdma.borrow_mut().write(
+                    self.host,
+                    roff,
+                    self.space.raw().slice(foff, ps),
+                    t,
+                );
                 self.stats.remote_write_bytes += ps as u64;
                 t = a.end;
             }
             self.frames[frame as usize].as_mut().unwrap().dirty = false;
         }
         // Pages whose newest version lives only in remote memory must
-        // also reach storage, or the checkpoint would be a lie.
+        // also reach storage, or the checkpoint would be a lie. The data
+        // crosses two owned stores (remote → storage), so it stages
+        // through the pool's reusable scratch page.
         let mut remote_only: Vec<PageId> = self.remote_dirty.iter().copied().collect();
         remote_only.sort_unstable();
         for page in remote_only {
-            let mut buf = vec![0u8; ps];
+            let roff = self.remote_off(page);
             let a = self
                 .rdma
                 .borrow_mut()
-                .read(self.host, self.remote_off(page), &mut buf, t);
+                .read(self.host, roff, &mut self.scratch, t);
             self.stats.remote_read_bytes += ps as u64;
-            t = self.store.write_page(page, &buf, a.end).end;
+            t = self.store.write_page(page, &self.scratch, a.end).end;
             self.stats.storage_write_bytes += ps as u64;
             self.remote_dirty.remove(&page);
         }
@@ -295,7 +318,6 @@ impl BufferPool for TieredRdmaBp {
         // Remote tier gets every page (the paper sizes disaggregated
         // memory to hold the whole dataset, §4.1)...
         let pages = self.store.allocated_pages();
-        let ps = self.store.page_size() as usize;
         for pid in 0..pages {
             let page = PageId(pid);
             // Never clobber a resident remote copy: it is at least as
@@ -303,11 +325,11 @@ impl BufferPool for TieredRdmaBp {
             if self.remote_resident[pid as usize] {
                 continue;
             }
-            let data = self.store.raw_page(page).to_vec();
+            let roff = self.remote_off(page);
             self.rdma
                 .borrow_mut()
                 .raw_mut()
-                .write(self.remote_off(page), &data);
+                .write(roff, self.store.raw_page(page));
             self.remote_resident[pid as usize] = true;
         }
         // ...and the LBP is warmed to capacity.
@@ -317,10 +339,8 @@ impl BufferPool for TieredRdmaBp {
                 continue;
             }
             let Some(frame) = self.free.pop() else { break };
-            let data = self.store.raw_page(page).to_vec();
             let off = self.frame_off(frame);
-            self.space.raw_mut().write(off, &data);
-            let _ = ps;
+            self.space.raw_mut().write(off, self.store.raw_page(page));
             self.frames[frame as usize] = Some(Frame { page, dirty: false });
             self.map.insert(page, frame);
             self.lru.push_front(frame);

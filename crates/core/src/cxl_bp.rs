@@ -26,8 +26,8 @@ use bufferpool::lru::LruList;
 use bufferpool::{BpStats, BufferPool};
 use memsim::{Access, CxlPool, NodeId};
 use simkit::SimTime;
+use simkit::{FastMap, FastSet};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use storage::{Lsn, PageId, PageStore};
 
@@ -41,7 +41,7 @@ pub struct CxlBp {
     geo: Geometry,
     store: PageStore,
     /// Volatile page → block map (rebuilt by recovery).
-    map: HashMap<PageId, u32>,
+    map: FastMap<PageId, u32>,
     /// Volatile recency order over blocks; membership itself is
     /// authoritative in CXL (`in_use` + list links).
     lru: LruList,
@@ -51,9 +51,15 @@ pub struct CxlBp {
     /// Mirror of the region header.
     inuse_head: u64,
     /// Dirty byte ranges per latched page, flushed on unlatch.
-    dirty_ranges: HashMap<PageId, Vec<(u16, u16)>>,
+    dirty_ranges: FastMap<PageId, Vec<(u16, u16)>>,
+    /// Emptied range vectors, recycled so the write path stops
+    /// allocating one per page-latch cycle.
+    range_pool: Vec<Vec<(u16, u16)>>,
     /// Pages with updates not yet checkpointed to storage.
-    dirty_pages: std::collections::HashSet<PageId>,
+    dirty_pages: FastSet<PageId>,
+    /// Reusable page-sized staging buffer for storage↔CXL transfers
+    /// (miss fills and checkpoints), so the hot path never allocates.
+    page_buf: Vec<u8>,
     stats: BpStats,
 }
 
@@ -103,13 +109,15 @@ impl CxlBp {
             node,
             geo,
             store,
-            map: HashMap::new(),
+            map: FastMap::default(),
             lru: LruList::new(nblocks as usize),
             free: (0..nblocks as u32).rev().collect(),
             mirror: vec![BlockMeta::free(); nblocks as usize],
             inuse_head: 0,
-            dirty_ranges: HashMap::new(),
-            dirty_pages: std::collections::HashSet::new(),
+            dirty_ranges: FastMap::default(),
+            range_pool: Vec::new(),
+            dirty_pages: FastSet::default(),
+            page_buf: vec![0u8; geo.page_size as usize],
             stats: BpStats::default(),
         }
     }
@@ -135,13 +143,15 @@ impl CxlBp {
             node,
             geo,
             store,
-            map: HashMap::new(),
+            map: FastMap::default(),
             lru: LruList::new(nblocks),
             free: Vec::new(),
             mirror: vec![BlockMeta::free(); nblocks],
             inuse_head: hdr.inuse_head,
-            dirty_ranges: HashMap::new(),
-            dirty_pages: std::collections::HashSet::new(),
+            dirty_ranges: FastMap::default(),
+            range_pool: Vec::new(),
+            dirty_pages: FastSet::default(),
+            page_buf: vec![0u8; geo.page_size as usize],
             stats: BpStats::default(),
         }
     }
@@ -299,16 +309,16 @@ impl CxlBp {
         t = self.set_meta_field(b, field::LOCK_STATE, 1, t);
         self.mirror[b as usize].lock_state = 1;
         t = self.link_head(b, page, t);
-        // Fill page data from storage with streaming non-temporal stores.
+        // Fill page data from storage with streaming non-temporal stores,
+        // staging through the pool's reusable buffer (no per-miss alloc).
         let ps = self.geo.page_size as usize;
-        let mut buf = vec![0u8; ps];
-        let io = self.store.read_page(page, &mut buf, t);
+        let io = self.store.read_page(page, &mut self.page_buf, t);
         self.stats.storage_read_bytes += ps as u64;
         t = io.end;
         t = self
             .cxl
             .borrow_mut()
-            .write_uncached(self.node, self.geo.data_off(b as u64), &buf, t)
+            .write_uncached(self.node, self.geo.data_off(b as u64), &self.page_buf, t)
             .end;
         t = self.set_meta_field(b, field::LOCK_STATE, 0, t);
         self.mirror[b as usize].lock_state = 0;
@@ -340,13 +350,12 @@ impl CxlBp {
             .borrow_mut()
             .clflush(self.node, data_off, ps, now)
             .end;
-        let mut buf = vec![0u8; ps];
         t = self
             .cxl
             .borrow_mut()
-            .read(self.node, data_off, &mut buf, t)
+            .read(self.node, data_off, &mut self.page_buf, t)
             .end;
-        let io = self.store.write_page(page, &buf, t);
+        let io = self.store.write_page(page, &self.page_buf, t);
         self.stats.storage_write_bytes += ps as u64;
         io.end
     }
@@ -368,6 +377,7 @@ impl BufferPool for CxlBp {
     }
 
     fn read(&mut self, page: PageId, off: u16, buf: &mut [u8], now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let (b, t) = self.fix(page, now);
         let data = self.geo.data_off(b as u64);
         self.cxl
@@ -376,23 +386,22 @@ impl BufferPool for CxlBp {
     }
 
     fn write(&mut self, page: PageId, off: u16, data: &[u8], lsn: Lsn, now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let (b, t) = self.fix(page, now);
         let base = self.geo.data_off(b as u64);
-        let a = self
-            .cxl
-            .borrow_mut()
-            .write(self.node, base + off as u64, data, t);
-        // Update the page LSN in the (cached) meta line; it is flushed
-        // together with the data ranges on unlatch.
+        // Update the page LSN in the (cached) meta line too; it is
+        // flushed together with the data ranges on unlatch.
         let meta_lsn_off = self.geo.meta_off(b as u64) + field::LSN;
-        let a2 = self
-            .cxl
-            .borrow_mut()
-            .write(self.node, meta_lsn_off, &lsn.0.to_le_bytes(), a.end);
+        let (a, a2) = {
+            let mut pool = self.cxl.borrow_mut();
+            let a = pool.write(self.node, base + off as u64, data, t);
+            let a2 = pool.write(self.node, meta_lsn_off, &lsn.0.to_le_bytes(), a.end);
+            (a, a2)
+        };
         self.mirror[b as usize].lsn = lsn.0;
         self.dirty_ranges
             .entry(page)
-            .or_default()
+            .or_insert_with(|| self.range_pool.pop().unwrap_or_default())
             .push((off, data.len() as u16));
         self.dirty_pages.insert(page);
         Access {
@@ -404,6 +413,7 @@ impl BufferPool for CxlBp {
     }
 
     fn set_latch(&mut self, page: PageId, locked: bool, now: SimTime) -> SimTime {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let (b, mut t) = self.fix(page, now);
         if locked {
             self.mirror[b as usize].lock_state = 1;
@@ -412,13 +422,15 @@ impl BufferPool for CxlBp {
             // Publish: flush dirty data ranges + meta line, then clear
             // the lock durably.
             let base = self.geo.data_off(b as u64);
-            if let Some(ranges) = self.dirty_ranges.remove(&page) {
+            if let Some(mut ranges) = self.dirty_ranges.remove(&page) {
                 let mut pool = self.cxl.borrow_mut();
-                for (off, len) in ranges {
+                for &(off, len) in &ranges {
                     t = pool
                         .clflush(self.node, base + off as u64, len as usize, t)
                         .end;
                 }
+                ranges.clear();
+                self.range_pool.push(ranges);
                 t = pool
                     .clflush(
                         self.node,
@@ -444,6 +456,7 @@ impl BufferPool for CxlBp {
     }
 
     fn flush_all(&mut self, now: SimTime) -> SimTime {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let mut t = now;
         let mut pages: Vec<PageId> = self.dirty_pages.iter().copied().collect();
         // Hash-set order varies per instance; flush order changes cache
@@ -479,7 +492,6 @@ impl BufferPool for CxlBp {
                 continue;
             }
             let Some(b) = self.free.pop() else { break };
-            let data = self.store.raw_page(page).to_vec();
             let meta = BlockMeta {
                 page_id: pid,
                 lock_state: 0,
@@ -492,7 +504,8 @@ impl BufferPool for CxlBp {
                 let mut pool = self.cxl.borrow_mut();
                 pool.raw_mut()
                     .write(self.geo.meta_off(b as u64), &meta.encode());
-                pool.raw_mut().write(self.geo.data_off(b as u64), &data);
+                pool.raw_mut()
+                    .write(self.geo.data_off(b as u64), self.store.raw_page(page));
                 if prev_link != 0 {
                     let prev_meta_off = self.geo.meta_off(prev_link - 1) + field::NEXT;
                     pool.raw_mut()

@@ -23,9 +23,9 @@ use crate::cxl_bp::SharedCxl;
 use bufferpool::lru::LruList;
 use memsim::calib::RPC_NS;
 use memsim::NodeId;
+use simkit::FastMap;
 use simkit::SimTime;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use storage::{PageId, PageStore};
 
@@ -64,12 +64,12 @@ pub struct FusionServer {
     slot_base: u64,
     nslots: u32,
     page_size: u64,
-    map: HashMap<PageId, SlotInfo>,
+    map: FastMap<PageId, SlotInfo>,
     slot_page: Vec<Option<PageId>>,
     free: Vec<u32>,
     lru: LruList,
     /// Per registered node: base of its flag array in CXL.
-    flag_bases: HashMap<NodeId, u64>,
+    flag_bases: FastMap<NodeId, u64>,
     store: SharedStore,
     stats: FusionStats,
 }
@@ -111,11 +111,11 @@ impl FusionServer {
             slot_base,
             nslots,
             page_size,
-            map: HashMap::new(),
+            map: FastMap::default(),
             slot_page: vec![None; nslots as usize],
             free: (0..nslots).rev().collect(),
             lru: LruList::new(nslots as usize),
-            flag_bases: HashMap::new(),
+            flag_bases: FastMap::default(),
             store,
             stats: FusionStats::default(),
         }
@@ -296,7 +296,7 @@ pub struct SharingNode {
     page_size: u64,
     mode: CoherencyMode,
     /// Local page metadata buffer: page → CXL data address.
-    entries: HashMap<PageId, u64>,
+    entries: FastMap<PageId, u64>,
     /// Dirty line ranges of the page currently being written.
     dirty_ranges: Vec<(u64, usize)>,
     stats: SharingNodeStats,
@@ -340,7 +340,7 @@ impl SharingNode {
             flag_base,
             page_size,
             mode,
-            entries: HashMap::new(),
+            entries: FastMap::default(),
             dirty_ranges: Vec::new(),
             stats: SharingNodeStats::default(),
         }
@@ -513,10 +513,7 @@ mod tests {
             ..CxlNodeConfig::default()
         };
         // nodes 0,1 = DB nodes; node 2 = fusion server.
-        let cxl: SharedCxl = Rc::new(RefCell::new(CxlPool::new(
-            4 << 20,
-            &[cfg.clone(), cfg.clone(), cfg],
-        )));
+        let cxl: SharedCxl = Rc::new(RefCell::new(CxlPool::new(4 << 20, [cfg, cfg, cfg])));
         let mut store = PageStore::with_page_size(64, 1024);
         for p in 0..16u64 {
             store.allocate();
@@ -641,10 +638,7 @@ mod tests {
             capture: true,
             ..CxlNodeConfig::default()
         };
-        let cxl: SharedCxl = Rc::new(RefCell::new(CxlPool::new(
-            4 << 20,
-            &[cfg.clone(), cfg.clone(), cfg],
-        )));
+        let cxl: SharedCxl = Rc::new(RefCell::new(CxlPool::new(4 << 20, [cfg, cfg, cfg])));
         let mut store = PageStore::with_page_size(64, 1024);
         for p in 0..16u64 {
             store.allocate();

@@ -17,7 +17,7 @@ use bufferpool::tiered::SharedRdma;
 use memsim::calib::{DRAM_LOCAL_NS, DRAM_STREAM_NS_PER_LINE, RPC_NS};
 use memsim::NodeId;
 use simkit::SimTime;
-use std::collections::{HashMap, HashSet};
+use simkit::{FastMap, FastSet};
 use storage::PageId;
 
 use crate::fusion::SharedStore;
@@ -53,7 +53,7 @@ pub struct RdmaDbp {
     slot_base: u64,
     nslots: u32,
     page_size: u64,
-    map: HashMap<PageId, SlotInfo>,
+    map: FastMap<PageId, SlotInfo>,
     slot_page: Vec<Option<PageId>>,
     free: Vec<u32>,
     lru: LruList,
@@ -87,7 +87,7 @@ impl RdmaDbp {
             slot_base,
             nslots,
             page_size,
-            map: HashMap::new(),
+            map: FastMap::default(),
             slot_page: vec![None; nslots as usize],
             free: (0..nslots).rev().collect(),
             lru: LruList::new(nslots as usize),
@@ -201,10 +201,10 @@ pub struct RdmaSharingNode {
     /// LBP frames (real page copies).
     frames: Vec<Option<(PageId, Vec<u8>)>>,
     free: Vec<u32>,
-    map: HashMap<PageId, u32>,
+    map: FastMap<PageId, u32>,
     lru: LruList,
-    dirty: HashSet<PageId>,
-    addrs: HashMap<PageId, u64>,
+    dirty: FastSet<PageId>,
+    addrs: FastMap<PageId, u64>,
     stats: RdmaNodeStats,
 }
 
@@ -235,10 +235,10 @@ impl RdmaSharingNode {
             page_size,
             frames: (0..lbp_frames).map(|_| None).collect(),
             free: (0..lbp_frames as u32).rev().collect(),
-            map: HashMap::new(),
+            map: FastMap::default(),
             lru: LruList::new(lbp_frames),
-            dirty: HashSet::new(),
-            addrs: HashMap::new(),
+            dirty: FastSet::default(),
+            addrs: FastMap::default(),
             stats: RdmaNodeStats::default(),
         }
     }

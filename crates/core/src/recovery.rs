@@ -143,7 +143,7 @@ pub fn polar_recv_with(
             t = a.end;
         }
         // Apply every durable record targeting a rebuild page.
-        let mut applied: Vec<(u32, u16, Vec<u8>, u64)> = Vec::new();
+        let mut applied: Vec<(u32, u16, storage::wal::Payload, u64)> = Vec::new();
         for rec in wal.replay_from(ckpt) {
             if !rebuild_pages.contains(&rec.page) {
                 continue;

@@ -103,6 +103,7 @@ impl<P: BufferPool> Db<P> {
 
     /// Point select: full row by key. Returns (found, completion).
     pub fn point_select(&mut self, key: u64, now: SimTime) -> (bool, SimTime) {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Btree);
         let g = self.cpus.acquire(now, CPU_POINT_SELECT_NS);
         let (row, t) = self.table.get(&mut self.pool, key, g.end);
         self.stats.queries += 1;
@@ -121,6 +122,7 @@ impl<P: BufferPool> Db<P> {
         buf: &mut [u8],
         now: SimTime,
     ) -> (bool, SimTime) {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Btree);
         let g = self.cpus.acquire(now, CPU_POINT_SELECT_NS);
         let (found, t) = self
             .table
@@ -135,6 +137,7 @@ impl<P: BufferPool> Db<P> {
     /// Range select of up to `limit` rows from `start`. Returns (rows
     /// returned, completion).
     pub fn range_select(&mut self, start: u64, limit: usize, now: SimTime) -> (usize, SimTime) {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Btree);
         let cpu = CPU_POINT_SELECT_NS + limit as u64 * CPU_PER_ROW_NS;
         let g = self.cpus.acquire(now, cpu);
         let (rows, t) = self.table.scan(&mut self.pool, start, limit, g.end);
@@ -152,6 +155,7 @@ impl<P: BufferPool> Db<P> {
         data: &[u8],
         now: SimTime,
     ) -> (bool, SimTime) {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Btree);
         let g = self.cpus.acquire(now, CPU_WRITE_STMT_NS);
         let (found, t) =
             self.table
@@ -163,6 +167,7 @@ impl<P: BufferPool> Db<P> {
 
     /// Auto-commit insert. Returns (inserted, completion).
     pub fn insert(&mut self, key: u64, record: &[u8], now: SimTime) -> (bool, SimTime) {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Btree);
         let g = self.cpus.acquire(now, CPU_WRITE_STMT_NS);
         let (ins, t) = self
             .table
@@ -174,6 +179,7 @@ impl<P: BufferPool> Db<P> {
 
     /// Auto-commit delete. Returns (found, completion).
     pub fn delete(&mut self, key: u64, now: SimTime) -> (bool, SimTime) {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Btree);
         let g = self.cpus.acquire(now, CPU_WRITE_STMT_NS);
         let (found, t) = self.table.delete(&mut self.pool, &mut self.wal, key, g.end);
         self.stats.queries += 1;
@@ -190,6 +196,7 @@ impl<P: BufferPool> Db<P> {
         data: &[u8],
         now: SimTime,
     ) -> (bool, SimTime) {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Btree);
         let g = self.cpus.acquire(now, CPU_WRITE_STMT_NS);
         let (found, t) =
             self.table
@@ -200,6 +207,7 @@ impl<P: BufferPool> Db<P> {
 
     /// Insert without the commit flush.
     pub fn insert_no_commit(&mut self, key: u64, record: &[u8], now: SimTime) -> (bool, SimTime) {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Btree);
         let g = self.cpus.acquire(now, CPU_WRITE_STMT_NS);
         let (ins, t) = self
             .table
@@ -210,6 +218,7 @@ impl<P: BufferPool> Db<P> {
 
     /// Delete without the commit flush.
     pub fn delete_no_commit(&mut self, key: u64, now: SimTime) -> (bool, SimTime) {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Btree);
         let g = self.cpus.acquire(now, CPU_WRITE_STMT_NS);
         let (found, t) = self.table.delete(&mut self.pool, &mut self.wal, key, g.end);
         self.stats.queries += 1;

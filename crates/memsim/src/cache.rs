@@ -15,7 +15,7 @@
 //!   experiments and their tests (§3.3).
 
 use crate::calib::CACHE_LINE;
-use std::collections::HashMap;
+use simkit::FastMap;
 
 /// What a line access did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +71,12 @@ struct Slot {
 /// backing region; lines are [`CACHE_LINE`] bytes.
 pub struct Cache {
     slots: Vec<Slot>,
-    data: Option<HashMap<u64, Box<[u8]>>>,
+    /// `slots.len() - 1` when the set count is a power of two (the common
+    /// case for real cache sizes), letting the per-line set lookup use a
+    /// mask instead of a 64-bit modulo. Purely an addressing shortcut:
+    /// `line & mask == line % len` whenever `len` is a power of two.
+    set_mask: Option<u64>,
+    data: Option<FastMap<u64, Box<[u8]>>>,
     stats: CacheStats,
 }
 
@@ -97,6 +102,7 @@ impl Cache {
                 };
                 sets
             ],
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
             data: None,
             stats: CacheStats::default(),
         }
@@ -105,7 +111,7 @@ impl Cache {
     /// A data-capturing cache (see module docs).
     pub fn with_capture(capacity_bytes: usize) -> Self {
         let mut c = Cache::new(capacity_bytes);
-        c.data = Some(HashMap::new());
+        c.data = Some(FastMap::default());
         c
     }
 
@@ -126,7 +132,10 @@ impl Cache {
 
     #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.slots.len() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => (line % self.slots.len() as u64) as usize,
+        }
     }
 
     /// Touch `line` (byte offset / 64). Returns whether it hit, and any
@@ -171,11 +180,16 @@ impl Cache {
     pub fn access_run(&mut self, lines: std::ops::Range<u64>, write: bool) -> RunAccess {
         debug_assert!(self.data.is_none(), "access_run is timing-mode only");
         let n_sets = self.slots.len() as u64;
+        let mask = self.set_mask;
         let first = lines.start;
         let last = lines.end.saturating_sub(1);
         let mut run = RunAccess::default();
         for line in lines {
-            let slot = &mut self.slots[(line % n_sets) as usize];
+            let set = match mask {
+                Some(m) => (line & m) as usize,
+                None => (line % n_sets) as usize,
+            };
+            let slot = &mut self.slots[set];
             if slot.tag == line + 1 {
                 run.hits += 1;
                 if write {
@@ -388,6 +402,101 @@ mod tests {
         c.put_line(0, &[1u8; 64]);
         c.access(2, false); // evicts line 0 (clean)
         assert!(c.line(0).is_none());
+    }
+
+    // ---- access_run vs per-line reference ---------------------------
+    //
+    // Drives the same sequence of runs through `access_run` and through
+    // per-line `access` calls on a twin cache, asserting the returned
+    // `RunAccess`, the aggregate stats, and the final tag/dirty state
+    // all agree.
+
+    fn assert_run_matches_per_line(capacity: usize, runs: &[(std::ops::Range<u64>, bool)]) {
+        let mut batched = Cache::new(capacity);
+        let mut per_line = Cache::new(capacity);
+        for (range, write) in runs {
+            let got = batched.access_run(range.clone(), *write);
+            let mut want = RunAccess::default();
+            let first = range.start;
+            let last = range.end.saturating_sub(1);
+            for line in range.clone() {
+                match per_line.access(line, *write) {
+                    LineAccess::Hit => want.hits += 1,
+                    LineAccess::Miss { evicted_dirty } => {
+                        want.misses += 1;
+                        if evicted_dirty.is_some() {
+                            want.dirty_evictions += 1;
+                        }
+                        if line == first {
+                            want.first_missed = true;
+                        }
+                        if line == last {
+                            want.last_missed = true;
+                        }
+                    }
+                }
+            }
+            assert_eq!(got, want, "range {range:?} write={write}");
+        }
+        assert_eq!(batched.stats(), per_line.stats());
+        let slots = (capacity / CACHE_LINE as usize).max(1) as u64;
+        for line in 0..slots * 4 {
+            assert_eq!(
+                batched.contains(line),
+                per_line.contains(line),
+                "line {line}"
+            );
+            assert_eq!(
+                batched.is_dirty(line),
+                per_line.is_dirty(line),
+                "line {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_empty_range_is_a_no_op() {
+        assert_run_matches_per_line(4 << 10, &[(5..5, false), (0..0, true), (7..7, true)]);
+        let mut c = Cache::new(4 << 10);
+        assert_eq!(c.access_run(9..9, true), RunAccess::default());
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn run_exactly_filling_every_set() {
+        // 4 KiB direct-mapped cache = 64 slots; a 64-line run touches
+        // each set exactly once.
+        let slots = (4usize << 10) / CACHE_LINE as usize;
+        assert_eq!(slots, 64);
+        assert_run_matches_per_line(
+            4 << 10,
+            &[
+                (0..64, true),   // cold fill of every set, all dirty
+                (0..64, false),  // full re-read: 64 hits
+                (64..128, true), // aliases every set: 64 dirty evictions
+                (64..128, true), // hits again
+            ],
+        );
+    }
+
+    #[test]
+    fn run_self_aliasing_within_one_run() {
+        // A run longer than the cache: its own tail evicts its own head,
+        // including dirty self-evictions mid-run.
+        assert_run_matches_per_line(4 << 10, &[(0..130, true), (0..130, false), (63..193, true)]);
+    }
+
+    #[test]
+    fn run_single_line_and_boundaries() {
+        assert_run_matches_per_line(
+            4 << 10,
+            &[
+                (0..1, false),   // single line, first == last, miss
+                (0..1, true),    // same line, hit that dirties
+                (63..65, false), // spans the set-index wrap point
+                (64..65, false), // single aliasing line: dirty eviction
+            ],
+        );
     }
 
     #[test]

@@ -24,9 +24,10 @@ use crate::calib::{
 use crate::region::Region;
 use crate::{Access, NodeId};
 use simkit::{Link, SimTime};
+use std::borrow::Borrow;
 
 /// Per-node attachment configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct CxlNodeConfig {
     /// Which host (and therefore which x16 link) the node runs on.
     pub host: usize,
@@ -70,30 +71,43 @@ pub struct CxlPool {
 
 impl CxlPool {
     /// Create a pool of `size` bytes (rounded up to a cache line) with the
-    /// given node attachments.
-    pub fn new(size: usize, nodes: &[CxlNodeConfig]) -> Self {
-        assert!(!nodes.is_empty(), "a pool needs at least one node");
+    /// given node attachments. Accepts any iterable of configs (slices,
+    /// owned vectors, or generated iterators), so repeated-node setups
+    /// need no temporary `Vec`.
+    pub fn new<I>(size: usize, nodes: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Borrow<CxlNodeConfig>,
+    {
         let size = size.next_multiple_of(CACHE_LINE as usize);
-        let hosts = nodes.iter().map(|n| n.host).max().unwrap() + 1;
+        let mut caches = Vec::new();
+        let mut node_host = Vec::new();
+        let mut node_remote = Vec::new();
+        let mut node_direct = Vec::new();
+        let mut hosts = 0usize;
+        for n in nodes {
+            let n = n.borrow();
+            hosts = hosts.max(n.host + 1);
+            caches.push(if n.capture {
+                Cache::with_capture(n.cache_bytes)
+            } else {
+                Cache::new(n.cache_bytes)
+            });
+            node_host.push(n.host);
+            node_remote.push(n.remote_numa);
+            node_direct.push(n.direct_attach);
+        }
+        assert!(!caches.is_empty(), "a pool needs at least one node");
         CxlPool {
             region: Region::persistent(size),
             switch: Link::new("cxl-switch", CXL_SWITCH_GBPS),
             host_links: (0..hosts)
                 .map(|_| Link::new("cxl-host-link", CXL_HOST_LINK_GBPS))
                 .collect(),
-            caches: nodes
-                .iter()
-                .map(|n| {
-                    if n.capture {
-                        Cache::with_capture(n.cache_bytes)
-                    } else {
-                        Cache::new(n.cache_bytes)
-                    }
-                })
-                .collect(),
-            node_host: nodes.iter().map(|n| n.host).collect(),
-            node_remote: nodes.iter().map(|n| n.remote_numa).collect(),
-            node_direct: nodes.iter().map(|n| n.direct_attach).collect(),
+            caches,
+            node_host,
+            node_remote,
+            node_direct,
         }
     }
 
@@ -104,7 +118,7 @@ impl CxlPool {
             capture,
             ..CxlNodeConfig::default()
         };
-        Self::new(size, &vec![cfg; n])
+        Self::new(size, (0..n).map(move |_| cfg))
     }
 
     /// Pool size in bytes.
@@ -200,6 +214,7 @@ impl CxlPool {
 
     /// Cached read of `buf.len()` bytes at `off` by `node`.
     pub fn read(&mut self, node: NodeId, off: u64, buf: &mut [u8], now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
         if !self.caches[node.0].captures() {
             // Timing-mode fast path: one tag sweep over the whole run, one
             // bulk copy, one link charge. In timing mode the region always
@@ -283,6 +298,7 @@ impl CxlPool {
     /// Cached write of `data` at `off` by `node` (write-allocate,
     /// write-back: dirty lines stay in the node's cache).
     pub fn write(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
         if !self.caches[node.0].captures() {
             // Timing-mode fast path (see `read`). The only per-line detail
             // that survives batching is write-allocate accounting: a missed
@@ -386,6 +402,7 @@ impl CxlPool {
         buf: &mut [u8],
         now: SimTime,
     ) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
         // Drop any locally cached copies so a later cached read refetches.
         let cache = &mut self.caches[node.0];
         for line in Self::line_range(off, buf.len()) {
@@ -410,6 +427,7 @@ impl CxlPool {
     /// Uncached (non-temporal) store: bytes land in the device directly
     /// and become visible to every node; local cache copies are dropped.
     pub fn write_uncached(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
         let cache = &mut self.caches[node.0];
         for line in Self::line_range(off, data.len()) {
             // An ntstore invalidates the local cached copy. A *dirty*
@@ -437,6 +455,7 @@ impl CxlPool {
     /// `clflush` the byte range: write back dirty lines and invalidate all
     /// cached lines (the §3.3 protocol's publish / self-invalidate step).
     pub fn clflush(&mut self, node: NodeId, off: u64, len: usize, now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
         let mut flushed = 0u64;
         let mut issued = 0u64;
         let cache = &mut self.caches[node.0];
@@ -468,6 +487,7 @@ impl CxlPool {
     /// the reader-side step after observing an `invalid` flag (§3.3: the
     /// lines are clean because writers hold the page lock exclusively).
     pub fn invalidate(&mut self, node: NodeId, off: u64, len: usize, now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
         let mut issued = 0u64;
         let cache = &mut self.caches[node.0];
         for line in Self::line_range(off, len) {
@@ -496,6 +516,7 @@ impl CxlPool {
     /// path plus a per-sharer snoop latency; the writer's own cache keeps
     /// a clean copy.
     pub fn write_coherent(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
         // Write through to the device.
         self.region.write(off, data);
         // Back-invalidate sharers first, then refresh the writer's copy:
@@ -647,7 +668,7 @@ mod tests {
         let mk = |direct: bool| {
             CxlPool::new(
                 1 << 16,
-                &[CxlNodeConfig {
+                [CxlNodeConfig {
                     cache_bytes: 64,
                     direct_attach: direct,
                     ..CxlNodeConfig::default()
@@ -831,6 +852,28 @@ mod tests {
         for n in 0..3 {
             assert_eq!(fast.cache_stats(NodeId(n)), refp.cache_stats(NodeId(n)));
         }
+    }
+
+    #[test]
+    fn batched_matches_reference_edge_ranges() {
+        // Edge geometry for the batched run path, pinned against the
+        // per-line capture reference in both modes: zero-length accesses
+        // (aligned offsets produce an empty line range, unaligned ones a
+        // single line), a run exactly filling the 64-slot cache, and
+        // runs ending exactly at the 1 MiB region end.
+        let region_end = 1u64 << 20;
+        assert_batched_matches_reference(&[
+            (0, 0, 0),                            // empty, aligned: no lines
+            (1, 64, 0),                           // empty aligned write
+            (0, 100, 0),                          // empty, unaligned: one line
+            (1, 100, 0),                          // ditto on the write path
+            (1, 0, 4 << 10),                      // exactly fills all 64 sets
+            (0, 0, 4 << 10),                      // full re-read, all hits
+            (0, region_end - (4 << 10), 4 << 10), // run ends at region end
+            (1, region_end - 100, 100),           // unaligned tail to the end
+            (0, region_end - 1, 1),               // last byte alone
+            (1, region_end, 0),                   // empty at the very end
+        ]);
     }
 
     #[test]

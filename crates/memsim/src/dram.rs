@@ -7,7 +7,7 @@
 //! hits; they differ in miss latency (146 ns vs 549 ns + stream) and in
 //! that DRAM bandwidth is effectively unconstrained at these scales.
 
-use crate::cache::{Cache, LineAccess};
+use crate::cache::Cache;
 use crate::calib::{
     CACHE_HIT_NS, CACHE_LINE, DRAM_LOCAL_NS, DRAM_REMOTE_NS, DRAM_STREAM_NS_PER_LINE,
 };
@@ -72,14 +72,14 @@ impl DramSpace {
     }
 
     fn access_cost(&mut self, off: u64, len: usize, write: bool) -> (u64, u64, u64) {
-        let mut hits = 0;
-        let mut misses = 0;
-        for line in off / CACHE_LINE..(off + len as u64).div_ceil(CACHE_LINE) {
-            match self.cache.access(line, write) {
-                LineAccess::Hit => hits += 1,
-                LineAccess::Miss { .. } => misses += 1,
-            }
-        }
+        // DRAM caches are always timing-mode, so the whole access is one
+        // batched tag sweep; `Cache::access_run` counts hits/misses (and
+        // stats) identically to per-line `Cache::access` calls.
+        let run = self.cache.access_run(
+            off / CACHE_LINE..(off + len as u64).div_ceil(CACHE_LINE),
+            write,
+        );
+        let (hits, misses) = (run.hits, run.misses);
         let latency = if misses == 0 {
             hits * CACHE_HIT_NS
         } else {

@@ -68,6 +68,7 @@ impl RdmaPool {
     /// RDMA read: copy `buf.len()` bytes from remote `off` into `buf`
     /// over `host`'s NIC.
     pub fn read(&mut self, host: usize, off: u64, buf: &mut [u8], now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Rdma);
         self.region.read(off, buf);
         let g = self.nics[host].0.transfer(now, buf.len() as u64);
         Access {
@@ -80,6 +81,7 @@ impl RdmaPool {
 
     /// RDMA write: copy `data` to remote `off` over `host`'s NIC.
     pub fn write(&mut self, host: usize, off: u64, data: &[u8], now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Rdma);
         self.region.write(off, data);
         let g = self.nics[host].1.transfer(now, data.len() as u64);
         Access {

@@ -1,0 +1,148 @@
+//! Fast, deterministic hashing for simulator-internal maps.
+//!
+//! The std `HashMap` default (SipHash with a random key) is designed to
+//! resist hash-flooding from untrusted input. Simulator page tables are
+//! keyed by small trusted integers (`PageId`, frame numbers) and sit on
+//! the per-access hot path, where SipHash's ~20 ns per lookup dominates
+//! the map operation itself. [`FastHasher`] is a multiply-xor hash in the
+//! FxHash family: a handful of cycles per word, quality good enough for
+//! dense integer keys.
+//!
+//! Determinism note: the hasher is *unkeyed*, so map iteration order is
+//! reproducible across runs (unlike `RandomState`). Simulation results
+//! must never depend on map iteration order regardless — every observable
+//! iteration sorts first (see `tests/lint_unsorted_iteration.rs`) — so
+//! swapping hashers cannot change any simulated outcome.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+/// Multiply-xor hasher (FxHash family) for small trusted keys.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+/// Odd multiplier with well-mixed bits (2^64 / golden ratio).
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip_and_overwrite() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for k in 0..10_000u64 {
+            m.insert(k, k as u32 * 2);
+        }
+        assert_eq!(m.len(), 10_000);
+        assert_eq!(m.get(&777), Some(&1554));
+        m.insert(777, 9);
+        assert_eq!(m.get(&777), Some(&9));
+        assert_eq!(m.remove(&777), Some(9));
+        assert!(!m.contains_key(&777));
+    }
+
+    #[test]
+    fn set_membership() {
+        let mut s: FastSet<u64> = FastSet::default();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(&5));
+        assert!(!s.contains(&6));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        let h = |v: u64| {
+            let mut h = FastHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn byte_slices_of_different_lengths_differ() {
+        let h = |b: &[u8]| {
+            let mut h = FastHasher::default();
+            h.write(b);
+            h.finish()
+        };
+        assert_ne!(h(b"abc"), h(b"abc\0"));
+        assert_eq!(h(b"abcdefgh123"), h(b"abcdefgh123"));
+    }
+
+    #[test]
+    fn dense_integer_keys_spread() {
+        // No catastrophic clustering on sequential keys: all hashes
+        // distinct and top bits vary.
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..4096u64 {
+            let mut h = FastHasher::default();
+            h.write_u64(k);
+            assert!(seen.insert(h.finish()));
+        }
+    }
+}

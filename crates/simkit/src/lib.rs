@@ -22,13 +22,16 @@
 
 #![warn(missing_docs)]
 
+pub mod fastmap;
 pub mod lock;
+pub mod profile;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod worker;
 
+pub use fastmap::{FastMap, FastSet};
 pub use lock::{LockMode, LockTable, VLock};
 pub use resource::{Grant, Link, MultiServer};
 pub use stats::{Counter, Histogram, TimeSeries};

@@ -12,8 +12,8 @@
 //! release instant (FIFO). Shared holders overlap; an exclusive grant waits
 //! for every earlier holder.
 
+use crate::fastmap::FastMap;
 use crate::time::SimTime;
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// Lock mode.
@@ -96,7 +96,7 @@ impl VLock {
 /// A keyed table of [`VLock`]s with aggregate contention statistics.
 #[derive(Debug)]
 pub struct LockTable<K: Eq + Hash> {
-    locks: HashMap<K, VLock>,
+    locks: FastMap<K, VLock>,
     /// Total time requesters spent waiting for grants, ns.
     wait_ns: u64,
     /// Number of acquires that had to wait.
@@ -114,7 +114,7 @@ impl<K: Eq + Hash> LockTable<K> {
     /// Create an empty lock table.
     pub fn new() -> Self {
         LockTable {
-            locks: HashMap::new(),
+            locks: FastMap::default(),
             wait_ns: 0,
             contended: 0,
             acquires: 0,

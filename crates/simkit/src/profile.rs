@@ -1,0 +1,450 @@
+//! Host-side simulator profiler: per-subsystem wall time and allocation
+//! counts for the simulator *itself*.
+//!
+//! The simulation models virtual time; this module measures **host**
+//! time — where the simulator's own CPU cycles and heap allocations go
+//! while producing a run. Pure-software CXL simulators are only useful
+//! if their per-access host overhead stays orders of magnitude below
+//! full-system simulation, so host cost is a first-class performance
+//! target (see `BENCH_host_perf.json`).
+//!
+//! Design constraints:
+//!
+//! - **Zero cost when unused.** Instrumentation compiles to nothing
+//!   without the `profile` cargo feature, and with the feature enabled
+//!   it is a single thread-local flag test until [`enable`] turns it
+//!   on. Timed benchmark passes run with profiling disabled; a separate
+//!   profiled pass collects the breakdown.
+//! - **Deterministic results.** Profiling only ever *observes* host
+//!   time; it never feeds back into virtual time, RNG streams, or any
+//!   simulated state, so enabling it cannot change simulation results.
+//! - **Nesting-aware self time.** Guards nest (a B+tree operation calls
+//!   into the buffer pool, which calls into the CXL model, which charges
+//!   a link): each subsystem is credited only its *self* time and
+//!   allocations, with children subtracted, so the breakdown sums to
+//!   roughly the instrumented total instead of double counting.
+//!
+//! Accounting is per-thread. Sweeps profile on a single thread
+//! (`threads = 1`), which is also the configuration the serial
+//! throughput number measures.
+//!
+//! Allocation counting relies on the host binary installing
+//! [`CountingAlloc`] as its `#[global_allocator]`; without it the
+//! allocation columns read zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Simulator subsystems attributed by the profiler.
+///
+/// Granularity follows the crate/data-structure boundaries of the
+/// reproduction: one scoped guard per operation at each layer's entry
+/// point, nested naturally (Btree → BufferPool → CxlMem/Rdma/Storage →
+/// Link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Subsys {
+    /// B+tree operations (point lookups, scans, inserts, deletes).
+    Btree = 0,
+    /// Buffer pool read/write/fix paths (DRAM, tiered RDMA, CXL pools).
+    BufferPool = 1,
+    /// CXL memory model (cache sweeps, link charging, coherence).
+    CxlMem = 2,
+    /// RDMA remote-memory model.
+    Rdma = 3,
+    /// Write-ahead log encode/flush.
+    Wal = 4,
+    /// Page store (simulated NVMe) reads and writes.
+    Storage = 5,
+    /// Bandwidth links (NIC / CXL host link / switch / NVMe channel).
+    Link = 6,
+}
+
+/// Number of [`Subsys`] variants (length of per-subsystem tables).
+pub const SUBSYS_COUNT: usize = 7;
+
+impl Subsys {
+    /// Stable display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Subsys::Btree => "btree",
+            Subsys::BufferPool => "bufferpool",
+            Subsys::CxlMem => "cxl_mem",
+            Subsys::Rdma => "rdma",
+            Subsys::Wal => "wal",
+            Subsys::Storage => "storage",
+            Subsys::Link => "link",
+        }
+    }
+
+    /// All variants, in table order.
+    pub const ALL: [Subsys; SUBSYS_COUNT] = [
+        Subsys::Btree,
+        Subsys::BufferPool,
+        Subsys::CxlMem,
+        Subsys::Rdma,
+        Subsys::Wal,
+        Subsys::Storage,
+        Subsys::Link,
+    ];
+}
+
+/// One row of a profiler [`Snapshot`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SubsysRow {
+    /// Guard activations (instrumented operations entered).
+    pub calls: u64,
+    /// Host nanoseconds spent in this subsystem, excluding time spent
+    /// in nested instrumented subsystems.
+    pub self_ns: u64,
+    /// Heap allocations performed in this subsystem, excluding nested
+    /// instrumented subsystems (zero unless [`CountingAlloc`] is the
+    /// global allocator).
+    pub self_allocs: u64,
+}
+
+/// Per-thread profiler totals, indexed by [`Subsys`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// One row per subsystem, in [`Subsys::ALL`] order.
+    pub rows: [SubsysRow; SUBSYS_COUNT],
+}
+
+impl Snapshot {
+    /// Row for one subsystem.
+    pub fn row(&self, s: Subsys) -> SubsysRow {
+        self.rows[s as usize]
+    }
+
+    /// Sum of self time over all subsystems (host ns).
+    pub fn total_self_ns(&self) -> u64 {
+        self.rows.iter().map(|r| r.self_ns).sum()
+    }
+
+    /// Sum of self allocations over all subsystems.
+    pub fn total_self_allocs(&self) -> u64 {
+        self.rows.iter().map(|r| r.self_allocs).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation counting (always compiled; inert unless installed).
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of heap allocations made by the current thread since start,
+/// as counted by [`CountingAlloc`]. Zero if the host binary did not
+/// install it.
+#[inline]
+pub fn alloc_count() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// A `GlobalAlloc` wrapper around [`System`] that counts allocations
+/// per thread. Install it from the profiling binary:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: simkit::profile::CountingAlloc = simkit::profile::CountingAlloc;
+/// ```
+///
+/// The counter is a const-initialized thread-local `Cell` with no
+/// destructor, so counting never allocates or recurses.
+pub struct CountingAlloc;
+
+#[inline]
+fn bump_allocs() {
+    ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: delegates every operation to `System`; the only addition is a
+// thread-local counter increment, which neither allocates nor unwinds.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump_allocs();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump_allocs();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump_allocs();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation (real with the `profile` feature, no-op without).
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "profile")]
+mod imp {
+    use super::{alloc_count, Snapshot, Subsys};
+    use std::cell::{Cell, RefCell};
+    use std::time::Instant;
+
+    /// Deepest guard nesting tracked; deeper guards are ignored (their
+    /// time stays attributed to the enclosing subsystem).
+    const MAX_DEPTH: usize = 16;
+
+    #[derive(Clone, Copy)]
+    struct Frame {
+        subsys: u8,
+        start: Instant,
+        child_ns: u64,
+        allocs_at_entry: u64,
+        child_allocs: u64,
+    }
+
+    struct State {
+        rows: Snapshot,
+        depth: usize,
+        stack: [Frame; MAX_DEPTH],
+    }
+
+    thread_local! {
+        static ENABLED: Cell<bool> = const { Cell::new(false) };
+        static STATE: RefCell<State> = RefCell::new(State {
+            rows: Snapshot::default(),
+            depth: 0,
+            stack: [Frame {
+                subsys: 0,
+                start: Instant::now(),
+                child_ns: 0,
+                allocs_at_entry: 0,
+                child_allocs: 0,
+            }; MAX_DEPTH],
+        });
+    }
+
+    /// Scoped profiling guard; accounting happens on drop.
+    #[must_use = "profiling stops when the guard is dropped"]
+    pub struct Guard {
+        active: bool,
+    }
+
+    pub fn enable(on: bool) {
+        ENABLED.with(|e| e.set(on));
+    }
+
+    pub fn is_enabled() -> bool {
+        ENABLED.with(|e| e.get())
+    }
+
+    pub fn reset() {
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            s.rows = Snapshot::default();
+            s.depth = 0;
+        });
+    }
+
+    pub fn snapshot() -> Snapshot {
+        STATE.with(|s| s.borrow().rows.clone())
+    }
+
+    #[inline]
+    pub fn scope(subsys: Subsys) -> Guard {
+        if !ENABLED.with(|e| e.get()) {
+            return Guard { active: false };
+        }
+        let active = STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.depth >= MAX_DEPTH {
+                return false;
+            }
+            let depth = s.depth;
+            s.stack[depth] = Frame {
+                subsys: subsys as u8,
+                start: Instant::now(),
+                child_ns: 0,
+                allocs_at_entry: alloc_count(),
+                child_allocs: 0,
+            };
+            s.depth = depth + 1;
+            true
+        });
+        Guard { active }
+    }
+
+    impl Drop for Guard {
+        #[inline]
+        fn drop(&mut self) {
+            if !self.active {
+                return;
+            }
+            self.record();
+        }
+    }
+
+    impl Guard {
+        /// Out-of-line accounting slow path, so the disabled-profiler drop
+        /// inlines to a single predictable branch at every call site.
+        #[cold]
+        fn record(&mut self) {
+            let now_allocs = alloc_count();
+            STATE.with(|s| {
+                let mut s = s.borrow_mut();
+                debug_assert!(s.depth > 0, "guard drop without matching scope");
+                s.depth -= 1;
+                let f = s.stack[s.depth];
+                let total_ns = f.start.elapsed().as_nanos() as u64;
+                let total_allocs = now_allocs.saturating_sub(f.allocs_at_entry);
+                let row = &mut s.rows.rows[f.subsys as usize];
+                row.calls += 1;
+                row.self_ns += total_ns.saturating_sub(f.child_ns);
+                row.self_allocs += total_allocs.saturating_sub(f.child_allocs);
+                if s.depth > 0 {
+                    let parent_idx = s.depth - 1;
+                    let parent = &mut s.stack[parent_idx];
+                    parent.child_ns += total_ns;
+                    parent.child_allocs += total_allocs;
+                }
+            });
+        }
+    }
+}
+
+#[cfg(not(feature = "profile"))]
+mod imp {
+    use super::{Snapshot, Subsys};
+
+    /// Scoped profiling guard; a no-op without the `profile` feature.
+    #[must_use = "profiling stops when the guard is dropped"]
+    pub struct Guard {
+        _private: (),
+    }
+
+    #[inline]
+    pub fn enable(_on: bool) {}
+
+    #[inline]
+    pub fn is_enabled() -> bool {
+        false
+    }
+
+    #[inline]
+    pub fn reset() {}
+
+    #[inline]
+    pub fn snapshot() -> Snapshot {
+        Snapshot::default()
+    }
+
+    #[inline(always)]
+    pub fn scope(_subsys: Subsys) -> Guard {
+        Guard { _private: () }
+    }
+}
+
+pub use imp::Guard;
+
+/// Turn profiling on or off for the current thread. A no-op without the
+/// `profile` feature. Leaves accumulated totals untouched.
+#[inline]
+pub fn enable(on: bool) {
+    imp::enable(on)
+}
+
+/// Whether profiling is currently enabled on this thread.
+#[inline]
+pub fn is_enabled() -> bool {
+    imp::is_enabled()
+}
+
+/// Clear the current thread's accumulated totals (and any dangling
+/// nesting state).
+pub fn reset() {
+    imp::reset()
+}
+
+/// Copy of the current thread's accumulated per-subsystem totals.
+pub fn snapshot() -> Snapshot {
+    imp::snapshot()
+}
+
+/// Enter `subsys`: host time and allocations until the returned guard
+/// drops are attributed to it (minus nested instrumented scopes).
+///
+/// Costs one thread-local flag test when profiling is disabled, and
+/// nothing at all without the `profile` feature.
+#[inline]
+pub fn scope(subsys: Subsys) -> Guard {
+    imp::scope(subsys)
+}
+
+#[cfg(all(test, feature = "profile"))]
+mod tests {
+    use super::*;
+
+    fn spin(ns: u64) {
+        let t0 = std::time::Instant::now();
+        while (t0.elapsed().as_nanos() as u64) < ns {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    #[test]
+    fn disabled_guards_record_nothing() {
+        reset();
+        enable(false);
+        {
+            let _g = scope(Subsys::Btree);
+            spin(10_000);
+        }
+        assert_eq!(snapshot().row(Subsys::Btree).calls, 0);
+    }
+
+    #[test]
+    fn nested_guards_attribute_self_time() {
+        reset();
+        enable(true);
+        {
+            let _outer = scope(Subsys::Btree);
+            spin(200_000);
+            {
+                let _inner = scope(Subsys::BufferPool);
+                spin(200_000);
+            }
+        }
+        enable(false);
+        let snap = snapshot();
+        let outer = snap.row(Subsys::Btree);
+        let inner = snap.row(Subsys::BufferPool);
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert!(inner.self_ns >= 150_000, "inner {} ns", inner.self_ns);
+        // Outer self time excludes the inner scope: it must be well
+        // under the combined wall time of both spins.
+        assert!(
+            outer.self_ns < inner.self_ns + 150_000,
+            "outer {} inner {}",
+            outer.self_ns,
+            inner.self_ns
+        );
+        reset();
+    }
+
+    #[test]
+    fn reset_clears_totals() {
+        reset();
+        enable(true);
+        {
+            let _g = scope(Subsys::Wal);
+        }
+        enable(false);
+        assert_eq!(snapshot().row(Subsys::Wal).calls, 1);
+        reset();
+        assert_eq!(snapshot(), Snapshot::default());
+    }
+}

@@ -76,15 +76,23 @@ impl MultiServer {
     /// Request `service_ns` of exclusive service starting no earlier than
     /// `now`. Returns the granted interval and occupies the chosen server.
     pub fn acquire(&mut self, now: SimTime, service_ns: u64) -> Grant {
-        let Reverse(free) = self
+        // Replacing the root in place via `peek_mut` (one sift-down on
+        // drop) halves the heap traffic of the pop-then-push
+        // equivalent, and with one server — or an idle pool — the
+        // sift-down is a no-op. The chosen server and the grant
+        // arithmetic are identical, so every simulation result is
+        // unchanged.
+        let mut top = self
             .free_at
-            .pop()
+            .peek_mut()
             .expect("heap always has `servers` entries");
+        let Reverse(free) = *top;
         let start = now.max(SimTime(free));
         let end = start + service_ns;
         // Cumulative capacity accounting (see type docs): the server's
         // backlog clock grows by its occupancy, not to `now`.
-        self.free_at.push(Reverse(free + service_ns));
+        *top = Reverse(free + service_ns);
+        drop(top);
         self.busy_ns += service_ns;
         self.grants += 1;
         Grant { start, end }
@@ -188,6 +196,7 @@ impl Link {
     /// Queue a transfer of `bytes` requested at `now`. Returns the grant;
     /// `grant.end` includes propagation delay.
     pub fn transfer(&mut self, now: SimTime, bytes: u64) -> Grant {
+        let _prof = crate::profile::scope(crate::profile::Subsys::Link);
         let start = now.max(self.free_at);
         let occupy = self.per_op_overhead_ns + crate::time::dur::transfer_ns(bytes, self.gbps);
         let pipe_done = start + occupy;

@@ -76,6 +76,7 @@ impl PageStore {
 
     /// Timed page read into `buf` (must be exactly one page).
     pub fn read_page(&mut self, page: PageId, buf: &mut [u8], now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Storage);
         assert_eq!(buf.len() as u64, self.page_size, "buffer must be one page");
         self.region.read(page.0 * self.page_size, buf);
         self.reads += 1;
@@ -90,6 +91,7 @@ impl PageStore {
 
     /// Timed page write from `data` (must be exactly one page).
     pub fn write_page(&mut self, page: PageId, data: &[u8], now: SimTime) -> Access {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Storage);
         assert_eq!(data.len() as u64, self.page_size, "buffer must be one page");
         self.region.write(page.0 * self.page_size, data);
         self.writes += 1;

@@ -27,10 +27,100 @@ pub struct LogRecord {
     /// Byte offset within the page.
     pub off: u16,
     /// Bytes to write at `off`.
-    pub data: Vec<u8>,
+    pub data: Payload,
     /// True on the last record of a mini-transaction: the group
     /// `(.., mtr_end]` applies atomically.
     pub mtr_end: bool,
+}
+
+/// Payload bytes stored inline in [`Payload`] without a heap allocation.
+/// Sized for the b-tree's header, slot-directory, and key writes (2–8
+/// bytes each); only full-record payloads spill to the heap. 22 keeps
+/// the whole enum at 24 bytes (tag + len + buffer matches the 16-byte
+/// `Box<[u8]>` arm plus alignment), which matters because the log
+/// buffers millions of records in a write-heavy run.
+const PAYLOAD_INLINE: usize = 22;
+
+/// A redo payload with small-buffer optimization.
+///
+/// Appending a redo record is on the hot path of every simulated page
+/// write, and almost all payloads are tiny header/slot/key updates; a
+/// heap `Vec<u8>` per record is the single largest allocation source in
+/// a write-heavy run. Payloads up to [`PAYLOAD_INLINE`] bytes live
+/// inside the record. Derefs to `[u8]`, so `&rec.data` still reads as a
+/// byte slice everywhere.
+#[derive(Clone)]
+pub enum Payload {
+    /// Payload stored inline (length, buffer).
+    Inline(u8, [u8; PAYLOAD_INLINE]),
+    /// Payload too large to inline.
+    Heap(Box<[u8]>),
+}
+
+impl Payload {
+    /// Build from a byte slice, inlining when it fits.
+    pub fn from_slice(d: &[u8]) -> Self {
+        if d.len() <= PAYLOAD_INLINE {
+            let mut buf = [0u8; PAYLOAD_INLINE];
+            buf[..d.len()].copy_from_slice(d);
+            Payload::Inline(d.len() as u8, buf)
+        } else {
+            Payload::Heap(d.into())
+        }
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Payload::Inline(len, buf) => &buf[..*len as usize],
+            Payload::Heap(b) => b,
+        }
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload::from_slice(&v)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(d: &[u8]) -> Self {
+        Payload::from_slice(d)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
 }
 
 /// Encoded size of a record on the log device (header + payload).
@@ -66,7 +156,7 @@ pub fn decode(buf: &[u8]) -> Option<(LogRecord, usize)> {
     if buf.len() < 25 + len {
         return None;
     }
-    let data = buf[25..25 + len].to_vec();
+    let data = Payload::from_slice(&buf[25..25 + len]);
     if crc32(&data) != crc {
         return None;
     }
@@ -102,10 +192,10 @@ fn crc32(data: &[u8]) -> u32 {
 /// use simkit::SimTime;
 ///
 /// let mut wal = Wal::new();
-/// wal.append_update(PageId(3), 16, vec![0xAB; 8]);
+/// wal.append_update(PageId(3), 16, &[0xAB; 8]);
 /// wal.seal_mtr();
 /// wal.flush(SimTime::ZERO);               // durable
-/// wal.append_update(PageId(4), 0, vec![1]); // still volatile...
+/// wal.append_update(PageId(4), 0, &[1]); // still volatile...
 /// wal.crash();                              // ...and now gone
 /// let survivors: Vec<_> = wal.replay_from(Lsn::ZERO).collect();
 /// assert_eq!(survivors.len(), 1);
@@ -163,7 +253,7 @@ impl Wal {
                 lsn: Lsn(self.next_lsn),
                 page,
                 off,
-                data,
+                data: Payload::from(data),
                 mtr_end: i + 1 == n,
             };
             self.next_lsn += 1;
@@ -177,12 +267,12 @@ impl Wal {
     /// Append a single update record (ARIES WAL rule: callers log before
     /// writing the page). The record joins the current mini-transaction
     /// group; call [`Wal::seal_mtr`] at group end.
-    pub fn append_update(&mut self, page: PageId, off: u16, data: Vec<u8>) -> Lsn {
+    pub fn append_update(&mut self, page: PageId, off: u16, data: &[u8]) -> Lsn {
         let rec = LogRecord {
             lsn: Lsn(self.next_lsn),
             page,
             off,
-            data,
+            data: Payload::from_slice(data),
             mtr_end: false,
         };
         self.next_lsn += 1;
@@ -225,12 +315,21 @@ impl Wal {
     /// latency + bandwidth; returns completion time. A flush with an
     /// empty buffer is free (group commit fast path).
     pub fn flush(&mut self, now: SimTime) -> SimTime {
+        let _prof = simkit::profile::scope(simkit::profile::Subsys::Wal);
         if self.buffer.is_empty() {
             return now;
         }
         let bytes = self.buffer_bytes;
         self.durable_lsn = self.buffer.last().unwrap().lsn;
-        self.durable.append(&mut self.buffer);
+        if self.durable.is_empty() {
+            // Common case (first flush, or everything up to here already
+            // checkpointed away): adopt the buffer wholesale instead of
+            // copying it record by record — bulk load flushes hundreds of
+            // thousands of records in one go.
+            std::mem::swap(&mut self.durable, &mut self.buffer);
+        } else {
+            self.durable.append(&mut self.buffer);
+        }
         self.buffer_bytes = 0;
         self.flushes += 1;
         self.bytes_flushed += bytes;
@@ -248,7 +347,11 @@ impl Wal {
         assert!(lsn >= self.checkpoint_lsn, "checkpoints move forward");
         self.checkpoint_lsn = lsn;
         // Durable records at or below the checkpoint can be discarded.
-        self.durable.retain(|r| r.lsn > lsn);
+        if lsn == self.durable_lsn {
+            self.durable.clear();
+        } else {
+            self.durable.retain(|r| r.lsn > lsn);
+        }
     }
 
     /// Crash: the volatile buffer is lost; the durable tail survives.
@@ -313,6 +416,46 @@ mod tests {
 
     fn upd(page: u64, off: u16, byte: u8) -> (PageId, u16, Vec<u8>) {
         (PageId(page), off, vec![byte; 8])
+    }
+
+    #[test]
+    fn log_record_stays_small() {
+        // The log buffers millions of records in write-heavy runs; the
+        // small-buffer payload keeps a record at 48 bytes. Growing either
+        // type is a real host-memory/bandwidth regression — look hard at
+        // any change that trips this.
+        assert_eq!(std::mem::size_of::<Payload>(), 24);
+        assert_eq!(std::mem::size_of::<LogRecord>(), 48);
+    }
+
+    #[test]
+    fn payload_inlines_small_and_heaps_large() {
+        let small = Payload::from_slice(&[7u8; PAYLOAD_INLINE]);
+        assert!(matches!(small, Payload::Inline(..)));
+        assert_eq!(&small[..], &[7u8; PAYLOAD_INLINE][..]);
+        let large = Payload::from_slice(&[9u8; PAYLOAD_INLINE + 1]);
+        assert!(matches!(large, Payload::Heap(..)));
+        assert_eq!(&large[..], &[9u8; PAYLOAD_INLINE + 1][..]);
+        // Equality is by bytes, not representation.
+        assert_eq!(Payload::from_slice(b"abc"), Payload::from_slice(b"abc"));
+        assert_ne!(Payload::from_slice(b"abc"), Payload::from_slice(b"abd"));
+    }
+
+    #[test]
+    fn flush_into_empty_durable_adopts_buffer() {
+        // The swap fast path must be observationally identical to append.
+        let mut wal = Wal::new();
+        wal.append_mtr(vec![upd(1, 0, 1), upd(2, 0, 2)]);
+        wal.flush(SimTime::ZERO);
+        assert_eq!(wal.replay_from(Lsn::ZERO).count(), 2);
+        // Second flush lands on a non-empty tail (append path).
+        wal.append_mtr(vec![upd(3, 0, 3)]);
+        wal.flush(SimTime::ZERO);
+        let lsns: Vec<u64> = wal.replay_from(Lsn::ZERO).map(|r| r.lsn.0).collect();
+        assert_eq!(lsns, vec![1, 2, 3]);
+        // Checkpoint at the durable tip empties the durable log entirely.
+        wal.set_checkpoint(wal.durable_lsn());
+        assert_eq!(wal.replay_from(Lsn::ZERO).count(), 0);
     }
 
     #[test]
@@ -396,7 +539,7 @@ mod tests {
             lsn: Lsn(42),
             page: PageId(7),
             off: 513,
-            data: vec![1, 2, 3, 4, 5],
+            data: Payload::from_slice(&[1, 2, 3, 4, 5]),
             mtr_end: true,
         };
         let mut bytes = Vec::new();
@@ -413,7 +556,7 @@ mod tests {
             lsn: Lsn(1),
             page: PageId(1),
             off: 0,
-            data: vec![9; 16],
+            data: Payload::from_slice(&[9; 16]),
             mtr_end: false,
         };
         let mut bytes = Vec::new();

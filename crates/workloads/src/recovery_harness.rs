@@ -115,7 +115,9 @@ where
     let mut rngs: Vec<_> = (0..cfg.workers)
         .map(|w| stream_rng(cfg.seed, w as u64))
         .collect();
-    let mut series = TimeSeries::new(cfg.bucket);
+    // Pre-size the bucket slab for the whole run; capacity only, so the
+    // observable series is identical to a grown one.
+    let mut series = TimeSeries::with_capacity_for(cfg.bucket, cfg.duration);
     let mut ws = WorkerSet::new();
     for w in 0..cfg.workers {
         ws.spawn(WorkerId(w), SimTime::ZERO);
