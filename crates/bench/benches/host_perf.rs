@@ -20,7 +20,7 @@
 
 use bench::sweep::json;
 use bench::{host_threads, run_sweep_threads};
-use simkit::{profile, SimTime};
+use simkit::{profile, trace, Lane, QueryBreakdown, SimTime};
 use std::time::Instant;
 use workloads::{run_pooling, PoolKind, PoolingConfig, SysbenchKind};
 
@@ -90,6 +90,117 @@ fn hot_path_allocs_per_query(kind: PoolKind, sc: &Scale) -> f64 {
     let (a_short, q_short) = run(&mk(sc.window));
     let (a_long, q_long) = run(&mk(SimTime::from_nanos(sc.window.as_nanos() * 3)));
     ((a_long - a_short) / (q_long - q_short).max(1.0)).max(0.0)
+}
+
+/// Simulated-ns latency attribution for a single-instance run of
+/// `kind`, recorded by `simkit::trace` (observation-only: the run
+/// result is bit-identical to an untraced run).
+fn attribution_for(kind: PoolKind, sc: &Scale) -> QueryBreakdown {
+    let mut c = PoolingConfig::standard(kind, SysbenchKind::PointSelect, 1);
+    c.duration = sc.window;
+    c.table_size = sc.table_size;
+    trace::reset();
+    trace::enable_attribution(true);
+    let r = run_pooling(&c);
+    trace::enable_attribution(false);
+    trace::reset();
+    r.attribution.expect("attribution was enabled for this run")
+}
+
+/// Validate an emitted Chrome `trace_event` document: structurally
+/// well-formed JSON (balanced delimiters outside strings) and, for each
+/// (pid, tid) track, complete events sorted by start with no overlap —
+/// the contract Perfetto's importer expects.
+fn validate_chrome_trace(doc: &str) -> usize {
+    // Structural scan; also capture each event object (depth-2 `{...}`,
+    // nested `args` objects included).
+    let (mut obj, mut arr) = (0i64, 0i64);
+    let (mut in_str, mut esc) = (false, false);
+    let mut start = None;
+    let mut events: Vec<String> = Vec::new();
+    for (i, c) in doc.char_indices() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                obj += 1;
+                if obj == 2 {
+                    start = Some(i);
+                }
+            }
+            '}' => {
+                obj -= 1;
+                assert!(obj >= 0, "unbalanced braces in trace JSON");
+                if obj == 1 {
+                    events.push(doc[start.take().unwrap()..=i].to_string());
+                }
+            }
+            '[' => arr += 1,
+            ']' => {
+                arr -= 1;
+                assert!(arr >= 0, "unbalanced brackets in trace JSON");
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        !in_str && obj == 0 && arr == 0,
+        "trace JSON not well-formed (unterminated string or delimiter)"
+    );
+
+    // Our emitter writes fields as `"key": value`.
+    let fnum = |e: &str, key: &str| -> f64 {
+        let pat = format!("\"{key}\": ");
+        let s = e
+            .find(&pat)
+            .unwrap_or_else(|| panic!("missing {key} in {e}"))
+            + pat.len();
+        let rest = &e[s..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(rest.len());
+        rest[..end].parse().unwrap()
+    };
+    let mut tracks: std::collections::HashMap<(u64, u64), Vec<(f64, f64)>> =
+        std::collections::HashMap::new();
+    let mut complete = 0usize;
+    for e in &events {
+        if !e.contains("\"ph\": \"X\"") {
+            continue;
+        }
+        complete += 1;
+        let (pid, tid) = (fnum(e, "pid") as u64, fnum(e, "tid") as u64);
+        tracks
+            .entry((pid, tid))
+            .or_default()
+            .push((fnum(e, "ts"), fnum(e, "dur")));
+    }
+    for ((pid, tid), spans) in &tracks {
+        let mut prev_end = f64::NEG_INFINITY;
+        let mut prev_ts = f64::NEG_INFINITY;
+        for &(ts, dur) in spans {
+            assert!(
+                ts >= prev_ts,
+                "track pid={pid} tid={tid} not sorted by start time"
+            );
+            assert!(
+                ts + 1e-6 >= prev_end,
+                "track pid={pid} tid={tid} has overlapping spans ({ts} < {prev_end})"
+            );
+            prev_ts = ts;
+            prev_end = prev_end.max(ts + dur);
+        }
+    }
+    complete
 }
 
 /// Pull a top-level numeric field out of a previously written
@@ -196,6 +307,29 @@ fn main() {
     let allocs_cxl = hot_path_allocs_per_query(PoolKind::Cxl, &sc);
     println!("hot-path allocs/query: tiered_rdma {allocs_rdma:.4}, cxl {allocs_cxl:.4}");
 
+    // Where do the simulated nanoseconds go? One single-instance run
+    // per design with latency attribution enabled.
+    let attr_rdma = attribution_for(PoolKind::TieredRdma, &sc);
+    let attr_cxl = attribution_for(PoolKind::Cxl, &sc);
+    println!("latency attribution (1 instance point-select, % of simulated ns):");
+    println!("  {:<10} {:>12} {:>12}", "lane", "tiered_rdma", "cxl");
+    let pct = |b: &QueryBreakdown, l: Lane| {
+        let t = b.total_ns();
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * b.lane(l) as f64 / t as f64
+        }
+    };
+    for l in Lane::ALL {
+        println!(
+            "  {:<10} {:>11.1}% {:>11.1}%",
+            l.name(),
+            pct(&attr_rdma, l),
+            pct(&attr_cxl, l)
+        );
+    }
+
     // Profiled pass: one representative config per design, single
     // thread, profiler on. Not used for any timing number above — the
     // guards cost a few ns each — only for the breakdown.
@@ -259,6 +393,41 @@ fn main() {
     }
 
     if smoke {
+        // Perf gate: with tracing disabled (the default above) the
+        // disabled-path guards must keep the hot path allocation-free.
+        assert!(
+            allocs_rdma < 0.5 && allocs_cxl < 0.5,
+            "hot-path allocs/query regressed with tracing disabled: \
+             tiered_rdma {allocs_rdma:.4}, cxl {allocs_cxl:.4}"
+        );
+
+        // Traced smoke run: record spans on one config, export Chrome
+        // trace JSON, and validate it (well-formed, per-track
+        // non-overlapping) — and confirm tracing never perturbs the
+        // simulation itself.
+        trace::reset();
+        trace::enable_spans(true);
+        trace::enable_attribution(true);
+        let traced = run_pooling(&configs[0]);
+        trace::enable_spans(false);
+        trace::enable_attribution(false);
+        let events = trace::take_events();
+        assert!(!events.is_empty(), "traced smoke run recorded no spans");
+        let doc = trace::chrome_trace_json(&events);
+        trace::reset();
+        assert_eq!(
+            traced.metrics, serial[0].metrics,
+            "tracing changed simulation results"
+        );
+        let complete = validate_chrome_trace(&doc);
+        assert!(complete > 0, "trace JSON contains no complete events");
+        let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/host_perf_smoke_trace.json");
+        std::fs::write(&out, &doc).expect("write smoke trace");
+        println!(
+            "smoke trace: {complete} spans validated -> {}",
+            out.display()
+        );
         println!("smoke mode: skipping BENCH_host_perf.json");
         return;
     }
@@ -286,6 +455,34 @@ fn main() {
                 .int("calls", row.calls)
                 .int("self_ns", row.self_ns)
                 .int("self_allocs", row.self_allocs)
+                .build()
+        })
+        .collect();
+    let attribution: Vec<String> = [("tiered_rdma", &attr_rdma), ("cxl", &attr_cxl)]
+        .iter()
+        .map(|(design, b)| {
+            let total = b.total_ns();
+            let lanes: Vec<String> = Lane::ALL
+                .iter()
+                .map(|&l| {
+                    json::Obj::new()
+                        .str("lane", l.name())
+                        .int("ns", b.lane(l))
+                        .num(
+                            "fraction",
+                            if total > 0 {
+                                b.lane(l) as f64 / total as f64
+                            } else {
+                                0.0
+                            },
+                        )
+                        .build()
+                })
+                .collect();
+            json::Obj::new()
+                .str("design", design)
+                .int("total_ns", total)
+                .arr("lanes", &lanes)
                 .build()
         })
         .collect();
@@ -320,6 +517,7 @@ fn main() {
     }
     let doc = doc
         .arr("profile_breakdown", &breakdown)
+        .arr("attribution", &attribution)
         .arr("runs", &runs)
         .build_pretty();
 

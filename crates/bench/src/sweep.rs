@@ -39,13 +39,65 @@ pub fn host_threads() -> usize {
 
 /// Run `f` over every configuration using [`host_threads`] workers,
 /// returning results in input order.
+///
+/// Single-configuration sweeps honor the `--trace <path>` switch (or the
+/// `TRACE_OUT` env var): the run executes with span recording and
+/// latency attribution enabled and the Chrome `trace_event` JSON is
+/// written to the given path — see [`run_traced`]. Multi-configuration
+/// sweeps ignore the switch (interleaved per-thread rings would produce
+/// a misleading mixed trace).
 pub fn run_sweep<C, R, F>(configs: &[C], f: F) -> Vec<R>
 where
     C: Sync,
     R: Send,
     F: Fn(&C) -> R + Sync,
 {
+    if configs.len() == 1 {
+        if let Some(path) = trace_out_path() {
+            return vec![run_traced(&configs[0], &path, &f)];
+        }
+    }
     run_sweep_threads(configs, host_threads(), f)
+}
+
+/// Trace output path from the `--trace <path>` command-line switch or
+/// the `TRACE_OUT` environment variable (argv wins); `None` when neither
+/// is set.
+pub fn trace_out_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(Into::into);
+        }
+    }
+    std::env::var_os("TRACE_OUT").map(Into::into)
+}
+
+/// Run `f(cfg)` with span recording and latency attribution enabled,
+/// then write the recorded spans as Chrome `trace_event` JSON to `path`
+/// (load it in https://ui.perfetto.dev or `chrome://tracing`).
+/// Tracing is observation-only, so the returned result is bit-identical
+/// to an untraced run.
+pub fn run_traced<C, R>(cfg: &C, path: &std::path::Path, f: impl Fn(&C) -> R) -> R {
+    use simkit::trace;
+    trace::reset();
+    trace::enable_spans(true);
+    trace::enable_attribution(true);
+    let r = f(cfg);
+    trace::enable_spans(false);
+    trace::enable_attribution(false);
+    let events = trace::take_events();
+    let dropped = trace::dropped_events();
+    std::fs::write(path, trace::chrome_trace_json(&events))
+        .unwrap_or_else(|e| panic!("writing trace to {}: {e}", path.display()));
+    eprintln!(
+        "trace: {} spans -> {} ({} dropped; open in Perfetto)",
+        events.len(),
+        path.display(),
+        dropped
+    );
+    trace::reset();
+    r
 }
 
 /// Run `f` over every configuration using exactly `threads` workers
@@ -90,98 +142,10 @@ where
 }
 
 /// Minimal JSON emission for machine-readable bench artifacts
-/// (`BENCH_host_perf.json`). Numbers use Rust's shortest-roundtrip
-/// float formatting; non-finite floats become `null`.
-pub mod json {
-    /// Escape a string for a JSON string literal (without quotes).
-    pub fn escape(s: &str) -> String {
-        let mut out = String::with_capacity(s.len());
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
-
-    /// Render an `f64` as a JSON value.
-    pub fn num(v: f64) -> String {
-        if v.is_finite() {
-            format!("{v}")
-        } else {
-            "null".into()
-        }
-    }
-
-    /// Incrementally built JSON object.
-    #[derive(Debug, Default)]
-    pub struct Obj {
-        fields: Vec<String>,
-    }
-
-    impl Obj {
-        /// Empty object.
-        pub fn new() -> Self {
-            Self::default()
-        }
-
-        /// Add a pre-rendered JSON value.
-        pub fn raw(mut self, key: &str, value: &str) -> Self {
-            self.fields.push(format!("\"{}\": {value}", escape(key)));
-            self
-        }
-
-        /// Add a string field.
-        pub fn str(self, key: &str, value: &str) -> Self {
-            let v = format!("\"{}\"", escape(value));
-            self.raw(key, &v)
-        }
-
-        /// Add an integer field.
-        pub fn int(self, key: &str, value: u64) -> Self {
-            let v = value.to_string();
-            self.raw(key, &v)
-        }
-
-        /// Add a float field.
-        pub fn num(self, key: &str, value: f64) -> Self {
-            let v = num(value);
-            self.raw(key, &v)
-        }
-
-        /// Add an array of pre-rendered values.
-        pub fn arr(self, key: &str, values: &[String]) -> Self {
-            let v = format!("[{}]", values.join(", "));
-            self.raw(key, &v)
-        }
-
-        /// Render as `{...}`.
-        pub fn build(&self) -> String {
-            format!("{{{}}}", self.fields.join(", "))
-        }
-
-        /// Render indented at top level (one field per line).
-        pub fn build_pretty(&self) -> String {
-            let mut out = String::from("{\n");
-            for (i, f) in self.fields.iter().enumerate() {
-                out.push_str("  ");
-                out.push_str(f);
-                if i + 1 < self.fields.len() {
-                    out.push(',');
-                }
-                out.push('\n');
-            }
-            out.push('}');
-            out
-        }
-    }
-}
+/// (`BENCH_host_perf.json`). Now lives in `simkit::json` so the metrics
+/// registry and trace exporter can use it too; re-exported here for the
+/// bench harnesses.
+pub use simkit::json;
 
 #[cfg(test)]
 mod tests {
@@ -215,25 +179,5 @@ mod tests {
     fn more_threads_than_configs() {
         let out = run_sweep_threads(&[1u32, 2], 16, |&c| c);
         assert_eq!(out, vec![1, 2]);
-    }
-
-    #[test]
-    fn json_object_renders() {
-        let o = json::Obj::new()
-            .str("name", "fig7 \"sweep\"")
-            .int("threads", 8)
-            .num("speedup", 3.5)
-            .arr("xs", &[json::num(1.0), json::num(2.5)]);
-        assert_eq!(
-            o.build(),
-            r#"{"name": "fig7 \"sweep\"", "threads": 8, "speedup": 3.5, "xs": [1, 2.5]}"#
-        );
-        assert!(o.build_pretty().contains("\n  \"threads\": 8,\n"));
-    }
-
-    #[test]
-    fn json_non_finite_is_null() {
-        assert_eq!(json::num(f64::NAN), "null");
-        assert_eq!(json::num(f64::INFINITY), "null");
     }
 }

@@ -8,6 +8,7 @@
 use crate::lru::LruList;
 use crate::{BpStats, BufferPool};
 use memsim::{Access, DramSpace};
+use simkit::trace::{self, SpanKind};
 use simkit::FastMap;
 use simkit::SimTime;
 use storage::{Lsn, PageId, PageStore};
@@ -90,6 +91,7 @@ impl DramBp {
         self.frames[frame as usize] = Some(Frame { page, dirty: false });
         self.map.insert(page, frame);
         self.lru.push_front(frame);
+        trace::span(SpanKind::BpMiss, 0, now, t, self.store.page_size());
         (frame, t)
     }
 

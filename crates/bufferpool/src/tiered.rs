@@ -16,6 +16,7 @@
 use crate::lru::LruList;
 use crate::{BpStats, BufferPool};
 use memsim::{Access, DramSpace, RdmaPool};
+use simkit::trace::{self, SpanKind};
 use simkit::SimTime;
 use simkit::{FastMap, FastSet};
 use std::cell::RefCell;
@@ -157,6 +158,13 @@ impl TieredRdmaBp {
         self.frames[frame as usize] = Some(Frame { page, dirty: false });
         self.map.insert(page, frame);
         self.lru.push_front(frame);
+        trace::span(
+            SpanKind::BpMiss,
+            self.host as u32,
+            now,
+            t,
+            self.store.page_size(),
+        );
         (frame, t)
     }
 

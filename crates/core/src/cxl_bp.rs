@@ -25,6 +25,7 @@ use crate::layout::{field, BlockMeta, Geometry, RegionHeader, MAGIC, META_SIZE, 
 use bufferpool::lru::LruList;
 use bufferpool::{BpStats, BufferPool};
 use memsim::{Access, CxlPool, NodeId};
+use simkit::trace::{self, SpanKind};
 use simkit::SimTime;
 use simkit::{FastMap, FastSet};
 use std::cell::RefCell;
@@ -324,6 +325,13 @@ impl CxlBp {
         self.mirror[b as usize].lock_state = 0;
         self.map.insert(page, b);
         self.lru.push_front(b);
+        trace::span(
+            SpanKind::BpMiss,
+            self.node.0 as u32,
+            now,
+            t,
+            self.geo.page_size,
+        );
         (b, t)
     }
 

@@ -23,6 +23,7 @@ use crate::cxl_bp::SharedCxl;
 use bufferpool::lru::LruList;
 use memsim::calib::RPC_NS;
 use memsim::NodeId;
+use simkit::trace::{self, Lane};
 use simkit::FastMap;
 use simkit::SimTime;
 use std::cell::RefCell;
@@ -144,6 +145,7 @@ impl FusionServer {
     /// Returns (CXL data address, completion time).
     pub fn request_page(&mut self, page: PageId, node: NodeId, now: SimTime) -> (u64, SimTime) {
         self.stats.rpcs += 1;
+        trace::attr_add(Lane::Other, RPC_NS);
         let mut t = now + RPC_NS;
         let slot = if let Some(info) = self.map.get_mut(&page) {
             if !info.active.contains(&node) {

@@ -9,6 +9,7 @@
 
 use memsim::calib::RPC_NS;
 use memsim::NodeId;
+use simkit::trace::{self, Lane};
 use simkit::SimTime;
 
 /// A lease on a contiguous CXL range.
@@ -141,6 +142,7 @@ impl CxlMemoryManager {
             size,
         };
         self.leases.push(lease);
+        trace::attr_add(Lane::Other, RPC_NS);
         Ok((lease, now + RPC_NS))
     }
 
@@ -169,6 +171,7 @@ impl CxlMemoryManager {
             self.free[pos - 1].1 += self.free[pos].1;
             self.free.remove(pos);
         }
+        trace::attr_add(Lane::Other, RPC_NS);
         now + RPC_NS
     }
 

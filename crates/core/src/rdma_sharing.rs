@@ -16,6 +16,7 @@ use bufferpool::lru::LruList;
 use bufferpool::tiered::SharedRdma;
 use memsim::calib::{DRAM_LOCAL_NS, DRAM_STREAM_NS_PER_LINE, RPC_NS};
 use memsim::NodeId;
+use simkit::trace::{self, Lane};
 use simkit::SimTime;
 use simkit::{FastMap, FastSet};
 use storage::PageId;
@@ -109,6 +110,7 @@ impl RdmaDbp {
     /// from storage when absent.
     pub fn request_page(&mut self, page: PageId, node: NodeId, now: SimTime) -> (u64, SimTime) {
         self.stats.rpcs += 1;
+        trace::attr_add(Lane::Other, RPC_NS);
         let mut t = now + RPC_NS;
         let slot = if let Some(info) = self.map.get_mut(&page) {
             if !info.active.contains(&node) {
@@ -320,6 +322,7 @@ impl RdmaSharingNode {
         let (frame, t) = self.fault_in(server, page, now);
         let (_, data) = self.frames[frame as usize].as_ref().expect("resident");
         buf.copy_from_slice(&data[off as usize..off as usize + buf.len()]);
+        trace::attr_add(Lane::Dram, dram_cost_ns(buf.len()));
         t + dram_cost_ns(buf.len())
     }
 
@@ -337,6 +340,7 @@ impl RdmaSharingNode {
         let (_, buf) = self.frames[frame as usize].as_mut().expect("resident");
         buf[off as usize..off as usize + data.len()].copy_from_slice(data);
         self.dirty.insert(page);
+        trace::attr_add(Lane::Dram, dram_cost_ns(data.len()));
         t + dram_cost_ns(data.len())
     }
 

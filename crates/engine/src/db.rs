@@ -12,6 +12,7 @@ use bufferpool::{BufferPool, Crashable};
 use memsim::calib::{
     CPU_PER_ROW_NS, CPU_POINT_SELECT_NS, CPU_TXN_OVERHEAD_NS, CPU_WRITE_STMT_NS, INSTANCE_VCPUS,
 };
+use simkit::trace::{self, Lane, SpanKind};
 use simkit::{MultiServer, SimTime};
 use storage::{Lsn, PageId, Wal};
 
@@ -229,6 +230,7 @@ impl<P: BufferPool> Db<P> {
     pub fn commit(&mut self, now: SimTime) -> SimTime {
         let t = self.wal.flush(now);
         self.stats.commits += 1;
+        trace::attr_add(Lane::Cpu, CPU_TXN_OVERHEAD_NS);
         t + CPU_TXN_OVERHEAD_NS
     }
 
@@ -240,6 +242,7 @@ impl<P: BufferPool> Db<P> {
         let t = self.pool.flush_all(t);
         self.wal.set_checkpoint(ck);
         self.stats.checkpoints += 1;
+        trace::span(SpanKind::Checkpoint, 0, now, t, 0);
         t
     }
 

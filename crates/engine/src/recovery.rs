@@ -18,6 +18,7 @@ use crate::db::Db;
 use btree::BTree;
 use bufferpool::BufferPool;
 use polarcxlmem::CxlBp;
+use simkit::trace::{self, SpanKind};
 use simkit::SimTime;
 use storage::LogRecord;
 
@@ -68,6 +69,7 @@ pub fn recover_replay<P: BufferPool>(
     // Reattach the table through the (possibly empty) pool.
     let (table, t2) = BTree::open(&mut db.pool, db.table.meta_page, t);
     db.table = table;
+    trace::span(SpanKind::RecoveryReplay, 0, now, t2, log_bytes);
     RecoverySummary {
         scheme,
         pages_rebuilt: pages.len() as u64,
@@ -82,6 +84,13 @@ pub fn recover_polar(db: &mut Db<CxlBp>, now: SimTime) -> RecoverySummary {
     let report = polarcxlmem::recovery::polar_recv(&mut db.pool, &mut db.wal, now);
     let (table, t2) = BTree::open(&mut db.pool, db.table.meta_page, report.done);
     db.table = table;
+    trace::span(
+        SpanKind::RecoveryReplay,
+        0,
+        now,
+        t2,
+        report.log_bytes_scanned,
+    );
     RecoverySummary {
         scheme: "polarrecv",
         pages_rebuilt: report.rebuilt,

@@ -23,8 +23,48 @@ use crate::calib::{
 };
 use crate::region::Region;
 use crate::{Access, NodeId};
+use simkit::trace::{self, Lane, SpanKind};
 use simkit::{Link, SimTime};
 use std::borrow::Borrow;
+
+/// Attribution/span leaf for one CXL operation. The op's total latency
+/// `end - now` decomposes exactly: `switch_ns` is the wait beyond the
+/// host-link stage (from [`CxlPool::charge_link`]), cache-hit service is
+/// `hits * CACHE_HIT_NS` (every latency formula includes that term), and
+/// the remainder is fabric/link time. One inlined flag test when tracing
+/// is off; the slow path never feeds back into simulated state.
+#[inline]
+fn note_cxl(
+    kind: SpanKind,
+    node: NodeId,
+    now: SimTime,
+    end: SimTime,
+    link_bytes: u64,
+    hits: u64,
+    switch_ns: u64,
+) {
+    if trace::active() {
+        note_cxl_slow(kind, node, now, end, link_bytes, hits, switch_ns);
+    }
+}
+
+#[cold]
+fn note_cxl_slow(
+    kind: SpanKind,
+    node: NodeId,
+    now: SimTime,
+    end: SimTime,
+    link_bytes: u64,
+    hits: u64,
+    switch_ns: u64,
+) {
+    let total = end.saturating_since(now);
+    let cache = (hits * CACHE_HIT_NS).min(total.saturating_sub(switch_ns));
+    trace::attr_add(Lane::CacheHit, cache);
+    trace::attr_add(Lane::Switch, switch_ns);
+    trace::attr_add(Lane::CxlLink, total - switch_ns - cache);
+    trace::span(kind, node.0 as u32, now, end, link_bytes);
+}
 
 /// Per-node attachment configuration.
 #[derive(Debug, Clone, Copy)]
@@ -201,15 +241,27 @@ impl CxlPool {
         off / CACHE_LINE..(off + len as u64).div_ceil(CACHE_LINE)
     }
 
-    fn charge_link(&mut self, node: NodeId, now: SimTime, bytes: u64, latency_ns: u64) -> SimTime {
+    /// Charge `bytes` to the node's host link and the switch. Returns the
+    /// completion time and how many ns of it are waiting on the *switch*
+    /// stage beyond the host-link stage (the [`Lane::Switch`] share —
+    /// zero until the switch itself is the bottleneck).
+    fn charge_link(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        bytes: u64,
+        latency_ns: u64,
+    ) -> (SimTime, u64) {
         let lat_end = now + latency_ns;
         if bytes == 0 {
-            return lat_end;
+            return (lat_end, 0);
         }
         let host = self.node_host[node.0];
         let g1 = self.host_links[host].transfer(now, bytes);
         let g2 = self.switch.transfer(now, bytes);
-        lat_end.max(g1.end).max(g2.end)
+        let base = lat_end.max(g1.end);
+        let end = base.max(g2.end);
+        (end, end.saturating_since(base))
     }
 
     /// Cached read of `buf.len()` bytes at `off` by `node`.
@@ -233,8 +285,18 @@ impl CxlPool {
                     + (run.misses - 1) * CXL_STREAM_READ_NS_PER_LINE
                     + run.hits * CACHE_HIT_NS
             };
+            let (end, switch_ns) = self.charge_link(node, now, link_bytes, latency);
+            note_cxl(
+                SpanKind::CxlRead,
+                node,
+                now,
+                end,
+                link_bytes,
+                run.hits,
+                switch_ns,
+            );
             return Access {
-                end: self.charge_link(node, now, link_bytes, latency),
+                end,
                 link_bytes,
                 hits: run.hits,
                 misses: run.misses,
@@ -287,8 +349,18 @@ impl CxlPool {
                 + misses.saturating_sub(1) * CXL_STREAM_READ_NS_PER_LINE
                 + hits * CACHE_HIT_NS
         };
+        let (end, switch_ns) = self.charge_link(node, now, link_bytes, latency);
+        note_cxl(
+            SpanKind::CxlRead,
+            node,
+            now,
+            end,
+            link_bytes,
+            hits,
+            switch_ns,
+        );
         Access {
-            end: self.charge_link(node, now, link_bytes, latency),
+            end,
             link_bytes,
             hits,
             misses,
@@ -326,8 +398,18 @@ impl CxlPool {
                     + (run.misses - 1) * CXL_STREAM_WRITE_NS_PER_LINE
                     + run.hits * CACHE_HIT_NS
             };
+            let (end, switch_ns) = self.charge_link(node, now, link_bytes, latency);
+            note_cxl(
+                SpanKind::CxlWrite,
+                node,
+                now,
+                end,
+                link_bytes,
+                run.hits,
+                switch_ns,
+            );
             return Access {
-                end: self.charge_link(node, now, link_bytes, latency),
+                end,
                 link_bytes,
                 hits: run.hits,
                 misses: run.misses,
@@ -385,8 +467,18 @@ impl CxlPool {
                 + misses.saturating_sub(1) * CXL_STREAM_WRITE_NS_PER_LINE
                 + hits * CACHE_HIT_NS
         };
+        let (end, switch_ns) = self.charge_link(node, now, link_bytes, latency);
+        note_cxl(
+            SpanKind::CxlWrite,
+            node,
+            now,
+            end,
+            link_bytes,
+            hits,
+            switch_ns,
+        );
         Access {
-            end: self.charge_link(node, now, link_bytes, latency),
+            end,
             link_bytes,
             hits,
             misses,
@@ -416,8 +508,10 @@ impl CxlPool {
         let lines = Self::line_range(off, buf.len()).count() as u64;
         let link_bytes = lines * CACHE_LINE;
         let latency = self.base_read_ns(node) + (lines - 1) * CXL_STREAM_READ_NS_PER_LINE;
+        let (end, switch_ns) = self.charge_link(node, now, link_bytes, latency);
+        note_cxl(SpanKind::CxlRead, node, now, end, link_bytes, 0, switch_ns);
         Access {
-            end: self.charge_link(node, now, link_bytes, latency),
+            end,
             link_bytes,
             hits: 0,
             misses: lines,
@@ -444,8 +538,10 @@ impl CxlPool {
         let lines = Self::line_range(off, data.len()).count() as u64;
         let link_bytes = lines * CACHE_LINE;
         let latency = self.base_write_ns(node) + (lines - 1) * CXL_STREAM_WRITE_NS_PER_LINE;
+        let (end, switch_ns) = self.charge_link(node, now, link_bytes, latency);
+        note_cxl(SpanKind::CxlWrite, node, now, end, link_bytes, 0, switch_ns);
         Access {
-            end: self.charge_link(node, now, link_bytes, latency),
+            end,
             link_bytes,
             hits: 0,
             misses: lines,
@@ -475,8 +571,10 @@ impl CxlPool {
             } else {
                 0
             };
+        let (end, switch_ns) = self.charge_link(node, now, link_bytes, latency);
+        note_cxl(SpanKind::Clflush, node, now, end, link_bytes, 0, switch_ns);
         Access {
-            end: self.charge_link(node, now, link_bytes, latency),
+            end,
             link_bytes,
             hits: 0,
             misses: flushed,
@@ -494,8 +592,10 @@ impl CxlPool {
             issued += 1;
             cache.invalidate(line);
         }
+        let end = now + issued * CLFLUSH_ISSUE_NS;
+        note_cxl(SpanKind::Clflush, node, now, end, 0, 0, 0);
         Access {
-            end: now + issued * CLFLUSH_ISSUE_NS,
+            end,
             link_bytes: 0,
             hits: 0,
             misses: 0,
@@ -555,8 +655,10 @@ impl CxlPool {
         let latency = self.base_write_ns(node)
             + (lines - 1) * CXL_STREAM_WRITE_NS_PER_LINE
             + snooped * CXL_HW_SNOOP_NS;
+        let (end, switch_ns) = self.charge_link(node, now, link_bytes, latency);
+        note_cxl(SpanKind::CxlWrite, node, now, end, link_bytes, 0, switch_ns);
         Access {
-            end: self.charge_link(node, now, link_bytes, latency),
+            end,
             link_bytes,
             hits: 0,
             misses: lines,

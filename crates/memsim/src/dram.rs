@@ -13,7 +13,21 @@ use crate::calib::{
 };
 use crate::region::Region;
 use crate::Access;
+use simkit::trace::{self, Lane};
 use simkit::SimTime;
+
+/// Attribution leaf for a DRAM access: cache-hit time is separated out so
+/// the `cache_hit` lane is comparable across DRAM and CXL designs; the
+/// rest (miss base + streaming) is `dram`. By `access_cost`'s formula
+/// `hits * CACHE_HIT_NS <= latency`, so the split is exact.
+#[inline]
+fn note_dram(latency: u64, hits: u64) {
+    if trace::active() {
+        let cache = hits * CACHE_HIT_NS;
+        trace::attr_add(Lane::CacheHit, cache);
+        trace::attr_add(Lane::Dram, latency - cache);
+    }
+}
 
 /// A node-private DRAM space with a CPU cache in front.
 #[derive(Debug)]
@@ -91,6 +105,7 @@ impl DramSpace {
     /// Timed read.
     pub fn read(&mut self, off: u64, buf: &mut [u8], now: SimTime) -> Access {
         let (latency, hits, misses) = self.access_cost(off, buf.len(), false);
+        note_dram(latency, hits);
         self.region.read(off, buf);
         self.bytes_read += buf.len() as u64;
         Access {
@@ -104,6 +119,7 @@ impl DramSpace {
     /// Timed write.
     pub fn write(&mut self, off: u64, data: &[u8], now: SimTime) -> Access {
         let (latency, hits, misses) = self.access_cost(off, data.len(), true);
+        note_dram(latency, hits);
         self.region.write(off, data);
         self.bytes_written += data.len() as u64;
         Access {

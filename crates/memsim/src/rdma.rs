@@ -11,6 +11,7 @@
 use crate::calib::{RDMA_NIC_GBPS, RDMA_PER_OP_NS, RDMA_READ_BASE_NS, RDMA_WRITE_BASE_NS};
 use crate::region::Region;
 use crate::Access;
+use simkit::trace::{self, Lane, SpanKind};
 use simkit::{Link, SimTime};
 
 /// Remote memory pool behind per-host RDMA NICs.
@@ -71,6 +72,16 @@ impl RdmaPool {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::Rdma);
         self.region.read(off, buf);
         let g = self.nics[host].0.transfer(now, buf.len() as u64);
+        // Attribution leaf: the whole delta (protocol base + per-op +
+        // bandwidth queueing) is NIC time.
+        trace::attr_add(Lane::RdmaNic, g.end.saturating_since(now));
+        trace::span(
+            SpanKind::RdmaPageIn,
+            host as u32,
+            now,
+            g.end,
+            buf.len() as u64,
+        );
         Access {
             end: g.end,
             link_bytes: buf.len() as u64,
@@ -84,6 +95,14 @@ impl RdmaPool {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::Rdma);
         self.region.write(off, data);
         let g = self.nics[host].1.transfer(now, data.len() as u64);
+        trace::attr_add(Lane::RdmaNic, g.end.saturating_since(now));
+        trace::span(
+            SpanKind::RdmaPageOut,
+            host as u32,
+            now,
+            g.end,
+            data.len() as u64,
+        );
         Access {
             end: g.end,
             link_bytes: data.len() as u64,
@@ -96,7 +115,10 @@ impl RdmaPool {
     /// RDMA-based coherency protocol) — costs a round trip but no bulk
     /// bandwidth.
     pub fn message(&mut self, host: usize, now: SimTime) -> SimTime {
-        self.nics[host].1.transfer(now, 64).end
+        let end = self.nics[host].1.transfer(now, 64).end;
+        trace::attr_add(Lane::RdmaNic, end.saturating_since(now));
+        trace::span(SpanKind::RdmaMsg, host as u32, now, end, 64);
+        end
     }
 
     /// Bytes moved through a host's NIC (both directions).

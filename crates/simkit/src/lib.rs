@@ -17,23 +17,30 @@
 //!   distributed page locks).
 //! - [`worker::WorkerSet`] — closed-loop scheduler that interleaves
 //!   sysbench-style workers in start-time order.
-//! - [`stats`] — counters, HDR-style histograms, time-bucketed series.
+//! - [`stats`] — counters, HDR-style histograms, time-bucketed series,
+//!   and the named [`stats::MetricsRegistry`] snapshotted into BENCH JSON.
 //! - [`rng`] — seeded, stream-split randomness.
+//! - [`trace`] — virtual-time spans and per-lane latency attribution
+//!   (the simulated-time counterpart of [`profile`]).
+//! - [`json`] — the dependency-free JSON writer behind every artifact.
 
 #![warn(missing_docs)]
 
 pub mod fastmap;
+pub mod json;
 pub mod lock;
 pub mod profile;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod worker;
 
 pub use fastmap::{FastMap, FastSet};
 pub use lock::{LockMode, LockTable, VLock};
 pub use resource::{Grant, Link, MultiServer};
-pub use stats::{Counter, Histogram, TimeSeries};
+pub use stats::{Counter, Histogram, MetricsRegistry, TimeSeries};
 pub use time::{dur, SimTime};
+pub use trace::{Lane, QueryBreakdown, SpanKind, TraceEvent};
 pub use worker::{Step, WorkerId, WorkerSet};

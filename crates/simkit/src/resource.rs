@@ -95,6 +95,9 @@ impl MultiServer {
         drop(top);
         self.busy_ns += service_ns;
         self.grants += 1;
+        // Attribution leaf: service plus any queue wait is CPU time
+        // (`start >= now`, so the delta is exact).
+        crate::trace::attr_add(crate::trace::Lane::Cpu, end.saturating_since(now));
         Grant { start, end }
     }
 

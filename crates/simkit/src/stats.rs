@@ -207,6 +207,11 @@ impl Histogram {
         self.max
     }
 
+    /// p50 (median) in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_ns(0.50) as f64 / dur::US as f64
+    }
+
     /// p95 in microseconds.
     pub fn p95_us(&self) -> f64 {
         self.quantile_ns(0.95) as f64 / dur::US as f64
@@ -215,6 +220,11 @@ impl Histogram {
     /// p99 in microseconds.
     pub fn p99_us(&self) -> f64 {
         self.quantile_ns(0.99) as f64 / dur::US as f64
+    }
+
+    /// p99.9 in microseconds.
+    pub fn p999_us(&self) -> f64 {
+        self.quantile_ns(0.999) as f64 / dur::US as f64
     }
 
     fn bucket_low(major: usize, minor: usize) -> u64 {
@@ -307,6 +317,124 @@ impl TimeSeries {
             .skip(start)
             .find(|(_, &c)| c as f64 * scale >= threshold)
             .map(|(i, _)| i)
+    }
+}
+
+/// A value held by the [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Exact integer counter (bytes, hits, flushes, ...).
+    Int(u64),
+    /// Derived floating-point metric (rates, means).
+    Num(f64),
+}
+
+/// Named metric registry: the uniform snapshot surface for simulator
+/// counters (memsim link bytes, cache stats, WAL flush stats, Db stats,
+/// latency quantiles), rendered identically into `BENCH_*.json` and the
+/// per-config summary tables.
+///
+/// Names are the JSON keys, so the registry *enforces* the naming lint
+/// at insert time: every name must be snake_case (`[a-z][a-z0-9_]*`)
+/// and unique, or the insert panics — keeping BENCH JSON keys stable
+/// across PRs. Entries are kept sorted by name, so iteration order (and
+/// therefore every artifact) is deterministic.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn insert(&mut self, name: &str, value: MetricValue) {
+        assert!(
+            !name.is_empty()
+                && name.starts_with(|c: char| c.is_ascii_lowercase())
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "metric name {name:?} is not snake_case"
+        );
+        match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(_) => panic!("metric name {name:?} registered twice"),
+            Err(pos) => self.entries.insert(pos, (name.to_string(), value)),
+        }
+    }
+
+    /// Register an integer metric. Panics on a duplicate or
+    /// non-snake_case name.
+    pub fn set_int(&mut self, name: &str, value: u64) {
+        self.insert(name, MetricValue::Int(value));
+    }
+
+    /// Register a float metric. Panics on a duplicate or non-snake_case
+    /// name.
+    pub fn set_num(&mut self, name: &str, value: f64) {
+        self.insert(name, MetricValue::Num(value));
+    }
+
+    /// Register a histogram's standard summary under `prefix`:
+    /// `{prefix}_count`, `{prefix}_p50_ns`, `{prefix}_p99_ns`,
+    /// `{prefix}_p999_ns`, `{prefix}_max_ns`.
+    pub fn set_histogram(&mut self, prefix: &str, h: &Histogram) {
+        self.set_int(&format!("{prefix}_count"), h.count());
+        self.set_int(&format!("{prefix}_p50_ns"), h.quantile_ns(0.50));
+        self.set_int(&format!("{prefix}_p99_ns"), h.quantile_ns(0.99));
+        self.set_int(&format!("{prefix}_p999_ns"), h.quantile_ns(0.999));
+        self.set_int(&format!("{prefix}_max_ns"), h.max_ns());
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// All `(name, value)` pairs, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, MetricValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render as a JSON object (sorted keys).
+    pub fn to_json(&self) -> String {
+        let mut o = crate::json::Obj::new();
+        for (name, value) in &self.entries {
+            o = match value {
+                MetricValue::Int(v) => o.int(name, *v),
+                MetricValue::Num(v) => o.num(name, *v),
+            };
+        }
+        o.build()
+    }
+
+    /// Render as an aligned two-column text table (sorted by name).
+    pub fn table(&self) -> String {
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let v = match value {
+                MetricValue::Int(v) => v.to_string(),
+                MetricValue::Num(v) => format!("{v:.3}"),
+            };
+            out.push_str(&format!("  {name:<width$}  {v:>16}\n"));
+        }
+        out
     }
 }
 
@@ -422,6 +550,73 @@ mod tests {
         let rates = ts.rates_per_sec();
         assert!((rates[0] - 10.0).abs() < 1e-9);
         assert!((rates[1] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_edge_cases_pinned() {
+        // Empty histogram: every quantile is 0.
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(empty.quantile_ns(q), 0);
+        }
+
+        // Single sample: every quantile lands in its bucket.
+        let mut one = Histogram::new();
+        one.record(777);
+        let (major, minor) = (9 - 4, ((777u64 >> 4) & 0x1f) as usize); // 2^9 <= 777 < 2^10
+        let low = (1u64 << (major + 4)) + minor as u64 * ((1u64 << (major + 4)) >> 5);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(one.quantile_ns(q), low, "q={q}");
+        }
+        assert_eq!(one.max_ns(), 777);
+
+        // Max-bucket saturation: u64::MAX clamps into the last major
+        // bucket's last minor without panicking, and the bucket lower
+        // bound is the pinned constant.
+        let mut sat = Histogram::new();
+        sat.record(u64::MAX);
+        sat.record(0);
+        let last_low = (1u64 << 43) + 31 * (1u64 << 38);
+        assert_eq!(sat.quantile_ns(1.0), last_low);
+        assert_eq!(sat.quantile_ns(0.5), 0);
+        assert_eq!(sat.max_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn registry_sorted_json_and_table() {
+        let mut r = MetricsRegistry::new();
+        r.set_int("zeta", 7);
+        r.set_num("alpha_rate", 2.5);
+        let mut h = Histogram::new();
+        h.record(100);
+        r.set_histogram("lat", &h);
+        assert_eq!(r.get("zeta"), Some(MetricValue::Int(7)));
+        assert_eq!(r.get("lat_count"), Some(MetricValue::Int(1)));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.len(), 7);
+        // Keys come out sorted regardless of insertion order.
+        let names: Vec<&str> = r.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"alpha_rate\": 2.5"));
+        assert!(json.ends_with("\"zeta\": 7}"));
+        assert!(r.table().contains("zeta"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not snake_case")]
+    fn registry_rejects_camel_case() {
+        MetricsRegistry::new().set_int("camelCase", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn registry_rejects_duplicates() {
+        let mut r = MetricsRegistry::new();
+        r.set_int("dup_name", 1);
+        r.set_int("dup_name", 2);
     }
 
     #[test]

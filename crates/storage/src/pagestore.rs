@@ -7,6 +7,7 @@
 
 use memsim::calib::{PAGE_SIZE, STORAGE_GBPS, STORAGE_READ_NS, STORAGE_WRITE_NS};
 use memsim::{Access, Region};
+use simkit::trace::{self, Lane};
 use simkit::{Link, SimTime};
 
 use crate::PageId;
@@ -81,8 +82,10 @@ impl PageStore {
         self.region.read(page.0 * self.page_size, buf);
         self.reads += 1;
         let g = self.channel.transfer(now, self.page_size);
+        let end = g.end + STORAGE_READ_NS;
+        trace::attr_add(Lane::Storage, end.saturating_since(now));
         Access {
-            end: g.end + STORAGE_READ_NS,
+            end,
             link_bytes: self.page_size,
             hits: 0,
             misses: 0,
@@ -96,8 +99,10 @@ impl PageStore {
         self.region.write(page.0 * self.page_size, data);
         self.writes += 1;
         let g = self.channel.transfer(now, self.page_size);
+        let end = g.end + STORAGE_WRITE_NS;
+        trace::attr_add(Lane::Storage, end.saturating_since(now));
         Access {
-            end: g.end + STORAGE_WRITE_NS,
+            end,
             link_bytes: self.page_size,
             hits: 0,
             misses: 0,

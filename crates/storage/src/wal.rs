@@ -13,6 +13,7 @@
 //! - checkpoints bound how far back replay must scan.
 
 use memsim::calib::{WAL_FLUSH_NS, WAL_GBPS};
+use simkit::trace::{self, Lane, SpanKind};
 use simkit::{Link, SimTime};
 
 use crate::{Lsn, PageId};
@@ -333,7 +334,10 @@ impl Wal {
         self.buffer_bytes = 0;
         self.flushes += 1;
         self.bytes_flushed += bytes;
-        self.device.transfer(now, bytes).end + WAL_FLUSH_NS
+        let end = self.device.transfer(now, bytes).end + WAL_FLUSH_NS;
+        trace::attr_add(Lane::Wal, end.saturating_since(now));
+        trace::span(SpanKind::WalFlush, 0, now, end, bytes);
+        end
     }
 
     /// Record a checkpoint at `lsn`: replay after a crash starts here.
@@ -406,7 +410,9 @@ impl Wal {
         if bytes == 0 {
             return now;
         }
-        self.device.transfer(now, bytes).end
+        let end = self.device.transfer(now, bytes).end;
+        trace::attr_add(Lane::Wal, end.saturating_since(now));
+        end
     }
 }
 

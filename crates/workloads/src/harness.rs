@@ -18,7 +18,8 @@ use memsim::calib::PAGE_SIZE;
 use memsim::{CxlPool, NodeId, RdmaPool};
 use polarcxlmem::{CxlBp, CxlMemoryManager};
 use simkit::rng::stream_rng;
-use simkit::{Histogram, SimTime, Step, WorkerId, WorkerSet};
+use simkit::trace::{self, Lane, QueryBreakdown, SpanKind};
+use simkit::{Histogram, MetricsRegistry, SimTime, Step, WorkerId, WorkerSet};
 use std::cell::RefCell;
 use std::rc::Rc;
 use storage::PageStore;
@@ -92,6 +93,14 @@ pub struct PoolingResult {
     pub metrics: RunMetrics,
     /// Per-instance QPS (for scaling plots).
     pub per_instance_qps: Vec<f64>,
+    /// Uniform snapshot of every subsystem counter (buffer pool, WAL,
+    /// engine, storage, interconnect, latency quantiles); print with
+    /// [`MetricsRegistry::table`] or serialize with
+    /// [`MetricsRegistry::to_json`].
+    pub registry: MetricsRegistry,
+    /// Run-level latency decomposition by [`Lane`] — present only when
+    /// [`trace::enable_attribution`] was on during the run.
+    pub attribution: Option<QueryBreakdown>,
 }
 
 /// Pages needed to hold `table_size` rows plus B+tree overhead and
@@ -175,6 +184,7 @@ fn drive<P: BufferPool>(
         let inst = w / wpi;
         gen.fill_txn(&mut rngs[w], &mut txn);
         let end = exec_txn(&mut dbs[inst], &txn, start);
+        trace::span(SpanKind::Query, inst as u32, start, end, txn.len() as u64);
         lat_batch.push(end - start);
         if lat_batch.len() == lat_batch.capacity() {
             hist.record_batch(&lat_batch);
@@ -202,12 +212,81 @@ fn finish(
         qps: queries as f64 / secs,
         tps: txns as f64 / secs,
         avg_latency_us: hist.mean_us(),
+        p50_latency_us: hist.p50_us(),
         p95_latency_us: hist.p95_us(),
+        p99_latency_us: hist.p99_us(),
+        p999_latency_us: hist.p999_us(),
         interconnect_gbps: interconnect_bytes as f64 / window.as_nanos() as f64,
         memory_bytes,
         window,
         latency: hist,
     }
+}
+
+/// Collect every subsystem's counters into one registry — the uniform
+/// snapshot that `BENCH_*.json` and the per-config summary tables print.
+/// Keys are asserted snake_case and unique by the registry itself.
+fn collect_registry<P: BufferPool>(
+    dbs: &[Db<P>],
+    metrics: &RunMetrics,
+    attribution: Option<&QueryBreakdown>,
+) -> MetricsRegistry {
+    let mut bp = bufferpool::BpStats::default();
+    let (mut wal_flushes, mut wal_bytes) = (0u64, 0u64);
+    let mut db_sum = engine::DbStats::default();
+    let (mut io_reads, mut io_writes, mut channel_bytes) = (0u64, 0u64, 0u64);
+    for db in dbs {
+        let s = db.pool.stats();
+        bp.hits += s.hits;
+        bp.misses += s.misses;
+        bp.evictions += s.evictions;
+        bp.writebacks += s.writebacks;
+        bp.storage_read_bytes += s.storage_read_bytes;
+        bp.storage_write_bytes += s.storage_write_bytes;
+        bp.remote_read_bytes += s.remote_read_bytes;
+        bp.remote_write_bytes += s.remote_write_bytes;
+        let (f, b) = db.wal.flush_stats();
+        wal_flushes += f;
+        wal_bytes += b;
+        let d = db.stats();
+        db_sum.queries += d.queries;
+        db_sum.rows_read += d.rows_read;
+        db_sum.commits += d.commits;
+        db_sum.checkpoints += d.checkpoints;
+        let (r, w) = db.pool.store().io_counts();
+        io_reads += r;
+        io_writes += w;
+        channel_bytes += db.pool.store().channel_bytes();
+    }
+    let mut reg = MetricsRegistry::default();
+    reg.set_int("bp_hits", bp.hits);
+    reg.set_int("bp_misses", bp.misses);
+    reg.set_int("bp_evictions", bp.evictions);
+    reg.set_int("bp_writebacks", bp.writebacks);
+    reg.set_int("bp_storage_read_bytes", bp.storage_read_bytes);
+    reg.set_int("bp_storage_write_bytes", bp.storage_write_bytes);
+    reg.set_int("bp_remote_read_bytes", bp.remote_read_bytes);
+    reg.set_int("bp_remote_write_bytes", bp.remote_write_bytes);
+    reg.set_num("bp_hit_ratio", bp.hit_ratio());
+    reg.set_int("wal_flushes", wal_flushes);
+    reg.set_int("wal_bytes_flushed", wal_bytes);
+    reg.set_int("db_queries", db_sum.queries);
+    reg.set_int("db_rows_read", db_sum.rows_read);
+    reg.set_int("db_commits", db_sum.commits);
+    reg.set_int("db_checkpoints", db_sum.checkpoints);
+    reg.set_int("storage_reads", io_reads);
+    reg.set_int("storage_writes", io_writes);
+    reg.set_int("storage_channel_bytes", channel_bytes);
+    reg.set_num("qps", metrics.qps);
+    reg.set_num("tps", metrics.tps);
+    reg.set_histogram("latency", &metrics.latency);
+    if let Some(a) = attribution {
+        for lane in Lane::ALL {
+            reg.set_int(&format!("attr_{}_ns", lane.name()), a.lane(lane));
+        }
+        reg.set_int("attr_total_ns", a.total_ns());
+    }
+    reg
 }
 
 /// Run a pooling experiment.
@@ -227,11 +306,18 @@ pub fn run_pooling(cfg: &PoolingConfig) -> PoolingResult {
                     db
                 })
                 .collect();
+            let attr_before = trace::attr_snapshot();
             let (q, x, h, w, per) = drive(&mut dbs, cfg);
+            let attribution =
+                trace::attribution_enabled().then(|| trace::attr_snapshot().since(&attr_before));
             let mem = cfg.instances as u64 * pages * PAGE_SIZE;
+            let metrics = finish(q, x, h, w, 0, mem);
+            let registry = collect_registry(&dbs, &metrics, attribution.as_ref());
             PoolingResult {
-                metrics: finish(q, x, h, w, 0, mem),
+                metrics,
                 per_instance_qps: per.iter().map(|&c| c as f64 / w.as_secs_f64()).collect(),
+                registry,
+                attribution,
             }
         }
         PoolKind::TieredRdma => {
@@ -260,12 +346,20 @@ pub fn run_pooling(cfg: &PoolingConfig) -> PoolingResult {
                 })
                 .collect();
             rdma.borrow_mut().reset_link_counters();
+            let attr_before = trace::attr_snapshot();
             let (q, x, h, w, per) = drive(&mut dbs, cfg);
+            let attribution =
+                trace::attribution_enabled().then(|| trace::attr_snapshot().since(&attr_before));
             let bytes = rdma.borrow().total_bytes();
             let mem = cfg.instances as u64 * (slice + lbp_frames as u64 * PAGE_SIZE);
+            let metrics = finish(q, x, h, w, bytes, mem);
+            let mut registry = collect_registry(&dbs, &metrics, attribution.as_ref());
+            registry.set_int("rdma_nic_bytes", bytes);
             PoolingResult {
-                metrics: finish(q, x, h, w, bytes, mem),
+                metrics,
                 per_instance_qps: per.iter().map(|&c| c as f64 / w.as_secs_f64()).collect(),
+                registry,
+                attribution,
             }
         }
         PoolKind::Cxl => {
@@ -299,12 +393,27 @@ pub fn run_pooling(cfg: &PoolingConfig) -> PoolingResult {
                 })
                 .collect();
             cxl.borrow_mut().reset_link_counters();
+            let attr_before = trace::attr_snapshot();
             let (q, x, h, w, per) = drive(&mut dbs, cfg);
+            let attribution =
+                trace::attribution_enabled().then(|| trace::attr_snapshot().since(&attr_before));
             let bytes = cxl.borrow().switch_bytes();
             let mem = cfg.instances as u64 * geo_size;
+            let metrics = finish(q, x, h, w, bytes, mem);
+            let mut registry = collect_registry(&dbs, &metrics, attribution.as_ref());
+            registry.set_int("cxl_switch_bytes", bytes);
+            registry.set_int("cxl_host_link_bytes", cxl.borrow().host_link_bytes(0));
+            let (cache_hits, cache_misses) = (0..cfg.instances).fold((0u64, 0u64), |(h, m), i| {
+                let s = cxl.borrow().cache_stats(NodeId(i));
+                (h + s.hits, m + s.misses)
+            });
+            registry.set_int("cxl_cache_hits", cache_hits);
+            registry.set_int("cxl_cache_misses", cache_misses);
             PoolingResult {
-                metrics: finish(q, x, h, w, bytes, mem),
+                metrics,
                 per_instance_qps: per.iter().map(|&c| c as f64 / w.as_secs_f64()).collect(),
+                registry,
+                attribution,
             }
         }
     }

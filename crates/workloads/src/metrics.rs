@@ -15,8 +15,14 @@ pub struct RunMetrics {
     pub tps: f64,
     /// Mean query/transaction latency, µs.
     pub avg_latency_us: f64,
+    /// Median latency, µs.
+    pub p50_latency_us: f64,
     /// 95th percentile latency, µs.
     pub p95_latency_us: f64,
+    /// 99th percentile latency, µs.
+    pub p99_latency_us: f64,
+    /// 99.9th percentile latency, µs.
+    pub p999_latency_us: f64,
     /// Interconnect bandwidth consumed (RDMA NIC or CXL link), GB/s.
     pub interconnect_gbps: f64,
     /// Total memory footprint of the design, bytes (pool + any local
@@ -32,10 +38,14 @@ impl RunMetrics {
     /// Pretty single-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "{:>9.1} K-QPS  {:>8.1} us avg  {:>8.1} us p95  {:>6.2} GB/s  {:>7.1} MB mem",
+            "{:>9.1} K-QPS  {:>8.1} us avg  {:>7.1}/{:>7.1}/{:>7.1}/{:>8.1} us \
+             p50/p95/p99/p999  {:>6.2} GB/s  {:>7.1} MB mem",
             self.qps / 1e3,
             self.avg_latency_us,
+            self.p50_latency_us,
             self.p95_latency_us,
+            self.p99_latency_us,
+            self.p999_latency_us,
             self.interconnect_gbps,
             self.memory_bytes as f64 / 1e6,
         )
@@ -61,7 +71,10 @@ mod tests {
             qps: 123_456.0,
             tps: 12_345.6,
             avg_latency_us: 55.5,
+            p50_latency_us: 50.1,
             p95_latency_us: 99.9,
+            p99_latency_us: 120.0,
+            p999_latency_us: 250.0,
             interconnect_gbps: 4.7,
             memory_bytes: 100 << 20,
             window: SimTime::from_secs(1),
@@ -70,5 +83,7 @@ mod tests {
         let s = m.summary();
         assert!(s.contains("123.5 K-QPS"), "{s}");
         assert!(s.contains("4.70 GB/s"), "{s}");
+        assert!(s.contains("p50/p95/p99/p999"), "{s}");
+        assert!(s.contains("250.0"), "{s}");
     }
 }

@@ -277,7 +277,10 @@ fn finish(
             qps: queries as f64 / secs,
             tps: txns as f64 / secs,
             avg_latency_us: hist.mean_us(),
+            p50_latency_us: hist.p50_us(),
             p95_latency_us: hist.p95_us(),
+            p99_latency_us: hist.p99_us(),
+            p999_latency_us: hist.p999_us(),
             interconnect_gbps: bytes as f64 / window.as_nanos() as f64,
             memory_bytes: memory,
             window,

@@ -6,8 +6,15 @@
 //! across host threads via the bench crate's sweep runner.
 //!
 //! Run with: `cargo run --release --example pooling_scaling`
+//!
+//! Pass `--trace out.json` (or set `TRACE_OUT=out.json`) to rerun the
+//! first configuration with span recording + latency attribution on and
+//! dump a Chrome `trace_event` file — open it at https://ui.perfetto.dev
+//! (or `chrome://tracing`) to see every simulated nanosecond on a
+//! per-node, per-span-kind timeline.
 
 use bench::run_sweep;
+use bench::sweep::{run_traced, trace_out_path};
 use polardb_cxl_repro::prelude::*;
 
 const POINTS: [usize; 5] = [1, 2, 4, 8, 12];
@@ -40,4 +47,14 @@ fn main() {
         );
     }
     println!("\nthe tiered design moves a 16 KB page per miss; the ConnectX-6 (12 GB/s) becomes the wall.");
+
+    if let Some(path) = trace_out_path() {
+        println!(
+            "\ntraced rerun of the first configuration ({:?}):",
+            configs[0].kind
+        );
+        let r = run_traced(&configs[0], &path, run_pooling);
+        println!("{}", r.registry.table());
+        println!("open the trace at https://ui.perfetto.dev (Open trace file)");
+    }
 }
