@@ -15,7 +15,8 @@
 
 use crate::lru::LruList;
 use crate::{BpStats, BufferPool};
-use memsim::{Access, DramSpace, RdmaPool};
+use memsim::{Access, DramSpace, RdmaError, RdmaPool};
+use simkit::faults;
 use simkit::trace::{self, SpanKind};
 use simkit::SimTime;
 use simkit::{FastMap, FastSet};
@@ -25,6 +26,18 @@ use storage::{Lsn, PageId, PageStore};
 
 /// The RDMA fabric shared by all instances of a simulation.
 pub type SharedRdma = Rc<RefCell<RdmaPool>>;
+
+/// Transient-fault retries before the pool gives up on the fabric and
+/// degrades to the storage path.
+const MAX_FABRIC_RETRIES: u32 = 3;
+
+/// Deterministic exponential backoff charged between fabric retries
+/// (doubles per attempt, capped at 64 µs).
+const BACKOFF_BASE_NS: u64 = 1_000;
+
+fn backoff_ns(attempt: u32) -> u64 {
+    BACKOFF_BASE_NS << attempt.min(6)
+}
 
 struct Frame {
     page: PageId,
@@ -140,14 +153,41 @@ impl TieredRdmaBp {
             // the whole page crosses the NIC no matter how few bytes the
             // query wants — but the host-side copy is a single one.
             let roff = self.remote_off(page);
-            let a = self.rdma.borrow_mut().read(
-                self.host,
-                roff,
-                self.space.raw_mut().slice_mut(off, ps),
-                t,
-            );
-            self.stats.remote_read_bytes += ps as u64;
-            t = a.end;
+            let mut attempt = 0u32;
+            loop {
+                let r = self.rdma.borrow_mut().try_read(
+                    self.host,
+                    roff,
+                    self.space.raw_mut().slice_mut(off, ps),
+                    t,
+                );
+                match r {
+                    Ok(a) => {
+                        self.stats.remote_read_bytes += ps as u64;
+                        t = a.end;
+                        break;
+                    }
+                    Err(RdmaError::Transient { spike_ns }) => {
+                        self.stats.fault_retries += 1;
+                        t = t + spike_ns + backoff_ns(attempt);
+                        attempt += 1;
+                        // Storage holds an equally new copy unless the
+                        // page is dirty-only-in-remote: degrade to it
+                        // rather than stalling on a sick NIC.
+                        if attempt >= MAX_FABRIC_RETRIES && !self.remote_dirty.contains(&page) {
+                            self.stats.fault_fallbacks += 1;
+                            let io = self.store.read_page(
+                                page,
+                                self.space.raw_mut().slice_mut(off, ps),
+                                t,
+                            );
+                            self.stats.storage_read_bytes += ps as u64;
+                            t = io.end;
+                            break;
+                        }
+                    }
+                }
+            }
         } else {
             let io = self
                 .store
@@ -181,16 +221,46 @@ impl TieredRdmaBp {
             let ps = self.store.page_size() as usize;
             let foff = self.frame_off(frame);
             let roff = self.remote_off(f.page);
-            let a = self.rdma.borrow_mut().write(
-                self.host,
-                roff,
-                self.space.raw().slice(foff, ps),
-                now,
-            );
-            self.stats.remote_write_bytes += ps as u64;
-            self.remote_resident[f.page.0 as usize] = true;
-            self.remote_dirty.insert(f.page);
-            return a.end;
+            let mut t = now;
+            let mut attempt = 0u32;
+            loop {
+                let r = self.rdma.borrow_mut().try_write(
+                    self.host,
+                    roff,
+                    self.space.raw().slice(foff, ps),
+                    t,
+                );
+                match r {
+                    Ok(a) => {
+                        self.stats.remote_write_bytes += ps as u64;
+                        // A dead host's write never landed: do not
+                        // advertise the remote copy as (newly) current.
+                        if !faults::crashed() {
+                            self.remote_resident[f.page.0 as usize] = true;
+                            self.remote_dirty.insert(f.page);
+                        }
+                        return a.end;
+                    }
+                    Err(RdmaError::Transient { spike_ns }) => {
+                        self.stats.fault_retries += 1;
+                        t = t + spike_ns + backoff_ns(attempt);
+                        attempt += 1;
+                        if attempt >= MAX_FABRIC_RETRIES {
+                            // Degrade: persist straight to storage. The
+                            // remote copy (if any) is now stale, so stop
+                            // trusting it.
+                            self.stats.fault_fallbacks += 1;
+                            let io =
+                                self.store
+                                    .write_page(f.page, self.space.raw().slice(foff, ps), t);
+                            self.stats.storage_write_bytes += ps as u64;
+                            self.remote_resident[f.page.0 as usize] = false;
+                            self.remote_dirty.remove(&f.page);
+                            return io.end;
+                        }
+                    }
+                }
+            }
         }
         now
     }
@@ -465,6 +535,63 @@ mod tests {
         let ta = a.read(PageId(5), 0, &mut [0u8; 8], SimTime::ZERO).end;
         let tb = b.read(PageId(5), 0, &mut [0u8; 8], SimTime::ZERO).end;
         assert!(tb > ta, "shared NIC serializes cross-instance transfers");
+    }
+
+    #[test]
+    fn fabric_read_faults_retry_then_fall_back_to_storage() {
+        use simkit::faults::{Action, FaultPlan, FaultSite, Trigger};
+        faults::clear();
+        let mut bp = setup(2); // pages 0,1 warm; 2.. remote only
+        faults::install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::RdmaRead, 0),
+            Action::RdmaTransient {
+                failures: 8, // outlives the retry budget
+                spike_ns: 500,
+            },
+        ));
+        let mut buf = [0u8; 8];
+        let a = bp.read(PageId(5), 0, &mut buf, SimTime::ZERO);
+        faults::clear();
+        // Page 5 is remote-resident but storage-clean, so after the
+        // retry budget the pool degrades to a storage read — and the
+        // bytes are still right.
+        assert_eq!(buf, [6u8; 8]);
+        assert_eq!(bp.stats().fault_retries, MAX_FABRIC_RETRIES as u64);
+        assert_eq!(bp.stats().fault_fallbacks, 1);
+        assert_eq!(bp.stats().storage_read_bytes, 1024);
+        assert_eq!(bp.stats().remote_read_bytes, 0);
+        // Retries charged their spikes + backoff before the fallback.
+        assert!(a.end.as_nanos() >= memsim::calib::STORAGE_READ_NS + 3 * 500);
+    }
+
+    #[test]
+    fn fabric_write_faults_degrade_dirty_eviction_to_storage() {
+        use simkit::faults::{Action, FaultPlan, FaultSite, Trigger};
+        faults::clear();
+        let mut bp = setup(1);
+        bp.write(PageId(0), 0, &[0xEE], Lsn(1), SimTime::ZERO);
+        faults::install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::RdmaWrite, 0),
+            Action::RdmaTransient {
+                failures: 8,
+                spike_ns: 500,
+            },
+        ));
+        // Touch another page: evicts dirty page 0; the write-back keeps
+        // faulting, so the page goes to storage instead.
+        bp.read(PageId(1), 0, &mut [0u8; 1], SimTime::ZERO);
+        faults::clear();
+        assert_eq!(bp.stats().fault_retries, MAX_FABRIC_RETRIES as u64);
+        assert_eq!(bp.stats().fault_fallbacks, 1);
+        assert_eq!(bp.store().raw_page(PageId(0))[0], 0xEE);
+        assert!(
+            !bp.remote_resident(PageId(0)),
+            "stale remote copy must not be trusted after the fallback"
+        );
+        // The update survives a re-read (now served from storage).
+        let mut buf = [0u8; 1];
+        bp.read(PageId(0), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [0xEE]);
     }
 
     #[test]

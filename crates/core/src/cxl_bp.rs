@@ -25,6 +25,7 @@ use crate::layout::{field, BlockMeta, Geometry, RegionHeader, MAGIC, META_SIZE, 
 use bufferpool::lru::LruList;
 use bufferpool::{BpStats, BufferPool};
 use memsim::{Access, CxlPool, NodeId};
+use simkit::faults;
 use simkit::trace::{self, SpanKind};
 use simkit::SimTime;
 use simkit::{FastMap, FastSet};
@@ -363,9 +364,62 @@ impl CxlBp {
             .borrow_mut()
             .read(self.node, data_off, &mut self.page_buf, t)
             .end;
+        if faults::take_poisoned() {
+            // A poisoned line in a page being checkpointed: re-read it
+            // (the poison is transient) rather than persisting doubt.
+            self.stats.fault_retries += 1;
+            t = self
+                .cxl
+                .borrow_mut()
+                .read(self.node, data_off, &mut self.page_buf, t)
+                .end;
+        }
         let io = self.store.write_page(page, &self.page_buf, t);
         self.stats.storage_write_bytes += ps as u64;
         io.end
+    }
+
+    /// Degradation path for a read that tripped a poisoned CXL line.
+    ///
+    /// A storage-clean page is rebuilt wholesale from storage (the
+    /// paper's "forced rebuild": the CXL copy is no longer trusted);
+    /// a dirty page — whose only current copy *is* the CXL one — is
+    /// re-read, charging the retry. Either way the caller's buffer ends
+    /// up with good bytes.
+    #[cold]
+    fn heal_poisoned_read(
+        &mut self,
+        page: PageId,
+        b: u32,
+        off: u16,
+        buf: &mut [u8],
+        bad: Access,
+    ) -> Access {
+        let data_off = self.geo.data_off(b as u64);
+        let mut t = bad.end;
+        if self.dirty_pages.contains(&page) {
+            self.stats.fault_retries += 1;
+        } else {
+            self.stats.poison_rebuilds += 1;
+            let ps = self.geo.page_size as usize;
+            let io = self.store.read_page(page, &mut self.page_buf, t);
+            self.stats.storage_read_bytes += ps as u64;
+            t = self
+                .cxl
+                .borrow_mut()
+                .write_uncached(self.node, data_off, &self.page_buf, io.end)
+                .end;
+        }
+        let good = self
+            .cxl
+            .borrow_mut()
+            .read(self.node, data_off + off as u64, buf, t);
+        Access {
+            end: good.end,
+            link_bytes: bad.link_bytes + good.link_bytes,
+            hits: bad.hits + good.hits,
+            misses: bad.misses + good.misses,
+        }
     }
 }
 
@@ -388,9 +442,14 @@ impl BufferPool for CxlBp {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let (b, t) = self.fix(page, now);
         let data = self.geo.data_off(b as u64);
-        self.cxl
+        let a = self
+            .cxl
             .borrow_mut()
-            .read(self.node, data + off as u64, buf, t)
+            .read(self.node, data + off as u64, buf, t);
+        if faults::take_poisoned() {
+            return self.heal_poisoned_read(page, b, off, buf, a);
+        }
+        a
     }
 
     fn write(&mut self, page: PageId, off: u16, data: &[u8], lsn: Lsn, now: SimTime) -> Access {
@@ -659,6 +718,47 @@ mod tests {
         bp.set_latch(PageId(5), false, SimTime::ZERO);
         bp.flush_all(SimTime::ZERO);
         assert_eq!(bp.store().raw_page(PageId(5))[0], 0x55);
+    }
+
+    #[test]
+    fn poisoned_read_of_clean_page_rebuilds_from_storage() {
+        use simkit::faults::{self, Action, FaultPlan, FaultSite, Trigger};
+        faults::clear();
+        let mut bp = setup(8, 8);
+        faults::install(
+            FaultPlan::default().with(Trigger::SiteHit(FaultSite::CxlRead, 0), Action::PoisonLine),
+        );
+        let mut buf = [0u8; 8];
+        bp.read(PageId(3), 0, &mut buf, SimTime::ZERO);
+        faults::clear();
+        // Page 3 is storage-clean: the block was rebuilt from storage
+        // and the caller still got good bytes.
+        assert_eq!(buf, [4u8; 8]);
+        assert_eq!(bp.stats().poison_rebuilds, 1);
+        assert_eq!(bp.stats().fault_retries, 0);
+        assert_eq!(bp.stats().storage_read_bytes, 1024);
+    }
+
+    #[test]
+    fn poisoned_read_of_dirty_page_retries_in_place() {
+        use simkit::faults::{self, Action, FaultPlan, FaultSite, Trigger};
+        faults::clear();
+        let mut bp = setup(8, 8);
+        bp.set_latch(PageId(2), true, SimTime::ZERO);
+        bp.write(PageId(2), 0, &[0xD7; 8], Lsn(4), SimTime::ZERO);
+        bp.set_latch(PageId(2), false, SimTime::ZERO);
+        faults::install(
+            FaultPlan::default().with(Trigger::SiteHit(FaultSite::CxlRead, 0), Action::PoisonLine),
+        );
+        let mut buf = [0u8; 8];
+        bp.read(PageId(2), 0, &mut buf, SimTime::ZERO);
+        faults::clear();
+        // The CXL copy is the only current one (not yet checkpointed):
+        // no storage rebuild, just a charged re-read.
+        assert_eq!(buf, [0xD7; 8]);
+        assert_eq!(bp.stats().poison_rebuilds, 0);
+        assert_eq!(bp.stats().fault_retries, 1);
+        assert_eq!(bp.stats().storage_read_bytes, 0);
     }
 
     #[test]

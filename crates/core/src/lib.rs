@@ -32,4 +32,4 @@ pub use cxl_bp::{CxlBp, SharedCxl};
 pub use fusion::{CoherencyMode, FusionServer, SharedStore, SharingNode};
 pub use manager::{AllocError, CxlMemoryManager, Lease};
 pub use rdma_sharing::{RdmaDbp, RdmaSharingNode};
-pub use recovery::{polar_recv, polar_recv_with, RecoveryReport};
+pub use recovery::{polar_recv, polar_recv_policy, polar_recv_with, RecoveryReport, TrustPolicy};

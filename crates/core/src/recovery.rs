@@ -41,24 +41,56 @@ pub struct RecoveryReport {
     pub done: SimTime,
 }
 
+/// How PolarRecv decides whether an in-use block's CXL copy can be
+/// taken as-is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrustPolicy {
+    /// The paper's rule (§3.2): trust iff the page is not write-locked
+    /// and its LSN is covered by durable redo.
+    #[default]
+    Durable,
+    /// Metadata ablation: trust nothing, rebuild every in-use page from
+    /// storage + redo (what recovery costs without durable metadata).
+    Nothing,
+    /// DELIBERATELY BROKEN — trusts write-locked pages too, so blocks
+    /// torn mid-update (e.g. a partially flushed cacheline set) survive
+    /// into the "recovered" pool. Exists only so the fault-sweep test
+    /// can prove it detects a recovery scheme that skips the
+    /// `lock_state` check; never use it for real recovery.
+    TrustLatched,
+}
+
 /// Run PolarRecv over a crashed-and-reattached [`CxlBp`].
 ///
 /// `bp` must have been produced by [`CxlBp::attach`] (volatile state
 /// empty); on return it is fully operational and warm.
 pub fn polar_recv(bp: &mut CxlBp, wal: &mut Wal, now: SimTime) -> RecoveryReport {
-    polar_recv_with(bp, wal, now, true)
+    polar_recv_policy(bp, wal, now, TrustPolicy::Durable)
 }
 
-/// PolarRecv with a knob for the metadata ablation: with
-/// `trust_metadata = false` the per-block `lock_state`/`lsn` fields are
-/// ignored and **every** in-use page is rebuilt from storage + redo —
-/// what recovery costs if the paper's durable metadata were not kept in
-/// CXL. (Used by the `ablation_recovery_metadata` bench.)
+/// PolarRecv with the metadata-ablation knob: `trust_metadata = false`
+/// maps to [`TrustPolicy::Nothing`]. (Used by the
+/// `ablation_recovery_metadata` bench.)
 pub fn polar_recv_with(
     bp: &mut CxlBp,
     wal: &mut Wal,
     now: SimTime,
     trust_metadata: bool,
+) -> RecoveryReport {
+    let policy = if trust_metadata {
+        TrustPolicy::Durable
+    } else {
+        TrustPolicy::Nothing
+    };
+    polar_recv_policy(bp, wal, now, policy)
+}
+
+/// PolarRecv with an explicit [`TrustPolicy`].
+pub fn polar_recv_policy(
+    bp: &mut CxlBp,
+    wal: &mut Wal,
+    now: SimTime,
+    policy: TrustPolicy,
 ) -> RecoveryReport {
     let geo = bp.geometry();
     let node = bp.node();
@@ -115,7 +147,12 @@ pub fn polar_recv_with(
     let mut trusted = 0u64;
     for (b, m) in &metas {
         let too_new = m.lsn > durable.0;
-        if !trust_metadata || m.lock_state != 0 || too_new {
+        let must_rebuild = match policy {
+            TrustPolicy::Durable => m.lock_state != 0 || too_new,
+            TrustPolicy::Nothing => true,
+            TrustPolicy::TrustLatched => too_new,
+        };
+        if must_rebuild {
             rebuild.push((*b, PageId(m.page_id)));
         } else {
             trusted += 1;
@@ -246,5 +283,159 @@ pub fn polar_recv_with(
         log_bytes_scanned: if rebuild.is_empty() { 0 } else { log_bytes },
         lists_rebuilt: lists_torn,
         done: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{CxlPool, NodeId};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use storage::PageStore;
+
+    const NPAGES: u64 = 8;
+
+    fn setup() -> (CxlBp, Wal) {
+        let mut store = PageStore::with_page_size(NPAGES, 1024);
+        for p in 0..NPAGES {
+            store.allocate();
+            store.raw_write_page(PageId(p), &vec![p as u8 + 1; 1024]);
+        }
+        let cxl = Rc::new(RefCell::new(CxlPool::single_host(
+            8 << 20,
+            1,
+            256 << 10,
+            false,
+        )));
+        let mut bp = CxlBp::format(cxl, NodeId(0), 0, NPAGES, store);
+        bp.prewarm();
+        (bp, Wal::new())
+    }
+
+    /// A fully committed, durable update through the latch protocol.
+    fn committed_update(
+        bp: &mut CxlBp,
+        wal: &mut Wal,
+        page: PageId,
+        off: u16,
+        data: &[u8],
+        now: SimTime,
+    ) -> SimTime {
+        let lsn = wal.append_update(page, off, data);
+        wal.seal_mtr();
+        let t = bp.set_latch(page, true, now);
+        let a = bp.write(page, off, data, lsn, t);
+        let t = bp.set_latch(page, false, a.end);
+        wal.flush(t)
+    }
+
+    #[test]
+    fn trusted_plus_rebuilt_partitions_the_in_use_pages() {
+        // Clean crash: everything trusted, nothing scanned.
+        let (mut bp, mut wal) = setup();
+        let t = committed_update(&mut bp, &mut wal, PageId(1), 0, &[0xA1; 8], SimTime::ZERO);
+        bp.crash();
+        wal.crash();
+        let r = polar_recv(&mut bp, &mut wal, t);
+        assert_eq!(r.trusted + r.rebuilt, NPAGES, "report must cover all pages");
+        assert_eq!(r.rebuilt, 0);
+        assert_eq!(r.records_applied, 0);
+        assert_eq!(r.log_bytes_scanned, 0, "no rebuild, no log scan charged");
+        assert!(!r.lists_rebuilt);
+        assert!(r.done >= t);
+
+        // Crash inside a latch window: exactly that page is rebuilt, and
+        // the partition still holds.
+        let (mut bp, mut wal) = setup();
+        let t = committed_update(&mut bp, &mut wal, PageId(2), 0, &[0xB2; 8], SimTime::ZERO);
+        let t = committed_update(&mut bp, &mut wal, PageId(2), 8, &[0xC3; 8], t);
+        let lsn = wal.append_update(PageId(2), 16, &[0xD4; 8]);
+        wal.seal_mtr();
+        let t = bp.set_latch(PageId(2), true, t);
+        let a = bp.write(PageId(2), 16, &[0xD4; 8], lsn, t);
+        // Host dies before unlatch: the record above never flushed.
+        bp.crash();
+        wal.crash();
+        let r = polar_recv(&mut bp, &mut wal, a.end);
+        assert_eq!(r.trusted + r.rebuilt, NPAGES);
+        assert_eq!(r.rebuilt, 1, "only the latched page is rebuilt");
+        // Exactly the two durable records target the rebuilt page, and
+        // the scan is charged for the whole durable tail.
+        assert_eq!(r.records_applied, 2);
+        assert_eq!(
+            r.log_bytes_scanned,
+            wal.replay_bytes_from(wal.checkpoint_lsn()),
+            "scan covers the durable tail when anything is rebuilt"
+        );
+        assert!(!r.lists_rebuilt, "list was intact");
+        // Only durable state survived.
+        let mut buf = [0u8; 8];
+        bp.read(PageId(2), 16, &mut buf, SimTime::ZERO);
+        // The storage image fills page 2 with 3s; the unflushed record's
+        // 0xD4 bytes must have been rebuilt away.
+        assert_eq!(buf, [3u8; 8], "unflushed record must not survive");
+        bp.read(PageId(2), 8, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [0xC3; 8], "durable record must survive");
+    }
+
+    #[test]
+    fn records_applied_consistent_with_log_bytes_scanned() {
+        let (mut bp, mut wal) = setup();
+        let mut t = SimTime::ZERO;
+        for i in 0..4u8 {
+            t = committed_update(&mut bp, &mut wal, PageId(3), 24 * i as u16, &[i; 8], t);
+        }
+        // Leave page 3 latched so it is rebuilt.
+        let t = bp.set_latch(PageId(3), true, t);
+        bp.crash();
+        wal.crash();
+        let r = polar_recv(&mut bp, &mut wal, t);
+        assert_eq!(r.rebuilt, 1);
+        assert_eq!(r.records_applied, 4, "all durable records hit the page");
+        assert!(
+            r.log_bytes_scanned > 0 && r.records_applied > 0,
+            "applied records imply a charged scan"
+        );
+    }
+
+    #[test]
+    fn lists_rebuilt_iff_crash_landed_mid_list_op() {
+        // A normal crash leaves the list intact: no rebuild.
+        let (mut bp, mut wal) = setup();
+        bp.crash();
+        wal.crash();
+        let r = polar_recv(&mut bp, &mut wal, SimTime::ZERO);
+        assert!(!r.lists_rebuilt);
+
+        // Emulate dying inside a list operation: the header lock is set
+        // and never cleared. Recovery must scan, relink, and release it.
+        let (mut bp, mut wal) = setup();
+        let geo = bp.geometry();
+        let node = bp.node();
+        bp.fabric()
+            .borrow_mut()
+            .raw_mut()
+            .write(geo.base + field::HDR_LIST_LOCK, &1u64.to_le_bytes());
+        bp.crash();
+        wal.crash();
+        let r = polar_recv(&mut bp, &mut wal, SimTime::ZERO);
+        assert!(r.lists_rebuilt, "torn list lock must force a scan");
+        assert_eq!(r.trusted + r.rebuilt, NPAGES, "scan finds every page");
+        // The header is repaired: lock clear, list walkable end to end.
+        let pool = bp.fabric().borrow();
+        let hdr = RegionHeader::decode(pool.raw().slice(geo.base, META_SIZE as usize));
+        assert_eq!(hdr.list_lock, 0);
+        let mut cur = hdr.inuse_head;
+        let mut seen = 0u64;
+        while cur != 0 {
+            let m = BlockMeta::decode(pool.raw().slice(geo.meta_off(cur - 1), META_SIZE as usize));
+            assert_eq!(m.in_use, 1);
+            seen += 1;
+            cur = m.next;
+            assert!(seen <= geo.nblocks, "relinked list must not cycle");
+        }
+        assert_eq!(seen, NPAGES, "relinked list covers every in-use block");
+        let _ = node;
     }
 }

@@ -17,7 +17,7 @@ pub mod db;
 pub mod recovery;
 
 pub use db::{Db, DbStats};
-pub use recovery::{recover_polar, recover_replay, RecoverySummary};
+pub use recovery::{recover_polar, recover_polar_policy, recover_replay, RecoverySummary};
 
 #[cfg(test)]
 mod tests {

@@ -81,7 +81,18 @@ pub fn recover_replay<P: BufferPool>(
 
 /// PolarRecv over a crashed CXL-resident pool (§3.2).
 pub fn recover_polar(db: &mut Db<CxlBp>, now: SimTime) -> RecoverySummary {
-    let report = polarcxlmem::recovery::polar_recv(&mut db.pool, &mut db.wal, now);
+    recover_polar_policy(db, polarcxlmem::TrustPolicy::Durable, now)
+}
+
+/// PolarRecv with an explicit trust policy — the fault-sweep harness
+/// uses this to show that a broken policy
+/// ([`polarcxlmem::TrustPolicy::TrustLatched`]) fails verification.
+pub fn recover_polar_policy(
+    db: &mut Db<CxlBp>,
+    policy: polarcxlmem::TrustPolicy,
+    now: SimTime,
+) -> RecoverySummary {
+    let report = polarcxlmem::recovery::polar_recv_policy(&mut db.pool, &mut db.wal, now, policy);
     let (table, t2) = BTree::open(&mut db.pool, db.table.meta_page, report.done);
     db.table = table;
     trace::span(

@@ -23,6 +23,7 @@ use crate::calib::{
 };
 use crate::region::Region;
 use crate::{Access, NodeId};
+use simkit::faults::{self, FaultSite, Verdict};
 use simkit::trace::{self, Lane, SpanKind};
 use simkit::{Link, SimTime};
 use std::borrow::Borrow;
@@ -264,9 +265,40 @@ impl CxlPool {
         (end, end.saturating_since(base))
     }
 
+    /// Serve a read from the host's frozen post-crash view: cached line
+    /// data where the (captured) cache still holds it, device bytes
+    /// elsewhere — with no cache, LRU or link mutation and no timing.
+    #[cold]
+    fn frozen_read(&mut self, node: NodeId, off: u64, buf: &mut [u8], now: SimTime) -> Access {
+        self.region.read(off, buf);
+        if self.caches[node.0].captures() {
+            let end_off = off + buf.len() as u64;
+            for line in Self::line_range(off, buf.len()) {
+                let line_start = line * CACHE_LINE;
+                let copy_from = off.max(line_start);
+                let copy_to = end_off.min(line_start + CACHE_LINE);
+                if let Some(data) = self.caches[node.0].line(line) {
+                    let s = (copy_from - line_start) as usize;
+                    let dst = &mut buf[(copy_from - off) as usize..(copy_to - off) as usize];
+                    dst.copy_from_slice(&data[s..s + dst.len()]);
+                }
+            }
+        }
+        Access::free(now)
+    }
+
     /// Cached read of `buf.len()` bytes at `off` by `node`.
     pub fn read(&mut self, node: NodeId, off: u64, buf: &mut [u8], now: SimTime) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
+        let now = match faults::gate(FaultSite::CxlRead, now) {
+            // A poisoned line is reported to the consumer through the
+            // pending-poison flag; the raw bytes still transfer so the
+            // pool's own accounting is undisturbed.
+            Verdict::Run | Verdict::Poison => now,
+            // A transient fabric hiccup delays the load; it still runs.
+            Verdict::Transient { spike_ns } => now + spike_ns,
+            _ => return self.frozen_read(node, off, buf, now),
+        };
         if !self.caches[node.0].captures() {
             // Timing-mode fast path: one tag sweep over the whole run, one
             // bulk copy, one link charge. In timing mode the region always
@@ -371,6 +403,10 @@ impl CxlPool {
     /// write-back: dirty lines stay in the node's cache).
     pub fn write(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
+        if faults::crashed() {
+            // Dead host: its stores touch neither cache nor device.
+            return Access::free(now);
+        }
         if !self.caches[node.0].captures() {
             // Timing-mode fast path (see `read`). The only per-line detail
             // that survives batching is write-allocate accounting: a missed
@@ -427,10 +463,9 @@ impl CxlPool {
             match self.caches[node.0].access(line, true) {
                 LineAccess::Hit => {
                     hits += 1;
-                    if self.caches[node.0].line(line).is_some() {
-                        let s = (copy_from - line_start) as usize;
-                        self.caches[node.0].line_mut(line).unwrap()[s..s + src.len()]
-                            .copy_from_slice(src);
+                    let s = (copy_from - line_start) as usize;
+                    if let Some(cached) = self.caches[node.0].line_mut(line) {
+                        cached[s..s + src.len()].copy_from_slice(src);
                     } else {
                         self.region.write(copy_from, src);
                     }
@@ -495,6 +530,11 @@ impl CxlPool {
         now: SimTime,
     ) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
+        if faults::crashed() {
+            // Dead host: the device view is frozen; serve it untimed.
+            self.region.read(off, buf);
+            return Access::free(now);
+        }
         // Drop any locally cached copies so a later cached read refetches.
         let cache = &mut self.caches[node.0];
         for line in Self::line_range(off, buf.len()) {
@@ -522,6 +562,16 @@ impl CxlPool {
     /// and become visible to every node; local cache copies are dropped.
     pub fn write_uncached(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
+        let now = match faults::gate(FaultSite::CxlNtStore, now) {
+            Verdict::Run => now,
+            // A transient fabric hiccup delays the store; it still lands.
+            Verdict::Transient { spike_ns } => now + spike_ns,
+            // Dead (or the crash landed on this very store): the
+            // non-temporal store never reaches the device. Crashing
+            // between the ntstores of a list splice is exactly how a
+            // torn `list_lock != 0` state arises.
+            _ => return Access::free(now),
+        };
         let cache = &mut self.caches[node.0];
         for line in Self::line_range(off, data.len()) {
             // An ntstore invalidates the local cached copy. A *dirty*
@@ -552,6 +602,15 @@ impl CxlPool {
     /// cached lines (the §3.3 protocol's publish / self-invalidate step).
     pub fn clflush(&mut self, node: NodeId, off: u64, len: usize, now: SimTime) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
+        let now = match faults::gate(FaultSite::Clflush, now) {
+            Verdict::Run => now,
+            // A transient fabric hiccup delays the flush; it still runs.
+            Verdict::Transient { spike_ns } => now + spike_ns,
+            Verdict::Partial { keep_lines } => {
+                return self.partial_clflush(node, off, len, keep_lines, now)
+            }
+            _ => return Access::free(now),
+        };
         let mut flushed = 0u64;
         let mut issued = 0u64;
         let cache = &mut self.caches[node.0];
@@ -581,11 +640,43 @@ impl CxlPool {
         }
     }
 
+    /// A clflush torn `keep_lines` dirty lines in: those lines reach the
+    /// device, the rest stay unflushed in the (dying) CPU cache.
+    /// Injected by [`simkit::faults`]; the caller observes the crash via
+    /// [`simkit::faults::crashed`] and runs the real crash path.
+    #[cold]
+    fn partial_clflush(
+        &mut self,
+        node: NodeId,
+        off: u64,
+        len: usize,
+        keep_lines: u64,
+        now: SimTime,
+    ) -> Access {
+        let cache = &mut self.caches[node.0];
+        let mut flushed = 0u64;
+        for line in Self::line_range(off, len) {
+            if flushed >= keep_lines {
+                break;
+            }
+            if cache.clflush(line) {
+                flushed += 1;
+                if let Some(bytes) = cache.take_line(line) {
+                    self.region.write(line * CACHE_LINE, &bytes);
+                }
+            }
+        }
+        Access::free(now)
+    }
+
     /// Invalidate (without writeback) every cached line of the range —
     /// the reader-side step after observing an `invalid` flag (§3.3: the
     /// lines are clean because writers hold the page lock exclusively).
     pub fn invalidate(&mut self, node: NodeId, off: u64, len: usize, now: SimTime) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
+        if faults::crashed() {
+            return Access::free(now);
+        }
         let mut issued = 0u64;
         let cache = &mut self.caches[node.0];
         for line in Self::line_range(off, len) {
@@ -617,6 +708,9 @@ impl CxlPool {
     /// a clean copy.
     pub fn write_coherent(&mut self, node: NodeId, off: u64, data: &[u8], now: SimTime) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::CxlMem);
+        if faults::crashed() {
+            return Access::free(now);
+        }
         // Write through to the device.
         self.region.write(off, data);
         // Back-invalidate sharers first, then refresh the writer's copy:
@@ -999,6 +1093,69 @@ mod tests {
                 .collect();
             assert_batched_matches_reference(&ops);
         }
+    }
+
+    #[test]
+    fn poisoned_read_raises_pending_flag_only() {
+        use simkit::faults::{self, Action, FaultPlan, Trigger};
+        faults::clear();
+        let mut p = pool(false);
+        p.write(NodeId(0), 0, &[5; 64], SimTime::ZERO);
+        faults::install(
+            FaultPlan::default().with(Trigger::SiteHit(FaultSite::CxlRead, 0), Action::PoisonLine),
+        );
+        let mut buf = [0u8; 64];
+        let a = p.read(NodeId(0), 0, &mut buf, SimTime::ZERO);
+        // Bytes and timing are those of a normal read...
+        assert_eq!(buf, [5; 64]);
+        assert!(a.end > SimTime::ZERO);
+        // ...but the consumer sees the poison report exactly once.
+        assert!(faults::take_poisoned());
+        assert!(!faults::take_poisoned());
+        assert!(!faults::crashed());
+        faults::clear();
+    }
+
+    #[test]
+    fn partial_clflush_tears_at_a_line_boundary() {
+        use simkit::faults::{self, Action, FaultPlan, Trigger};
+        faults::clear();
+        let mut p = pool(true);
+        // Dirty three lines in the capture cache.
+        p.write(NodeId(0), 0, &[0xAA; 192], SimTime::ZERO);
+        assert_eq!(p.raw().slice(0, 1), &[0]);
+        faults::install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::Clflush, 0),
+            Action::PartialClflush { keep_lines: 1 },
+        ));
+        p.clflush(NodeId(0), 0, 192, SimTime::ZERO);
+        assert!(faults::crashed());
+        faults::clear();
+        p.crash_node(NodeId(0)); // unflushed dirty lines die with the host
+        assert_eq!(p.raw().slice(0, 1), &[0xAA], "first line made it");
+        assert_eq!(p.raw().slice(64, 1), &[0], "second line was torn off");
+        assert_eq!(p.raw().slice(128, 1), &[0], "third line was torn off");
+    }
+
+    #[test]
+    fn dead_host_sees_frozen_view_without_mutation() {
+        use simkit::faults::{self, FaultPlan};
+        faults::clear();
+        let mut p = pool(true);
+        p.write(NodeId(0), 0, &[7; 64], SimTime::ZERO); // dirty in cache
+        faults::install(FaultPlan::crash_at_hit(0));
+        // First poll (this read) crashes the host; the frozen view still
+        // includes its own cached dirty line.
+        let mut buf = [0u8; 64];
+        let a = p.read(NodeId(0), 0, &mut buf, SimTime(4));
+        assert_eq!(a.end, SimTime(4));
+        assert_eq!(buf, [7; 64]);
+        // Dead stores and flushes are inert.
+        p.write(NodeId(0), 0, &[9; 64], SimTime(4));
+        p.write_uncached(NodeId(0), 0, &[9; 64], SimTime(4));
+        p.clflush(NodeId(0), 0, 64, SimTime(4));
+        assert_eq!(p.raw().slice(0, 1), &[0], "device never saw any store");
+        faults::clear();
     }
 
     #[test]

@@ -70,5 +70,5 @@ impl Access {
 pub use cache::{Cache, CacheStats};
 pub use cxl::{CxlNodeConfig, CxlPool};
 pub use dram::DramSpace;
-pub use rdma::RdmaPool;
+pub use rdma::{RdmaError, RdmaPool};
 pub use region::Region;

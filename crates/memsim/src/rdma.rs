@@ -11,8 +11,33 @@
 use crate::calib::{RDMA_NIC_GBPS, RDMA_PER_OP_NS, RDMA_READ_BASE_NS, RDMA_WRITE_BASE_NS};
 use crate::region::Region;
 use crate::Access;
+use simkit::faults::{self, FaultSite, Verdict};
 use simkit::trace::{self, Lane, SpanKind};
 use simkit::{Link, SimTime};
+
+/// Typed failure of an RDMA operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RdmaError {
+    /// Transient NIC/fabric error: the attempt failed after burning
+    /// `spike_ns` of extra latency; the caller retries (with backoff)
+    /// or falls back to storage.
+    Transient {
+        /// Latency the failed attempt cost, in nanoseconds.
+        spike_ns: u64,
+    },
+}
+
+impl std::fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RdmaError::Transient { spike_ns } => {
+                write!(f, "transient rdma fault (+{spike_ns} ns)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
 
 /// Remote memory pool behind per-host RDMA NICs.
 #[derive(Debug)]
@@ -66,9 +91,44 @@ impl RdmaPool {
         &mut self.region
     }
 
+    /// RDMA read with typed fault propagation: like [`RdmaPool::read`],
+    /// but a transient fabric fault surfaces as an error (carrying the
+    /// latency the failed attempt burned) instead of being retried
+    /// internally.
+    pub fn try_read(
+        &mut self,
+        host: usize,
+        off: u64,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<Access, RdmaError> {
+        match faults::gate(FaultSite::RdmaRead, now) {
+            Verdict::Run => Ok(self.read_inner(host, off, buf, now)),
+            Verdict::Transient { spike_ns } => Err(RdmaError::Transient { spike_ns }),
+            // Dead: the host still sees the remote node's (surviving)
+            // bytes, but nothing is timed or queued any more.
+            _ => {
+                self.region.read(off, buf);
+                Ok(Access::free(now))
+            }
+        }
+    }
+
     /// RDMA read: copy `buf.len()` bytes from remote `off` into `buf`
-    /// over `host`'s NIC.
+    /// over `host`'s NIC. Transient faults are retried in place (the
+    /// burst is finite by construction); use [`RdmaPool::try_read`] for
+    /// typed propagation.
     pub fn read(&mut self, host: usize, off: u64, buf: &mut [u8], now: SimTime) -> Access {
+        let mut now = now;
+        loop {
+            match self.try_read(host, off, buf, now) {
+                Ok(a) => return a,
+                Err(RdmaError::Transient { spike_ns }) => now += spike_ns,
+            }
+        }
+    }
+
+    fn read_inner(&mut self, host: usize, off: u64, buf: &mut [u8], now: SimTime) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::Rdma);
         self.region.read(off, buf);
         let g = self.nics[host].0.transfer(now, buf.len() as u64);
@@ -90,8 +150,38 @@ impl RdmaPool {
         }
     }
 
+    /// RDMA write with typed fault propagation: like
+    /// [`RdmaPool::write`], but a transient fabric fault surfaces as an
+    /// error instead of being retried internally. A dead host's writes
+    /// never reach the remote node.
+    pub fn try_write(
+        &mut self,
+        host: usize,
+        off: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<Access, RdmaError> {
+        match faults::gate(FaultSite::RdmaWrite, now) {
+            Verdict::Run => Ok(self.write_inner(host, off, data, now)),
+            Verdict::Transient { spike_ns } => Err(RdmaError::Transient { spike_ns }),
+            _ => Ok(Access::free(now)),
+        }
+    }
+
     /// RDMA write: copy `data` to remote `off` over `host`'s NIC.
+    /// Transient faults are retried in place; use
+    /// [`RdmaPool::try_write`] for typed propagation.
     pub fn write(&mut self, host: usize, off: u64, data: &[u8], now: SimTime) -> Access {
+        let mut now = now;
+        loop {
+            match self.try_write(host, off, data, now) {
+                Ok(a) => return a,
+                Err(RdmaError::Transient { spike_ns }) => now += spike_ns,
+            }
+        }
+    }
+
+    fn write_inner(&mut self, host: usize, off: u64, data: &[u8], now: SimTime) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::Rdma);
         self.region.write(off, data);
         let g = self.nics[host].1.transfer(now, data.len() as u64);
@@ -115,6 +205,9 @@ impl RdmaPool {
     /// RDMA-based coherency protocol) — costs a round trip but no bulk
     /// bandwidth.
     pub fn message(&mut self, host: usize, now: SimTime) -> SimTime {
+        if faults::crashed() {
+            return now;
+        }
         let end = self.nics[host].1.transfer(now, 64).end;
         trace::attr_add(Lane::RdmaNic, end.saturating_since(now));
         trace::span(SpanKind::RdmaMsg, host as u32, now, end, 64);
@@ -156,6 +249,62 @@ mod tests {
         let mut buf = [0u8; 6];
         p.read(0, 4096, &mut buf, SimTime::ZERO);
         assert_eq!(&buf, b"remote");
+    }
+
+    #[test]
+    fn transient_faults_surface_typed_and_heal() {
+        use simkit::faults::{Action, FaultPlan, Trigger};
+        simkit::faults::clear();
+        let mut p = RdmaPool::new(1 << 20, 1);
+        p.write(0, 0, b"x", SimTime::ZERO);
+        simkit::faults::install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::RdmaRead, 0),
+            Action::RdmaTransient {
+                failures: 2,
+                spike_ns: 500,
+            },
+        ));
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            p.try_read(0, 0, &mut buf, SimTime::ZERO),
+            Err(RdmaError::Transient { spike_ns: 500 })
+        );
+        assert_eq!(
+            p.try_read(0, 0, &mut buf, SimTime::ZERO),
+            Err(RdmaError::Transient { spike_ns: 500 })
+        );
+        let a = p.try_read(0, 0, &mut buf, SimTime::ZERO).expect("healed");
+        assert_eq!(&buf, b"x");
+        assert!(a.end > SimTime::ZERO);
+        simkit::faults::clear();
+        // The infallible path retries the burst internally, charging the
+        // spikes as start-time delay.
+        simkit::faults::install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::RdmaRead, 0),
+            Action::RdmaTransient {
+                failures: 1,
+                spike_ns: 700,
+            },
+        ));
+        let a = p.read(0, 0, &mut buf, SimTime::ZERO);
+        assert!(a.end.as_nanos() >= 700);
+        simkit::faults::clear();
+    }
+
+    #[test]
+    fn dead_host_rdma_is_frozen() {
+        use simkit::faults::{self, FaultPlan};
+        faults::clear();
+        let mut p = RdmaPool::new(1 << 20, 1);
+        p.write(0, 0, b"keep", SimTime::ZERO);
+        faults::install(FaultPlan::crash_at_hit(0));
+        // First gate poll crashes the host: the write must not land.
+        p.write(0, 0, b"lost", SimTime(9));
+        let mut buf = [0u8; 4];
+        let a = p.read(0, 0, &mut buf, SimTime(9));
+        assert_eq!(&buf, b"keep");
+        assert_eq!(a.end, SimTime(9));
+        faults::clear();
     }
 
     #[test]

@@ -22,11 +22,14 @@
 //! - [`rng`] — seeded, stream-split randomness.
 //! - [`trace`] — virtual-time spans and per-lane latency attribution
 //!   (the simulated-time counterpart of [`profile`]).
+//! - [`faults`] — seeded, deterministic fault injection over the same
+//!   leaf primitives the tracer instruments.
 //! - [`json`] — the dependency-free JSON writer behind every artifact.
 
 #![warn(missing_docs)]
 
 pub mod fastmap;
+pub mod faults;
 pub mod json;
 pub mod lock;
 pub mod profile;
@@ -38,6 +41,7 @@ pub mod trace;
 pub mod worker;
 
 pub use fastmap::{FastMap, FastSet};
+pub use faults::{FaultPlan, FaultSite, FaultStats, Verdict};
 pub use lock::{LockMode, LockTable, VLock};
 pub use resource::{Grant, Link, MultiServer};
 pub use stats::{Counter, Histogram, MetricsRegistry, TimeSeries};

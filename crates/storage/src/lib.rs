@@ -33,5 +33,5 @@ impl Lsn {
     pub const ZERO: Lsn = Lsn(0);
 }
 
-pub use pagestore::PageStore;
+pub use pagestore::{PageStore, StorageError};
 pub use wal::{LogRecord, Wal};

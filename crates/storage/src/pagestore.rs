@@ -7,10 +7,34 @@
 
 use memsim::calib::{PAGE_SIZE, STORAGE_GBPS, STORAGE_READ_NS, STORAGE_WRITE_NS};
 use memsim::{Access, Region};
+use simkit::faults::{self, FaultSite, Verdict};
 use simkit::trace::{self, Lane};
 use simkit::{Link, SimTime};
 
 use crate::PageId;
+
+/// Typed failure of a page-store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageError {
+    /// Allocation requested from a full store (capacity in pages).
+    Full(u64),
+    /// A read/write buffer whose length is not exactly one page
+    /// (got, want).
+    BadBuffer(u64, u64),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Full(cap) => write!(f, "page store full ({cap} pages)"),
+            StorageError::BadBuffer(got, want) => {
+                write!(f, "buffer must be one page ({got} bytes, want {want})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
 
 /// A fixed-capacity page store.
 #[derive(Debug)]
@@ -60,52 +84,104 @@ impl PageStore {
         self.next_free
     }
 
+    /// Allocate the next page, or report a full store.
+    pub fn try_allocate(&mut self) -> Result<PageId, StorageError> {
+        if self.next_free >= self.capacity_pages {
+            return Err(StorageError::Full(self.capacity_pages));
+        }
+        let id = PageId(self.next_free);
+        self.next_free += 1;
+        Ok(id)
+    }
+
     /// Allocate the next page.
     ///
     /// # Panics
     /// When the store is full.
     pub fn allocate(&mut self) -> PageId {
-        assert!(
-            self.next_free < self.capacity_pages,
-            "page store full ({} pages)",
-            self.capacity_pages
-        );
-        let id = PageId(self.next_free);
-        self.next_free += 1;
-        id
+        match self.try_allocate() {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"), // lint: fault-path panic pinned by tests
+        }
     }
 
-    /// Timed page read into `buf` (must be exactly one page).
-    pub fn read_page(&mut self, page: PageId, buf: &mut [u8], now: SimTime) -> Access {
+    /// Timed page read into `buf`, or a typed error when `buf` is not
+    /// exactly one page.
+    pub fn try_read_page(
+        &mut self,
+        page: PageId,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<Access, StorageError> {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::Storage);
-        assert_eq!(buf.len() as u64, self.page_size, "buffer must be one page");
+        if buf.len() as u64 != self.page_size {
+            return Err(StorageError::BadBuffer(buf.len() as u64, self.page_size));
+        }
         self.region.read(page.0 * self.page_size, buf);
+        if faults::crashed() {
+            // The host is dead: it still sees the (crash-consistent)
+            // stored bytes, but nothing is timed or counted any more.
+            return Ok(Access::free(now));
+        }
         self.reads += 1;
         let g = self.channel.transfer(now, self.page_size);
         let end = g.end + STORAGE_READ_NS;
         trace::attr_add(Lane::Storage, end.saturating_since(now));
-        Access {
+        Ok(Access {
             end,
             link_bytes: self.page_size,
             hits: 0,
             misses: 0,
+        })
+    }
+
+    /// Timed page read into `buf` (must be exactly one page).
+    pub fn read_page(&mut self, page: PageId, buf: &mut [u8], now: SimTime) -> Access {
+        match self.try_read_page(page, buf, now) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"), // lint: fault-path panic pinned by tests
         }
     }
 
-    /// Timed page write from `data` (must be exactly one page).
-    pub fn write_page(&mut self, page: PageId, data: &[u8], now: SimTime) -> Access {
+    /// Timed page write from `data`, or a typed error when `data` is not
+    /// exactly one page. Polls the [`FaultSite::StorageWrite`] gate: a
+    /// dead host's writes never reach the store.
+    pub fn try_write_page(
+        &mut self,
+        page: PageId,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<Access, StorageError> {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::Storage);
-        assert_eq!(data.len() as u64, self.page_size, "buffer must be one page");
+        if data.len() as u64 != self.page_size {
+            return Err(StorageError::BadBuffer(data.len() as u64, self.page_size));
+        }
+        let now = match faults::gate(FaultSite::StorageWrite, now) {
+            Verdict::Run => now,
+            // A transient channel hiccup delays the write; it still lands.
+            Verdict::Transient { spike_ns } => now + spike_ns,
+            // Dead (or the crash landed on this very write): the page
+            // never reaches the persistent region.
+            _ => return Ok(Access::free(now)),
+        };
         self.region.write(page.0 * self.page_size, data);
         self.writes += 1;
         let g = self.channel.transfer(now, self.page_size);
         let end = g.end + STORAGE_WRITE_NS;
         trace::attr_add(Lane::Storage, end.saturating_since(now));
-        Access {
+        Ok(Access {
             end,
             link_bytes: self.page_size,
             hits: 0,
             misses: 0,
+        })
+    }
+
+    /// Timed page write from `data` (must be exactly one page).
+    pub fn write_page(&mut self, page: PageId, data: &[u8], now: SimTime) -> Access {
+        match self.try_write_page(page, data, now) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"), // lint: fault-path panic pinned by tests
         }
     }
 
@@ -182,6 +258,42 @@ mod tests {
         assert!(last.as_nanos() > 64 * PAGE_SIZE / 4);
         assert_eq!(s.io_counts(), (64, 0));
         assert_eq!(s.channel_bytes(), 64 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn typed_errors_mirror_the_panics() {
+        let mut s = PageStore::with_page_size(1, 64);
+        assert_eq!(s.try_allocate(), Ok(PageId(0)));
+        assert_eq!(s.try_allocate(), Err(StorageError::Full(1)));
+        let mut small = vec![0u8; 32];
+        assert_eq!(
+            s.try_read_page(PageId(0), &mut small, SimTime::ZERO),
+            Err(StorageError::BadBuffer(32, 64))
+        );
+        assert_eq!(
+            s.try_write_page(PageId(0), &small, SimTime::ZERO),
+            Err(StorageError::BadBuffer(32, 64))
+        );
+    }
+
+    #[test]
+    fn dead_host_writes_never_reach_storage() {
+        use simkit::faults::{self, FaultPlan};
+        faults::clear();
+        let mut s = PageStore::with_page_size(2, 64);
+        let p = s.allocate();
+        s.write_page(p, &[0xAA; 64], SimTime::ZERO);
+        faults::install(FaultPlan::crash_at_hit(0));
+        let a = s.write_page(p, &[0xBB; 64], SimTime(3));
+        assert_eq!(a.end, SimTime(3));
+        assert!(faults::crashed());
+        // Post-crash reads still see the pre-crash stored bytes.
+        let mut buf = vec![0u8; 64];
+        s.read_page(p, &mut buf, SimTime(3));
+        assert_eq!(buf, vec![0xAA; 64]);
+        faults::clear();
+        // Only the pre-crash write was counted; dead I/O is uncounted.
+        assert_eq!(s.io_counts(), (0, 1));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! - checkpoints bound how far back replay must scan.
 
 use memsim::calib::{WAL_FLUSH_NS, WAL_GBPS};
+use simkit::faults::{self, FaultSite, Verdict};
 use simkit::trace::{self, Lane, SpanKind};
 use simkit::{Link, SimTime};
 
@@ -148,12 +149,12 @@ pub fn decode(buf: &[u8]) -> Option<(LogRecord, usize)> {
     if buf.len() < 25 {
         return None;
     }
-    let lsn = Lsn(u64::from_le_bytes(buf[0..8].try_into().unwrap()));
-    let page = PageId(u64::from_le_bytes(buf[8..16].try_into().unwrap()));
-    let off = u16::from_le_bytes(buf[16..18].try_into().unwrap());
-    let len = u16::from_le_bytes(buf[18..20].try_into().unwrap()) as usize;
+    let lsn = Lsn(le_u64(buf, 0));
+    let page = PageId(le_u64(buf, 8));
+    let off = le_u16(buf, 16);
+    let len = le_u16(buf, 18) as usize;
     let mtr_end = buf[20] != 0;
-    let crc = u32::from_le_bytes(buf[21..25].try_into().unwrap());
+    let crc = le_u32(buf, 21);
     if buf.len() < 25 + len {
         return None;
     }
@@ -171,6 +172,27 @@ pub fn decode(buf: &[u8]) -> Option<(LogRecord, usize)> {
         },
         25 + len,
     ))
+}
+
+/// Read a little-endian `u64` at `at` (caller has bounds-checked).
+fn le_u64(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Read a little-endian `u32` at `at` (caller has bounds-checked).
+fn le_u32(buf: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Read a little-endian `u16` at `at` (caller has bounds-checked).
+fn le_u16(buf: &[u8], at: usize) -> u16 {
+    let mut b = [0u8; 2];
+    b.copy_from_slice(&buf[at..at + 2]);
+    u16::from_le_bytes(b)
 }
 
 /// Small table-less CRC32 (IEEE) — integrity check for the log format.
@@ -320,8 +342,21 @@ impl Wal {
         if self.buffer.is_empty() {
             return now;
         }
+        let now = match faults::gate(FaultSite::WalFlush, now) {
+            Verdict::Run => now,
+            // A transient device hiccup delays the flush; it still lands.
+            Verdict::Transient { spike_ns } => now + spike_ns,
+            Verdict::Torn { keep_bytes } => return self.torn_flush(keep_bytes, now),
+            // Dead (the host crashed at or before this flush): nothing
+            // new becomes durable; the buffer dies with the host.
+            _ => return now,
+        };
         let bytes = self.buffer_bytes;
-        self.durable_lsn = self.buffer.last().unwrap().lsn;
+        self.durable_lsn = self
+            .buffer
+            .last()
+            .expect("flush buffer checked non-empty")
+            .lsn;
         if self.durable.is_empty() {
             // Common case (first flush, or everything up to here already
             // checkpointed away): adopt the buffer wholesale instead of
@@ -340,10 +375,54 @@ impl Wal {
         end
     }
 
+    /// A flush torn `keep_bytes` into its device write: records fully
+    /// inside the durable prefix — truncated to the last complete
+    /// mini-transaction group, preserving group atomicity — become
+    /// durable; the rest (and the host) die. Injected by
+    /// [`simkit::faults`]; the caller observes the crash via
+    /// [`simkit::faults::crashed`] and runs the real crash path.
+    #[cold]
+    fn torn_flush(&mut self, keep_bytes: u64, now: SimTime) -> SimTime {
+        let mut fit_bytes = 0u64;
+        let mut kept = 0usize; // records up to the last complete group
+        for (i, r) in self.buffer.iter().enumerate() {
+            let next = fit_bytes + encoded_len(r);
+            if next > keep_bytes {
+                break;
+            }
+            fit_bytes = next;
+            if r.mtr_end {
+                kept = i + 1;
+            }
+        }
+        if kept == 0 {
+            return now;
+        }
+        let mut bytes = 0u64;
+        for r in self.buffer.drain(..kept) {
+            bytes += encoded_len(&r);
+            self.durable.push(r);
+        }
+        self.buffer_bytes -= bytes;
+        self.durable_lsn = self
+            .durable
+            .last()
+            .expect("torn flush kept at least one record")
+            .lsn;
+        self.flushes += 1;
+        self.bytes_flushed += bytes;
+        now
+    }
+
     /// Record a checkpoint at `lsn`: replay after a crash starts here.
     /// (The engine is responsible for having flushed the corresponding
     /// dirty pages first.)
     pub fn set_checkpoint(&mut self, lsn: Lsn) {
+        if faults::crashed() {
+            // The host died mid-checkpoint: the durable log must not be
+            // truncated by a checkpoint record that never hit the device.
+            return;
+        }
         assert!(
             lsn <= self.durable_lsn,
             "cannot checkpoint beyond durability"
@@ -572,6 +651,51 @@ mod tests {
         let mut corrupt = bytes.clone();
         *corrupt.last_mut().unwrap() ^= 0xFF;
         assert!(decode(&corrupt).is_none(), "payload corruption");
+    }
+
+    #[test]
+    fn torn_flush_keeps_only_complete_groups() {
+        use simkit::faults::{self, Action, FaultPlan, FaultSite, Trigger};
+        faults::clear();
+        let mut wal = Wal::new();
+        // Group A encodes to 33 bytes. Tear inside group B: A plus B's
+        // first record fit the durable prefix, but only complete groups
+        // may surface.
+        wal.append_mtr(vec![upd(1, 0, 1)]);
+        wal.append_mtr(vec![upd(2, 0, 2), upd(3, 0, 3)]);
+        faults::install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::WalFlush, 0),
+            Action::TornWalFlush {
+                keep_bytes: 33 + 40,
+            },
+        ));
+        wal.flush(SimTime::ZERO);
+        assert!(faults::crashed());
+        faults::clear();
+        wal.crash();
+        assert_eq!(wal.durable_lsn(), Lsn(1));
+        let pages: Vec<_> = wal.replay_from(Lsn::ZERO).map(|r| r.page).collect();
+        assert_eq!(pages, vec![PageId(1)]);
+    }
+
+    #[test]
+    fn post_crash_flush_and_checkpoint_are_inert() {
+        use simkit::faults::{self, FaultPlan};
+        faults::clear();
+        let mut wal = Wal::new();
+        wal.append_mtr(vec![upd(1, 0, 1)]);
+        wal.flush(SimTime::ZERO);
+        faults::install(FaultPlan::crash_at_hit(0));
+        wal.append_mtr(vec![upd(2, 0, 2)]);
+        let end = wal.flush(SimTime(5));
+        assert_eq!(end, SimTime(5), "dead flush is untimed");
+        assert!(faults::crashed());
+        assert_eq!(wal.durable_lsn(), Lsn(1), "nothing new became durable");
+        // A checkpoint taken by the dying host must not truncate the log.
+        wal.set_checkpoint(Lsn(1));
+        assert_eq!(wal.checkpoint_lsn(), Lsn::ZERO);
+        assert_eq!(wal.replay_from(Lsn::ZERO).count(), 1);
+        faults::clear();
     }
 
     #[test]

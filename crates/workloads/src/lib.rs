@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod harness;
 pub mod metrics;
 pub mod recovery_harness;
@@ -16,6 +17,7 @@ pub mod sysbench;
 pub mod tatp;
 pub mod tpcc;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosRunResult};
 pub use harness::{run_pooling, PoolKind, PoolingConfig, PoolingResult};
 pub use metrics::RunMetrics;
 pub use recovery_harness::{run_recovery, RecoveryConfig, RecoveryRunResult, Scheme};

@@ -53,7 +53,7 @@ impl RunMetrics {
 }
 
 /// One point of a throughput-over-time curve (Figure 10).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimelinePoint {
     /// Seconds since run start.
     pub second: u64,

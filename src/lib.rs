@@ -61,14 +61,16 @@ pub mod prelude {
     pub use bufferpool::dram_bp::DramBp;
     pub use bufferpool::tiered::TieredRdmaBp;
     pub use bufferpool::{BufferPool, Crashable};
-    pub use engine::{recover_polar, recover_replay, Db};
+    pub use engine::{recover_polar, recover_polar_policy, recover_replay, Db};
     pub use memsim::{CxlPool, NodeId, RdmaPool};
-    pub use polarcxlmem::{CxlBp, CxlMemoryManager, FusionServer, SharingNode};
+    pub use polarcxlmem::{CxlBp, CxlMemoryManager, FusionServer, SharingNode, TrustPolicy};
+    pub use simkit::faults::{self, Action, FaultPlan, FaultSite, Trigger};
     pub use simkit::rng::{stream_rng, SimRng};
     pub use simkit::{dur, SimTime};
     pub use storage::{Lsn, PageId, PageStore, Wal};
     pub use workloads::{
-        run_pooling, run_recovery, run_sharing, PoolKind, PoolingConfig, RecoveryConfig,
-        RecoveryRunResult, Scheme, SharingConfig, SharingResult, SharingSystem, SysbenchKind,
+        run_chaos, run_pooling, run_recovery, run_sharing, ChaosConfig, ChaosRunResult, PoolKind,
+        PoolingConfig, RecoveryConfig, RecoveryRunResult, Scheme, SharingConfig, SharingResult,
+        SharingSystem, SysbenchKind,
     };
 }

@@ -95,6 +95,76 @@ fn five_crashes_cannot_corrupt_committed_state() {
 }
 
 #[test]
+fn five_crashes_on_tiered_rdma_cannot_corrupt_committed_state() {
+    // Same storm against the RDMA-baseline design: local frames die with
+    // the host, remote memory survives, and ARIES replay (served from
+    // remote where resident) must restore exactly the committed state.
+    let store = PageStore::with_page_size(512, 2048);
+    let rdma = Rc::new(RefCell::new(RdmaPool::new(512 * 2048, 1)));
+    let mut db = Db::create(TieredRdmaBp::new(rdma, 0, 0, 24, 1 << 20, store), REC);
+    db.load((1..=KEYS).map(|k| (k, vec![(k % 250) as u8; REC as usize])));
+    let mut model: BTreeMap<u64, Vec<u8>> = (1..=KEYS)
+        .map(|k| (k, vec![(k % 250) as u8; REC as usize]))
+        .collect();
+    let mut rng = SimRng::seed_from_u64(77);
+    let mut now = SimTime::ZERO;
+    let mut next_key = KEYS + 1;
+
+    for round in 0..5 {
+        for _ in 0..120 {
+            match rng.gen_range(0..4) {
+                0 => {
+                    let k = rng.gen_range(1..next_key);
+                    let v = [rng.gen::<u8>(); 24];
+                    let (found, t) = db.update(k, 16, &v, now);
+                    now = t;
+                    if found {
+                        model.get_mut(&k).unwrap()[16..40].copy_from_slice(&v);
+                    } else {
+                        assert!(!model.contains_key(&k));
+                    }
+                }
+                1 => {
+                    let rec = vec![rng.gen::<u8>(); REC as usize];
+                    let (ins, t) = db.insert(next_key, &rec, now);
+                    now = t;
+                    assert!(ins);
+                    model.insert(next_key, rec);
+                    next_key += 1;
+                }
+                2 => {
+                    let k = rng.gen_range(1..next_key);
+                    let (found, t) = db.delete(k, now);
+                    now = t;
+                    assert_eq!(found, model.remove(&k).is_some());
+                }
+                _ => {
+                    let k = rng.gen_range(1..next_key);
+                    let (found, t) = db.point_select(k, now);
+                    now = t;
+                    assert_eq!(found, model.contains_key(&k), "key {k}");
+                }
+            }
+        }
+        if round % 2 == 1 {
+            now = db.checkpoint(now);
+        }
+        db.crash();
+        let report = recover_replay(&mut db, "rdma-based", now);
+        now = report.done;
+        for (k, v) in &model {
+            let (got, _) = db.table.get(&mut db.pool, *k, SimTime::ZERO);
+            assert_eq!(got.as_ref(), Some(v), "round {round}, key {k}");
+        }
+        assert_eq!(
+            db.table.check_invariants(&mut db.pool),
+            model.len() as u64,
+            "round {round} row count"
+        );
+    }
+}
+
+#[test]
 fn recovery_after_torn_latch_rebuilds_from_redo() {
     // Simulate dying inside a write-latch window: the page must be
     // rebuilt from storage + durable redo even though its CXL bytes

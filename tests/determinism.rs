@@ -106,6 +106,74 @@ fn sharing_sweep_is_thread_count_invariant() {
     }
 }
 
+// ---- fault injection ---------------------------------------------------
+//
+// The fault engine is part of the simulated world: a `FaultPlan` seed
+// fully determines which site hits are hit, torn, poisoned, or crashed,
+// so a chaos run (workload + faults + crash + recovery + resume) must be
+// bit-identical under the same `(seed, fault_seed)` pair — timeline,
+// counters, and registry included.
+
+fn chaos(scheme: Scheme, seed: u64, fault_seed: u64) -> ChaosRunResult {
+    let mut c = ChaosConfig::standard(scheme, SysbenchKind::ReadWrite);
+    c.table_size = 2_000;
+    c.workers = 8;
+    c.duration = SimTime::from_millis(120);
+    c.fault_events = 12;
+    c.horizon_hits = 20_000;
+    c.crash_at_hit = Some(5_000);
+    c.seed = seed;
+    c.fault_seed = fault_seed;
+    run_chaos(&c)
+}
+
+#[test]
+fn chaos_under_faults_is_bit_deterministic() {
+    let a = chaos(Scheme::PolarRecv, 11, 0xC4A05);
+    let b = chaos(Scheme::PolarRecv, 11, 0xC4A05);
+    assert_eq!(a.queries, b.queries);
+    assert_eq!(a.fault_stats, b.fault_stats);
+    assert_eq!(a.crashes, b.crashes);
+    assert_eq!(a.recovery, b.recovery);
+    assert_eq!(a.timeline, b.timeline);
+    assert_eq!(a.registry, b.registry);
+    // A different fault schedule perturbs the run.
+    let c = chaos(Scheme::PolarRecv, 11, 0xBEEF);
+    assert_ne!(a.fault_stats, c.fault_stats);
+}
+
+#[test]
+fn chaos_sweep_is_thread_count_invariant() {
+    // The fault engine is thread-local, so concurrent chaos runs on the
+    // parallel sweep runner cannot see each other's plans or counters.
+    use bench::run_sweep_threads;
+    let configs: Vec<ChaosConfig> = [Scheme::Vanilla, Scheme::RdmaBased, Scheme::PolarRecv]
+        .into_iter()
+        .map(|s| {
+            let mut c = ChaosConfig::standard(s, SysbenchKind::ReadWrite);
+            c.table_size = 2_000;
+            c.workers = 8;
+            c.duration = SimTime::from_millis(80);
+            c.fault_events = 10;
+            c.horizon_hits = 12_000;
+            c.crash_at_hit = Some(3_000);
+            c
+        })
+        .collect();
+    let serial = run_sweep_threads(&configs, 1, run_chaos);
+    let parallel = run_sweep_threads(&configs, 3, run_chaos);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(parallel.iter()).enumerate() {
+        assert_eq!(s.queries, p.queries, "config {i}: queries diverged");
+        assert_eq!(
+            s.fault_stats, p.fault_stats,
+            "config {i}: fault counters diverged"
+        );
+        assert_eq!(s.registry, p.registry, "config {i}: registry diverged");
+        assert_eq!(s.timeline, p.timeline, "config {i}: timeline diverged");
+    }
+}
+
 #[test]
 fn recovery_is_deterministic() {
     let run = || {
