@@ -87,7 +87,7 @@ fn bench_manager() {
             leases.push(m.allocate(NodeId(i % 4), 1 << 16, SimTime::ZERO).unwrap().0);
         }
         for l in leases {
-            m.release(l, SimTime::ZERO);
+            m.release(l, SimTime::ZERO).unwrap();
         }
     });
 }

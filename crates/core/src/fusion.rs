@@ -20,10 +20,9 @@
 //! these steps produces *observably stale reads* — see the tests.
 
 use crate::cxl_bp::SharedCxl;
+use crate::manager::rpc_gate;
 use bufferpool::lru::LruList;
-use memsim::calib::RPC_NS;
 use memsim::NodeId;
-use simkit::trace::{self, Lane};
 use simkit::FastMap;
 use simkit::SimTime;
 use std::cell::RefCell;
@@ -42,7 +41,7 @@ struct SlotInfo {
 }
 
 /// Statistics kept by the fusion server.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct FusionStats {
     /// Page-address RPCs served.
     pub rpcs: u64,
@@ -52,6 +51,34 @@ pub struct FusionStats {
     pub invalidations: u64,
     /// Pages faulted in from storage.
     pub storage_fills: u64,
+    /// Nodes declared dead and fenced ([`FusionServer::fence_node`]).
+    pub fenced_nodes: u64,
+    /// Publishes rejected because the writer was fenced.
+    pub fenced_rejects: u64,
+    /// DBP slots reclaimed from dead nodes.
+    pub reclaimed_slots: u64,
+    /// Per-(node, page) flag words cleared during reclamation.
+    pub reclaimed_flags: u64,
+}
+
+/// Whether the fusion server enforces epoch fencing against declared-
+/// dead writers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FencingPolicy {
+    /// The availability protocol: on declared death the server bumps
+    /// the node's epoch word in CXL; late stores/publishes from the
+    /// fenced node are rejected.
+    #[default]
+    Epoch,
+    /// Ablation: no fencing. A node declared dead that is actually
+    /// alive (partition, long pause) can still publish — the capture-
+    /// mode cache then makes the resulting stale reads observable.
+    Disabled,
+}
+
+/// Byte offset of `node`'s epoch word within the epoch region.
+pub fn epoch_off(epoch_base: u64, node: NodeId) -> u64 {
+    epoch_base + node.0 as u64 * 8
 }
 
 /// The buffer fusion server: allocates DBP slots from its CXL lease and
@@ -73,6 +100,15 @@ pub struct FusionServer {
     flag_bases: FastMap<NodeId, u64>,
     store: SharedStore,
     stats: FusionStats,
+    fencing: FencingPolicy,
+    /// Base of the per-node epoch-word array in CXL; `None` until
+    /// [`FusionServer::enable_fencing`] — the server is then fully
+    /// inert on every pre-existing path.
+    epoch_base: Option<u64>,
+    /// Current epoch per node (the CXL words mirror this).
+    epochs: FastMap<NodeId, u64>,
+    /// Nodes currently declared dead.
+    dead: Vec<NodeId>,
 }
 
 impl std::fmt::Debug for FusionServer {
@@ -119,12 +155,172 @@ impl FusionServer {
             flag_bases: FastMap::default(),
             store,
             stats: FusionStats::default(),
+            fencing: FencingPolicy::default(),
+            epoch_base: None,
+            epochs: FastMap::default(),
+            dead: Vec::new(),
         }
     }
 
     /// Register a node and the CXL base of its flag array.
     pub fn register_node(&mut self, node: NodeId, flag_base: u64) {
         self.flag_bases.insert(node, flag_base);
+    }
+
+    /// Arm epoch fencing: per-node 8-byte epoch words live at
+    /// `epoch_base` in CXL. Until this is called the server behaves
+    /// exactly as before (no epoch traffic, no fencing checks).
+    pub fn enable_fencing(&mut self, policy: FencingPolicy, epoch_base: u64) {
+        self.fencing = policy;
+        self.epoch_base = Some(epoch_base);
+    }
+
+    /// Register `node` under fencing: record its flag array, write its
+    /// current epoch word to CXL and return `(grant_epoch, completion)`.
+    /// The node passes the grant epoch to
+    /// [`SharingNode::enable_fencing`]; a node re-registering after
+    /// being fenced is resurrected at the *bumped* epoch (its zombie
+    /// incarnation, holding the old grant, stays locked out).
+    pub fn register_node_fenced(
+        &mut self,
+        node: NodeId,
+        flag_base: u64,
+        now: SimTime,
+    ) -> (u64, SimTime) {
+        self.flag_bases.insert(node, flag_base);
+        self.dead.retain(|&n| n != node);
+        let epoch = *self.epochs.entry(node).or_insert(0);
+        let mut t = now;
+        if let Some(base) = self.epoch_base {
+            let a = self.cxl.borrow_mut().write_uncached(
+                self.server_node,
+                epoch_off(base, node),
+                &epoch.to_le_bytes(),
+                now,
+            );
+            t = a.end;
+        }
+        (epoch, t)
+    }
+
+    /// Declare `node` dead and fence it: bump its epoch word in CXL so
+    /// every later guarded store/publish from its zombie incarnation is
+    /// rejected. Idempotent. Returns the fence completion time (the
+    /// single uncached store the paper's availability argument rests
+    /// on).
+    pub fn fence_node(&mut self, node: NodeId, now: SimTime) -> SimTime {
+        if self.dead.contains(&node) {
+            return now;
+        }
+        self.dead.push(node);
+        self.stats.fenced_nodes += 1;
+        let epoch = self.epochs.entry(node).or_insert(0);
+        *epoch += 1;
+        let epoch = *epoch;
+        let mut t = now;
+        if let Some(base) = self.epoch_base {
+            let a = self.cxl.borrow_mut().write_uncached(
+                self.server_node,
+                epoch_off(base, node),
+                &epoch.to_le_bytes(),
+                now,
+            );
+            t = a.end;
+        }
+        t
+    }
+
+    /// Whether a publish from `writer` must be rejected (declared dead
+    /// under the epoch policy).
+    fn is_fenced(&self, writer: NodeId) -> bool {
+        self.fencing == FencingPolicy::Epoch
+            && self.epoch_base.is_some()
+            && self.dead.contains(&writer)
+    }
+
+    /// Self-healing after [`FusionServer::fence_node`]: walk the DBP,
+    /// clear the dead node's `invalid`/`removal` flag words, drop it
+    /// from every slot's active list, and recycle slots only it was
+    /// using. The node's pages stay in the DBP wherever a survivor is
+    /// still active — the data in CXL outlived its writer. Returns the
+    /// completion time.
+    pub fn reclaim_node(&mut self, node: NodeId, now: SimTime) -> SimTime {
+        let Some(&flag_base) = self.flag_bases.get(&node) else {
+            return now;
+        };
+        // FastMap iteration order is not deterministic: collect and sort
+        // before doing timed work.
+        let mut touched: Vec<PageId> = self
+            .map
+            .iter()
+            .filter(|(_, info)| info.active.contains(&node))
+            .map(|(&page, _)| page)
+            .collect();
+        touched.sort_unstable();
+        let mut t = now;
+        for page in touched {
+            // One 16-B store clears both of the node's flags for the page.
+            let a = self.cxl.borrow_mut().write_uncached(
+                self.server_node,
+                invalid_flag_off(flag_base, page),
+                &[0u8; 16],
+                t,
+            );
+            t = a.end;
+            self.stats.reclaimed_flags += 1;
+            let Some(info) = self.map.get_mut(&page) else {
+                continue;
+            };
+            info.active.retain(|&n| n != node);
+            if info.active.is_empty() {
+                let slot = info.slot;
+                self.map.remove(&page);
+                self.slot_page[slot as usize] = None;
+                self.lru.remove(slot);
+                self.free.push(slot);
+                self.stats.reclaimed_slots += 1;
+            }
+        }
+        t
+    }
+
+    /// Bulk directory fetch for standby adoption (PolarRecv-style): one
+    /// RPC returns every mapped (page, CXL address) pair in
+    /// `[from, from + count)`, registers `node` as active on each, and
+    /// resets the node's flag words for the whole range with a single
+    /// contiguous ntstore sweep. This is why takeover sits far under a
+    /// storage replay: the directory is read wholesale, not resolved
+    /// page by page.
+    pub fn adopt_range(
+        &mut self,
+        node: NodeId,
+        from: PageId,
+        count: u64,
+        now: SimTime,
+    ) -> (Vec<(PageId, u64)>, SimTime) {
+        self.stats.rpcs += 1;
+        let t = rpc_gate(now);
+        let mut grants = Vec::new();
+        for p in from.0..from.0 + count {
+            let page = PageId(p);
+            if let Some(info) = self.map.get_mut(&page) {
+                if !info.active.contains(&node) {
+                    info.active.push(node);
+                }
+                let slot = info.slot;
+                self.lru.touch(slot);
+                grants.push((page, self.slot_addr(slot)));
+            }
+        }
+        // Flag words for a contiguous page range are contiguous in the
+        // node's flag array: clear them in one sweep.
+        let foff = invalid_flag_off(self.flag_bases[&node], from);
+        let zeros = vec![0u8; (count * 16) as usize];
+        let a = self
+            .cxl
+            .borrow_mut()
+            .write_uncached(self.server_node, foff, &zeros, t);
+        (grants, a.end)
     }
 
     /// Server statistics.
@@ -137,6 +333,12 @@ impl FusionServer {
         self.map.len()
     }
 
+    /// Number of free DBP slots (used by leak checks: `pages_in_use +
+    /// free_slots == nslots` must hold after reclamation).
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
     fn slot_addr(&self, slot: u32) -> u64 {
         self.slot_base + slot as u64 * self.page_size
     }
@@ -145,8 +347,7 @@ impl FusionServer {
     /// Returns (CXL data address, completion time).
     pub fn request_page(&mut self, page: PageId, node: NodeId, now: SimTime) -> (u64, SimTime) {
         self.stats.rpcs += 1;
-        trace::attr_add(Lane::Other, RPC_NS);
-        let mut t = now + RPC_NS;
+        let mut t = rpc_gate(now);
         let slot = if let Some(info) = self.map.get_mut(&page) {
             if !info.active.contains(&node) {
                 info.active.push(node);
@@ -224,6 +425,13 @@ impl FusionServer {
     /// active node. Each flag update is one store — "generally completes
     /// within a few hundred nanoseconds".
     pub fn publish(&mut self, page: PageId, writer: NodeId, now: SimTime) -> SimTime {
+        if self.is_fenced(writer) {
+            // A fenced node's late publish never reaches the other
+            // nodes' invalid flags: its write stays trapped in its own
+            // CPU cache, where the fabric no longer serves it.
+            self.stats.fenced_rejects += 1;
+            return now;
+        }
         let Some(info) = self.map.get(&page) else {
             return now;
         };
@@ -289,6 +497,39 @@ pub struct SharingNodeStats {
     pub removal_reloads: u64,
 }
 
+/// A guarded operation was refused because this node has been fenced:
+/// the epoch word in CXL no longer matches the node's grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FencedError {
+    /// The fenced node.
+    pub node: NodeId,
+    /// Epoch the node observed in CXL.
+    pub observed_epoch: u64,
+    /// Epoch the node was granted at registration.
+    pub grant_epoch: u64,
+}
+
+impl std::fmt::Display for FencedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node {} fenced: observed epoch {} != grant epoch {}",
+            self.node.0, self.observed_epoch, self.grant_epoch
+        )
+    }
+}
+
+impl std::error::Error for FencedError {}
+
+/// Node-side fencing state (see [`SharingNode::enable_fencing`]).
+#[derive(Debug, Clone, Copy)]
+struct FenceGuard {
+    /// CXL offset of this node's epoch word.
+    epoch_off: u64,
+    /// Epoch granted at registration.
+    grant_epoch: u64,
+}
+
 /// A database node participating in CXL data sharing.
 pub struct SharingNode {
     cxl: SharedCxl,
@@ -302,6 +543,8 @@ pub struct SharingNode {
     /// Dirty line ranges of the page currently being written.
     dirty_ranges: Vec<(u64, usize)>,
     stats: SharingNodeStats,
+    /// `Some` once the node registered under fencing.
+    fencing: Option<FenceGuard>,
 }
 
 impl std::fmt::Debug for SharingNode {
@@ -345,7 +588,42 @@ impl SharingNode {
             entries: FastMap::default(),
             dirty_ranges: Vec::new(),
             stats: SharingNodeStats::default(),
+            fencing: None,
         }
+    }
+
+    /// Arm the node-side fencing guard with the grant returned by
+    /// [`FusionServer::register_node_fenced`]. Guarded writes/publishes
+    /// then re-validate the epoch word before touching shared state;
+    /// without this call they are plain writes/publishes.
+    pub fn enable_fencing(&mut self, epoch_base: u64, grant_epoch: u64) {
+        self.fencing = Some(FenceGuard {
+            epoch_off: epoch_off(epoch_base, self.node),
+            grant_epoch,
+        });
+    }
+
+    /// Validate this node's epoch word (one uncached 8-B load). Returns
+    /// the completion time, or the typed fencing error if the server
+    /// has declared this node dead.
+    pub fn check_epoch(&mut self, now: SimTime) -> Result<SimTime, FencedError> {
+        let Some(guard) = self.fencing else {
+            return Ok(now);
+        };
+        let mut word = [0u8; 8];
+        let a = self
+            .cxl
+            .borrow_mut()
+            .read_uncached(self.node, guard.epoch_off, &mut word, now);
+        let observed = u64::from_le_bytes(word);
+        if observed != guard.grant_epoch {
+            return Err(FencedError {
+                node: self.node,
+                observed_epoch: observed,
+                grant_epoch: guard.grant_epoch,
+            });
+        }
+        Ok(a.end)
     }
 
     /// Node id.
@@ -377,9 +655,13 @@ impl SharingNode {
                 &mut flags,
                 now,
             );
-            let invalid = self.mode != CoherencyMode::Hardware
-                && u64::from_le_bytes(flags[0..8].try_into().unwrap()) != 0;
-            let removal = u64::from_le_bytes(flags[8..16].try_into().unwrap()) != 0;
+            let mut invalid_word = [0u8; 8];
+            let mut removal_word = [0u8; 8];
+            invalid_word.copy_from_slice(&flags[0..8]);
+            removal_word.copy_from_slice(&flags[8..16]);
+            let invalid =
+                self.mode != CoherencyMode::Hardware && u64::from_le_bytes(invalid_word) != 0;
+            let removal = u64::from_le_bytes(removal_word) != 0;
             let mut t = a.end;
             if removal {
                 // Slot recycled: forget and re-request.
@@ -426,6 +708,33 @@ impl SharingNode {
             .invalidate(self.node, addr, self.page_size as usize, t);
         self.entries.insert(page, addr);
         (addr, inv.end)
+    }
+
+    /// Adopt every mapped page in `[from, from + count)` with a single
+    /// bulk RPC ([`FusionServer::adopt_range`]) — the standby-takeover
+    /// fast path. Returns (pages adopted, completion time).
+    pub fn adopt(
+        &mut self,
+        server: &mut FusionServer,
+        from: PageId,
+        count: u64,
+        now: SimTime,
+    ) -> (u64, SimTime) {
+        self.stats.rpcs += 1;
+        let (grants, mut t) = server.adopt_range(self.node, from, count, now);
+        let adopted = grants.len() as u64;
+        for (page, addr) in grants {
+            // Same staleness hazard as a first grant: the slot may have
+            // been recycled from a page this node cached under the same
+            // address.
+            let inv = self
+                .cxl
+                .borrow_mut()
+                .invalidate(self.node, addr, self.page_size as usize, t);
+            t = inv.end;
+            self.entries.insert(page, addr);
+        }
+        (adopted, t)
     }
 
     /// Read bytes from a shared page (caller holds at least the S page
@@ -499,6 +808,35 @@ impl SharingNode {
                 server.publish(page, self.node, t)
             }
         }
+    }
+
+    /// Fencing-aware [`SharingNode::write`]: re-validate the epoch word
+    /// first, so a node the server has declared dead can never land a
+    /// late store on a shared page.
+    pub fn guarded_write(
+        &mut self,
+        server: &mut FusionServer,
+        page: PageId,
+        off: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<SimTime, FencedError> {
+        let t = self.check_epoch(now)?;
+        Ok(self.write(server, page, off, data, t))
+    }
+
+    /// Fencing-aware [`SharingNode::publish`]: re-validate the epoch
+    /// word before flushing dirty lines, so a fenced node's modified
+    /// lines stay trapped in its dying CPU cache instead of reaching
+    /// the shared pool.
+    pub fn guarded_publish(
+        &mut self,
+        server: &mut FusionServer,
+        page: PageId,
+        now: SimTime,
+    ) -> Result<SimTime, FencedError> {
+        let t = self.check_epoch(now)?;
+        Ok(self.publish(server, page, t))
     }
 }
 
@@ -694,6 +1032,119 @@ mod tests {
         let full = run(CoherencyMode::SoftwareFullPage);
         assert!(full >= lines, "full {full} vs lines {lines}");
         assert_eq!(lines, 512, "exactly the dirty lines");
+    }
+
+    /// Epoch region for fencing tests, above the flag arrays.
+    const EPOCH_BASE: u64 = 128 << 10;
+
+    #[test]
+    fn fenced_node_cannot_write_or_publish() {
+        let (mut server, mut n0, mut n1) = setup();
+        server.enable_fencing(FencingPolicy::Epoch, EPOCH_BASE);
+        let (e0, _) = server.register_node_fenced(NodeId(0), 64 << 10, SimTime::ZERO);
+        let (e1, _) = server.register_node_fenced(NodeId(1), 96 << 10, SimTime::ZERO);
+        n0.enable_fencing(EPOCH_BASE, e0);
+        n1.enable_fencing(EPOCH_BASE, e1);
+        let mut buf = [0u8; 8];
+        n1.read(&mut server, PageId(0), 0, &mut buf, SimTime::ZERO);
+        // Healthy node: guarded ops pass.
+        let t = n0
+            .guarded_write(&mut server, PageId(0), 0, &[0xAA; 8], SimTime::ZERO)
+            .expect("live node writes");
+        let t = n0.guarded_publish(&mut server, PageId(0), t).expect("live");
+        n1.read(&mut server, PageId(0), 0, &mut buf, t);
+        assert_eq!(buf, [0xAA; 8]);
+        // Declare node 0 dead: its next guarded op is refused.
+        let t = server.fence_node(NodeId(0), t);
+        let err = n0
+            .guarded_write(&mut server, PageId(0), 0, &[0xEE; 8], t)
+            .expect_err("fenced node must be rejected");
+        assert_eq!(err.node, NodeId(0));
+        assert_eq!(err.grant_epoch, e0);
+        assert_eq!(err.observed_epoch, e0 + 1);
+        assert_eq!(
+            n0.guarded_publish(&mut server, PageId(0), t),
+            Err(err),
+            "late publish refused too"
+        );
+        // Fencing is idempotent; the server-side guard also counts.
+        assert_eq!(server.fence_node(NodeId(0), t), t);
+        server.publish(PageId(0), NodeId(0), t);
+        assert_eq!(server.stats().fenced_nodes, 1);
+        assert_eq!(server.stats().fenced_rejects, 1);
+        // Readers still see the pre-fence committed value.
+        n1.read(&mut server, PageId(0), 0, &mut buf, t);
+        assert_eq!(buf, [0xAA; 8]);
+    }
+
+    #[test]
+    fn disabled_fencing_lets_a_zombie_corrupt_readers() {
+        // The ablation: without fencing, a node declared dead but
+        // actually alive publishes a late write and readers observe it
+        // — the unsafe outcome the epoch protocol exists to prevent.
+        let (mut server, mut n0, mut n1) = setup();
+        server.enable_fencing(FencingPolicy::Disabled, EPOCH_BASE);
+        server.register_node_fenced(NodeId(0), 64 << 10, SimTime::ZERO);
+        server.register_node_fenced(NodeId(1), 96 << 10, SimTime::ZERO);
+        // No node-side guards under the ablation policy.
+        let mut buf = [0u8; 8];
+        n1.read(&mut server, PageId(0), 0, &mut buf, SimTime::ZERO);
+        let t = server.fence_node(NodeId(0), SimTime::ZERO);
+        // The "dead" node keeps going: its write lands and publishes.
+        let t = n0
+            .guarded_write(&mut server, PageId(0), 0, &[0xEE; 8], t)
+            .expect("no guard armed");
+        let t = n0
+            .guarded_publish(&mut server, PageId(0), t)
+            .expect("no guard");
+        n1.read(&mut server, PageId(0), 0, &mut buf, t);
+        assert_eq!(
+            buf, [0xEE; 8],
+            "without fencing the zombie's write reaches readers"
+        );
+        assert_eq!(server.stats().fenced_rejects, 0);
+    }
+
+    #[test]
+    fn reclaim_heals_flags_slots_and_shared_pages_survive() {
+        let (mut server, mut n0, mut n1) = setup();
+        server.enable_fencing(FencingPolicy::Epoch, EPOCH_BASE);
+        let (e0, _) = server.register_node_fenced(NodeId(0), 64 << 10, SimTime::ZERO);
+        let (e1, _) = server.register_node_fenced(NodeId(1), 96 << 10, SimTime::ZERO);
+        n0.enable_fencing(EPOCH_BASE, e0);
+        n1.enable_fencing(EPOCH_BASE, e1);
+        let mut buf = [0u8; 8];
+        // Node 0 alone touches pages 2,3; both nodes share page 5.
+        n0.read(&mut server, PageId(2), 0, &mut buf, SimTime::ZERO);
+        n0.read(&mut server, PageId(3), 0, &mut buf, SimTime::ZERO);
+        n0.read(&mut server, PageId(5), 0, &mut buf, SimTime::ZERO);
+        n1.read(&mut server, PageId(5), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(server.pages_in_use(), 3);
+        let t = server.fence_node(NodeId(0), SimTime::ZERO);
+        let t = server.reclaim_node(NodeId(0), t);
+        // Exclusive slots recycled, the shared page survives in the DBP.
+        assert_eq!(server.pages_in_use(), 1);
+        assert_eq!(server.stats().reclaimed_slots, 2);
+        assert_eq!(server.stats().reclaimed_flags, 3);
+        assert_eq!(
+            server.pages_in_use() + server.free_slots(),
+            16,
+            "no leaked slots"
+        );
+        // The survivor still reads the shared page without a storage
+        // round trip (its DBP copy survived its peer's death).
+        let fills = server.stats().storage_fills;
+        n1.read(&mut server, PageId(5), 0, &mut buf, t);
+        assert_eq!(buf, [6u8; 8]);
+        assert_eq!(server.stats().storage_fills, fills);
+        // A standby re-registering the dead identity resumes at the
+        // bumped epoch and works again.
+        let (e0b, t) = server.register_node_fenced(NodeId(0), 64 << 10, t);
+        assert_eq!(e0b, e0 + 1);
+        let mut n0b = SharingNode::new(Rc::clone(&server.cxl), NodeId(0), 64 << 10, 1024);
+        n0b.enable_fencing(EPOCH_BASE, e0b);
+        n0b.guarded_write(&mut server, PageId(2), 0, &[7u8; 8], t)
+            .expect("resurrected node writes at the new epoch");
     }
 
     #[test]

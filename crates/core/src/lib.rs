@@ -29,7 +29,9 @@ pub mod rdma_sharing;
 pub mod recovery;
 
 pub use cxl_bp::{CxlBp, SharedCxl};
-pub use fusion::{CoherencyMode, FusionServer, SharedStore, SharingNode};
-pub use manager::{AllocError, CxlMemoryManager, Lease};
+pub use fusion::{
+    CoherencyMode, FencedError, FencingPolicy, FusionServer, FusionStats, SharedStore, SharingNode,
+};
+pub use manager::{AllocError, CxlMemoryManager, Lease, ReleaseError};
 pub use rdma_sharing::{RdmaDbp, RdmaSharingNode};
 pub use recovery::{polar_recv, polar_recv_policy, polar_recv_with, RecoveryReport, TrustPolicy};

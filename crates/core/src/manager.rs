@@ -9,8 +9,22 @@
 
 use memsim::calib::RPC_NS;
 use memsim::NodeId;
+use simkit::faults::{self, FaultSite, Verdict};
 use simkit::trace::{self, Lane};
 use simkit::SimTime;
+
+/// Complete a control-plane RPC at `now`, polling the fault engine at
+/// the [`FaultSite::Rpc`] site. A transient fabric fault delays the RPC
+/// by the spike and the caller retries (finitely: bursts are bounded by
+/// construction); a healthy poll costs one [`RPC_NS`] round trip.
+pub(crate) fn rpc_gate(now: SimTime) -> SimTime {
+    let mut now = now;
+    while let Verdict::Transient { spike_ns } = faults::gate(FaultSite::Rpc, now) {
+        now += spike_ns;
+    }
+    trace::attr_add(Lane::Other, RPC_NS);
+    now + RPC_NS
+}
 
 /// A lease on a contiguous CXL range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +68,31 @@ impl std::fmt::Display for AllocError {
 
 impl std::error::Error for AllocError {}
 
+/// Errors returned by lease-lifecycle RPCs ([`CxlMemoryManager::release`],
+/// [`CxlMemoryManager::reassign`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseError {
+    /// The lease is not (or no longer) registered with the manager.
+    UnknownLease {
+        /// The lease the caller presented.
+        lease: Lease,
+    },
+}
+
+impl std::fmt::Display for ReleaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReleaseError::UnknownLease { lease } => write!(
+                f,
+                "unknown lease: client {} offset {} size {}",
+                lease.client.0, lease.offset, lease.size
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReleaseError {}
+
 /// First-fit extent allocator over the CXL pool's offset space, with
 /// RPC-costed allocation calls.
 ///
@@ -68,7 +107,7 @@ impl std::error::Error for AllocError {}
 /// // Tenants never overlap.
 /// assert!(lease_a.offset + lease_a.size <= lease_b.offset
 ///      || lease_b.offset + lease_b.size <= lease_a.offset);
-/// mgr.release(lease_a, SimTime::ZERO);
+/// mgr.release(lease_a, SimTime::ZERO).unwrap();
 /// ```
 #[derive(Debug)]
 pub struct CxlMemoryManager {
@@ -142,24 +181,64 @@ impl CxlMemoryManager {
             size,
         };
         self.leases.push(lease);
-        trace::attr_add(Lane::Other, RPC_NS);
-        Ok((lease, now + RPC_NS))
+        Ok((lease, rpc_gate(now)))
     }
 
     /// Release a lease (tenant shutdown). Coalesces adjacent free
-    /// extents. Returns the RPC completion time; releasing an unknown
-    /// lease is a caller bug and panics.
-    pub fn release(&mut self, lease: Lease, now: SimTime) -> SimTime {
+    /// extents. Returns the RPC completion time, or a typed error if
+    /// the lease is unknown (the RPC still costs its round trip — the
+    /// manager must answer either way).
+    pub fn release(&mut self, lease: Lease, now: SimTime) -> Result<SimTime, ReleaseError> {
         self.rpcs += 1;
-        let idx = self
-            .leases
-            .iter()
-            .position(|l| l == &lease)
-            .expect("releasing unknown lease");
+        let end = rpc_gate(now);
+        let Some(idx) = self.leases.iter().position(|l| l == &lease) else {
+            return Err(ReleaseError::UnknownLease { lease });
+        };
         self.leases.swap_remove(idx);
-        // Insert sorted and coalesce.
-        let pos = self.free.partition_point(|&(off, _)| off < lease.offset);
-        self.free.insert(pos, (lease.offset, lease.size));
+        self.insert_free(lease.offset, lease.size);
+        Ok(end)
+    }
+
+    /// Revoke a (possibly already-released) lease: the fencing path,
+    /// where the server frees a dead node's memory without the node's
+    /// cooperation. Idempotent — revoking a lease the manager no longer
+    /// holds is a no-op, because failover may race an orderly shutdown.
+    /// Returns whether the lease was actually reclaimed, and the RPC
+    /// completion time.
+    pub fn revoke(&mut self, lease: Lease, now: SimTime) -> (bool, SimTime) {
+        self.rpcs += 1;
+        let end = rpc_gate(now);
+        let Some(idx) = self.leases.iter().position(|l| l == &lease) else {
+            return (false, end);
+        };
+        self.leases.swap_remove(idx);
+        self.insert_free(lease.offset, lease.size);
+        (true, end)
+    }
+
+    /// Transfer a lease to a new owner in place (standby takeover): the
+    /// bytes stay where they are — offset and size are preserved — only
+    /// the owning tenant changes, so the standby can adopt the dead
+    /// node's buffer pool without copying. Returns the updated lease.
+    pub fn reassign(
+        &mut self,
+        lease: Lease,
+        new_client: NodeId,
+        now: SimTime,
+    ) -> Result<(Lease, SimTime), ReleaseError> {
+        self.rpcs += 1;
+        let end = rpc_gate(now);
+        let Some(idx) = self.leases.iter().position(|l| l == &lease) else {
+            return Err(ReleaseError::UnknownLease { lease });
+        };
+        self.leases[idx].client = new_client;
+        Ok((self.leases[idx], end))
+    }
+
+    /// Insert a freed extent sorted and coalesce with its neighbours.
+    fn insert_free(&mut self, offset: u64, size: u64) {
+        let pos = self.free.partition_point(|&(off, _)| off < offset);
+        self.free.insert(pos, (offset, size));
         // Coalesce with next.
         if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
         {
@@ -171,8 +250,6 @@ impl CxlMemoryManager {
             self.free[pos - 1].1 += self.free[pos].1;
             self.free.remove(pos);
         }
-        trace::attr_add(Lane::Other, RPC_NS);
-        now + RPC_NS
     }
 
     /// Verify the no-overlap invariant (used by property tests).
@@ -247,9 +324,9 @@ mod tests {
         let (a, _) = m.allocate(NodeId(0), 1024, SimTime::ZERO).unwrap();
         let (b, _) = m.allocate(NodeId(0), 1024, SimTime::ZERO).unwrap();
         let (c, _) = m.allocate(NodeId(0), 1024, SimTime::ZERO).unwrap();
-        m.release(b, SimTime::ZERO);
-        m.release(a, SimTime::ZERO);
-        m.release(c, SimTime::ZERO);
+        m.release(b, SimTime::ZERO).unwrap();
+        m.release(a, SimTime::ZERO).unwrap();
+        m.release(c, SimTime::ZERO).unwrap();
         m.check_invariants();
         // Everything coalesced back into one extent: a full-size alloc fits.
         assert!(m.allocate(NodeId(1), 4096, SimTime::ZERO).is_ok());
@@ -263,6 +340,63 @@ mod tests {
         let (b, _) = m.allocate(NodeId(0), 65, SimTime::ZERO).unwrap();
         assert_eq!(b.offset % 64, 0);
         assert_eq!(b.size, 128);
+    }
+
+    #[test]
+    fn unknown_release_is_typed_and_double_release_revokes_idempotently() {
+        let mut m = CxlMemoryManager::new(4096);
+        let (a, _) = m.allocate(NodeId(0), 1024, SimTime::ZERO).unwrap();
+        assert!(m.release(a, SimTime::ZERO).is_ok());
+        // Second release: typed error, no panic, state untouched.
+        assert_eq!(
+            m.release(a, SimTime::ZERO),
+            Err(ReleaseError::UnknownLease { lease: a })
+        );
+        m.check_invariants();
+        // The revocation path is idempotent: first revoke reclaims,
+        // repeats are no-ops (failover racing an orderly shutdown).
+        let (b, _) = m.allocate(NodeId(1), 512, SimTime::ZERO).unwrap();
+        let (hit, _) = m.revoke(b, SimTime::ZERO);
+        assert!(hit);
+        let (hit, _) = m.revoke(b, SimTime::ZERO);
+        assert!(!hit);
+        m.check_invariants();
+        assert_eq!(m.allocated(), 0);
+    }
+
+    #[test]
+    fn reassign_preserves_extent_and_changes_owner() {
+        let mut m = CxlMemoryManager::new(4096);
+        let (a, _) = m.allocate(NodeId(0), 1024, SimTime::ZERO).unwrap();
+        let (b, _) = m.reassign(a, NodeId(7), SimTime::ZERO).unwrap();
+        assert_eq!((b.offset, b.size), (a.offset, a.size));
+        assert_eq!(b.client, NodeId(7));
+        // The old lease handle no longer resolves; the new one does.
+        assert_eq!(
+            m.reassign(a, NodeId(8), SimTime::ZERO),
+            Err(ReleaseError::UnknownLease { lease: a })
+        );
+        assert!(m.release(b, SimTime::ZERO).is_ok());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn rpcs_retry_through_transient_faults() {
+        use simkit::faults::{Action, FaultPlan, Trigger};
+        faults::clear();
+        let mut m = CxlMemoryManager::new(1 << 20);
+        faults::install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::Rpc, 0),
+            Action::RdmaTransient {
+                failures: 3,
+                spike_ns: 10_000,
+            },
+        ));
+        let (_, t) = m.allocate(NodeId(0), 64, SimTime::ZERO).unwrap();
+        // Three failed attempts burn their spikes before the RPC lands.
+        assert_eq!(t.as_nanos(), 3 * 10_000 + RPC_NS);
+        assert_eq!(faults::stats().injected[FaultSite::Rpc as usize], 3);
+        faults::clear();
     }
 
     /// Seeded random allocate/release interleavings preserve the
@@ -283,7 +417,7 @@ mod tests {
                     }
                 } else if !live.is_empty() {
                     let l = live.swap_remove((arg as usize) % live.len());
-                    m.release(l, SimTime::ZERO);
+                    m.release(l, SimTime::ZERO).unwrap();
                 }
                 m.check_invariants();
             }

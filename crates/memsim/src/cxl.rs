@@ -253,11 +253,23 @@ impl CxlPool {
         bytes: u64,
         latency_ns: u64,
     ) -> (SimTime, u64) {
-        let lat_end = now + latency_ns;
         if bytes == 0 {
-            return (lat_end, 0);
+            return (now + latency_ns, 0);
         }
         let host = self.node_host[node.0];
+        let mut now = now;
+        let mut latency_ns = latency_ns;
+        match faults::link_health(faults::FaultSite::CxlLink, host as u32, now) {
+            faults::LinkHealth::Healthy => {}
+            faults::LinkHealth::Degraded { factor } => latency_ns *= factor as u64,
+            faults::LinkHealth::Down { until, .. } => {
+                // The link is out: the op stalls until it returns, then
+                // completes at normal speed (CXL loads/stores have no
+                // software retry path — the fabric replays them).
+                now = now.max(until);
+            }
+        }
+        let lat_end = now + latency_ns;
         let g1 = self.host_links[host].transfer(now, bytes);
         let g2 = self.switch.transfer(now, bytes);
         let base = lat_end.max(g1.end);

@@ -102,8 +102,13 @@ impl RdmaPool {
         buf: &mut [u8],
         now: SimTime,
     ) -> Result<Access, RdmaError> {
+        let factor = Self::link_gate(host, now)?;
         match faults::gate(FaultSite::RdmaRead, now) {
-            Verdict::Run => Ok(self.read_inner(host, off, buf, now)),
+            Verdict::Run => {
+                let mut a = self.read_inner(host, off, buf, now);
+                Self::degrade(&mut a, now, factor);
+                Ok(a)
+            }
             Verdict::Transient { spike_ns } => Err(RdmaError::Transient { spike_ns }),
             // Dead: the host still sees the remote node's (surviving)
             // bytes, but nothing is timed or queued any more.
@@ -161,10 +166,41 @@ impl RdmaPool {
         data: &[u8],
         now: SimTime,
     ) -> Result<Access, RdmaError> {
+        let factor = Self::link_gate(host, now)?;
         match faults::gate(FaultSite::RdmaWrite, now) {
-            Verdict::Run => Ok(self.write_inner(host, off, data, now)),
+            Verdict::Run => {
+                let mut a = self.write_inner(host, off, data, now);
+                Self::degrade(&mut a, now, factor);
+                Ok(a)
+            }
             Verdict::Transient { spike_ns } => Err(RdmaError::Transient { spike_ns }),
             _ => Ok(Access::free(now)),
+        }
+    }
+
+    /// Poll this host's NIC link health. An outage surfaces as a typed
+    /// transient error whose spike is the retry interval — the caller's
+    /// existing retry/backoff/fallback machinery handles it (and the
+    /// infallible paths terminate because retries advance `now` past
+    /// the outage). A degrade returns the latency multiplier.
+    fn link_gate(host: usize, now: SimTime) -> Result<u64, RdmaError> {
+        match faults::link_health(FaultSite::RdmaLink, host as u32, now) {
+            faults::LinkHealth::Healthy => Ok(1),
+            faults::LinkHealth::Degraded { factor } => Ok(factor as u64),
+            faults::LinkHealth::Down { retry_ns, .. } => {
+                Err(RdmaError::Transient { spike_ns: retry_ns })
+            }
+        }
+    }
+
+    /// Stretch a completed transfer by the degrade factor, charging the
+    /// slowdown to the NIC attribution lane.
+    fn degrade(a: &mut Access, now: SimTime, factor: u64) {
+        if factor > 1 {
+            let delta = a.end.saturating_since(now);
+            let extra = delta.saturating_mul(factor - 1);
+            a.end += extra;
+            trace::attr_add(Lane::RdmaNic, extra);
         }
     }
 
@@ -208,10 +244,27 @@ impl RdmaPool {
         if faults::crashed() {
             return now;
         }
+        let mut now = now;
+        let factor = loop {
+            match Self::link_gate(host, now) {
+                Ok(f) => break f,
+                // Outage: the sender retries the doorbell until the NIC
+                // returns; each attempt burns the backoff interval.
+                Err(RdmaError::Transient { spike_ns }) => now += spike_ns,
+            }
+        };
         let end = self.nics[host].1.transfer(now, 64).end;
         trace::attr_add(Lane::RdmaNic, end.saturating_since(now));
-        trace::span(SpanKind::RdmaMsg, host as u32, now, end, 64);
-        end
+        let mut a = Access {
+            end,
+            link_bytes: 64,
+            hits: 0,
+            misses: 0,
+        };
+        // `degrade` charges the slowdown to the NIC lane itself.
+        Self::degrade(&mut a, now, factor);
+        trace::span(SpanKind::RdmaMsg, host as u32, now, a.end, 64);
+        a.end
     }
 
     /// Bytes moved through a host's NIC (both directions).
@@ -305,6 +358,57 @@ mod tests {
         assert_eq!(&buf, b"keep");
         assert_eq!(a.end, SimTime(9));
         faults::clear();
+    }
+
+    #[test]
+    fn link_flap_stalls_then_heals() {
+        use simkit::faults::{Action, FaultPlan, Trigger};
+        simkit::faults::clear();
+        let mut p = RdmaPool::new(1 << 20, 2);
+        p.write(0, 0, b"x", SimTime::ZERO);
+        simkit::faults::install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::RdmaLink, 0),
+            Action::LinkFlap {
+                host: 0,
+                down_ns: 10_000,
+                retry_ns: 1_000,
+            },
+        ));
+        let mut buf = [0u8; 1];
+        // Typed path: the outage surfaces as a transient with the retry
+        // interval as its spike.
+        assert_eq!(
+            p.try_read(0, 0, &mut buf, SimTime::ZERO),
+            Err(RdmaError::Transient { spike_ns: 1_000 })
+        );
+        // Other hosts' NICs are unaffected.
+        assert!(p.try_read(1, 0, &mut buf, SimTime::ZERO).is_ok());
+        // The infallible path retries through the outage and terminates.
+        let a = p.read(0, 0, &mut buf, SimTime(1_000));
+        assert!(a.end.as_nanos() >= 10_000, "{a:?}");
+        assert_eq!(&buf, b"x");
+        simkit::faults::clear();
+    }
+
+    #[test]
+    fn link_degrade_multiplies_latency() {
+        use simkit::faults::{Action, FaultPlan, Trigger};
+        simkit::faults::clear();
+        let mut p = RdmaPool::new(1 << 20, 1);
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        let healthy = p.read(0, 0, &mut buf, SimTime::ZERO).end.as_nanos();
+        let mut p = RdmaPool::new(1 << 20, 1);
+        simkit::faults::install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::RdmaLink, 0),
+            Action::LinkDegrade {
+                host: 0,
+                factor: 3,
+                heal_ns: u64::MAX,
+            },
+        ));
+        let degraded = p.read(0, 0, &mut buf, SimTime::ZERO).end.as_nanos();
+        assert_eq!(degraded, healthy * 3, "{degraded} vs {healthy}");
+        simkit::faults::clear();
     }
 
     #[test]

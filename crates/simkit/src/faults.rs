@@ -59,10 +59,18 @@ pub enum FaultSite {
     RdmaWrite = 5,
     /// Page write to the simulated NVMe store.
     StorageWrite = 6,
+    /// Per-host CXL link health poll (degrade/flap; no data verdicts —
+    /// consumers read [`link_health`] after gating here).
+    CxlLink = 7,
+    /// Per-host RDMA NIC link health poll (degrade/flap).
+    RdmaLink = 8,
+    /// Control-plane RPC to the memory manager / fusion server
+    /// ([`Verdict::Transient`] delays and retries the RPC).
+    Rpc = 9,
 }
 
 /// Number of [`FaultSite`] variants (length of per-site stat tables).
-pub const SITE_COUNT: usize = 7;
+pub const SITE_COUNT: usize = 10;
 
 impl FaultSite {
     /// Stable snake_case name (used as metric keys and in reports).
@@ -75,6 +83,9 @@ impl FaultSite {
             FaultSite::RdmaRead => "rdma_read",
             FaultSite::RdmaWrite => "rdma_write",
             FaultSite::StorageWrite => "storage_write",
+            FaultSite::CxlLink => "cxl_link",
+            FaultSite::RdmaLink => "rdma_link",
+            FaultSite::Rpc => "rpc",
         }
     }
 
@@ -87,6 +98,9 @@ impl FaultSite {
         FaultSite::RdmaRead,
         FaultSite::RdmaWrite,
         FaultSite::StorageWrite,
+        FaultSite::CxlLink,
+        FaultSite::RdmaLink,
+        FaultSite::Rpc,
     ];
 }
 
@@ -161,6 +175,54 @@ pub enum Action {
         failures: u32,
         /// Extra latency per failed attempt, in nanoseconds.
         spike_ns: u64,
+    },
+    /// Kill one cluster node (not the whole host thread). The harness
+    /// polls [`take_node_crash`] between statements, discards that
+    /// node's volatile state and declares it dead; the engine itself
+    /// keeps running so survivors keep serving.
+    CrashNode {
+        /// Node index to kill (the harness maps it to its `NodeId`).
+        node: u32,
+    },
+    /// Degrade one host's fabric link: per-byte latency is multiplied
+    /// by `factor` until the link heals `heal_ns` after the trigger.
+    LinkDegrade {
+        /// Host index whose link degrades.
+        host: u32,
+        /// Latency multiplier while degraded (≥ 1).
+        factor: u32,
+        /// Healing delay after the trigger fires, in nanoseconds.
+        heal_ns: u64,
+    },
+    /// Flap one host's fabric link: the link is down (ops stall and
+    /// retry every `retry_ns`) until it comes back `down_ns` after the
+    /// trigger.
+    LinkFlap {
+        /// Host index whose link flaps.
+        host: u32,
+        /// Outage duration after the trigger fires, in nanoseconds.
+        down_ns: u64,
+        /// Retry/backoff interval burned per failed attempt.
+        retry_ns: u64,
+    },
+}
+
+/// Health of one host's fabric link, as seen by a timed primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkHealth {
+    /// Link is up at full speed.
+    Healthy,
+    /// Link is up but slow: multiply per-transfer latency by `factor`.
+    Degraded {
+        /// Latency multiplier (≥ 1).
+        factor: u32,
+    },
+    /// Link is down until `until`; each attempt burns `retry_ns`.
+    Down {
+        /// Virtual time at which the link comes back.
+        until: SimTime,
+        /// Backoff burned per failed attempt, in nanoseconds.
+        retry_ns: u64,
     },
 }
 
@@ -237,6 +299,8 @@ pub struct FaultStats {
     pub crash_hit: Option<u64>,
     /// Site whose poll the crash landed on, if it did.
     pub crash_site: Option<FaultSite>,
+    /// Node-granular crashes declared via [`Action::CrashNode`].
+    pub node_crashes: u64,
 }
 
 impl FaultStats {
@@ -258,6 +322,18 @@ impl FaultStats {
 const ACTIVE: u8 = 1 << 0;
 const CRASHED: u8 = 1 << 1;
 const POISONED: u8 = 1 << 2;
+const NODE_CRASH: u8 = 1 << 3;
+const LINK_FAULTS: u8 = 1 << 4;
+
+/// One active per-host link fault in the engine's table.
+struct LinkFault {
+    site: FaultSite,
+    host: u32,
+    until: SimTime,
+    factor: u32,
+    retry_ns: u64,
+    down: bool,
+}
 
 struct Engine {
     events: Vec<(FaultEvent, bool)>, // (event, fired)
@@ -266,6 +342,8 @@ struct Engine {
     transient_left: u32,
     transient_spike: u64,
     transient_site: FaultSite,
+    pending_node_crashes: Vec<u32>,
+    link_faults: Vec<LinkFault>,
 }
 
 impl Engine {
@@ -277,11 +355,14 @@ impl Engine {
                 injected: [0; SITE_COUNT],
                 crash_hit: None,
                 crash_site: None,
+                node_crashes: 0,
             },
             total_hits: 0,
             transient_left: 0,
             transient_spike: 0,
             transient_site: FaultSite::RdmaRead,
+            pending_node_crashes: Vec::new(),
+            link_faults: Vec::new(),
         }
     }
 }
@@ -343,6 +424,81 @@ pub fn take_poisoned() -> bool {
         } else {
             false
         }
+    })
+}
+
+/// Consume one pending node crash declared by [`Action::CrashNode`].
+/// The cluster harness polls this between statements; on `Some(node)`
+/// it discards that node's volatile state and starts the detection
+/// clock. One inlined flag test when no node crash is pending.
+#[inline]
+pub fn take_node_crash() -> Option<u32> {
+    if FLAGS.with(|f| f.get()) & NODE_CRASH == 0 {
+        return None;
+    }
+    ENGINE.with(|e| {
+        let mut e = e.borrow_mut();
+        let node = if e.pending_node_crashes.is_empty() {
+            None
+        } else {
+            Some(e.pending_node_crashes.remove(0))
+        };
+        if e.pending_node_crashes.is_empty() {
+            FLAGS.with(|f| f.set(f.get() & !NODE_CRASH));
+        }
+        node
+    })
+}
+
+/// Poll the health of one host's fabric link at a link site
+/// ([`FaultSite::CxlLink`] or [`FaultSite::RdmaLink`]). Counts a gate
+/// hit (so link events can fire) and then consults the active link
+/// fault table: an outage dominates a degrade; overlapping degrades
+/// take the worst factor; expired entries are pruned. One inlined flag
+/// test when no plan is installed.
+#[inline]
+pub fn link_health(site: FaultSite, host: u32, now: SimTime) -> LinkHealth {
+    let flags = FLAGS.with(|f| f.get());
+    if flags & ACTIVE == 0 {
+        return LinkHealth::Healthy;
+    }
+    link_health_slow(site, host, now)
+}
+
+#[cold]
+fn link_health_slow(site: FaultSite, host: u32, now: SimTime) -> LinkHealth {
+    // Let plan events (LinkDegrade / LinkFlap / anything else keyed to
+    // this site) fire; the data verdict is ignored — link sites speak
+    // through the health table.
+    let _ = gate(site, now);
+    if FLAGS.with(|f| f.get()) & LINK_FAULTS == 0 {
+        return LinkHealth::Healthy;
+    }
+    ENGINE.with(|e| {
+        let mut e = e.borrow_mut();
+        e.link_faults.retain(|lf| lf.until > now);
+        if e.link_faults.is_empty() {
+            FLAGS.with(|f| f.set(f.get() & !LINK_FAULTS));
+            return LinkHealth::Healthy;
+        }
+        let mut health = LinkHealth::Healthy;
+        for lf in e.link_faults.iter() {
+            if lf.site != site || lf.host != host {
+                continue;
+            }
+            if lf.down {
+                return LinkHealth::Down {
+                    until: lf.until,
+                    retry_ns: lf.retry_ns,
+                };
+            }
+            let worst = match health {
+                LinkHealth::Degraded { factor } => factor.max(lf.factor),
+                _ => lf.factor,
+            };
+            health = LinkHealth::Degraded { factor: worst };
+        }
+        health
     })
 }
 
@@ -442,8 +598,62 @@ fn gate_slow(site: FaultSite, now: SimTime) -> Verdict {
                 e.stats.injected[site as usize] += 1;
                 Verdict::Transient { spike_ns }
             }
+            Action::CrashNode { node } => {
+                // Death is declared at the next statement boundary (the
+                // harness polls `take_node_crash`), so the in-flight op
+                // completes and there is no old-or-new ambiguity.
+                e.stats.injected[site as usize] += 1;
+                e.stats.node_crashes += 1;
+                e.pending_node_crashes.push(node);
+                FLAGS.with(|f| f.set(f.get() | NODE_CRASH));
+                Verdict::Run
+            }
+            Action::LinkDegrade {
+                host,
+                factor,
+                heal_ns,
+            } => {
+                e.stats.injected[site as usize] += 1;
+                e.link_faults.push(LinkFault {
+                    site: link_site_for(site),
+                    host,
+                    until: SimTime(now.0.saturating_add(heal_ns)),
+                    factor: factor.max(1),
+                    retry_ns: 0,
+                    down: false,
+                });
+                FLAGS.with(|f| f.set(f.get() | LINK_FAULTS));
+                Verdict::Run
+            }
+            Action::LinkFlap {
+                host,
+                down_ns,
+                retry_ns,
+            } => {
+                e.stats.injected[site as usize] += 1;
+                e.link_faults.push(LinkFault {
+                    site: link_site_for(site),
+                    host,
+                    until: SimTime(now.0.saturating_add(down_ns)),
+                    factor: 1,
+                    retry_ns: retry_ns.max(1),
+                    down: true,
+                });
+                FLAGS.with(|f| f.set(f.get() | LINK_FAULTS));
+                Verdict::Run
+            }
         }
     })
+}
+
+/// The link-health site a link fault applies to when its trigger fired
+/// at `site`. Firing at a link site pins the fault there; firing
+/// anywhere else (a coarse global-hit plan) lands on the CXL link.
+fn link_site_for(site: FaultSite) -> FaultSite {
+    match site {
+        FaultSite::RdmaLink | FaultSite::RdmaRead | FaultSite::RdmaWrite => FaultSite::RdmaLink,
+        _ => FaultSite::CxlLink,
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +785,131 @@ mod tests {
     fn random_plans_replay_by_seed() {
         assert_eq!(FaultPlan::random(7, 1000, 8), FaultPlan::random(7, 1000, 8));
         assert_ne!(FaultPlan::random(7, 1000, 8), FaultPlan::random(8, 1000, 8));
+    }
+
+    #[test]
+    fn crash_node_is_deferred_to_statement_boundary() {
+        drain();
+        install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::CxlRead, 1),
+            Action::CrashNode { node: 2 },
+        ));
+        assert_eq!(take_node_crash(), None);
+        assert_eq!(gate(FaultSite::CxlRead, SimTime::ZERO), Verdict::Run);
+        assert_eq!(take_node_crash(), None);
+        // The triggering poll itself still runs — death is declared at
+        // the next harness poll, not mid-op.
+        assert_eq!(gate(FaultSite::CxlRead, SimTime::ZERO), Verdict::Run);
+        assert!(!crashed());
+        assert_eq!(take_node_crash(), Some(2));
+        assert_eq!(take_node_crash(), None);
+        let s = stats();
+        assert_eq!(s.node_crashes, 1);
+        assert_eq!(s.crash_hit, None);
+        drain();
+    }
+
+    #[test]
+    fn link_degrade_scales_then_heals() {
+        drain();
+        install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::CxlLink, 0),
+            Action::LinkDegrade {
+                host: 1,
+                factor: 4,
+                heal_ns: 100,
+            },
+        ));
+        // First poll fires the event and sees the degrade.
+        assert_eq!(
+            link_health(FaultSite::CxlLink, 1, SimTime(10)),
+            LinkHealth::Degraded { factor: 4 }
+        );
+        // Other hosts and the other fabric are untouched.
+        assert_eq!(
+            link_health(FaultSite::CxlLink, 0, SimTime(20)),
+            LinkHealth::Healthy
+        );
+        assert_eq!(
+            link_health(FaultSite::RdmaLink, 1, SimTime(20)),
+            LinkHealth::Healthy
+        );
+        // Healed after `heal_ns` past the trigger instant.
+        assert_eq!(
+            link_health(FaultSite::CxlLink, 1, SimTime(200)),
+            LinkHealth::Healthy
+        );
+        drain();
+    }
+
+    #[test]
+    fn link_flap_downs_the_link_until_it_returns() {
+        drain();
+        install(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::RdmaLink, 0),
+            Action::LinkFlap {
+                host: 0,
+                down_ns: 1_000,
+                retry_ns: 50,
+            },
+        ));
+        assert_eq!(
+            link_health(FaultSite::RdmaLink, 0, SimTime(5)),
+            LinkHealth::Down {
+                until: SimTime(1_005),
+                retry_ns: 50,
+            }
+        );
+        assert_eq!(
+            link_health(FaultSite::RdmaLink, 0, SimTime(1_005)),
+            LinkHealth::Healthy
+        );
+        drain();
+    }
+
+    #[test]
+    fn overlapping_degrades_take_worst_factor_and_down_dominates() {
+        drain();
+        install(
+            FaultPlan::default()
+                .with(
+                    Trigger::SiteHit(FaultSite::CxlLink, 0),
+                    Action::LinkDegrade {
+                        host: 0,
+                        factor: 2,
+                        heal_ns: 10_000,
+                    },
+                )
+                .with(
+                    Trigger::SiteHit(FaultSite::CxlLink, 1),
+                    Action::LinkDegrade {
+                        host: 0,
+                        factor: 8,
+                        heal_ns: 10_000,
+                    },
+                )
+                .with(
+                    Trigger::SiteHit(FaultSite::CxlLink, 2),
+                    Action::LinkFlap {
+                        host: 0,
+                        down_ns: 500,
+                        retry_ns: 25,
+                    },
+                ),
+        );
+        assert_eq!(
+            link_health(FaultSite::CxlLink, 0, SimTime(0)),
+            LinkHealth::Degraded { factor: 2 }
+        );
+        assert_eq!(
+            link_health(FaultSite::CxlLink, 0, SimTime(1)),
+            LinkHealth::Degraded { factor: 8 }
+        );
+        match link_health(FaultSite::CxlLink, 0, SimTime(2)) {
+            LinkHealth::Down { retry_ns, .. } => assert_eq!(retry_ns, 25),
+            h => panic!("expected Down, got {h:?}"),
+        }
+        drain();
     }
 
     #[test]

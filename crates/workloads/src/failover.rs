@@ -1,0 +1,817 @@
+//! Node-failover harness for the multi-primary fusion cluster (§3.3 /
+//! §4.3's availability argument).
+//!
+//! N primaries share one dataset through the buffer fusion server; a
+//! seeded fault plan kills one primary mid-run ([`Action::CrashNode`]).
+//! The cluster then plays the paper's availability story:
+//!
+//! 1. **Detection** — a supervisor declares the node dead one detection
+//!    window after the fault fires (you cannot distinguish dead from
+//!    slow, which is why fencing exists).
+//! 2. **Fencing** — the fusion server bumps the node's epoch word in
+//!    CXL; any late guarded store/publish from its zombie incarnation
+//!    is rejected ([`FencedError`]).
+//! 3. **Takeover** — a standby registers under the bumped epoch regime,
+//!    adopts the dead node's DBP pages straight out of CXL (PolarRecv
+//!    band: RPCs + flag stores, no storage replay), and starts serving
+//!    its group.
+//! 4. **Self-healing** — the server reclaims the dead node's page
+//!    locks, clears its flag words, recycles slots nobody else uses,
+//!    and the memory manager revokes its scratch lease and reassigns
+//!    its flag-array lease to the standby.
+//!
+//! Survivors keep serving throughout (dip-and-recover, never wedged).
+//! Every row write is recorded in an oracle model; the end-of-run
+//! safety check re-reads everything through the protocol, so a wrong
+//! fencing policy ([`FencingPolicy::Disabled`] + a zombie's late write)
+//! produces an *observable* stale read and fails
+//! [`FailoverResult::assert_safety`].
+
+use crate::metrics::TimelinePoint;
+use crate::sharing::{seed_storage, GroupLayout};
+use memsim::calib::{
+    CPU_POINT_SELECT_NS, CPU_TXN_OVERHEAD_NS, CPU_WRITE_STMT_NS, LOCK_SERVICE_NS, PAGE_SIZE,
+};
+use memsim::{CxlNodeConfig, CxlPool, NodeId};
+use polarcxlmem::{CxlMemoryManager, FencingPolicy, FusionServer, FusionStats, Lease, SharingNode};
+use simkit::faults::{self, Action, FaultPlan, FaultSite, FaultStats, Trigger};
+use simkit::rng::{stream_rng, SimRng};
+use simkit::stats::TimeSeries;
+use simkit::trace::{self, SpanKind};
+use simkit::{
+    LockMode, LockTable, MetricsRegistry, MultiServer, SimTime, Step, WorkerId, WorkerSet,
+};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use storage::PageId;
+
+/// How the victim node dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeathMode {
+    /// The host truly dies: its CPU caches freeze mid-flight
+    /// ([`CxlPool::crash_node`]) and it never speaks again.
+    Crash,
+    /// The node is only *declared* dead (partition / long pause): it
+    /// stops serving when declared, but issues one late guarded write
+    /// after takeover — the adversary epoch fencing exists to stop.
+    Zombie,
+}
+
+/// Optional fabric degradation striking a survivor during failover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkChaos {
+    /// Healthy fabric.
+    None,
+    /// Degrade `host`'s CXL link by `factor` for `heal_ns` once the
+    /// crash fires (survivors keep serving, slower).
+    Degrade {
+        /// Host whose link degrades.
+        host: u32,
+        /// Latency multiplier.
+        factor: u32,
+        /// Outage length, ns.
+        heal_ns: u64,
+    },
+}
+
+/// Failover experiment configuration.
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// Primary database nodes.
+    pub nodes: usize,
+    /// Closed-loop workers per node (the standby gets the same count).
+    pub workers_per_node: usize,
+    /// Data layout (`nodes + 1` groups: one private per node + shared).
+    pub layout: GroupLayout,
+    /// Simulated run length.
+    pub duration: SimTime,
+    /// Timeline bucket width.
+    pub bucket: SimTime,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Fault-schedule seed (picks the crash instant).
+    pub fault_seed: u64,
+    /// Which primary dies.
+    pub crash_node: usize,
+    /// Percentage of statements on the shared group.
+    pub shared_pct: u32,
+    /// Detection window between the fault and the fence.
+    pub detection: SimTime,
+    /// Fencing policy ([`FencingPolicy::Disabled`] is the ablation).
+    pub fencing: FencingPolicy,
+    /// How the victim dies.
+    pub death: DeathMode,
+    /// Optional link degradation riding along with the crash.
+    pub link_chaos: LinkChaos,
+}
+
+impl FailoverConfig {
+    /// Standard scaled-down failover scenario for `nodes` primaries.
+    pub fn standard(nodes: usize) -> Self {
+        FailoverConfig {
+            nodes,
+            workers_per_node: 8,
+            layout: GroupLayout {
+                groups: nodes + 1,
+                rows_per_group: 4_000,
+            },
+            duration: SimTime::from_millis(60),
+            bucket: SimTime::from_millis(2),
+            seed: 11,
+            fault_seed: 7,
+            crash_node: 0,
+            shared_pct: 20,
+            detection: SimTime::from_millis(2),
+            fencing: FencingPolicy::Epoch,
+            death: DeathMode::Zombie,
+            link_chaos: LinkChaos::None,
+        }
+    }
+
+    /// Smoke-sized variant for CI.
+    pub fn smoke(nodes: usize) -> Self {
+        let mut cfg = Self::standard(nodes);
+        cfg.layout.rows_per_group = 1_000;
+        cfg.duration = SimTime::from_millis(24);
+        cfg.bucket = SimTime::from_millis(1);
+        cfg.workers_per_node = 4;
+        cfg.detection = SimTime::from_millis(1);
+        cfg
+    }
+}
+
+/// What the takeover cost, for the recorded timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TakeoverSummary {
+    /// When the supervisor declared the node dead.
+    pub death_declared: SimTime,
+    /// When fencing started (declaration + detection window).
+    pub fence_start: SimTime,
+    /// When the standby finished adopting the DBP and began serving.
+    pub takeover_done: SimTime,
+    /// `takeover_done - fence_start`.
+    pub takeover_ns: u64,
+    /// What a vanilla standby would pay replaying the group from
+    /// storage (measured against an identical cold store).
+    pub replay_estimate_ns: u64,
+    /// DBP pages the standby adopted out of CXL.
+    pub pages_recovered: u64,
+    /// Storage fills the adoption needed (0 = pure PolarRecv band).
+    pub storage_fills_during_takeover: u64,
+    /// Page locks whose dead-holder holds were cut short.
+    pub locks_reclaimed: u64,
+    /// DBP slots recycled because only the dead node used them.
+    pub slots_reclaimed: u64,
+}
+
+/// Result of a failover run.
+#[derive(Debug, Clone)]
+pub struct FailoverResult {
+    /// Statements completed over the whole run.
+    pub queries: u64,
+    /// Statements per node; index `nodes` is the standby.
+    pub queries_per_node: Vec<u64>,
+    /// Per-node throughput timeline (same indexing), one point per
+    /// bucket.
+    pub per_node_timeline: Vec<Vec<TimelinePoint>>,
+    /// Timeline bucket width.
+    pub bucket: SimTime,
+    /// Takeover record (`None` if the fault never fired).
+    pub takeover: Option<TakeoverSummary>,
+    /// Whether every end-of-run protocol read matched the oracle.
+    pub safety_ok: bool,
+    /// Rows whose protocol read disagreed with the oracle.
+    pub safety_mismatches: u64,
+    /// Longest window with zero survivor throughput, ns.
+    pub max_survivor_gap_ns: u64,
+    /// Fault-engine counters.
+    pub fault_stats: FaultStats,
+    /// Fusion-server counters.
+    pub fusion: FusionStats,
+    /// All counters, for tables and machine diffing.
+    pub registry: MetricsRegistry,
+}
+
+impl FailoverResult {
+    /// Panic unless every end-of-run protocol read matched the oracle.
+    /// The fencing ablation is *expected* to fail this — that is the
+    /// point of the negative test pinned in `tests/fault_sweep.rs`.
+    pub fn assert_safety(&self) {
+        assert!(
+            self.safety_ok,
+            "SAFETY: {} row(s) observed stale/foreign data after failover \
+             (a fenced node's late write reached readers)",
+            self.safety_mismatches
+        );
+    }
+}
+
+/// Deterministic payload byte for the `k`-th write of worker `w`.
+/// Never zero and never the zombie's 0xEE sentinel.
+fn fill_byte(w: usize, k: u64) -> u8 {
+    let b = (((w as u64)
+        .wrapping_mul(131)
+        .wrapping_add(k.wrapping_mul(17)))
+        % 250
+        + 1) as u8;
+    if b == 0xEE {
+        17
+    } else {
+        b
+    }
+}
+
+/// Run the failover scenario.
+pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
+    let layout = cfg.layout;
+    let n = cfg.nodes;
+    assert!(n >= 2, "failover needs at least one survivor");
+    assert!(cfg.crash_node < n);
+    assert_eq!(layout.groups, n + 1, "one private group per node + shared");
+    let wpn = cfg.workers_per_node;
+    let total_pages = layout.total_pages();
+    let pages_per_group = layout.pages_per_group();
+
+    // ---- CXL layout, carved out by the memory manager ---------------
+    let slots_bytes = total_pages * PAGE_SIZE;
+    let flags_bytes = total_pages * 16;
+    // Identities: primaries 0..n, fusion server n, standby n+1.
+    let pool_size = slots_bytes + flags_bytes * (n as u64 + 1) + 4096 + n as u64 * 4096;
+    let mut mgr = CxlMemoryManager::new(pool_size);
+    let server_id = NodeId(n);
+    let standby_id = NodeId(n + 1);
+    let (slots_lease, _) = mgr
+        .allocate(server_id, slots_bytes, SimTime::ZERO)
+        .expect("slot lease");
+    assert_eq!(slots_lease.offset, 0);
+    // The spare flag array (index n) is held by the control plane until
+    // takeover reassigns it to the standby.
+    let flag_leases: Vec<Lease> = (0..=n)
+        .map(|i| {
+            let owner = if i == n { server_id } else { NodeId(i) };
+            mgr.allocate(owner, flags_bytes, SimTime::ZERO)
+                .expect("flag lease")
+                .0
+        })
+        .collect();
+    let (epoch_lease, _) = mgr
+        .allocate(server_id, (n as u64 + 2) * 8, SimTime::ZERO)
+        .expect("epoch lease");
+    let scratch_leases: Vec<Lease> = (0..n)
+        .map(|i| {
+            mgr.allocate(NodeId(i), 4096, SimTime::ZERO)
+                .expect("scratch lease")
+                .0
+        })
+        .collect();
+
+    // ---- Fabric, storage, fusion server -----------------------------
+    // Identity i on host i: primaries 0..n, server on n, standby on n+1.
+    let cfgs: Vec<CxlNodeConfig> = (0..n + 2)
+        .map(|host| CxlNodeConfig {
+            host,
+            cache_bytes: 8 << 20,
+            capture: true,
+            remote_numa: false,
+            direct_attach: false,
+        })
+        .collect();
+    let cxl = Rc::new(RefCell::new(CxlPool::new(pool_size as usize, &cfgs)));
+    let store = Rc::new(RefCell::new(seed_storage(&layout)));
+    let mut server = FusionServer::new(
+        Rc::clone(&cxl),
+        server_id,
+        0,
+        total_pages as u32,
+        Rc::clone(&store),
+    );
+    server.enable_fencing(cfg.fencing, epoch_lease.offset);
+    let guard_nodes = cfg.fencing == FencingPolicy::Epoch;
+    let mut nodes: Vec<SharingNode> = (0..n)
+        .map(|i| {
+            let (grant, _) =
+                server.register_node_fenced(NodeId(i), flag_leases[i].offset, SimTime::ZERO);
+            let mut node =
+                SharingNode::new(Rc::clone(&cxl), NodeId(i), flag_leases[i].offset, PAGE_SIZE);
+            if guard_nodes {
+                node.enable_fencing(epoch_lease.offset, grant);
+            }
+            node
+        })
+        .collect();
+    // Warm: every node resolves its own group + the shared group.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        for g in [i, n] {
+            for p in 0..pages_per_group {
+                let page = PageId(g as u64 * pages_per_group + p);
+                nodes[i].access(&mut server, page, SimTime::ZERO);
+            }
+        }
+    }
+    cxl.borrow_mut().reset_link_counters();
+    let warm_fills = server.stats().storage_fills;
+
+    // ---- Fault plan --------------------------------------------------
+    // The crash instant is derived from the fault seed: same
+    // (seed, fault_seed) ⇒ bit-identical run.
+    let mut frng = stream_rng(cfg.fault_seed, 0xFA11);
+    let span = cfg.duration.as_nanos();
+    let crash_at = SimTime(span / 4 + frng.gen_range(0..span / 8));
+    let mut plan = FaultPlan::default().with(
+        Trigger::At(crash_at),
+        Action::CrashNode {
+            node: cfg.crash_node as u32,
+        },
+    );
+    if let LinkChaos::Degrade {
+        host,
+        factor,
+        heal_ns,
+    } = cfg.link_chaos
+    {
+        plan = plan.with(
+            Trigger::At(crash_at),
+            Action::LinkDegrade {
+                host,
+                factor,
+                heal_ns,
+            },
+        );
+    }
+    faults::install(plan);
+
+    // ---- The cluster run ---------------------------------------------
+    let dead = cfg.crash_node;
+    let mut cpus: Vec<MultiServer> = (0..n + 1).map(|_| MultiServer::new(16)).collect();
+    let mut locks: LockTable<PageId> = LockTable::new();
+    let n_workers = n * wpn + wpn + 1; // primaries + standby + supervisor
+    let supervisor = n_workers - 1;
+    let mut rngs: Vec<SimRng> = (0..n_workers)
+        .map(|w| stream_rng(cfg.seed, w as u64))
+        .collect();
+    let mut ws = WorkerSet::new();
+    for w in 0..n_workers {
+        ws.spawn(WorkerId(w), SimTime::ZERO);
+    }
+
+    // Oracle: committed row contents, keyed (page, offset). Shared row 0
+    // is reserved as the zombie's target — the workload never writes it,
+    // so its expected content stays the deterministic seed byte and a
+    // late fenced write is guaranteed to be observable.
+    let mut model: BTreeMap<(PageId, u16), u8> = BTreeMap::new();
+    let zombie_row = layout.locate(n, 0);
+    model.insert(zombie_row, n as u8);
+    let mut series: Vec<TimeSeries> = (0..n + 1)
+        .map(|_| TimeSeries::with_capacity_for(cfg.bucket.as_nanos(), cfg.duration))
+        .collect();
+    let mut queries_per_node = vec![0u64; n + 1];
+    let mut write_seq = vec![0u64; n_workers];
+
+    let mut death_declared: Option<SimTime> = None;
+    let mut takeover: Option<TakeoverSummary> = None;
+    let mut zombie_due: Option<SimTime> = None;
+    let mut standby_node: Option<SharingNode> = None;
+    let mut standby_grant = 0u64;
+    let detection_ns = cfg.detection.as_nanos();
+    let idle_tick = (detection_ns / 4).max(10_000);
+    let payload_len = 120usize;
+
+    // Vanilla-replay estimate: what the takeover would cost if the
+    // standby had to reload the dead node's group from storage (an
+    // identical cold store, so the measurement is side-effect free).
+    let replay_estimate_ns = {
+        let mut cold = seed_storage(&layout);
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        let mut t = SimTime::ZERO;
+        for p in 0..pages_per_group {
+            let page = PageId(dead as u64 * pages_per_group + p);
+            t = cold.read_page(page, &mut buf, t).end;
+        }
+        t.as_nanos()
+    };
+
+    ws.run_until(cfg.duration, |WorkerId(w), start| {
+        // ---------- supervisor: detection, fencing, takeover ----------
+        if w == supervisor {
+            if let Some(due) = zombie_due {
+                if start >= due {
+                    zombie_due = None;
+                    // The zombie speaks: one late guarded write+publish
+                    // against a shared row. Epoch fencing refuses it;
+                    // the ablation lets it straight through to readers.
+                    let (page, off) = zombie_row;
+                    let t = start;
+                    if let Ok(t2) =
+                        nodes[dead].guarded_write(&mut server, page, off as u64, &[0xEE; 120], t)
+                    {
+                        let _ = nodes[dead].guarded_publish(&mut server, page, t2);
+                    }
+                    return Step::Done(start + idle_tick);
+                }
+            }
+            if death_declared.is_none() {
+                if let Some(node) = faults::take_node_crash() {
+                    debug_assert_eq!(node as usize, dead);
+                    death_declared = Some(start);
+                    if cfg.death == DeathMode::Crash {
+                        cxl.borrow_mut().crash_node(NodeId(dead));
+                    }
+                    // Wake exactly at the end of the detection window.
+                    return Step::Done(start + detection_ns);
+                }
+                return Step::Done(start + idle_tick);
+            }
+            if takeover.is_none() {
+                let declared = death_declared.expect("declared");
+                let fence_start = start;
+                // 1. Fence: bump the dead node's epoch word.
+                let mut t = server.fence_node(NodeId(dead), fence_start);
+                // 2. Reclaim its page locks (its group + shared pages).
+                let mut locks_reclaimed = 0u64;
+                for g in [dead, n] {
+                    for p in 0..pages_per_group {
+                        let page = PageId(g as u64 * pages_per_group + p);
+                        if locks.reclaim(page, t) {
+                            locks_reclaimed += 1;
+                        }
+                    }
+                }
+                // 3. Lease surgery: revoke the dead node's scratch
+                //    lease (idempotent — failover can race shutdown)
+                //    and hand the spare flag array to the standby.
+                let (revoked, t2) = mgr.revoke(scratch_leases[dead], t);
+                debug_assert!(revoked);
+                let (again, t3) = mgr.revoke(scratch_leases[dead], t2);
+                debug_assert!(!again);
+                let (_, t4) = mgr
+                    .reassign(flag_leases[n], standby_id, t3)
+                    .expect("standby flag lease");
+                t = t4;
+                // 4. Standby adopts the DBP straight out of CXL while
+                //    the pages are still mapped (PolarRecv band).
+                let fills_before = server.stats().storage_fills;
+                let (grant, t2) = server.register_node_fenced(standby_id, flag_leases[n].offset, t);
+                t = t2;
+                standby_grant = grant;
+                let mut sb = SharingNode::new(
+                    Rc::clone(&cxl),
+                    standby_id,
+                    flag_leases[n].offset,
+                    PAGE_SIZE,
+                );
+                if guard_nodes {
+                    sb.enable_fencing(epoch_lease.offset, standby_grant);
+                }
+                // One bulk RPC adopts the dead node's whole group out of
+                // the DBP directory — no per-page round trips, no
+                // storage replay.
+                let (adopted, t2) = sb.adopt(
+                    &mut server,
+                    PageId(dead as u64 * pages_per_group),
+                    pages_per_group,
+                    t,
+                );
+                t = t2;
+                standby_node = Some(sb);
+                // 5. Self-heal the server: drop the dead node from every
+                //    active list, clear its flag words, recycle slots
+                //    nobody else holds.
+                let slots_before = server.stats().reclaimed_slots;
+                t = server.reclaim_node(NodeId(dead), t);
+                trace::span(
+                    SpanKind::RecoveryReplay,
+                    standby_id.0 as u32,
+                    fence_start,
+                    t,
+                    pages_per_group * PAGE_SIZE,
+                );
+                takeover = Some(TakeoverSummary {
+                    death_declared: declared,
+                    fence_start,
+                    takeover_done: t,
+                    takeover_ns: t.saturating_since(fence_start),
+                    replay_estimate_ns,
+                    pages_recovered: adopted,
+                    storage_fills_during_takeover: server.stats().storage_fills - fills_before,
+                    locks_reclaimed,
+                    slots_reclaimed: server.stats().reclaimed_slots - slots_before,
+                });
+                if cfg.death == DeathMode::Zombie {
+                    zombie_due = Some(t + idle_tick);
+                }
+                return Step::Done(t + idle_tick);
+            }
+            return Step::Done(start + idle_tick);
+        }
+
+        // ---------- standby workers: idle until takeover ---------------
+        let (node_idx, serve_group) = if w >= n * wpn {
+            let Some(t) = takeover.as_ref().map(|s| s.takeover_done) else {
+                return Step::Done(start + idle_tick);
+            };
+            if start < t {
+                return Step::Done(t);
+            }
+            (n, dead)
+        } else {
+            let node = w / wpn;
+            if node == dead && death_declared.is_some() {
+                // Declared dead: the node stops serving (its zombie, if
+                // any, speaks through the supervisor).
+                return Step::Park;
+            }
+            (node, node)
+        };
+
+        // ---------- one closed-loop transaction ------------------------
+        let rng = &mut rngs[w];
+        let mut t = start + CPU_TXN_OVERHEAD_NS;
+        let mut stmts = 0u64;
+        for _ in 0..4 {
+            let group = if rng.gen_range(0..100) < cfg.shared_pct {
+                n
+            } else {
+                serve_group
+            };
+            // Shared row 0 is the zombie's reserved target.
+            let row = if group == n {
+                rng.gen_range(1..layout.rows_per_group)
+            } else {
+                rng.gen_range(0..layout.rows_per_group)
+            };
+            let (page, off) = layout.locate(group, row);
+            let is_write = rng.gen_range(0..100) < 40;
+            if is_write {
+                t = cpus[node_idx].acquire(t, CPU_WRITE_STMT_NS).end;
+                t += LOCK_SERVICE_NS;
+                let (grant, _) = locks.acquire(page, t, LockMode::Exclusive, 0);
+                t = grant;
+                write_seq[w] += 1;
+                let b = fill_byte(w, write_seq[w]);
+                let data = vec![b; payload_len];
+                let sn = if node_idx == n {
+                    standby_node.as_mut().expect("standby serving")
+                } else {
+                    &mut nodes[node_idx]
+                };
+                match sn
+                    .guarded_write(&mut server, page, off as u64, &data, t)
+                    .and_then(|t2| sn.guarded_publish(&mut server, page, t2))
+                {
+                    Ok(t2) => {
+                        t = t2;
+                        model.insert((page, off), b);
+                    }
+                    Err(_) => {
+                        // Fenced mid-run: the write never committed, so
+                        // the oracle keeps the old value; stop serving.
+                        locks.extend_exclusive(page, t);
+                        return Step::Park;
+                    }
+                }
+                locks.extend_exclusive(page, t);
+            } else {
+                t = cpus[node_idx].acquire(t, CPU_POINT_SELECT_NS).end;
+                t += LOCK_SERVICE_NS;
+                let (grant, _) = locks.acquire(page, t, LockMode::Shared, 0);
+                t = grant;
+                let mut buf = vec![0u8; payload_len];
+                let sn = if node_idx == n {
+                    standby_node.as_mut().expect("standby serving")
+                } else {
+                    &mut nodes[node_idx]
+                };
+                t = sn.read(&mut server, page, off as u64, &mut buf, t);
+                locks.extend_shared(page, t);
+            }
+            stmts += 1;
+        }
+        series[node_idx].record_at(t, stmts);
+        queries_per_node[node_idx] += stmts;
+        Step::Done(t)
+    });
+
+    let fault_stats = faults::stats();
+    faults::clear();
+
+    // ---- End-of-run safety check: protocol reads vs the oracle -------
+    let reader_for = |page: PageId| -> usize {
+        let group = (page.0 / pages_per_group) as usize;
+        if group == dead {
+            n // the standby serves the dead group now
+        } else if group < n {
+            group
+        } else {
+            // Shared group: lowest surviving primary.
+            (0..n).find(|&i| i != dead).expect("a survivor exists")
+        }
+    };
+    let mut mismatches = 0u64;
+    let t_check = cfg.duration;
+    for (&(page, off), &expect) in model.iter() {
+        let ridx = reader_for(page);
+        let mut buf = vec![0u8; payload_len];
+        if ridx == n {
+            match standby_node.as_mut() {
+                Some(sb) => {
+                    sb.read(&mut server, page, off as u64, &mut buf, t_check);
+                }
+                None => continue, // takeover never happened: nothing to check
+            }
+        } else {
+            nodes[ridx].read(&mut server, page, off as u64, &mut buf, t_check);
+        }
+        if buf.iter().any(|&b| b != expect) {
+            mismatches += 1;
+        }
+    }
+    let safety_ok = mismatches == 0;
+
+    // ---- Timelines, liveness, registry --------------------------------
+    let per_node_timeline: Vec<Vec<TimelinePoint>> = series
+        .iter()
+        .map(|s| {
+            s.rates_per_sec()
+                .iter()
+                .enumerate()
+                .map(|(i, &qps)| TimelinePoint {
+                    second: i as u64,
+                    qps,
+                })
+                .collect()
+        })
+        .collect();
+    let bucket_ns = cfg.bucket.as_nanos();
+    let mut max_survivor_gap_ns = 0u64;
+    for (i, s) in series.iter().enumerate().take(n) {
+        if i == dead {
+            continue;
+        }
+        let mut gap = 0u64;
+        for &b in s.buckets() {
+            if b == 0 {
+                gap += bucket_ns;
+                max_survivor_gap_ns = max_survivor_gap_ns.max(gap);
+            } else {
+                gap = 0;
+            }
+        }
+    }
+
+    let queries: u64 = queries_per_node.iter().sum();
+    let fusion = server.stats();
+    let mut registry = MetricsRegistry::new();
+    registry.set_int("queries", queries);
+    registry.set_num("qps", queries as f64 / cfg.duration.as_secs_f64());
+    registry.set_int("failover_crash_node", dead as u64);
+    registry.set_int("failover_crash_at_ns", crash_at.as_nanos());
+    registry.set_int("failover_detection_ns", detection_ns);
+    registry.set_int("failover_safety_ok", safety_ok as u64);
+    registry.set_int("failover_safety_mismatches", mismatches);
+    registry.set_int("failover_max_survivor_gap_ns", max_survivor_gap_ns);
+    registry.set_int("fusion_rpcs", fusion.rpcs);
+    registry.set_int("fusion_invalidations", fusion.invalidations);
+    registry.set_int(
+        "fusion_storage_fills",
+        fusion.storage_fills.saturating_sub(warm_fills),
+    );
+    registry.set_int("fusion_fenced_nodes", fusion.fenced_nodes);
+    registry.set_int("fusion_fenced_rejects", fusion.fenced_rejects);
+    registry.set_int("fusion_reclaimed_slots", fusion.reclaimed_slots);
+    registry.set_int("fusion_reclaimed_flags", fusion.reclaimed_flags);
+    registry.set_int("manager_rpcs", mgr.rpcs());
+    registry.set_int("faults_hits", fault_stats.total_hits());
+    registry.set_int("faults_injected", fault_stats.total_injected());
+    registry.set_int("faults_node_crashes", fault_stats.node_crashes);
+    for site in FaultSite::ALL {
+        registry.set_int(
+            &format!("faults_injected_{}", site.name()),
+            fault_stats.injected[site as usize],
+        );
+    }
+    if let Some(s) = &takeover {
+        registry.set_int("failover_death_declared_ns", s.death_declared.as_nanos());
+        registry.set_int("failover_fence_start_ns", s.fence_start.as_nanos());
+        registry.set_int("failover_takeover_done_ns", s.takeover_done.as_nanos());
+        registry.set_int("failover_takeover_ns", s.takeover_ns);
+        registry.set_int("failover_replay_estimate_ns", s.replay_estimate_ns);
+        registry.set_int("failover_pages_recovered", s.pages_recovered);
+        registry.set_int(
+            "failover_storage_fills_during_takeover",
+            s.storage_fills_during_takeover,
+        );
+        registry.set_int("failover_locks_reclaimed", s.locks_reclaimed);
+        registry.set_int("failover_slots_reclaimed", s.slots_reclaimed);
+    }
+
+    // The DBP must never leak slots, whatever the failure did.
+    assert_eq!(
+        server.pages_in_use() + server.free_slots(),
+        total_pages as usize,
+        "DBP slot conservation"
+    );
+
+    FailoverResult {
+        queries,
+        queries_per_node,
+        per_node_timeline,
+        bucket: cfg.bucket,
+        takeover,
+        safety_ok,
+        safety_mismatches: mismatches,
+        max_survivor_gap_ns,
+        fault_stats,
+        fusion,
+        registry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failover_recovers_and_stays_safe() {
+        let cfg = FailoverConfig::smoke(3);
+        let r = run_failover(&cfg);
+        r.assert_safety();
+        let s = r.takeover.expect("the crash fired");
+        assert_eq!(s.storage_fills_during_takeover, 0, "PolarRecv band");
+        assert!(s.pages_recovered > 0);
+        assert!(
+            s.takeover_ns * 5 < s.replay_estimate_ns,
+            "takeover {} ns must be well under vanilla replay {} ns",
+            s.takeover_ns,
+            s.replay_estimate_ns
+        );
+        // Survivors keep serving: no silence longer than the detection
+        // window plus one bucket of quantization.
+        assert!(
+            r.max_survivor_gap_ns <= cfg.detection.as_nanos() + cfg.bucket.as_nanos(),
+            "survivor gap {} ns",
+            r.max_survivor_gap_ns
+        );
+        // The zombie's late write was refused.
+        assert!(r.fusion.fenced_nodes >= 1);
+        // The standby actually served work after takeover.
+        assert!(r.queries_per_node[cfg.nodes] > 0, "standby must serve");
+    }
+
+    #[test]
+    fn disabled_fencing_is_observably_unsafe() {
+        let mut cfg = FailoverConfig::smoke(3);
+        cfg.fencing = FencingPolicy::Disabled;
+        let r = run_failover(&cfg);
+        assert!(
+            !r.safety_ok,
+            "without fencing the zombie's late write must reach readers"
+        );
+        assert!(r.safety_mismatches > 0);
+    }
+
+    #[test]
+    fn true_crash_mode_also_recovers() {
+        let mut cfg = FailoverConfig::smoke(3);
+        cfg.death = DeathMode::Crash;
+        let r = run_failover(&cfg);
+        r.assert_safety();
+        assert!(r.takeover.is_some());
+        assert!(r.queries_per_node[cfg.nodes] > 0);
+    }
+
+    #[test]
+    fn link_chaos_slows_but_does_not_wedge_survivors() {
+        let mut cfg = FailoverConfig::smoke(3);
+        // Degrade survivor host 1's CXL link for most of the run.
+        cfg.link_chaos = LinkChaos::Degrade {
+            host: 1,
+            factor: 4,
+            heal_ns: 8_000_000,
+        };
+        let healthy = run_failover(&FailoverConfig::smoke(3));
+        let r = run_failover(&cfg);
+        r.assert_safety();
+        assert!(r.takeover.is_some());
+        // Node 1 still completes work, but less of it.
+        assert!(r.queries_per_node[1] > 0, "degraded survivor keeps serving");
+        assert!(
+            r.queries_per_node[1] < healthy.queries_per_node[1],
+            "degradation must cost throughput: {} vs {}",
+            r.queries_per_node[1],
+            healthy.queries_per_node[1]
+        );
+    }
+
+    #[test]
+    fn fill_bytes_are_nonzero_and_deterministic() {
+        for w in 0..64 {
+            for k in 0..32 {
+                let b = fill_byte(w, k);
+                assert!(b != 0 && b != 0xEE, "{b}");
+                assert_eq!(b, fill_byte(w, k));
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod failover;
 pub mod harness;
 pub mod metrics;
 pub mod recovery_harness;
@@ -18,6 +19,9 @@ pub mod tatp;
 pub mod tpcc;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosRunResult};
+pub use failover::{
+    run_failover, DeathMode, FailoverConfig, FailoverResult, LinkChaos, TakeoverSummary,
+};
 pub use harness::{run_pooling, PoolKind, PoolingConfig, PoolingResult};
 pub use metrics::RunMetrics;
 pub use recovery_harness::{run_recovery, RecoveryConfig, RecoveryRunResult, Scheme};

@@ -223,7 +223,7 @@ pub struct SharingResult {
     pub lock_mean_wait_ns: f64,
 }
 
-fn seed_storage(layout: &GroupLayout) -> PageStore {
+pub(crate) fn seed_storage(layout: &GroupLayout) -> PageStore {
     let mut store = PageStore::new(layout.total_pages());
     for _ in 0..layout.total_pages() {
         store.allocate();

@@ -1,0 +1,121 @@
+//! Failover scenario: a multi-primary fusion cluster loses one primary
+//! mid-run. The server fences the dead node's epoch, a standby adopts
+//! its DBP pages straight out of CXL (one bulk directory RPC — no
+//! storage replay), the dead node's locks/flags/slots are reclaimed,
+//! and its zombie's late write is refused.
+//!
+//! Shown: per-node throughput timelines (survivors dip and recover, the
+//! standby picks up the dead node's group), takeover cost vs a vanilla
+//! storage replay, and the fencing ablation — with fencing disabled the
+//! zombie's write reaches readers and the safety check fails.
+//!
+//! Run with: `cargo run --release --example failover`
+//! (`FAILOVER_SMOKE=1` shrinks the run for CI.)
+
+use workloads::{run_failover, FailoverConfig};
+
+fn main() {
+    let nodes = 3;
+    let smoke = std::env::var_os("FAILOVER_SMOKE").is_some();
+    let cfg = if smoke {
+        FailoverConfig::smoke(nodes)
+    } else {
+        FailoverConfig::standard(nodes)
+    };
+    let r = run_failover(&cfg);
+    println!(
+        "{} primaries + 1 standby; node {} crashes; detection {} ms; epoch fencing on\n",
+        nodes,
+        cfg.crash_node,
+        cfg.detection.as_nanos() as f64 / 1e6,
+    );
+
+    let s = r.takeover.expect("the crash fired");
+    println!("timeline:");
+    println!(
+        "  declared dead  {:>9.2} ms",
+        s.death_declared.as_nanos() as f64 / 1e6
+    );
+    println!(
+        "  fence start    {:>9.2} ms",
+        s.fence_start.as_nanos() as f64 / 1e6
+    );
+    println!(
+        "  takeover done  {:>9.2} ms",
+        s.takeover_done.as_nanos() as f64 / 1e6
+    );
+    println!();
+    println!(
+        "takeover: {:.1} us for {} pages ({} storage fills) vs {:.1} us vanilla replay ({:.0}x)",
+        s.takeover_ns as f64 / 1e3,
+        s.pages_recovered,
+        s.storage_fills_during_takeover,
+        s.replay_estimate_ns as f64 / 1e3,
+        s.replay_estimate_ns as f64 / s.takeover_ns.max(1) as f64,
+    );
+    println!(
+        "healing: {} locks cut short, {} slots recycled, {} flag words cleared, lease revoked+reassigned",
+        s.locks_reclaimed,
+        s.slots_reclaimed,
+        r.fusion.reclaimed_flags,
+    );
+    println!(
+        "fencing: {} node fenced, zombie write {}, safety check {}",
+        r.fusion.fenced_nodes,
+        if r.fusion.fenced_rejects > 0 {
+            "rejected server-side"
+        } else {
+            "refused by epoch guard"
+        },
+        if r.safety_ok { "PASS" } else { "FAIL" },
+    );
+    println!(
+        "liveness: longest survivor silence {:.2} ms (detection window {:.2} ms)",
+        r.max_survivor_gap_ns as f64 / 1e6,
+        cfg.detection.as_nanos() as f64 / 1e6,
+    );
+
+    println!(
+        "\nper-node throughput (K-QPS per {} ms bucket):",
+        cfg.bucket.as_nanos() / 1_000_000
+    );
+    print!("{:<8}", "t(ms)");
+    for nd in 0..nodes {
+        let tag = if nd == cfg.crash_node {
+            format!("node{nd}*")
+        } else {
+            format!("node{nd}")
+        };
+        print!(" {tag:>9}");
+    }
+    println!(" {:>9}", "standby");
+    let buckets = r
+        .per_node_timeline
+        .iter()
+        .map(|t| t.len())
+        .max()
+        .unwrap_or(0);
+    let bucket_ms = cfg.bucket.as_nanos() / 1_000_000;
+    for b in 0..buckets {
+        print!("{:<8}", b as u64 * bucket_ms);
+        for tl in &r.per_node_timeline {
+            match tl.get(b) {
+                Some(p) => print!(" {:>9.1}", p.qps / 1e3),
+                None => print!(" {:>9.1}", 0.0),
+            }
+        }
+        println!();
+    }
+    println!("(* = crashed node; its column goes quiet, the standby's lights up)");
+
+    // The ablation: same run, fencing disabled.
+    let mut ablation = cfg.clone();
+    ablation.fencing = polarcxlmem::FencingPolicy::Disabled;
+    let a = run_failover(&ablation);
+    println!(
+        "\nablation (fencing disabled): safety check {} ({} stale row(s) reached readers)",
+        if a.safety_ok { "PASS" } else { "FAIL" },
+        a.safety_mismatches,
+    );
+    println!("Epoch fencing is one 8-byte CXL word — and it is what keeps zombies out.");
+}

@@ -64,12 +64,14 @@ pub mod prelude {
     pub use engine::{recover_polar, recover_polar_policy, recover_replay, Db};
     pub use memsim::{CxlPool, NodeId, RdmaPool};
     pub use polarcxlmem::{CxlBp, CxlMemoryManager, FusionServer, SharingNode, TrustPolicy};
+    pub use polarcxlmem::{FencingPolicy, ReleaseError};
     pub use simkit::faults::{self, Action, FaultPlan, FaultSite, Trigger};
     pub use simkit::rng::{stream_rng, SimRng};
     pub use simkit::{dur, SimTime};
     pub use storage::{Lsn, PageId, PageStore, Wal};
     pub use workloads::{
-        run_chaos, run_pooling, run_recovery, run_sharing, ChaosConfig, ChaosRunResult, PoolKind,
+        run_chaos, run_failover, run_pooling, run_recovery, run_sharing, ChaosConfig,
+        ChaosRunResult, DeathMode, FailoverConfig, FailoverResult, LinkChaos, PoolKind,
         PoolingConfig, RecoveryConfig, RecoveryRunResult, Scheme, SharingConfig, SharingResult,
         SharingSystem, SysbenchKind,
     };

@@ -193,3 +193,172 @@ fn recovery_after_torn_latch_rebuilds_from_redo() {
         "only durable state survives"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Fusion-cluster storm: rotating node deaths with reincarnation.
+// ---------------------------------------------------------------------------
+
+const FS_NODES: usize = 3;
+const FS_PPG: u64 = 6; // pages per group: one private group per node + shared
+const FS_PAGES: u64 = (FS_NODES as u64 + 1) * FS_PPG;
+const FS_PAGE: u64 = 2048;
+
+fn fs_ppage(node: usize, i: u64) -> PageId {
+    PageId(node as u64 * FS_PPG + i)
+}
+fn fs_spage(i: u64) -> PageId {
+    PageId(FS_NODES as u64 * FS_PPG + i)
+}
+fn fs_flag_base(node: usize) -> u64 {
+    FS_PAGES * FS_PAGE + node as u64 * FS_PAGES * 16
+}
+fn fs_epoch_base() -> u64 {
+    FS_PAGES * FS_PAGE + FS_NODES as u64 * FS_PAGES * 16
+}
+
+/// One seeded statement on a live node: 60% guarded write+publish, else
+/// a read verified against the oracle on the spot.
+fn fs_op(
+    rng: &mut SimRng,
+    nodes: &mut [SharingNode],
+    server: &mut FusionServer,
+    model: &mut BTreeMap<(PageId, u64), u8>,
+    t: SimTime,
+) -> SimTime {
+    let node = rng.gen_range(0..FS_NODES as u32) as usize;
+    let page = if rng.gen_range(0..100u32) < 30 {
+        fs_spage(rng.gen_range(0..FS_PPG))
+    } else {
+        fs_ppage(node, rng.gen_range(0..FS_PPG))
+    };
+    let off = 64 + rng.gen_range(0..8u64) * 64;
+    if rng.gen_range(0..100u32) < 60 {
+        let val = rng.gen_range(1..=250u32) as u8;
+        let t2 = nodes[node]
+            .guarded_write(server, page, off, &[val; 32], t)
+            .expect("live node writes");
+        let t3 = nodes[node]
+            .guarded_publish(server, page, t2)
+            .expect("live node publishes");
+        model.insert((page, off), val);
+        t3
+    } else {
+        let mut buf = [0u8; 32];
+        let t2 = nodes[node].read(server, page, off, &mut buf, t);
+        let want = *model.get(&(page, off)).unwrap_or(&0);
+        assert_eq!(buf, [want; 32], "node {node} read-your-cluster-writes");
+        t2
+    }
+}
+
+/// Five rounds; each kills a rotating primary mid-burst (its CPU cache
+/// vanishes, the CXL pool survives), fences + reclaims it, proves the
+/// dead incarnation's handle stays fenced out, then reincarnates the
+/// same NodeId at the bumped epoch on the now-cold cache. Every round
+/// ends with a full content verification — shared pages through every
+/// node's coherency path, private pages through their owner — plus DBP
+/// slot conservation.
+#[test]
+fn fusion_cluster_storm_heals_after_each_node_crash() {
+    use polardb_cxl_repro::memsim::CxlNodeConfig;
+    use polardb_cxl_repro::polarcxlmem::{FencingPolicy, SharingNode};
+
+    let pool = fs_epoch_base() + 4096;
+    let cfgs: Vec<CxlNodeConfig> = (0..FS_NODES + 1)
+        .map(|host| CxlNodeConfig {
+            host,
+            cache_bytes: 1 << 20,
+            capture: true,
+            remote_numa: false,
+            direct_attach: false,
+        })
+        .collect();
+    let cxl = Rc::new(RefCell::new(CxlPool::new(pool as usize, &cfgs)));
+    let mut store = PageStore::with_page_size(FS_PAGES, FS_PAGE);
+    for _ in 0..FS_PAGES {
+        store.allocate();
+    }
+    let store = Rc::new(RefCell::new(store));
+    let mut server =
+        FusionServer::new(Rc::clone(&cxl), NodeId(FS_NODES), 0, FS_PAGES as u32, store);
+    server.enable_fencing(FencingPolicy::Epoch, fs_epoch_base());
+    let mut nodes: Vec<SharingNode> = (0..FS_NODES)
+        .map(|i| {
+            let (grant, _) = server.register_node_fenced(NodeId(i), fs_flag_base(i), SimTime::ZERO);
+            let mut n = SharingNode::new(Rc::clone(&cxl), NodeId(i), fs_flag_base(i), FS_PAGE);
+            n.enable_fencing(fs_epoch_base(), grant);
+            n
+        })
+        .collect();
+
+    let mut rng = SimRng::seed_from_u64(0x570B);
+    let mut model: BTreeMap<(PageId, u64), u8> = BTreeMap::new();
+    let mut t = SimTime::ZERO;
+    for round in 0..5usize {
+        let d = round % FS_NODES;
+        for _ in 0..60 {
+            t = fs_op(&mut rng, &mut nodes, &mut server, &mut model, t);
+        }
+
+        // Death: volatile state gone, lease + fenced epoch survive.
+        cxl.borrow_mut().crash_node(NodeId(d));
+        t = server.fence_node(NodeId(d), t);
+        t = server.reclaim_node(NodeId(d), t);
+        // The dead node's private pages were sole-active: recycled, and
+        // their unpublished history reverts to storage state (zeros).
+        model.retain(|(page, _), _| {
+            !(fs_ppage(d, 0).0..fs_ppage(d, 0).0 + FS_PPG).contains(&page.0)
+        });
+
+        // The dead incarnation is a zombie now: its guarded stores and
+        // publishes must bounce off the bumped epoch word.
+        let zerr = nodes[d]
+            .guarded_write(&mut server, fs_spage(0), 64, &[0xEE; 32], t)
+            .expect_err("zombie write must be fenced");
+        assert_eq!(zerr.observed_epoch, zerr.grant_epoch + 1, "round {round}");
+        assert!(
+            nodes[d]
+                .guarded_publish(&mut server, fs_spage(0), t)
+                .is_err(),
+            "zombie publish must be fenced (round {round})"
+        );
+
+        // Reincarnate the same NodeId at the bumped epoch: a fresh
+        // sharing node over the now-cold cache.
+        let (grant, t2) = server.register_node_fenced(NodeId(d), fs_flag_base(d), t);
+        t = t2;
+        let mut fresh = SharingNode::new(Rc::clone(&cxl), NodeId(d), fs_flag_base(d), FS_PAGE);
+        fresh.enable_fencing(fs_epoch_base(), grant);
+        nodes[d] = fresh;
+
+        for _ in 0..30 {
+            t = fs_op(&mut rng, &mut nodes, &mut server, &mut model, t);
+        }
+
+        // Full verification: private pages through their owner, shared
+        // pages through EVERY node's coherency path.
+        for (&(page, off), &want) in &model {
+            let readers: Vec<usize> = if page.0 < FS_NODES as u64 * FS_PPG {
+                vec![(page.0 / FS_PPG) as usize]
+            } else {
+                (0..FS_NODES).collect()
+            };
+            for r in readers {
+                let mut buf = [0u8; 32];
+                t = nodes[r].read(&mut server, page, off, &mut buf, t);
+                assert_eq!(
+                    buf, [want; 32],
+                    "round {round}: node {r} page {} off {off}",
+                    page.0
+                );
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.fenced_nodes as usize, round + 1, "round {round}");
+        assert_eq!(
+            server.pages_in_use() + server.free_slots(),
+            FS_PAGES as usize,
+            "round {round}: DBP slot conservation"
+        );
+    }
+}

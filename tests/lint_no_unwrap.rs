@@ -7,8 +7,12 @@
 //! recoverable fault into a process abort — exactly the failure mode
 //! this PR converts into typed `Result`s plus retry/degrade logic.
 //!
-//! Scope: all of `crates/memsim/src` (RDMA + CXL fabric models) and the
-//! storage primitives `wal.rs` / `pagestore.rs`. Only non-test code is
+//! Scope: all of `crates/memsim/src` (RDMA + CXL fabric models), the
+//! storage primitives `wal.rs` / `pagestore.rs`, and the cluster
+//! control plane `manager.rs` / `fusion.rs` (lease revocation, epoch
+//! fencing and node reclamation run exactly when nodes are dying, so a
+//! panic there takes the failover path down with the failed node). Only
+//! non-test code is
 //! linted (`#[cfg(test)]` and below is free to unwrap). `.expect(` is
 //! allowed — it documents an invariant. Deliberate panicking wrappers
 //! over typed APIs carry a `// lint: fault-path panic` marker.
@@ -22,6 +26,8 @@ const SCANNED: &[&str] = &[
     "crates/memsim/src",
     "crates/storage/src/wal.rs",
     "crates/storage/src/pagestore.rs",
+    "crates/core/src/manager.rs",
+    "crates/core/src/fusion.rs",
 ];
 
 const FORBIDDEN: &[&str] = &[".unwrap(", "panic!("];
