@@ -1,5 +1,6 @@
 //! Microbenchmarks of the core data structures: CXL pool accesses,
-//! B+tree operations, the CXL memory manager, and WAL encode/append.
+//! B+tree operations, the buffer-pool frame table, the CXL memory
+//! manager, and WAL encode/append.
 //! These guard the simulator's own performance (host time per simulated
 //! operation), which bounds how much virtual time the figure harnesses
 //! can afford.
@@ -79,6 +80,76 @@ fn bench_btree() {
     });
 }
 
+fn bench_frame_table() {
+    use bufferpool::frames::{FrameTable, ShardedFrameTable};
+    use simkit::FastMap;
+    use storage::Lsn;
+
+    const FRAMES: usize = 1 << 16;
+
+    // The SoA table: one residency probe, then indexed array stores —
+    // the exact hot write path of every pool (`fix` + dirty + LSN).
+    let mut soa = FrameTable::new(FRAMES);
+    for p in 0..FRAMES as u64 {
+        let f = soa.pop_free().unwrap();
+        soa.install(f, PageId(p));
+    }
+    let mut k = 0u64;
+    bench("frame_soa_touch_dirty_lsn", 10_000, 1_000_000, || {
+        k = (k + 7919) % FRAMES as u64;
+        let f = soa.lookup_touch(PageId(k)).unwrap();
+        soa.mark_dirty(f);
+        soa.set_lsn(f, Lsn(k));
+        black_box(f);
+    });
+
+    // The pre-SoA shape the pools used to carry: one map probe for the
+    // frame, the same LRU touch, plus a *second* hashed insert for the
+    // LSN on every write.
+    let mut map: FastMap<PageId, u32> = FastMap::default();
+    map.reserve(FRAMES);
+    let mut lsns: FastMap<PageId, Lsn> = FastMap::default();
+    lsns.reserve(FRAMES);
+    let mut dirty = vec![false; FRAMES];
+    let mut lru = bufferpool::lru::LruList::new(FRAMES);
+    for p in 0..FRAMES as u64 {
+        map.insert(PageId(p), p as u32);
+        lru.push_front(p as u32);
+    }
+    bench(
+        "frame_double_map_touch_dirty_lsn",
+        10_000,
+        1_000_000,
+        || {
+            k = (k + 7919) % FRAMES as u64;
+            let f = *map.get(&PageId(k)).unwrap();
+            lru.touch(f);
+            dirty[f as usize] = true;
+            lsns.insert(PageId(k), Lsn(k));
+            black_box(f);
+        },
+    );
+
+    // Intra-node sharding: the same hot path through an 8-way
+    // page-partitioned table (one shard-select mask, smaller maps).
+    let mut sharded = ShardedFrameTable::new(8, FRAMES / 8);
+    for p in 0..FRAMES as u64 {
+        let page = PageId(p);
+        let shard = sharded.shard_mut(page);
+        let f = shard.pop_free().unwrap();
+        shard.install(f, page);
+    }
+    bench("frame_sharded8_touch_dirty_lsn", 10_000, 1_000_000, || {
+        k = (k + 7919) % FRAMES as u64;
+        let page = PageId(k);
+        let shard = sharded.shard_mut(page);
+        let f = shard.lookup_touch(page).unwrap();
+        shard.mark_dirty(f);
+        shard.set_lsn(f, Lsn(k));
+        black_box(f);
+    });
+}
+
 fn bench_manager() {
     bench("cxl_manager_alloc_release_64", 100, 10_000, || {
         let mut m = CxlMemoryManager::new(1 << 30);
@@ -107,6 +178,7 @@ fn main() {
     println!("\n=== micro_structures: host ns per simulated operation ===");
     bench_cxl_access();
     bench_btree();
+    bench_frame_table();
     bench_manager();
     bench_wal();
     println!();

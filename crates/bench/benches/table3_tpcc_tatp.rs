@@ -24,7 +24,7 @@ fn cfg(system: SharingSystem) -> SharingConfig {
 fn run_tpcc(system: SharingSystem) -> (f64, f64, u64) {
     let c = cfg(system);
     let layout = c.layout;
-    let mut gen = Tpcc::new(layout, NODES);
+    let gen = Tpcc::new(layout, NODES);
     let r = run_sharing(&c, |rng, node| gen.next_txn(rng, node).0);
     // TpmC: New-Order transactions per minute (45% of the mix).
     let tpmc = r.metrics.tps * 0.45 * 60.0;

@@ -5,36 +5,26 @@
 //! configuration every database runs when it has enough local memory —
 //! the upper bound the CXL pool is measured against.
 
-use crate::lru::LruList;
+use crate::frames::FrameTable;
 use crate::{BpStats, BufferPool};
 use memsim::{Access, DramSpace};
 use simkit::trace::{self, SpanKind};
-use simkit::FastMap;
 use simkit::SimTime;
 use storage::{Lsn, PageId, PageStore};
-
-struct Frame {
-    page: PageId,
-    dirty: bool,
-}
 
 /// A local-DRAM buffer pool over a page store.
 pub struct DramBp {
     space: DramSpace,
     store: PageStore,
-    frames: Vec<Option<Frame>>,
-    free: Vec<u32>,
-    map: FastMap<PageId, u32>,
-    lru: LruList,
-    lsns: FastMap<PageId, Lsn>,
+    frames: FrameTable,
     stats: BpStats,
 }
 
 impl std::fmt::Debug for DramBp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DramBp")
-            .field("frames", &self.frames.len())
-            .field("resident", &self.map.len())
+            .field("frames", &self.frames.capacity())
+            .field("resident", &self.frames.resident())
             .field("stats", &self.stats)
             .finish()
     }
@@ -46,14 +36,13 @@ impl DramBp {
     pub fn new(frames: usize, cache_bytes: usize, store: PageStore) -> Self {
         assert!(frames > 0);
         let page = store.page_size() as usize;
+        // Pre-size the eviction spill map so misses never allocate.
+        let mut table = FrameTable::new(frames);
+        table.reserve_evictions(store.capacity_pages() as usize);
         DramBp {
             space: DramSpace::new(frames * page, cache_bytes, false),
             store,
-            frames: (0..frames).map(|_| None).collect(),
-            free: (0..frames as u32).rev().collect(),
-            map: FastMap::default(),
-            lru: LruList::new(frames),
-            lsns: FastMap::default(),
+            frames: table,
             stats: BpStats::default(),
         }
     }
@@ -63,19 +52,22 @@ impl DramBp {
     }
 
     /// Ensure `page` occupies a frame; returns (frame, time after any
-    /// fetch I/O).
+    /// fetch I/O). One hash probe on a hit — every later update is an
+    /// indexed store into the frame table's arrays.
     fn fix(&mut self, page: PageId, now: SimTime) -> (u32, SimTime) {
-        if let Some(&frame) = self.map.get(&page) {
+        if let Some(frame) = self.frames.lookup_touch(page) {
             self.stats.hits += 1;
-            self.lru.touch(frame);
             return (frame, now);
         }
         self.stats.misses += 1;
         let mut t = now;
-        let frame = if let Some(f) = self.free.pop() {
+        let frame = if let Some(f) = self.frames.pop_free() {
             f
         } else {
-            let victim = self.lru.pop_back().expect("no free frame and empty LRU");
+            let victim = self
+                .frames
+                .pop_victim()
+                .expect("no free frame and empty LRU");
             t = self.evict(victim, t);
             victim
         };
@@ -88,26 +80,21 @@ impl DramBp {
             .read_page(page, self.space.raw_mut().slice_mut(off, ps), t);
         self.stats.storage_read_bytes += ps as u64;
         t = io.end;
-        self.frames[frame as usize] = Some(Frame { page, dirty: false });
-        self.map.insert(page, frame);
-        self.lru.push_front(frame);
+        self.frames.install(frame, page);
         trace::span(SpanKind::BpMiss, 0, now, t, self.store.page_size());
         (frame, t)
     }
 
     fn evict(&mut self, frame: u32, now: SimTime) -> SimTime {
-        let f = self.frames[frame as usize]
-            .take()
-            .expect("evicting empty frame");
-        self.map.remove(&f.page);
+        let (page, dirty) = self.frames.evict(frame);
         self.stats.evictions += 1;
-        if f.dirty {
+        if dirty {
             self.stats.writebacks += 1;
             let ps = self.store.page_size() as usize;
             let off = self.frame_off(frame);
             let io = self
                 .store
-                .write_page(f.page, self.space.raw().slice(off, ps), now);
+                .write_page(page, self.space.raw().slice(off, ps), now);
             self.stats.storage_write_bytes += ps as u64;
             return io.end;
         }
@@ -117,13 +104,7 @@ impl DramBp {
     /// Crash: all volatile pool state is lost.
     pub fn crash(&mut self) {
         self.space.crash();
-        for f in &mut self.frames {
-            *f = None;
-        }
-        self.free = (0..self.frames.len() as u32).rev().collect();
-        self.map.clear();
-        self.lsns.clear();
-        self.lru = LruList::new(self.frames.len());
+        self.frames.clear();
     }
 }
 
@@ -146,43 +127,40 @@ impl BufferPool for DramBp {
     fn write(&mut self, page: PageId, off: u16, data: &[u8], lsn: Lsn, now: SimTime) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let (frame, t) = self.fix(page, now);
-        if let Some(f) = &mut self.frames[frame as usize] {
-            f.dirty = true;
-        }
-        self.lsns.insert(page, lsn);
+        self.frames.mark_dirty(frame);
+        self.frames.set_lsn(frame, lsn);
         let base = self.frame_off(frame);
         self.space.write(base + off as u64, data, t)
     }
 
     fn page_lsn(&self, page: PageId) -> Option<Lsn> {
-        self.lsns.get(&page).copied()
+        self.frames.page_lsn(page)
     }
 
     fn is_resident(&self, page: PageId) -> bool {
-        self.map.contains_key(&page)
+        self.frames.contains(page)
     }
 
     fn flush_all(&mut self, now: SimTime) -> SimTime {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let ps = self.store.page_size() as usize;
         let mut t = now;
-        let mut frames: Vec<u32> = self.map.values().copied().collect();
-        // Hash-map order varies per instance; keep flushes deterministic.
-        frames.sort_unstable();
-        for frame in frames {
-            let dirty = self.frames[frame as usize]
-                .as_ref()
-                .is_some_and(|f| f.dirty);
-            if dirty {
-                let page = self.frames[frame as usize].as_ref().unwrap().page;
-                let off = self.frame_off(frame);
-                t = self
-                    .store
-                    .write_page(page, self.space.raw().slice(off, ps), t)
-                    .end;
-                self.stats.storage_write_bytes += ps as u64;
-                self.frames[frame as usize].as_mut().unwrap().dirty = false;
+        // Walking frame ids is deterministic (and allocation-free) by
+        // construction — no hash-order to launder.
+        for frame in 0..self.frames.capacity() as u32 {
+            let Some(page) = self.frames.page_of(frame) else {
+                continue;
+            };
+            if !self.frames.is_dirty(frame) {
+                continue;
             }
+            let off = self.frame_off(frame);
+            t = self
+                .store
+                .write_page(page, self.space.raw().slice(off, ps), t)
+                .end;
+            self.stats.storage_write_bytes += ps as u64;
+            self.frames.clear_dirty(frame);
         }
         t
     }
@@ -203,15 +181,15 @@ impl BufferPool for DramBp {
         let pages = self.store.allocated_pages();
         for pid in 0..pages {
             let page = PageId(pid);
-            if self.map.contains_key(&page) {
+            if self.frames.contains(page) {
                 continue;
             }
-            let Some(frame) = self.free.pop() else { break };
+            let Some(frame) = self.frames.pop_free() else {
+                break;
+            };
             let off = self.frame_off(frame);
             self.space.raw_mut().write(off, self.store.raw_page(page));
-            self.frames[frame as usize] = Some(Frame { page, dirty: false });
-            self.map.insert(page, frame);
-            self.lru.push_front(frame);
+            self.frames.install(frame, page);
         }
     }
 }

@@ -1,0 +1,291 @@
+//! Struct-of-arrays frame metadata shared by the pool implementations.
+//!
+//! The original pools kept an `Option<Frame{page, dirty}>` per slot plus
+//! *two* hash maps — `map: page → frame` and `lsns: page → Lsn` — so the
+//! hot write path paid two hash probes per access (one in `fix`, one in
+//! `lsns.insert`). A [`FrameTable`] keeps one map (`page → frame`) and
+//! parallel per-frame arrays (page / dirty / LSN, redb-style), so after
+//! the single residency probe every update is an indexed array store.
+//!
+//! The "page LSN survives eviction" contract is preserved on the *cold*
+//! path: [`FrameTable::evict`] spills the frame's LSN into a side map
+//! that only eviction touches, and [`FrameTable::install`] pulls it
+//! back. A crash ([`FrameTable::clear`]) drops both, exactly like the
+//! old `lsns.clear()`.
+
+use crate::lru::LruList;
+use simkit::FastMap;
+use storage::{Lsn, PageId};
+
+/// Struct-of-arrays frame directory: residency map + per-frame parallel
+/// arrays + LRU list + evicted-LSN spill.
+#[derive(Debug)]
+pub struct FrameTable {
+    /// Which page each frame holds (`None` = empty frame).
+    page: Vec<Option<PageId>>,
+    /// Per-frame dirty bit.
+    dirty: Vec<bool>,
+    /// Per-frame page LSN (`None` until first write).
+    lsn: Vec<Option<Lsn>>,
+    /// The single residency probe: page → frame.
+    map: FastMap<PageId, u32>,
+    free: Vec<u32>,
+    lru: LruList,
+    /// LSNs of evicted pages (cold path only; cleared on crash).
+    evicted_lsns: FastMap<PageId, Lsn>,
+}
+
+impl FrameTable {
+    /// An empty table over `frames` slots.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0);
+        // The residency map never holds more than `frames` live entries,
+        // but the evict/install churn leaves hash-table tombstones, and
+        // a table whose live count fills its reserved capacity *grows*
+        // (allocates) when a later insert must clear them. Reserving 2x
+        // keeps live entries under half the table, so tombstone rehashes
+        // happen in place and the hot path never allocates.
+        let mut map = FastMap::default();
+        map.reserve(frames * 2);
+        FrameTable {
+            page: vec![None; frames],
+            dirty: vec![false; frames],
+            lsn: vec![None; frames],
+            map,
+            free: (0..frames as u32).rev().collect(),
+            lru: LruList::new(frames),
+            evicted_lsns: FastMap::default(),
+        }
+    }
+
+    /// Pre-size the eviction LSN spill map for a dataset of `pages`
+    /// pages, so evictions (which run inside the pools' profiled hot
+    /// sections) never grow it. 2x for the same tombstone-churn headroom
+    /// as the residency map (spill inserts pair with reinstall removes).
+    pub fn reserve_evictions(&mut self, pages: usize) {
+        self.evicted_lsns.reserve(pages * 2);
+    }
+
+    /// Total number of frames.
+    pub fn capacity(&self) -> usize {
+        self.page.len()
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Residency probe without touching recency.
+    pub fn lookup(&self, page: PageId) -> Option<u32> {
+        self.map.get(&page).copied()
+    }
+
+    /// Residency probe that also bumps the frame to MRU — the single
+    /// hash lookup of the hot path.
+    pub fn lookup_touch(&mut self, page: PageId) -> Option<u32> {
+        let frame = self.map.get(&page).copied()?;
+        self.lru.touch(frame);
+        Some(frame)
+    }
+
+    /// Whether `page` is resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Pop a free frame, if any.
+    pub fn pop_free(&mut self) -> Option<u32> {
+        self.free.pop()
+    }
+
+    /// Pop the LRU victim (unlinking it from the recency list).
+    pub fn pop_victim(&mut self) -> Option<u32> {
+        self.lru.pop_back()
+    }
+
+    /// Clear a frame popped via [`FrameTable::pop_victim`]: unmap its
+    /// page, spill the page's LSN to the eviction side map, and return
+    /// `(page, was_dirty)` so the caller can write the bytes back.
+    pub fn evict(&mut self, frame: u32) -> (PageId, bool) {
+        let i = frame as usize;
+        let page = self.page[i].take().expect("evicting empty frame");
+        self.map.remove(&page);
+        if let Some(lsn) = self.lsn[i].take() {
+            self.evicted_lsns.insert(page, lsn);
+        }
+        (page, std::mem::take(&mut self.dirty[i]))
+    }
+
+    /// Bind `frame` (fresh from [`pop_free`](Self::pop_free) or
+    /// [`evict`](Self::evict)) to `page`, clean, restoring any spilled
+    /// LSN, and link it as MRU.
+    pub fn install(&mut self, frame: u32, page: PageId) {
+        let i = frame as usize;
+        debug_assert!(self.page[i].is_none(), "installing over a bound frame");
+        self.page[i] = Some(page);
+        self.dirty[i] = false;
+        self.lsn[i] = self.evicted_lsns.remove(&page);
+        self.map.insert(page, frame);
+        self.lru.push_front(frame);
+    }
+
+    /// The page bound to `frame`, if any.
+    pub fn page_of(&self, frame: u32) -> Option<PageId> {
+        self.page[frame as usize]
+    }
+
+    /// Per-frame dirty bit.
+    pub fn is_dirty(&self, frame: u32) -> bool {
+        self.dirty[frame as usize]
+    }
+
+    /// Set the dirty bit (indexed store, no hashing).
+    pub fn mark_dirty(&mut self, frame: u32) {
+        self.dirty[frame as usize] = true;
+    }
+
+    /// Clear the dirty bit (checkpoint).
+    pub fn clear_dirty(&mut self, frame: u32) {
+        self.dirty[frame as usize] = false;
+    }
+
+    /// Record `page`'s LSN on its frame (indexed store, no hashing).
+    pub fn set_lsn(&mut self, frame: u32, lsn: Lsn) {
+        self.lsn[frame as usize] = Some(lsn);
+    }
+
+    /// Latest LSN recorded for `page` — resident or evicted.
+    pub fn page_lsn(&self, page: PageId) -> Option<Lsn> {
+        match self.map.get(&page) {
+            Some(&frame) => self.lsn[frame as usize],
+            None => self.evicted_lsns.get(&page).copied(),
+        }
+    }
+
+    /// Crash: drop every binding, dirty bit and LSN (resident and
+    /// spilled alike).
+    pub fn clear(&mut self) {
+        let n = self.capacity();
+        self.page.iter_mut().for_each(|p| *p = None);
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        self.lsn.iter_mut().for_each(|l| *l = None);
+        self.map.clear();
+        self.free = (0..n as u32).rev().collect();
+        self.lru = LruList::new(n);
+        self.evicted_lsns.clear();
+    }
+}
+
+/// A [`FrameTable`] split into independent shards by page id.
+///
+/// Per-node drivers already give each node a private table; this wrapper
+/// is for intra-node sharding (and the `micro_structures` bench that
+/// quantifies it): each shard has its own map, arrays and LRU list, so
+/// probes from different page ranges never contend on one hash table's
+/// cache lines.
+#[derive(Debug)]
+pub struct ShardedFrameTable {
+    shards: Vec<FrameTable>,
+    mask: u64,
+}
+
+impl ShardedFrameTable {
+    /// `shards` (a power of two) tables of `frames_per_shard` each.
+    pub fn new(shards: usize, frames_per_shard: usize) -> Self {
+        assert!(shards.is_power_of_two());
+        ShardedFrameTable {
+            shards: (0..shards)
+                .map(|_| FrameTable::new(frames_per_shard))
+                .collect(),
+            mask: shards as u64 - 1,
+        }
+    }
+
+    /// Which shard owns `page`.
+    pub fn shard_of(&self, page: PageId) -> usize {
+        (page.0 & self.mask) as usize
+    }
+
+    /// The shard owning `page`.
+    pub fn shard(&self, page: PageId) -> &FrameTable {
+        &self.shards[self.shard_of(page)]
+    }
+
+    /// The shard owning `page`, mutably.
+    pub fn shard_mut(&mut self, page: PageId) -> &mut FrameTable {
+        let s = self.shard_of(page);
+        &mut self.shards[s]
+    }
+
+    /// Total resident pages across shards.
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(FrameTable::resident).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_probe_lifecycle() {
+        let mut t = FrameTable::new(2);
+        assert_eq!(t.lookup_touch(PageId(7)), None);
+        let f = t.pop_free().unwrap();
+        t.install(f, PageId(7));
+        assert_eq!(t.lookup_touch(PageId(7)), Some(f));
+        t.mark_dirty(f);
+        t.set_lsn(f, Lsn(42));
+        assert_eq!(t.page_lsn(PageId(7)), Some(Lsn(42)));
+        assert!(t.is_dirty(f));
+    }
+
+    #[test]
+    fn lsn_survives_eviction_but_not_crash() {
+        let mut t = FrameTable::new(1);
+        let f = t.pop_free().unwrap();
+        t.install(f, PageId(1));
+        t.set_lsn(f, Lsn(5));
+        t.mark_dirty(f);
+        let v = t.pop_victim().unwrap();
+        let (page, dirty) = t.evict(v);
+        assert_eq!((page, dirty), (PageId(1), true));
+        assert!(!t.contains(PageId(1)));
+        assert_eq!(t.page_lsn(PageId(1)), Some(Lsn(5)), "LSN outlives eviction");
+        // Reinstall: the spilled LSN comes back to the frame array.
+        t.install(v, PageId(1));
+        assert_eq!(t.page_lsn(PageId(1)), Some(Lsn(5)));
+        assert!(!t.is_dirty(v), "reinstall is clean");
+        t.clear();
+        assert_eq!(t.page_lsn(PageId(1)), None, "crash loses LSNs");
+    }
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut t = FrameTable::new(2);
+        let a = t.pop_free().unwrap();
+        t.install(a, PageId(0));
+        let b = t.pop_free().unwrap();
+        t.install(b, PageId(1));
+        t.lookup_touch(PageId(0)); // 0 hot, 1 cold
+        let v = t.pop_victim().unwrap();
+        assert_eq!(t.evict(v).0, PageId(1));
+    }
+
+    #[test]
+    fn sharded_table_partitions_pages() {
+        let mut s = ShardedFrameTable::new(4, 2);
+        for p in 0..8u64 {
+            let page = PageId(p);
+            let shard = s.shard_mut(page);
+            let f = shard.pop_free().unwrap();
+            shard.install(f, page);
+        }
+        assert_eq!(s.resident(), 8);
+        for p in 0..8u64 {
+            assert_eq!(s.shard_of(PageId(p)), (p % 4) as usize);
+            assert!(s.shard(PageId(p)).contains(PageId(p)));
+        }
+    }
+}

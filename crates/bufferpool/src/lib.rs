@@ -19,8 +19,11 @@
 #![warn(missing_docs)]
 
 pub mod dram_bp;
+pub mod frames;
 pub mod lru;
 pub mod tiered;
+
+pub use frames::{FrameTable, ShardedFrameTable};
 
 use memsim::Access;
 use simkit::SimTime;

@@ -13,13 +13,13 @@
 //! shared by every instance on the host, so amplification from one
 //! instance steals bandwidth from all.
 
-use crate::lru::LruList;
+use crate::frames::FrameTable;
 use crate::{BpStats, BufferPool};
 use memsim::{Access, DramSpace, RdmaError, RdmaPool};
 use simkit::faults;
 use simkit::trace::{self, SpanKind};
+use simkit::FastSet;
 use simkit::SimTime;
-use simkit::{FastMap, FastSet};
 use std::cell::RefCell;
 use std::rc::Rc;
 use storage::{Lsn, PageId, PageStore};
@@ -39,11 +39,6 @@ fn backoff_ns(attempt: u32) -> u64 {
     BACKOFF_BASE_NS << attempt.min(6)
 }
 
-struct Frame {
-    page: PageId,
-    dirty: bool,
-}
-
 /// Tiered buffer pool: LBP frames over a remote-memory slice.
 pub struct TieredRdmaBp {
     rdma: SharedRdma,
@@ -58,23 +53,21 @@ pub struct TieredRdmaBp {
     remote_dirty: FastSet<PageId>,
     space: DramSpace,
     store: PageStore,
-    frames: Vec<Option<Frame>>,
-    free: Vec<u32>,
-    map: FastMap<PageId, u32>,
-    lru: LruList,
-    lsns: FastMap<PageId, Lsn>,
+    frames: FrameTable,
     stats: BpStats,
     /// Page-sized staging buffer for checkpoint transfers that cross two
     /// owned stores (remote → storage), so cold paths allocate nothing
     /// per page either.
     scratch: Vec<u8>,
+    /// Reusable sort buffer for `flush_all`'s remote-only sweep.
+    flush_order: Vec<PageId>,
 }
 
 impl std::fmt::Debug for TieredRdmaBp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TieredRdmaBp")
             .field("host", &self.host)
-            .field("lbp_frames", &self.frames.len())
+            .field("lbp_frames", &self.frames.capacity())
             .field("stats", &self.stats)
             .finish()
     }
@@ -99,28 +92,33 @@ impl TieredRdmaBp {
         assert!(lbp_frames > 0);
         let page = store.page_size() as usize;
         let capacity = store.capacity_pages() as usize;
+        // Pre-size every growable container for the full dataset so the
+        // hot path (fix / evict / write) never touches the allocator.
+        // The dirty set churns (insert on write-back, remove on flush),
+        // so 2x keeps its tombstone rehashes allocation-free.
+        let mut remote_dirty = FastSet::default();
+        remote_dirty.reserve(capacity * 2);
+        let mut frames = FrameTable::new(lbp_frames);
+        frames.reserve_evictions(capacity);
         TieredRdmaBp {
             rdma,
             host,
             remote_base,
             remote_resident: vec![false; capacity],
-            remote_dirty: FastSet::default(),
+            remote_dirty,
             space: DramSpace::new(lbp_frames * page, cache_bytes, false),
             store,
-            frames: (0..lbp_frames).map(|_| None).collect(),
-            free: (0..lbp_frames as u32).rev().collect(),
-            map: FastMap::default(),
-            lru: LruList::new(lbp_frames),
-            lsns: FastMap::default(),
+            frames,
             stats: BpStats::default(),
             scratch: vec![0u8; page],
+            flush_order: Vec::with_capacity(capacity),
         }
     }
 
     /// Local tier size in bytes (the memory-overhead axis of the paper's
     /// cost comparisons).
     pub fn local_bytes(&self) -> u64 {
-        self.frames.len() as u64 * self.store.page_size()
+        self.frames.capacity() as u64 * self.store.page_size()
     }
 
     fn frame_off(&self, frame: u32) -> u64 {
@@ -132,17 +130,19 @@ impl TieredRdmaBp {
     }
 
     fn fix(&mut self, page: PageId, now: SimTime) -> (u32, SimTime) {
-        if let Some(&frame) = self.map.get(&page) {
+        if let Some(frame) = self.frames.lookup_touch(page) {
             self.stats.hits += 1;
-            self.lru.touch(frame);
             return (frame, now);
         }
         self.stats.misses += 1;
         let mut t = now;
-        let frame = if let Some(f) = self.free.pop() {
+        let frame = if let Some(f) = self.frames.pop_free() {
             f
         } else {
-            let victim = self.lru.pop_back().expect("no free frame and empty LRU");
+            let victim = self
+                .frames
+                .pop_victim()
+                .expect("no free frame and empty LRU");
             t = self.evict(victim, t);
             victim
         };
@@ -195,9 +195,7 @@ impl TieredRdmaBp {
             self.stats.storage_read_bytes += ps as u64;
             t = io.end;
         }
-        self.frames[frame as usize] = Some(Frame { page, dirty: false });
-        self.map.insert(page, frame);
-        self.lru.push_front(frame);
+        self.frames.install(frame, page);
         trace::span(
             SpanKind::BpMiss,
             self.host as u32,
@@ -209,18 +207,15 @@ impl TieredRdmaBp {
     }
 
     fn evict(&mut self, frame: u32, now: SimTime) -> SimTime {
-        let f = self.frames[frame as usize]
-            .take()
-            .expect("evicting empty frame");
-        self.map.remove(&f.page);
+        let (page, dirty) = self.frames.evict(frame);
         self.stats.evictions += 1;
-        if f.dirty {
+        if dirty {
             // Full-page RDMA write-back, even for a one-byte change:
             // write amplification.
             self.stats.writebacks += 1;
             let ps = self.store.page_size() as usize;
             let foff = self.frame_off(frame);
-            let roff = self.remote_off(f.page);
+            let roff = self.remote_off(page);
             let mut t = now;
             let mut attempt = 0u32;
             loop {
@@ -236,8 +231,8 @@ impl TieredRdmaBp {
                         // A dead host's write never landed: do not
                         // advertise the remote copy as (newly) current.
                         if !faults::crashed() {
-                            self.remote_resident[f.page.0 as usize] = true;
-                            self.remote_dirty.insert(f.page);
+                            self.remote_resident[page.0 as usize] = true;
+                            self.remote_dirty.insert(page);
                         }
                         return a.end;
                     }
@@ -252,10 +247,10 @@ impl TieredRdmaBp {
                             self.stats.fault_fallbacks += 1;
                             let io =
                                 self.store
-                                    .write_page(f.page, self.space.raw().slice(foff, ps), t);
+                                    .write_page(page, self.space.raw().slice(foff, ps), t);
                             self.stats.storage_write_bytes += ps as u64;
-                            self.remote_resident[f.page.0 as usize] = false;
-                            self.remote_dirty.remove(&f.page);
+                            self.remote_resident[page.0 as usize] = false;
+                            self.remote_dirty.remove(&page);
                             return io.end;
                         }
                     }
@@ -269,13 +264,7 @@ impl TieredRdmaBp {
     /// keeps its pages — which is what RDMA-assisted recovery exploits.
     pub fn crash(&mut self) {
         self.space.crash();
-        for f in &mut self.frames {
-            *f = None;
-        }
-        self.free = (0..self.frames.len() as u32).rev().collect();
-        self.map.clear();
-        self.lsns.clear();
-        self.lru = LruList::new(self.frames.len());
+        self.frames.clear();
     }
 
     /// Whether the remote tier holds `page` (used by RDMA-assisted
@@ -308,37 +297,33 @@ impl BufferPool for TieredRdmaBp {
     fn write(&mut self, page: PageId, off: u16, data: &[u8], lsn: Lsn, now: SimTime) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let (frame, t) = self.fix(page, now);
-        if let Some(f) = &mut self.frames[frame as usize] {
-            f.dirty = true;
-        }
-        self.lsns.insert(page, lsn);
+        self.frames.mark_dirty(frame);
+        self.frames.set_lsn(frame, lsn);
         let base = self.frame_off(frame);
         self.space.write(base + off as u64, data, t)
     }
 
     fn page_lsn(&self, page: PageId) -> Option<Lsn> {
-        self.lsns.get(&page).copied()
+        self.frames.page_lsn(page)
     }
 
     fn is_resident(&self, page: PageId) -> bool {
-        self.map.contains_key(&page)
+        self.frames.contains(page)
     }
 
     fn flush_all(&mut self, now: SimTime) -> SimTime {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let ps = self.store.page_size() as usize;
         let mut t = now;
-        let mut frames: Vec<u32> = self.map.values().copied().collect();
-        // Hash-map order varies per instance; keep flushes deterministic.
-        frames.sort_unstable();
-        for frame in frames {
-            let Some(f) = &self.frames[frame as usize] else {
+        // Walking frame ids is deterministic (and allocation-free) by
+        // construction — no hash-order to launder.
+        for frame in 0..self.frames.capacity() as u32 {
+            let Some(page) = self.frames.page_of(frame) else {
                 continue;
             };
-            if !f.dirty {
+            if !self.frames.is_dirty(frame) {
                 continue;
             }
-            let page = f.page;
             let foff = self.frame_off(frame);
             t = self
                 .store
@@ -358,15 +343,17 @@ impl BufferPool for TieredRdmaBp {
                 self.stats.remote_write_bytes += ps as u64;
                 t = a.end;
             }
-            self.frames[frame as usize].as_mut().unwrap().dirty = false;
+            self.frames.clear_dirty(frame);
         }
         // Pages whose newest version lives only in remote memory must
         // also reach storage, or the checkpoint would be a lie. The data
         // crosses two owned stores (remote → storage), so it stages
         // through the pool's reusable scratch page.
-        let mut remote_only: Vec<PageId> = self.remote_dirty.iter().copied().collect();
-        remote_only.sort_unstable();
-        for page in remote_only {
+        let mut order = std::mem::take(&mut self.flush_order);
+        order.clear();
+        order.extend(self.remote_dirty.iter().copied());
+        order.sort_unstable();
+        for &page in &order {
             let roff = self.remote_off(page);
             let a = self
                 .rdma
@@ -377,6 +364,7 @@ impl BufferPool for TieredRdmaBp {
             self.stats.storage_write_bytes += ps as u64;
             self.remote_dirty.remove(&page);
         }
+        self.flush_order = order;
         t
     }
 
@@ -413,15 +401,15 @@ impl BufferPool for TieredRdmaBp {
         // ...and the LBP is warmed to capacity.
         for pid in 0..pages {
             let page = PageId(pid);
-            if self.map.contains_key(&page) {
+            if self.frames.contains(page) {
                 continue;
             }
-            let Some(frame) = self.free.pop() else { break };
+            let Some(frame) = self.frames.pop_free() else {
+                break;
+            };
             let off = self.frame_off(frame);
             self.space.raw_mut().write(off, self.store.raw_page(page));
-            self.frames[frame as usize] = Some(Frame { page, dirty: false });
-            self.map.insert(page, frame);
-            self.lru.push_front(frame);
+            self.frames.install(frame, page);
         }
     }
 }

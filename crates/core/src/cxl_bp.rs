@@ -27,14 +27,34 @@ use bufferpool::{BpStats, BufferPool};
 use memsim::{Access, CxlPool, NodeId};
 use simkit::faults;
 use simkit::trace::{self, SpanKind};
+use simkit::FastMap;
 use simkit::SimTime;
-use simkit::{FastMap, FastSet};
 use std::cell::RefCell;
 use std::rc::Rc;
 use storage::{Lsn, PageId, PageStore};
 
 /// The CXL fabric shared by every node of a simulation.
 pub type SharedCxl = Rc<RefCell<CxlPool>>;
+
+/// Residency map pre-sized for `nblocks` entries, so inserts on the
+/// miss path never rehash (the hot path stays allocation-free).
+fn presized_map(nblocks: usize) -> FastMap<PageId, u32> {
+    let mut m = FastMap::default();
+    m.reserve(nblocks);
+    m
+}
+
+/// Dirty-range capacity per block: sized for the worst latch window the
+/// B+tree produces (a page split rewrites about half a page
+/// record-by-record, three range pushes per moved record), so the write
+/// path never grows these vectors.
+const DIRTY_RANGES_CAP: usize = 512;
+
+fn presized_ranges(nblocks: usize) -> Vec<Vec<(u16, u16)>> {
+    (0..nblocks)
+        .map(|_| Vec::with_capacity(DIRTY_RANGES_CAP))
+        .collect()
+}
 
 /// The buffer pool living wholly in CXL memory.
 pub struct CxlBp {
@@ -52,13 +72,14 @@ pub struct CxlBp {
     mirror: Vec<BlockMeta>,
     /// Mirror of the region header.
     inuse_head: u64,
-    /// Dirty byte ranges per latched page, flushed on unlatch.
-    dirty_ranges: FastMap<PageId, Vec<(u16, u16)>>,
-    /// Emptied range vectors, recycled so the write path stops
-    /// allocating one per page-latch cycle.
-    range_pool: Vec<Vec<(u16, u16)>>,
-    /// Pages with updates not yet checkpointed to storage.
-    dirty_pages: FastSet<PageId>,
+    /// Dirty byte ranges per *block* (parallel to `mirror`), flushed on
+    /// unlatch. Block-indexed, so after the single residency probe in
+    /// `fix` the write path touches no hash table; cleared in place, so
+    /// capacity is retained and the hot path never allocates.
+    dirty_ranges: Vec<Vec<(u16, u16)>>,
+    /// Per-block "updates not yet checkpointed to storage" bit
+    /// (parallel to `mirror`).
+    ckpt_dirty: Vec<bool>,
     /// Reusable page-sized staging buffer for storage↔CXL transfers
     /// (miss fills and checkpoints), so the hot path never allocates.
     page_buf: Vec<u8>,
@@ -111,14 +132,13 @@ impl CxlBp {
             node,
             geo,
             store,
-            map: FastMap::default(),
+            map: presized_map(nblocks as usize),
             lru: LruList::new(nblocks as usize),
             free: (0..nblocks as u32).rev().collect(),
             mirror: vec![BlockMeta::free(); nblocks as usize],
             inuse_head: 0,
-            dirty_ranges: FastMap::default(),
-            range_pool: Vec::new(),
-            dirty_pages: FastSet::default(),
+            dirty_ranges: presized_ranges(nblocks as usize),
+            ckpt_dirty: vec![false; nblocks as usize],
             page_buf: vec![0u8; geo.page_size as usize],
             stats: BpStats::default(),
         }
@@ -145,14 +165,13 @@ impl CxlBp {
             node,
             geo,
             store,
-            map: FastMap::default(),
+            map: presized_map(nblocks),
             lru: LruList::new(nblocks),
             free: Vec::new(),
             mirror: vec![BlockMeta::free(); nblocks],
             inuse_head: hdr.inuse_head,
-            dirty_ranges: FastMap::default(),
-            range_pool: Vec::new(),
-            dirty_pages: FastSet::default(),
+            dirty_ranges: presized_ranges(nblocks),
+            ckpt_dirty: vec![false; nblocks],
             page_buf: vec![0u8; geo.page_size as usize],
             stats: BpStats::default(),
         }
@@ -184,8 +203,10 @@ impl CxlBp {
         for m in &mut self.mirror {
             *m = BlockMeta::free();
         }
-        self.dirty_ranges.clear();
-        self.dirty_pages.clear();
+        for r in &mut self.dirty_ranges {
+            r.clear();
+        }
+        self.ckpt_dirty.iter_mut().for_each(|d| *d = false);
     }
 
     /// Install recovered metadata (called by
@@ -216,7 +237,11 @@ impl CxlBp {
     /// Mark a page as needing the next checkpoint (its CXL copy is ahead
     /// of storage). Used by recovery.
     pub fn mark_dirty_for_checkpoint(&mut self, page: PageId) {
-        self.dirty_pages.insert(page);
+        // A non-resident page has nothing ahead of storage to flush (the
+        // old page-keyed set also skipped it at checkpoint time).
+        if let Some(&b) = self.map.get(&page) {
+            self.ckpt_dirty[b as usize] = true;
+        }
     }
 
     // ------------------------------------------------- durable helpers
@@ -342,7 +367,8 @@ impl CxlBp {
         self.map.remove(&page);
         self.stats.evictions += 1;
         let mut t = now;
-        if self.dirty_pages.remove(&page) {
+        self.dirty_ranges[b as usize].clear();
+        if std::mem::take(&mut self.ckpt_dirty[b as usize]) {
             // Write the page down to storage before the block is reused.
             self.stats.writebacks += 1;
             t = self.flush_page_to_storage(b, page, t);
@@ -397,7 +423,7 @@ impl CxlBp {
     ) -> Access {
         let data_off = self.geo.data_off(b as u64);
         let mut t = bad.end;
-        if self.dirty_pages.contains(&page) {
+        if self.ckpt_dirty[b as usize] {
             self.stats.fault_retries += 1;
         } else {
             self.stats.poison_rebuilds += 1;
@@ -466,11 +492,9 @@ impl BufferPool for CxlBp {
             (a, a2)
         };
         self.mirror[b as usize].lsn = lsn.0;
-        self.dirty_ranges
-            .entry(page)
-            .or_insert_with(|| self.range_pool.pop().unwrap_or_default())
-            .push((off, data.len() as u16));
-        self.dirty_pages.insert(page);
+        // Block-indexed stores: no further hashing after `fix`'s probe.
+        self.dirty_ranges[b as usize].push((off, data.len() as u16));
+        self.ckpt_dirty[b as usize] = true;
         Access {
             end: a2.end,
             link_bytes: a.link_bytes + a2.link_bytes,
@@ -489,15 +513,15 @@ impl BufferPool for CxlBp {
             // Publish: flush dirty data ranges + meta line, then clear
             // the lock durably.
             let base = self.geo.data_off(b as u64);
-            if let Some(mut ranges) = self.dirty_ranges.remove(&page) {
+            let ranges = &mut self.dirty_ranges[b as usize];
+            if !ranges.is_empty() {
                 let mut pool = self.cxl.borrow_mut();
-                for &(off, len) in &ranges {
+                for &(off, len) in ranges.iter() {
                     t = pool
                         .clflush(self.node, base + off as u64, len as usize, t)
                         .end;
                 }
                 ranges.clear();
-                self.range_pool.push(ranges);
                 t = pool
                     .clflush(
                         self.node,
@@ -525,15 +549,14 @@ impl BufferPool for CxlBp {
     fn flush_all(&mut self, now: SimTime) -> SimTime {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
         let mut t = now;
-        let mut pages: Vec<PageId> = self.dirty_pages.iter().copied().collect();
-        // Hash-set order varies per instance; flush order changes cache
-        // eviction traffic, so pin it for run-to-run determinism.
-        pages.sort_unstable();
-        for page in pages {
-            if let Some(&b) = self.map.get(&page) {
-                t = self.flush_page_to_storage(b, page, t);
+        // Walking block ids is deterministic (and allocation-free) by
+        // construction — no hash-order to launder.
+        for b in 0..self.geo.nblocks as u32 {
+            if !std::mem::take(&mut self.ckpt_dirty[b as usize]) {
+                continue;
             }
-            self.dirty_pages.remove(&page);
+            let page = PageId(self.mirror[b as usize].page_id);
+            t = self.flush_page_to_storage(b, page, t);
         }
         t
     }

@@ -22,7 +22,7 @@
 use crate::cxl_bp::SharedCxl;
 use crate::manager::rpc_gate;
 use bufferpool::lru::LruList;
-use memsim::NodeId;
+use memsim::{CxlFabric, NodeId};
 use simkit::FastMap;
 use simkit::SimTime;
 use std::cell::RefCell;
@@ -160,6 +160,13 @@ impl FusionServer {
             epochs: FastMap::default(),
             dead: Vec::new(),
         }
+    }
+
+    /// Shared fabric handle. Nodes hold no fabric reference of their
+    /// own (keeps them `Send` for parallel phases); serial protocol
+    /// methods borrow the pool through their server instead.
+    pub fn fabric(&self) -> &SharedCxl {
+        &self.cxl
     }
 
     /// Register a node and the CXL base of its flag array.
@@ -467,6 +474,94 @@ impl FusionServer {
         }
         t
     }
+
+    /// Snapshot the directory for one barrier quantum of parallel
+    /// stepping: every currently mapped page's slot address and active
+    /// set, plus every node's flag-array base. Drivers pre-resolve all
+    /// pages at warmup (so no in-phase RPCs are ever needed) and
+    /// re-snapshot at each barrier if the directory changed.
+    pub fn dir_snapshot(&self) -> FusionDir {
+        let mut pages = FastMap::default();
+        // The snapshot maps are consulted by key only (never iterated),
+        // so build order cannot reach simulated state.
+        for (&page, info) in self.map.iter() {
+            // lint: order-insensitive
+            pages.insert(page, (self.slot_addr(info.slot), info.active.clone()));
+        }
+        let max_node = self.flag_bases.keys().map(|n| n.0 + 1).max().unwrap_or(0); // lint: order-insensitive
+        let mut flag_bases = vec![u64::MAX; max_node];
+        for (&node, &base) in self.flag_bases.iter() {
+            // lint: order-insensitive
+            flag_bases[node.0] = base;
+        }
+        FusionDir { pages, flag_bases }
+    }
+
+    /// Fold invalidation-flag stores performed *by nodes* during a
+    /// parallel phase (see [`SharingNode::publish_resident`]) back into
+    /// the server's counters, so [`FusionStats::invalidations`] keeps
+    /// its meaning regardless of which side issued the stores.
+    pub fn absorb_invalidations(&mut self, n: u64) {
+        self.stats.invalidations += n;
+    }
+}
+
+/// Read-only directory snapshot handed to nodes for one quantum of
+/// barrier-synchronized parallel stepping (see
+/// [`FusionServer::dir_snapshot`]).
+///
+/// During a phase the server is not consulted: nodes resolve pages and
+/// peers' flag addresses from this snapshot and perform the protocol's
+/// flag stores through their *own* fabric shard — which keeps the cost
+/// inside the writer's lock hold window, exactly where the serial
+/// server RPC would have charged it. Directory *mutations* (first
+/// touches, recycling, fencing) happen serially at barriers.
+#[derive(Debug)]
+pub struct FusionDir {
+    /// page → (CXL slot address, nodes active on the page).
+    pages: FastMap<PageId, (u64, Vec<NodeId>)>,
+    /// Flag-array base per node, indexed by `NodeId.0` (`u64::MAX` for
+    /// unregistered ids).
+    flag_bases: Vec<u64>,
+}
+
+impl FusionDir {
+    /// CXL address of `page`'s slot.
+    ///
+    /// # Panics
+    /// If the page is not in the directory — phased drivers pre-resolve
+    /// every page at warmup, so a miss is a driver bug.
+    pub fn slot_addr(&self, page: PageId) -> u64 {
+        self.pages
+            .get(&page)
+            .unwrap_or_else(|| panic!("page {page:?} not pre-resolved in FusionDir")) // lint: fault-path panic
+            .0
+    }
+
+    /// Nodes active on `page` (empty if unmapped).
+    pub fn active(&self, page: PageId) -> &[NodeId] {
+        self.pages
+            .get(&page)
+            .map(|(_, a)| a.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Flag-array base of `node`.
+    pub fn flag_base(&self, node: NodeId) -> u64 {
+        let base = self.flag_bases.get(node.0).copied().unwrap_or(u64::MAX);
+        assert_ne!(base, u64::MAX, "node {node:?} not registered in FusionDir");
+        base
+    }
+
+    /// Number of pages in the snapshot.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
 }
 
 /// How a sharing node keeps its CPU cache coherent with peers.
@@ -495,6 +590,11 @@ pub struct SharingNodeStats {
     pub invalid_drops: u64,
     /// Removal-flag observations (slot re-requests).
     pub removal_reloads: u64,
+    /// Peer invalid-flag stores issued directly by this node during
+    /// parallel phases ([`SharingNode::publish_resident`]); the driver
+    /// folds these into [`FusionStats::invalidations`] via
+    /// [`FusionServer::absorb_invalidations`].
+    pub invalidations_sent: u64,
 }
 
 /// A guarded operation was refused because this node has been fenced:
@@ -532,7 +632,6 @@ struct FenceGuard {
 
 /// A database node participating in CXL data sharing.
 pub struct SharingNode {
-    cxl: SharedCxl,
     node: NodeId,
     /// Base of this node's flag array within the CXL pool.
     flag_base: u64,
@@ -559,28 +658,17 @@ impl std::fmt::Debug for SharingNode {
 
 impl SharingNode {
     /// Create the node's sharing agent. `flag_base` is its flag-array
-    /// lease (16 bytes per page id).
-    pub fn new(cxl: SharedCxl, node: NodeId, flag_base: u64, page_size: u64) -> Self {
-        Self::with_mode(
-            cxl,
-            node,
-            flag_base,
-            page_size,
-            CoherencyMode::SoftwareLines,
-        )
+    /// lease (16 bytes per page id). The node holds no fabric handle —
+    /// serial methods reach the pool through their `server` argument,
+    /// which keeps the struct `Send` for barrier-synchronized phases.
+    pub fn new(node: NodeId, flag_base: u64, page_size: u64) -> Self {
+        Self::with_mode(node, flag_base, page_size, CoherencyMode::SoftwareLines)
     }
 
     /// Create the agent with an explicit coherency mode (ablations and
     /// the CXL 3.0 hardware-coherency experiments).
-    pub fn with_mode(
-        cxl: SharedCxl,
-        node: NodeId,
-        flag_base: u64,
-        page_size: u64,
-        mode: CoherencyMode,
-    ) -> Self {
+    pub fn with_mode(node: NodeId, flag_base: u64, page_size: u64, mode: CoherencyMode) -> Self {
         SharingNode {
-            cxl,
             node,
             flag_base,
             page_size,
@@ -606,15 +694,20 @@ impl SharingNode {
     /// Validate this node's epoch word (one uncached 8-B load). Returns
     /// the completion time, or the typed fencing error if the server
     /// has declared this node dead.
-    pub fn check_epoch(&mut self, now: SimTime) -> Result<SimTime, FencedError> {
+    pub fn check_epoch(
+        &mut self,
+        server: &FusionServer,
+        now: SimTime,
+    ) -> Result<SimTime, FencedError> {
         let Some(guard) = self.fencing else {
             return Ok(now);
         };
         let mut word = [0u8; 8];
-        let a = self
-            .cxl
-            .borrow_mut()
-            .read_uncached(self.node, guard.epoch_off, &mut word, now);
+        let a =
+            server
+                .fabric()
+                .borrow_mut()
+                .read_uncached(self.node, guard.epoch_off, &mut word, now);
         let observed = u64::from_le_bytes(word);
         if observed != guard.grant_epoch {
             return Err(FencedError {
@@ -649,7 +742,7 @@ impl SharingNode {
             // Hardware coherency still needs the removal flag (slot
             // recycling is a software concern) but never the invalid one.
             let mut flags = [0u8; 16];
-            let a = self.cxl.borrow_mut().read_uncached(
+            let a = server.fabric().borrow_mut().read_uncached(
                 self.node,
                 invalid_flag_off(self.flag_base, page),
                 &mut flags,
@@ -671,10 +764,12 @@ impl SharingNode {
                 // The granted slot may have been recycled from under a
                 // page we had cached: drop any stale lines for its range
                 // before first use.
-                let inv =
-                    self.cxl
-                        .borrow_mut()
-                        .invalidate(self.node, addr, self.page_size as usize, t2);
+                let inv = server.fabric().borrow_mut().invalidate(
+                    self.node,
+                    addr,
+                    self.page_size as usize,
+                    t2,
+                );
                 self.entries.insert(page, addr);
                 return (addr, inv.end);
             }
@@ -682,12 +777,14 @@ impl SharingNode {
                 // Modified by another node: drop (clean) cached lines and
                 // clear our flag; subsequent loads fetch fresh data.
                 self.stats.invalid_drops += 1;
-                let inv =
-                    self.cxl
-                        .borrow_mut()
-                        .invalidate(self.node, addr, self.page_size as usize, t);
+                let inv = server.fabric().borrow_mut().invalidate(
+                    self.node,
+                    addr,
+                    self.page_size as usize,
+                    t,
+                );
                 t = inv.end;
-                let a = self.cxl.borrow_mut().write_uncached(
+                let a = server.fabric().borrow_mut().write_uncached(
                     self.node,
                     invalid_flag_off(self.flag_base, page),
                     &0u64.to_le_bytes(),
@@ -702,10 +799,11 @@ impl SharingNode {
         let (addr, t) = server.request_page(page, self.node, now);
         // Same staleness hazard on a first grant: the slot may have been
         // recycled from a page this node cached under the same address.
-        let inv = self
-            .cxl
-            .borrow_mut()
-            .invalidate(self.node, addr, self.page_size as usize, t);
+        let inv =
+            server
+                .fabric()
+                .borrow_mut()
+                .invalidate(self.node, addr, self.page_size as usize, t);
         self.entries.insert(page, addr);
         (addr, inv.end)
     }
@@ -727,10 +825,12 @@ impl SharingNode {
             // Same staleness hazard as a first grant: the slot may have
             // been recycled from a page this node cached under the same
             // address.
-            let inv = self
-                .cxl
-                .borrow_mut()
-                .invalidate(self.node, addr, self.page_size as usize, t);
+            let inv = server.fabric().borrow_mut().invalidate(
+                self.node,
+                addr,
+                self.page_size as usize,
+                t,
+            );
             t = inv.end;
             self.entries.insert(page, addr);
         }
@@ -748,7 +848,8 @@ impl SharingNode {
         now: SimTime,
     ) -> SimTime {
         let (addr, t) = self.access(server, page, now);
-        self.cxl
+        server
+            .fabric()
             .borrow_mut()
             .read(self.node, addr + off, buf, t)
             .end
@@ -768,13 +869,16 @@ impl SharingNode {
         let (addr, t) = self.access(server, page, now);
         if self.mode == CoherencyMode::Hardware {
             // CXL 3.0: the store itself is globally coherent.
-            return self
-                .cxl
+            return server
+                .fabric()
                 .borrow_mut()
                 .write_coherent(self.node, addr + off, data, t)
                 .end;
         }
-        let a = self.cxl.borrow_mut().write(self.node, addr + off, data, t);
+        let a = server
+            .fabric()
+            .borrow_mut()
+            .write(self.node, addr + off, data, t);
         self.dirty_ranges.push((addr + off, data.len()));
         a.end
     }
@@ -788,7 +892,11 @@ impl SharingNode {
             CoherencyMode::SoftwareLines => {
                 let mut t = now;
                 for (addr, len) in std::mem::take(&mut self.dirty_ranges) {
-                    t = self.cxl.borrow_mut().clflush(self.node, addr, len, t).end;
+                    t = server
+                        .fabric()
+                        .borrow_mut()
+                        .clflush(self.node, addr, len, t)
+                        .end;
                 }
                 server.publish(page, self.node, t)
             }
@@ -798,7 +906,8 @@ impl SharingNode {
                 let t = if let Some((addr, _)) = self.dirty_ranges.first().copied() {
                     let page_base = addr - (addr % self.page_size);
                     self.dirty_ranges.clear();
-                    self.cxl
+                    server
+                        .fabric()
                         .borrow_mut()
                         .clflush(self.node, page_base, self.page_size as usize, now)
                         .end
@@ -808,6 +917,196 @@ impl SharingNode {
                 server.publish(page, self.node, t)
             }
         }
+    }
+
+    // ---- Phase API: barrier-synchronized parallel stepping ----------
+    //
+    // The `*_resident` methods mirror the serial protocol above but run
+    // against an explicit [`CxlFabric`] (a per-node `CxlShard` during a
+    // phase, or the pool itself) and a read-only [`FusionDir`] snapshot
+    // instead of the live server. Every page must have been resolved
+    // into `entries` before the phase starts (drivers warm up all
+    // touched pages serially), so no RPC — and no directory mutation —
+    // can happen mid-phase. With `nslots >= total pages` no slot is
+    // ever recycled, so a set removal flag is a driver bug, not a
+    // protocol event.
+
+    /// Phase-capable [`SharingNode::access`]: resolve `page` against
+    /// the snapshot, polling this node's flag word through `fabric`.
+    ///
+    /// # Panics
+    /// If the page was not pre-resolved, or its removal flag is set
+    /// (recycling never happens mid-phase).
+    pub fn access_resident<F: CxlFabric>(
+        &mut self,
+        fabric: &mut F,
+        page: PageId,
+        now: SimTime,
+    ) -> (u64, SimTime) {
+        let &addr = self
+            .entries
+            .get(&page)
+            .unwrap_or_else(|| panic!("page {page:?} not pre-resolved on node {:?}", self.node)); // lint: fault-path panic
+                                                                                                  // One uncached 16-B load covers both flags (same line).
+        let mut flags = [0u8; 16];
+        let a = fabric.read_uncached(
+            self.node,
+            invalid_flag_off(self.flag_base, page),
+            &mut flags,
+            now,
+        );
+        let mut invalid_word = [0u8; 8];
+        let mut removal_word = [0u8; 8];
+        invalid_word.copy_from_slice(&flags[0..8]);
+        removal_word.copy_from_slice(&flags[8..16]);
+        assert_eq!(
+            u64::from_le_bytes(removal_word),
+            0,
+            "slot recycled mid-phase for page {page:?}"
+        );
+        let invalid = self.mode != CoherencyMode::Hardware && u64::from_le_bytes(invalid_word) != 0;
+        let mut t = a.end;
+        if invalid {
+            // Modified by another node: drop (clean) cached lines and
+            // clear our flag; subsequent loads fetch fresh data.
+            self.stats.invalid_drops += 1;
+            let inv = fabric.invalidate(self.node, addr, self.page_size as usize, t);
+            t = inv.end;
+            let a = fabric.write_uncached(
+                self.node,
+                invalid_flag_off(self.flag_base, page),
+                &0u64.to_le_bytes(),
+                t,
+            );
+            t = a.end;
+        }
+        self.stats.local_hits += 1;
+        (addr, t)
+    }
+
+    /// Phase-capable [`SharingNode::read`] (caller holds ≥ S lock).
+    pub fn read_resident<F: CxlFabric>(
+        &mut self,
+        fabric: &mut F,
+        page: PageId,
+        off: u64,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> SimTime {
+        let (addr, t) = self.access_resident(fabric, page, now);
+        fabric.read(self.node, addr + off, buf, t).end
+    }
+
+    /// Phase-capable [`SharingNode::write`] (caller holds the X lock).
+    pub fn write_resident<F: CxlFabric>(
+        &mut self,
+        fabric: &mut F,
+        page: PageId,
+        off: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> SimTime {
+        let (addr, t) = self.access_resident(fabric, page, now);
+        if self.mode == CoherencyMode::Hardware {
+            return fabric.write_coherent(self.node, addr + off, data, t).end;
+        }
+        let a = fabric.write(self.node, addr + off, data, t);
+        self.dirty_ranges.push((addr + off, data.len()));
+        a.end
+    }
+
+    /// Phase-capable [`SharingNode::publish`]: flush the modified lines
+    /// and store every *other* active node's invalid flag through this
+    /// node's own fabric shard — the stores ride the writer's host link
+    /// inside its lock hold window, and land (like all phase writes) at
+    /// the next barrier.
+    pub fn publish_resident<F: CxlFabric>(
+        &mut self,
+        fabric: &mut F,
+        dir: &FusionDir,
+        page: PageId,
+        now: SimTime,
+    ) -> SimTime {
+        let mut t = match self.mode {
+            CoherencyMode::Hardware => return now, // stores were coherent
+            CoherencyMode::SoftwareLines => {
+                let mut t = now;
+                for (addr, len) in std::mem::take(&mut self.dirty_ranges) {
+                    t = fabric.clflush(self.node, addr, len, t).end;
+                }
+                t
+            }
+            CoherencyMode::SoftwareFullPage => {
+                if let Some((addr, _)) = self.dirty_ranges.first().copied() {
+                    let page_base = addr - (addr % self.page_size);
+                    self.dirty_ranges.clear();
+                    fabric
+                        .clflush(self.node, page_base, self.page_size as usize, now)
+                        .end
+                } else {
+                    now
+                }
+            }
+        };
+        for &peer in dir.active(page) {
+            if peer == self.node {
+                continue;
+            }
+            let foff = invalid_flag_off(dir.flag_base(peer), page);
+            let a = fabric.write_uncached(self.node, foff, &1u64.to_le_bytes(), t);
+            t = a.end;
+            self.stats.invalidations_sent += 1;
+        }
+        t
+    }
+
+    /// Phase-capable [`SharingNode::check_epoch`] (epoch words are only
+    /// ever *written* serially at barriers, so an uncached read through
+    /// the shard observes the latest committed fence).
+    pub fn check_epoch_resident<F: CxlFabric>(
+        &mut self,
+        fabric: &mut F,
+        now: SimTime,
+    ) -> Result<SimTime, FencedError> {
+        let Some(guard) = self.fencing else {
+            return Ok(now);
+        };
+        let mut word = [0u8; 8];
+        let a = fabric.read_uncached(self.node, guard.epoch_off, &mut word, now);
+        let observed = u64::from_le_bytes(word);
+        if observed != guard.grant_epoch {
+            return Err(FencedError {
+                node: self.node,
+                observed_epoch: observed,
+                grant_epoch: guard.grant_epoch,
+            });
+        }
+        Ok(a.end)
+    }
+
+    /// Phase-capable [`SharingNode::guarded_write`].
+    pub fn guarded_write_resident<F: CxlFabric>(
+        &mut self,
+        fabric: &mut F,
+        page: PageId,
+        off: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<SimTime, FencedError> {
+        let t = self.check_epoch_resident(fabric, now)?;
+        Ok(self.write_resident(fabric, page, off, data, t))
+    }
+
+    /// Phase-capable [`SharingNode::guarded_publish`].
+    pub fn guarded_publish_resident<F: CxlFabric>(
+        &mut self,
+        fabric: &mut F,
+        dir: &FusionDir,
+        page: PageId,
+        now: SimTime,
+    ) -> Result<SimTime, FencedError> {
+        let t = self.check_epoch_resident(fabric, now)?;
+        Ok(self.publish_resident(fabric, dir, page, t))
     }
 
     /// Fencing-aware [`SharingNode::write`]: re-validate the epoch word
@@ -821,7 +1120,7 @@ impl SharingNode {
         data: &[u8],
         now: SimTime,
     ) -> Result<SimTime, FencedError> {
-        let t = self.check_epoch(now)?;
+        let t = self.check_epoch(server, now)?;
         Ok(self.write(server, page, off, data, t))
     }
 
@@ -835,7 +1134,7 @@ impl SharingNode {
         page: PageId,
         now: SimTime,
     ) -> Result<SimTime, FencedError> {
-        let t = self.check_epoch(now)?;
+        let t = self.check_epoch(server, now)?;
         Ok(self.publish(server, page, t))
     }
 }
@@ -862,8 +1161,8 @@ mod tests {
         let store: SharedStore = Rc::new(RefCell::new(store));
         // Layout: slots at 0..32 KiB; flag arrays above.
         let mut server = FusionServer::new(Rc::clone(&cxl), NodeId(2), 0, 16, store);
-        let n0 = SharingNode::new(Rc::clone(&cxl), NodeId(0), 64 << 10, 1024);
-        let n1 = SharingNode::new(Rc::clone(&cxl), NodeId(1), 96 << 10, 1024);
+        let n0 = SharingNode::new(NodeId(0), 64 << 10, 1024);
+        let n1 = SharingNode::new(NodeId(1), 96 << 10, 1024);
         server.register_node(NodeId(0), 64 << 10);
         server.register_node(NodeId(1), 96 << 10);
         (server, n0, n1)
@@ -916,10 +1215,10 @@ mod tests {
         let (mut server, mut n0, mut n1) = setup();
         let mut buf = [0u8; 8];
         n1.read(&mut server, PageId(0), 0, &mut buf, SimTime::ZERO);
-        let host0_before = n0.cxl.borrow().host_link_bytes(0);
+        let host0_before = server.fabric().borrow().host_link_bytes(0);
         let t = n0.write(&mut server, PageId(0), 100, &[0xBB; 10], SimTime::ZERO);
         n0.publish(&mut server, PageId(0), t);
-        let moved = n0.cxl.borrow().host_link_bytes(0) - host0_before;
+        let moved = server.fabric().borrow().host_link_bytes(0) - host0_before;
         // The 10-byte write spans at most 2 lines; fills + flushes stay
         // far below a page.
         assert!(moved <= 4 * 64, "{moved} bytes moved; expected ≲4 lines");
@@ -986,20 +1285,8 @@ mod tests {
         }
         let store: SharedStore = Rc::new(RefCell::new(store));
         let mut server = FusionServer::new(Rc::clone(&cxl), NodeId(2), 0, 16, store);
-        let mut n0 = SharingNode::with_mode(
-            Rc::clone(&cxl),
-            NodeId(0),
-            64 << 10,
-            1024,
-            CoherencyMode::Hardware,
-        );
-        let mut n1 = SharingNode::with_mode(
-            Rc::clone(&cxl),
-            NodeId(1),
-            96 << 10,
-            1024,
-            CoherencyMode::Hardware,
-        );
+        let mut n0 = SharingNode::with_mode(NodeId(0), 64 << 10, 1024, CoherencyMode::Hardware);
+        let mut n1 = SharingNode::with_mode(NodeId(1), 96 << 10, 1024, CoherencyMode::Hardware);
         server.register_node(NodeId(0), 64 << 10);
         server.register_node(NodeId(1), 96 << 10);
         let mut buf = [0u8; 8];
@@ -1019,8 +1306,7 @@ mod tests {
     fn full_page_flush_mode_moves_more_bytes() {
         let run = |mode: CoherencyMode| {
             let (mut server, _, _) = setup();
-            let cxl = Rc::clone(&server.cxl);
-            let mut n0 = SharingNode::with_mode(cxl, NodeId(0), 64 << 10, 1024, mode);
+            let mut n0 = SharingNode::with_mode(NodeId(0), 64 << 10, 1024, mode);
             // Dirty a lot of lines first so the flush difference shows.
             let t = n0.write(&mut server, PageId(0), 0, &[9u8; 512], SimTime::ZERO);
             let before = server.cxl.borrow().host_link_bytes(0);
@@ -1141,10 +1427,48 @@ mod tests {
         // bumped epoch and works again.
         let (e0b, t) = server.register_node_fenced(NodeId(0), 64 << 10, t);
         assert_eq!(e0b, e0 + 1);
-        let mut n0b = SharingNode::new(Rc::clone(&server.cxl), NodeId(0), 64 << 10, 1024);
+        let mut n0b = SharingNode::new(NodeId(0), 64 << 10, 1024);
         n0b.enable_fencing(EPOCH_BASE, e0b);
         n0b.guarded_write(&mut server, PageId(2), 0, &[7u8; 8], t)
             .expect("resurrected node writes at the new epoch");
+    }
+
+    #[test]
+    fn resident_protocol_matches_serial_across_a_barrier() {
+        let (mut server, mut n0, mut n1) = setup();
+        let mut buf = [0u8; 8];
+        // Warm up serially: both nodes resolve page 0.
+        n0.read(&mut server, PageId(0), 0, &mut buf, SimTime::ZERO);
+        n1.read(&mut server, PageId(0), 0, &mut buf, SimTime::ZERO);
+        let dir = server.dir_snapshot();
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.active(PageId(0)).len(), 2);
+        // Phase: each node steps on its own shard.
+        let cxl = Rc::clone(&server.cxl);
+        let mut s0 = cxl.borrow_mut().detach_node(NodeId(0));
+        let mut s1 = cxl.borrow_mut().detach_node(NodeId(1));
+        let t = n0.write_resident(&mut s0, PageId(0), 0, &[0xAA; 8], SimTime::ZERO);
+        let t = n0.publish_resident(&mut s0, &dir, PageId(0), t);
+        assert_eq!(n0.stats().invalidations_sent, 1);
+        // Same-quantum peer read still sees the old bytes (bounded
+        // staleness: the publish lands at the barrier).
+        n1.read_resident(&mut s1, PageId(0), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [1u8; 8]);
+        // Barrier: commit both shards in node order.
+        let mut shards = [s0, s1];
+        cxl.borrow_mut().barrier(&mut shards);
+        let [s0, s1] = shards;
+        cxl.borrow_mut().attach_node(s0);
+        cxl.borrow_mut().attach_node(s1);
+        server.absorb_invalidations(n0.stats().invalidations_sent);
+        assert_eq!(server.stats().invalidations, 1);
+        // Next quantum: the reader observes the invalid flag and fetches
+        // fresh bytes — identical to the serial protocol outcome.
+        let mut s1 = cxl.borrow_mut().detach_node(NodeId(1));
+        n1.read_resident(&mut s1, PageId(0), 0, &mut buf, t);
+        assert_eq!(buf, [0xAA; 8], "reader sees the published write");
+        assert_eq!(n1.stats().invalid_drops, 1);
+        cxl.borrow_mut().attach_node(s1);
     }
 
     #[test]

@@ -30,8 +30,9 @@ pub mod recovery;
 
 pub use cxl_bp::{CxlBp, SharedCxl};
 pub use fusion::{
-    CoherencyMode, FencedError, FencingPolicy, FusionServer, FusionStats, SharedStore, SharingNode,
+    CoherencyMode, FencedError, FencingPolicy, FusionDir, FusionServer, FusionStats, SharedStore,
+    SharingNode,
 };
 pub use manager::{AllocError, CxlMemoryManager, Lease, ReleaseError};
-pub use rdma_sharing::{RdmaDbp, RdmaSharingNode};
+pub use rdma_sharing::{RdmaDbp, RdmaDir, RdmaSharingNode};
 pub use recovery::{polar_recv, polar_recv_policy, polar_recv_with, RecoveryReport, TrustPolicy};

@@ -15,7 +15,7 @@
 use bufferpool::lru::LruList;
 use bufferpool::tiered::SharedRdma;
 use memsim::calib::{DRAM_LOCAL_NS, DRAM_STREAM_NS_PER_LINE, RPC_NS};
-use memsim::NodeId;
+use memsim::{NodeId, RdmaFabric};
 use simkit::trace::{self, Lane};
 use simkit::SimTime;
 use simkit::{FastMap, FastSet};
@@ -178,6 +178,64 @@ impl RdmaDbp {
         }
         (targets, t)
     }
+
+    /// Snapshot the directory for one barrier quantum of parallel
+    /// stepping: the server host (whose NIC carries invalidation
+    /// messages) and every mapped page's active set. Drivers pre-resolve
+    /// all pages at warmup so no in-phase RPC is ever needed.
+    pub fn dir_snapshot(&self) -> RdmaDir {
+        let mut pages = FastMap::default();
+        // The snapshot map is consulted by key only (never iterated),
+        // so build order cannot reach simulated state.
+        for (&page, info) in self.map.iter() {
+            // lint: order-insensitive
+            pages.insert(page, info.active.clone());
+        }
+        RdmaDir {
+            server_host: self.server_host,
+            pages,
+        }
+    }
+
+    /// Shared fabric handle. Nodes hold no fabric reference of their
+    /// own (keeps them `Send` for parallel phases); serial protocol
+    /// methods borrow the pool through their server instead.
+    pub fn fabric(&self) -> &SharedRdma {
+        &self.rdma
+    }
+
+    /// Fold invalidation messages sent *by nodes* during a parallel
+    /// phase ([`RdmaSharingNode::publish_resident`]) back into the
+    /// server's counters.
+    pub fn absorb_invalidation_msgs(&mut self, n: u64) {
+        self.stats.invalidation_msgs += n;
+    }
+}
+
+/// Read-only directory snapshot for one quantum of barrier-synchronized
+/// parallel stepping (see [`RdmaDbp::dir_snapshot`]). During a phase
+/// the server is never consulted; invalidation messages are charged on
+/// the server's NIC through the writer's fabric shard (which holds a
+/// fork of that link), and their *effects* — dropping peers' local
+/// copies — are queued in a per-node outbox the driver applies at the
+/// barrier in fixed node order.
+#[derive(Debug)]
+pub struct RdmaDir {
+    server_host: usize,
+    /// page → nodes active on it.
+    pages: FastMap<PageId, Vec<NodeId>>,
+}
+
+impl RdmaDir {
+    /// Host whose NIC carries invalidation messages.
+    pub fn server_host(&self) -> usize {
+        self.server_host
+    }
+
+    /// Nodes active on `page` (empty if unmapped).
+    pub fn active(&self, page: PageId) -> &[NodeId] {
+        self.pages.get(&page).map(Vec::as_slice).unwrap_or(&[])
+    }
 }
 
 /// Node statistics for the RDMA baseline.
@@ -191,17 +249,25 @@ pub struct RdmaNodeStats {
     pub page_writes: u64,
     /// Invalidations applied.
     pub invalidations: u64,
+    /// Invalidation messages sent directly by this node during parallel
+    /// phases ([`RdmaSharingNode::publish_resident`]); the driver folds
+    /// these into [`RdmaDbpStats::invalidation_msgs`] via
+    /// [`RdmaDbp::absorb_invalidation_msgs`].
+    pub invalidation_msgs_sent: u64,
 }
 
 /// A database node in the RDMA sharing baseline: local page copies over
 /// a remote DBP.
 pub struct RdmaSharingNode {
-    rdma: SharedRdma,
     node: NodeId,
     host: usize,
     page_size: u64,
-    /// LBP frames (real page copies).
-    frames: Vec<Option<(PageId, Vec<u8>)>>,
+    /// LBP frame metadata, struct-of-arrays: which page each frame
+    /// holds…
+    frame_page: Vec<Option<PageId>>,
+    /// …and its backing bytes, preallocated once so faults never
+    /// allocate on the hot path.
+    frame_buf: Vec<Vec<u8>>,
     free: Vec<u32>,
     map: FastMap<PageId, u32>,
     lru: LruList,
@@ -214,28 +280,25 @@ impl std::fmt::Debug for RdmaSharingNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RdmaSharingNode")
             .field("node", &self.node)
-            .field("frames", &self.frames.len())
+            .field("frames", &self.frame_page.len())
             .field("stats", &self.stats)
             .finish()
     }
 }
 
 impl RdmaSharingNode {
-    /// Create a node with `lbp_frames` local frames riding `host`'s NIC.
-    pub fn new(
-        rdma: SharedRdma,
-        node: NodeId,
-        host: usize,
-        lbp_frames: usize,
-        page_size: u64,
-    ) -> Self {
+    /// Create a node with `lbp_frames` local frames riding `host`'s
+    /// NIC. The node holds no fabric handle — serial methods reach the
+    /// pool through their `server` argument, which keeps the struct
+    /// `Send` for barrier-synchronized phases.
+    pub fn new(node: NodeId, host: usize, lbp_frames: usize, page_size: u64) -> Self {
         assert!(lbp_frames > 0);
         RdmaSharingNode {
-            rdma,
             node,
             host,
             page_size,
-            frames: (0..lbp_frames).map(|_| None).collect(),
+            frame_page: vec![None; lbp_frames],
+            frame_buf: vec![vec![0u8; page_size as usize]; lbp_frames],
             free: (0..lbp_frames as u32).rev().collect(),
             map: FastMap::default(),
             lru: LruList::new(lbp_frames),
@@ -257,18 +320,41 @@ impl RdmaSharingNode {
 
     /// Local tier size in bytes (memory-overhead accounting, Table 3).
     pub fn local_bytes(&self) -> u64 {
-        self.frames.len() as u64 * self.page_size
+        self.frame_page.len() as u64 * self.page_size
     }
 
     /// Drop the local copy of `page` (invalidation message received).
     pub fn invalidate_local(&mut self, page: PageId) {
         if let Some(frame) = self.map.remove(&page) {
             debug_assert!(!self.dirty.contains(&page), "invalidating a dirty page");
-            self.frames[frame as usize] = None;
+            self.frame_page[frame as usize] = None;
             self.lru.remove(frame);
             self.free.push(frame);
             self.stats.invalidations += 1;
         }
+    }
+
+    /// Claim a frame for `page`, evicting the LRU victim if none is
+    /// free. Pure local-metadata work.
+    fn claim_frame(&mut self, page: PageId) -> u32 {
+        let frame = if let Some(f) = self.free.pop() {
+            f
+        } else {
+            let victim = self.lru.pop_back().expect("nonempty LRU");
+            let vpage = self.frame_page[victim as usize]
+                .take()
+                .expect("page in frame");
+            assert!(
+                !self.dirty.contains(&vpage),
+                "evicting dirty page outside lock"
+            );
+            self.map.remove(&vpage);
+            victim
+        };
+        self.frame_page[frame as usize] = Some(page);
+        self.map.insert(page, frame);
+        self.lru.push_front(frame);
+        frame
     }
 
     /// Ensure a local copy exists; returns (frame, time).
@@ -287,26 +373,17 @@ impl RdmaSharingNode {
             t = t2;
             a
         };
-        let frame = if let Some(f) = self.free.pop() {
-            f
-        } else {
-            let victim = self.lru.pop_back().expect("nonempty LRU");
-            let (vpage, _) = self.frames[victim as usize].take().expect("page in frame");
-            assert!(
-                !self.dirty.contains(&vpage),
-                "evicting dirty page outside lock"
-            );
-            self.map.remove(&vpage);
-            victim
-        };
-        // Whole-page RDMA read — read amplification.
-        let mut buf = vec![0u8; self.page_size as usize];
-        let a = self.rdma.borrow_mut().read(self.host, addr, &mut buf, t);
+        let frame = self.claim_frame(page);
+        // Whole-page RDMA read — read amplification — straight into the
+        // frame's preallocated buffer.
+        let a = server.fabric().borrow_mut().read(
+            self.host,
+            addr,
+            &mut self.frame_buf[frame as usize],
+            t,
+        );
         t = a.end;
         self.stats.page_reads += 1;
-        self.frames[frame as usize] = Some((page, buf));
-        self.map.insert(page, frame);
-        self.lru.push_front(frame);
         (frame, t)
     }
 
@@ -320,7 +397,7 @@ impl RdmaSharingNode {
         now: SimTime,
     ) -> SimTime {
         let (frame, t) = self.fault_in(server, page, now);
-        let (_, data) = self.frames[frame as usize].as_ref().expect("resident");
+        let data = &self.frame_buf[frame as usize];
         buf.copy_from_slice(&data[off as usize..off as usize + buf.len()]);
         trace::attr_add(Lane::Dram, dram_cost_ns(buf.len()));
         t + dram_cost_ns(buf.len())
@@ -337,7 +414,7 @@ impl RdmaSharingNode {
         now: SimTime,
     ) -> SimTime {
         let (frame, t) = self.fault_in(server, page, now);
-        let (_, buf) = self.frames[frame as usize].as_mut().expect("resident");
+        let buf = &mut self.frame_buf[frame as usize];
         buf[off as usize..off as usize + data.len()].copy_from_slice(data);
         self.dirty.insert(page);
         trace::attr_add(Lane::Dram, dram_cost_ns(data.len()));
@@ -356,14 +433,131 @@ impl RdmaSharingNode {
         let mut t = now;
         if self.dirty.remove(&page) {
             let frame = *self.map.get(&page).expect("dirty page is resident");
-            let (_, data) = self.frames[frame as usize].as_ref().expect("resident");
             let addr = *self.addrs.get(&page).expect("dirty page has an address");
-            let data = data.clone();
-            let a = self.rdma.borrow_mut().write(self.host, addr, &data, t);
+            let a = server.fabric().borrow_mut().write(
+                self.host,
+                addr,
+                &self.frame_buf[frame as usize],
+                t,
+            );
             t = a.end;
             self.stats.page_writes += 1;
         }
         server.publish(page, self.node, t)
+    }
+
+    /// Pre-resolve `page`'s DBP address (one server RPC if unknown)
+    /// without faulting the page in. Drivers call this for every page a
+    /// node *may* touch before a parallel phase, so the `*_resident`
+    /// methods never need a server round-trip mid-quantum.
+    pub fn resolve(&mut self, server: &mut RdmaDbp, page: PageId, now: SimTime) -> SimTime {
+        if self.addrs.contains_key(&page) {
+            return now;
+        }
+        let (addr, t) = server.request_page(page, self.node, now);
+        self.addrs.insert(page, addr);
+        t
+    }
+
+    // ---- Phase API: barrier-synchronized parallel stepping ----------
+    //
+    // The `*_resident` methods mirror the serial protocol above but run
+    // against an explicit [`RdmaFabric`] (a per-node `RdmaShard` during
+    // a phase) and a read-only [`RdmaDir`] snapshot. Every page address
+    // must have been resolved before the phase starts (drivers warm up
+    // all touched pages serially), so no server RPC — and no directory
+    // mutation — can happen mid-phase. Frame eviction is pure node-local
+    // state and stays allowed.
+
+    /// Phase-capable [`fault_in`](Self::fault_in).
+    ///
+    /// # Panics
+    /// If `page`'s remote address was not pre-resolved.
+    fn fault_in_resident<R: RdmaFabric>(
+        &mut self,
+        fabric: &mut R,
+        page: PageId,
+        now: SimTime,
+    ) -> (u32, SimTime) {
+        if let Some(&frame) = self.map.get(&page) {
+            self.stats.local_hits += 1;
+            self.lru.touch(frame);
+            return (frame, now);
+        }
+        let &addr = self
+            .addrs
+            .get(&page)
+            .unwrap_or_else(|| panic!("page {page:?} not pre-resolved on node {:?}", self.node));
+        let frame = self.claim_frame(page);
+        let a = fabric.read(self.host, addr, &mut self.frame_buf[frame as usize], now);
+        self.stats.page_reads += 1;
+        (frame, a.end)
+    }
+
+    /// Phase-capable [`SharingNode::read`](Self::read).
+    pub fn read_resident<R: RdmaFabric>(
+        &mut self,
+        fabric: &mut R,
+        page: PageId,
+        off: u64,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> SimTime {
+        let (frame, t) = self.fault_in_resident(fabric, page, now);
+        let data = &self.frame_buf[frame as usize];
+        buf.copy_from_slice(&data[off as usize..off as usize + buf.len()]);
+        trace::attr_add(Lane::Dram, dram_cost_ns(buf.len()));
+        t + dram_cost_ns(buf.len())
+    }
+
+    /// Phase-capable [`write`](Self::write).
+    pub fn write_resident<R: RdmaFabric>(
+        &mut self,
+        fabric: &mut R,
+        page: PageId,
+        off: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> SimTime {
+        let (frame, t) = self.fault_in_resident(fabric, page, now);
+        let buf = &mut self.frame_buf[frame as usize];
+        buf[off as usize..off as usize + data.len()].copy_from_slice(data);
+        self.dirty.insert(page);
+        trace::attr_add(Lane::Dram, dram_cost_ns(data.len()));
+        t + dram_cost_ns(data.len())
+    }
+
+    /// Phase-capable [`publish`](Self::publish): the page write-back
+    /// rides this node's NIC shard, invalidation messages are charged
+    /// on the *server's* NIC (the shard holds a fork of that link), and
+    /// the targets whose copies must drop are queued into `outbox` —
+    /// the driver applies `(target, page)` pairs at the barrier in
+    /// fixed node order.
+    pub fn publish_resident<R: RdmaFabric>(
+        &mut self,
+        fabric: &mut R,
+        dir: &RdmaDir,
+        page: PageId,
+        outbox: &mut Vec<(NodeId, PageId)>,
+        now: SimTime,
+    ) -> SimTime {
+        let mut t = now;
+        if self.dirty.remove(&page) {
+            let frame = *self.map.get(&page).expect("dirty page is resident");
+            let addr = *self.addrs.get(&page).expect("dirty page has an address");
+            let a = fabric.write(self.host, addr, &self.frame_buf[frame as usize], t);
+            t = a.end;
+            self.stats.page_writes += 1;
+        }
+        for &target in dir.active(page) {
+            if target == self.node {
+                continue;
+            }
+            t = fabric.message(dir.server_host(), t);
+            self.stats.invalidation_msgs_sent += 1;
+            outbox.push((target, page));
+        }
+        t
     }
 }
 
@@ -384,19 +578,19 @@ mod tests {
         }
         let store: SharedStore = Rc::new(RefCell::new(store));
         let server = RdmaDbp::new(Rc::clone(&rdma), 2, 0, 32, store);
-        let n0 = RdmaSharingNode::new(Rc::clone(&rdma), NodeId(0), 0, lbp_frames, 1024);
-        let n1 = RdmaSharingNode::new(Rc::clone(&rdma), NodeId(1), 1, lbp_frames, 1024);
+        let n0 = RdmaSharingNode::new(NodeId(0), 0, lbp_frames, 1024);
+        let n1 = RdmaSharingNode::new(NodeId(1), 1, lbp_frames, 1024);
         (server, n0, n1)
     }
 
     #[test]
     fn miss_reads_whole_page() {
         let (mut server, mut n0, _) = setup(4);
-        let before = n0.rdma.borrow().nic_bytes(0);
+        let before = server.fabric().borrow().nic_bytes(0);
         let mut buf = [0u8; 8];
         n0.read(&mut server, PageId(3), 0, &mut buf, SimTime::ZERO);
         assert_eq!(buf, [4u8; 8]);
-        assert_eq!(n0.rdma.borrow().nic_bytes(0) - before, 1024);
+        assert_eq!(server.fabric().borrow().nic_bytes(0) - before, 1024);
         assert_eq!(n0.stats().page_reads, 1);
     }
 
@@ -407,10 +601,10 @@ mod tests {
         // Both nodes fault the page in.
         n1.read(&mut server, PageId(0), 0, &mut buf, SimTime::ZERO);
         let t = n0.write(&mut server, PageId(0), 0, &[0xCC; 8], SimTime::ZERO);
-        let before = n0.rdma.borrow().nic_bytes(0);
+        let before = server.fabric().borrow().nic_bytes(0);
         let (targets, t) = n0.publish(&mut server, PageId(0), t);
         assert_eq!(
-            n0.rdma.borrow().nic_bytes(0) - before,
+            server.fabric().borrow().nic_bytes(0) - before,
             1024,
             "one-byte-ish change, full page moved"
         );
@@ -431,9 +625,9 @@ mod tests {
         let (mut server, mut n0, _) = setup(4);
         let mut buf = [0u8; 8];
         n0.read(&mut server, PageId(1), 0, &mut buf, SimTime::ZERO);
-        let before = n0.rdma.borrow().nic_bytes(0);
+        let before = server.fabric().borrow().nic_bytes(0);
         let t = n0.read(&mut server, PageId(1), 0, &mut buf, SimTime::ZERO);
-        assert_eq!(n0.rdma.borrow().nic_bytes(0), before);
+        assert_eq!(server.fabric().borrow().nic_bytes(0), before);
         assert!(t.as_nanos() < 1_000);
         assert_eq!(n0.stats().local_hits, 1);
     }
@@ -458,7 +652,7 @@ mod tests {
         let (server, mut n0, _) = setup(4);
         // 32 slots but only 16 pages allocated; force pressure with a
         // smaller server.
-        let rdma = Rc::clone(&n0.rdma);
+        let rdma = Rc::clone(server.fabric());
         let mut small = RdmaDbp::new(rdma, 2, 0, 2, Rc::clone(&server.store));
         drop(server);
         let mut buf = [0u8; 1];

@@ -27,6 +27,7 @@ pub mod cxl;
 pub mod dram;
 pub mod rdma;
 pub mod region;
+pub mod shard;
 
 use simkit::SimTime;
 
@@ -68,7 +69,8 @@ impl Access {
 }
 
 pub use cache::{Cache, CacheStats};
-pub use cxl::{CxlNodeConfig, CxlPool};
+pub use cxl::{CxlFabric, CxlNodeConfig, CxlPool, CxlShard};
 pub use dram::DramSpace;
-pub use rdma::{RdmaError, RdmaPool};
+pub use rdma::{RdmaError, RdmaFabric, RdmaPool, RdmaShard};
 pub use region::Region;
+pub use shard::{RegionReader, WriteLog};

@@ -10,10 +10,11 @@
 
 use crate::calib::{RDMA_NIC_GBPS, RDMA_PER_OP_NS, RDMA_READ_BASE_NS, RDMA_WRITE_BASE_NS};
 use crate::region::Region;
+use crate::shard::{RegionReader, WriteLog};
 use crate::Access;
 use simkit::faults::{self, FaultSite, Verdict};
 use simkit::trace::{self, Lane, SpanKind};
-use simkit::{Link, SimTime};
+use simkit::{Link, LinkFork, SimTime};
 
 /// Typed failure of an RDMA operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,92 @@ impl std::fmt::Display for RdmaError {
 }
 
 impl std::error::Error for RdmaError {}
+
+/// Poll a host's NIC link health. An outage surfaces as a typed
+/// transient error whose spike is the retry interval — the caller's
+/// existing retry/backoff/fallback machinery handles it (and the
+/// infallible paths terminate because retries advance `now` past
+/// the outage). A degrade returns the latency multiplier.
+fn link_gate(host: usize, now: SimTime) -> Result<u64, RdmaError> {
+    match faults::link_health(FaultSite::RdmaLink, host as u32, now) {
+        faults::LinkHealth::Healthy => Ok(1),
+        faults::LinkHealth::Degraded { factor } => Ok(factor as u64),
+        faults::LinkHealth::Down { retry_ns, .. } => {
+            Err(RdmaError::Transient { spike_ns: retry_ns })
+        }
+    }
+}
+
+/// Stretch a completed transfer by the degrade factor, charging the
+/// slowdown to the NIC attribution lane.
+fn degrade(a: &mut Access, now: SimTime, factor: u64) {
+    if factor > 1 {
+        let delta = a.end.saturating_since(now);
+        let extra = delta.saturating_mul(factor - 1);
+        a.end += extra;
+        trace::attr_add(Lane::RdmaNic, extra);
+    }
+}
+
+/// Charge a bulk transfer to a NIC pipe: the single timed body shared by
+/// the pool and the per-node shard, so both paths cost identically.
+fn charge_nic(link: &mut Link, kind: SpanKind, host: usize, len: u64, now: SimTime) -> Access {
+    let _prof = simkit::profile::scope(simkit::profile::Subsys::Rdma);
+    let g = link.transfer(now, len);
+    // Attribution leaf: the whole delta (protocol base + per-op +
+    // bandwidth queueing) is NIC time.
+    trace::attr_add(Lane::RdmaNic, g.end.saturating_since(now));
+    trace::span(kind, host as u32, now, g.end, len);
+    Access {
+        end: g.end,
+        link_bytes: len,
+        hits: 0,
+        misses: 0,
+    }
+}
+
+/// A small control message on a NIC's tx pipe — costs a round trip but
+/// no bulk bandwidth. Shared body of [`RdmaPool::message`] and
+/// [`RdmaShard::message`].
+fn message_on(tx: &mut Link, host: usize, now: SimTime) -> SimTime {
+    if faults::crashed() {
+        return now;
+    }
+    let mut now = now;
+    let factor = loop {
+        match link_gate(host, now) {
+            Ok(f) => break f,
+            // Outage: the sender retries the doorbell until the NIC
+            // returns; each attempt burns the backoff interval.
+            Err(RdmaError::Transient { spike_ns }) => now += spike_ns,
+        }
+    };
+    let end = tx.transfer(now, 64).end;
+    trace::attr_add(Lane::RdmaNic, end.saturating_since(now));
+    let mut a = Access {
+        end,
+        link_bytes: 64,
+        hits: 0,
+        misses: 0,
+    };
+    // `degrade` charges the slowdown to the NIC lane itself.
+    degrade(&mut a, now, factor);
+    trace::span(SpanKind::RdmaMsg, host as u32, now, a.end, 64);
+    a.end
+}
+
+/// The RDMA operations node-level database code issues, abstracted over
+/// the serial pool and a phase-private [`RdmaShard`]. Drivers hand nodes
+/// whichever implementation matches the execution mode; both charge the
+/// identical timed bodies.
+pub trait RdmaFabric {
+    /// RDMA read over `host`'s NIC (retrying transients in place).
+    fn read(&mut self, host: usize, off: u64, buf: &mut [u8], now: SimTime) -> Access;
+    /// RDMA write over `host`'s NIC (retrying transients in place).
+    fn write(&mut self, host: usize, off: u64, data: &[u8], now: SimTime) -> Access;
+    /// Control message on `host`'s NIC.
+    fn message(&mut self, host: usize, now: SimTime) -> SimTime;
+}
 
 /// Remote memory pool behind per-host RDMA NICs.
 #[derive(Debug)]
@@ -102,11 +189,11 @@ impl RdmaPool {
         buf: &mut [u8],
         now: SimTime,
     ) -> Result<Access, RdmaError> {
-        let factor = Self::link_gate(host, now)?;
+        let factor = link_gate(host, now)?;
         match faults::gate(FaultSite::RdmaRead, now) {
             Verdict::Run => {
                 let mut a = self.read_inner(host, off, buf, now);
-                Self::degrade(&mut a, now, factor);
+                degrade(&mut a, now, factor);
                 Ok(a)
             }
             Verdict::Transient { spike_ns } => Err(RdmaError::Transient { spike_ns }),
@@ -134,25 +221,14 @@ impl RdmaPool {
     }
 
     fn read_inner(&mut self, host: usize, off: u64, buf: &mut [u8], now: SimTime) -> Access {
-        let _prof = simkit::profile::scope(simkit::profile::Subsys::Rdma);
         self.region.read(off, buf);
-        let g = self.nics[host].0.transfer(now, buf.len() as u64);
-        // Attribution leaf: the whole delta (protocol base + per-op +
-        // bandwidth queueing) is NIC time.
-        trace::attr_add(Lane::RdmaNic, g.end.saturating_since(now));
-        trace::span(
+        charge_nic(
+            &mut self.nics[host].0,
             SpanKind::RdmaPageIn,
-            host as u32,
-            now,
-            g.end,
+            host,
             buf.len() as u64,
-        );
-        Access {
-            end: g.end,
-            link_bytes: buf.len() as u64,
-            hits: 0,
-            misses: 0,
-        }
+            now,
+        )
     }
 
     /// RDMA write with typed fault propagation: like
@@ -166,41 +242,15 @@ impl RdmaPool {
         data: &[u8],
         now: SimTime,
     ) -> Result<Access, RdmaError> {
-        let factor = Self::link_gate(host, now)?;
+        let factor = link_gate(host, now)?;
         match faults::gate(FaultSite::RdmaWrite, now) {
             Verdict::Run => {
                 let mut a = self.write_inner(host, off, data, now);
-                Self::degrade(&mut a, now, factor);
+                degrade(&mut a, now, factor);
                 Ok(a)
             }
             Verdict::Transient { spike_ns } => Err(RdmaError::Transient { spike_ns }),
             _ => Ok(Access::free(now)),
-        }
-    }
-
-    /// Poll this host's NIC link health. An outage surfaces as a typed
-    /// transient error whose spike is the retry interval — the caller's
-    /// existing retry/backoff/fallback machinery handles it (and the
-    /// infallible paths terminate because retries advance `now` past
-    /// the outage). A degrade returns the latency multiplier.
-    fn link_gate(host: usize, now: SimTime) -> Result<u64, RdmaError> {
-        match faults::link_health(FaultSite::RdmaLink, host as u32, now) {
-            faults::LinkHealth::Healthy => Ok(1),
-            faults::LinkHealth::Degraded { factor } => Ok(factor as u64),
-            faults::LinkHealth::Down { retry_ns, .. } => {
-                Err(RdmaError::Transient { spike_ns: retry_ns })
-            }
-        }
-    }
-
-    /// Stretch a completed transfer by the degrade factor, charging the
-    /// slowdown to the NIC attribution lane.
-    fn degrade(a: &mut Access, now: SimTime, factor: u64) {
-        if factor > 1 {
-            let delta = a.end.saturating_since(now);
-            let extra = delta.saturating_mul(factor - 1);
-            a.end += extra;
-            trace::attr_add(Lane::RdmaNic, extra);
         }
     }
 
@@ -218,53 +268,21 @@ impl RdmaPool {
     }
 
     fn write_inner(&mut self, host: usize, off: u64, data: &[u8], now: SimTime) -> Access {
-        let _prof = simkit::profile::scope(simkit::profile::Subsys::Rdma);
         self.region.write(off, data);
-        let g = self.nics[host].1.transfer(now, data.len() as u64);
-        trace::attr_add(Lane::RdmaNic, g.end.saturating_since(now));
-        trace::span(
+        charge_nic(
+            &mut self.nics[host].1,
             SpanKind::RdmaPageOut,
-            host as u32,
-            now,
-            g.end,
+            host,
             data.len() as u64,
-        );
-        Access {
-            end: g.end,
-            link_bytes: data.len() as u64,
-            hits: 0,
-            misses: 0,
-        }
+            now,
+        )
     }
 
     /// A small control message (e.g. a page-invalidation RPC in the
     /// RDMA-based coherency protocol) — costs a round trip but no bulk
     /// bandwidth.
     pub fn message(&mut self, host: usize, now: SimTime) -> SimTime {
-        if faults::crashed() {
-            return now;
-        }
-        let mut now = now;
-        let factor = loop {
-            match Self::link_gate(host, now) {
-                Ok(f) => break f,
-                // Outage: the sender retries the doorbell until the NIC
-                // returns; each attempt burns the backoff interval.
-                Err(RdmaError::Transient { spike_ns }) => now += spike_ns,
-            }
-        };
-        let end = self.nics[host].1.transfer(now, 64).end;
-        trace::attr_add(Lane::RdmaNic, end.saturating_since(now));
-        let mut a = Access {
-            end,
-            link_bytes: 64,
-            hits: 0,
-            misses: 0,
-        };
-        // `degrade` charges the slowdown to the NIC lane itself.
-        Self::degrade(&mut a, now, factor);
-        trace::span(SpanKind::RdmaMsg, host as u32, now, a.end, 64);
-        a.end
+        message_on(&mut self.nics[host].1, host, now)
     }
 
     /// Bytes moved through a host's NIC (both directions).
@@ -286,6 +304,177 @@ impl RdmaPool {
             tx.reset_counters();
             tx.reset_queue();
         }
+    }
+
+    /// Detach a phase-private view for the node on `host`, whose page
+    /// fills, writebacks and region traffic use its own NIC pair and
+    /// whose invalidation fan-out rides the coherency server's tx NIC on
+    /// `server_host`. Shards step concurrently between barriers; the
+    /// pool must not be timed against either host until
+    /// [`RdmaPool::barrier`] or [`RdmaPool::attach_host`] reconciles.
+    pub fn detach_host(&mut self, host: usize, server_host: usize) -> RdmaShard {
+        assert_ne!(
+            host, server_host,
+            "a shard's host must not be the server host"
+        );
+        RdmaShard {
+            host,
+            server_host,
+            rx: self.nics[host].0.fork(),
+            tx: self.nics[host].1.fork(),
+            server_tx: self.nics[server_host].1.fork(),
+            reader: RegionReader::new(&self.region),
+            log: WriteLog::new(),
+        }
+    }
+
+    /// Virtual-time barrier: commit every shard's quantum in the given
+    /// (fixed) order — merge NIC forks, apply write logs — then refresh
+    /// each shard's forks and region reader for the next quantum.
+    pub fn barrier(&mut self, shards: &mut [RdmaShard]) {
+        for s in shards.iter_mut() {
+            self.nics[s.host].0.merge(&s.rx);
+            self.nics[s.host].1.merge(&s.tx);
+            self.nics[s.server_host].1.merge(&s.server_tx);
+            s.log.apply(&mut self.region);
+        }
+        for s in shards.iter_mut() {
+            s.rx = self.nics[s.host].0.fork();
+            s.tx = self.nics[s.host].1.fork();
+            s.server_tx = self.nics[s.server_host].1.fork();
+            s.reader = RegionReader::new(&self.region);
+        }
+    }
+
+    /// Permanently reabsorb a shard (end of the parallel section or a
+    /// node leaving the cluster): merge its forks and apply its log.
+    pub fn attach_host(&mut self, mut shard: RdmaShard) {
+        self.nics[shard.host].0.merge(&shard.rx);
+        self.nics[shard.host].1.merge(&shard.tx);
+        self.nics[shard.server_host].1.merge(&shard.server_tx);
+        shard.log.apply(&mut self.region);
+    }
+}
+
+impl RdmaFabric for RdmaPool {
+    fn read(&mut self, host: usize, off: u64, buf: &mut [u8], now: SimTime) -> Access {
+        RdmaPool::read(self, host, off, buf, now)
+    }
+    fn write(&mut self, host: usize, off: u64, data: &[u8], now: SimTime) -> Access {
+        RdmaPool::write(self, host, off, data, now)
+    }
+    fn message(&mut self, host: usize, now: SimTime) -> SimTime {
+        RdmaPool::message(self, host, now)
+    }
+}
+
+/// One node's phase-private view of the RDMA pool (see
+/// [`RdmaPool::detach_host`]): forked NIC pipes with cumulative-capacity
+/// merge semantics, a raw read window over the remote region and a write
+/// log committed at the barrier. Timing bodies are shared with the pool,
+/// so a 1-worker phased run and an N-worker phased run charge bit-equal
+/// costs.
+#[derive(Debug)]
+pub struct RdmaShard {
+    host: usize,
+    server_host: usize,
+    rx: LinkFork,
+    tx: LinkFork,
+    server_tx: LinkFork,
+    reader: RegionReader,
+    log: WriteLog,
+}
+
+impl RdmaShard {
+    /// The compute host this shard fronts.
+    pub fn host(&self) -> usize {
+        self.host
+    }
+
+    /// RDMA read with typed fault propagation (shard flavour of
+    /// [`RdmaPool::try_read`]): reads observe the shard's own pending
+    /// stores immediately and peers' stores as of the last barrier.
+    pub fn try_read(
+        &mut self,
+        off: u64,
+        buf: &mut [u8],
+        now: SimTime,
+    ) -> Result<Access, RdmaError> {
+        let factor = link_gate(self.host, now)?;
+        match faults::gate(FaultSite::RdmaRead, now) {
+            Verdict::Run => {
+                self.log.read_through(&self.reader, off, buf);
+                let mut a = charge_nic(
+                    &mut self.rx,
+                    SpanKind::RdmaPageIn,
+                    self.host,
+                    buf.len() as u64,
+                    now,
+                );
+                degrade(&mut a, now, factor);
+                Ok(a)
+            }
+            Verdict::Transient { spike_ns } => Err(RdmaError::Transient { spike_ns }),
+            _ => {
+                self.log.read_through(&self.reader, off, buf);
+                Ok(Access::free(now))
+            }
+        }
+    }
+
+    /// RDMA write with typed fault propagation (shard flavour of
+    /// [`RdmaPool::try_write`]): the store lands in the shard's log and
+    /// reaches the shared region at the next barrier.
+    pub fn try_write(&mut self, off: u64, data: &[u8], now: SimTime) -> Result<Access, RdmaError> {
+        let factor = link_gate(self.host, now)?;
+        match faults::gate(FaultSite::RdmaWrite, now) {
+            Verdict::Run => {
+                self.log.write(off, data);
+                let mut a = charge_nic(
+                    &mut self.tx,
+                    SpanKind::RdmaPageOut,
+                    self.host,
+                    data.len() as u64,
+                    now,
+                );
+                degrade(&mut a, now, factor);
+                Ok(a)
+            }
+            Verdict::Transient { spike_ns } => Err(RdmaError::Transient { spike_ns }),
+            _ => Ok(Access::free(now)),
+        }
+    }
+}
+
+impl RdmaFabric for RdmaShard {
+    fn read(&mut self, host: usize, off: u64, buf: &mut [u8], now: SimTime) -> Access {
+        debug_assert_eq!(host, self.host);
+        let mut now = now;
+        loop {
+            match self.try_read(off, buf, now) {
+                Ok(a) => return a,
+                Err(RdmaError::Transient { spike_ns }) => now += spike_ns,
+            }
+        }
+    }
+
+    fn write(&mut self, host: usize, off: u64, data: &[u8], now: SimTime) -> Access {
+        debug_assert_eq!(host, self.host);
+        let mut now = now;
+        loop {
+            match self.try_write(off, data, now) {
+                Ok(a) => return a,
+                Err(RdmaError::Transient { spike_ns }) => now += spike_ns,
+            }
+        }
+    }
+
+    /// Control messages always ride the coherency server's tx NIC — the
+    /// one deliberately shared pipe, merged with cumulative capacity at
+    /// the barrier.
+    fn message(&mut self, host: usize, now: SimTime) -> SimTime {
+        debug_assert_eq!(host, self.server_host);
+        message_on(&mut self.server_tx, host, now)
     }
 }
 
@@ -448,6 +637,80 @@ mod tests {
         let b = p.read(1, 0, &mut buf, SimTime::ZERO).end;
         // No cross-host queueing.
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_writes_commit_at_the_barrier_in_host_order() {
+        let mut p = RdmaPool::new(1 << 20, 3);
+        p.write(2, 0, &[9u8; 8], SimTime::ZERO);
+        let mut s0 = p.detach_host(0, 2);
+        let mut s1 = p.detach_host(1, 2);
+        s0.try_write(0, &[1u8; 8], SimTime::ZERO).unwrap();
+        s1.try_write(4, &[2u8; 8], SimTime::ZERO).unwrap();
+        // Own writes visible immediately; the peer's not yet.
+        let mut b = [0u8; 8];
+        s0.try_read(0, &mut b, SimTime::ZERO).unwrap();
+        assert_eq!(b, [1u8; 8]);
+        s1.try_read(0, &mut b, SimTime::ZERO).unwrap();
+        assert_eq!(b, [9, 9, 9, 9, 2, 2, 2, 2]);
+        // The region still holds the pre-phase bytes.
+        let mut r = [0u8; 8];
+        p.raw().read(0, &mut r);
+        assert_eq!(r, [9u8; 8]);
+        // Barrier: host order fixes the overlap (s1's store lands last).
+        let mut shards = [s0, s1];
+        p.barrier(&mut shards);
+        let mut r = [0u8; 12];
+        p.raw().read(0, &mut r);
+        assert_eq!(r, [1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn shard_nic_backlog_merges_to_the_serial_total() {
+        // Serial reference.
+        let mut serial = RdmaPool::new(1 << 24, 3);
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        for _ in 0..4 {
+            serial.read(0, 0, &mut buf, SimTime::ZERO);
+        }
+        // Phased: the same four reads via a shard, committed at a barrier.
+        let mut p = RdmaPool::new(1 << 24, 3);
+        let mut s0 = p.detach_host(0, 2);
+        let mut last = SimTime::ZERO;
+        for _ in 0..4 {
+            last = s0.try_read(0, &mut buf, SimTime::ZERO).unwrap().end;
+        }
+        p.attach_host(s0);
+        // Backlog and counters equal the serial run's.
+        assert_eq!(p.nic_bytes(0), serial.nic_bytes(0));
+        let probe = p.read(0, 0, &mut buf, SimTime::ZERO).end;
+        let probe_serial = serial.read(0, 0, &mut buf, SimTime::ZERO).end;
+        assert_eq!(probe, probe_serial);
+        assert!(probe > last, "the fifth read queues behind the merged four");
+    }
+
+    #[test]
+    fn shard_messages_share_the_server_nic() {
+        let mut p = RdmaPool::new(1 << 20, 3);
+        let mut s0 = p.detach_host(0, 2);
+        let mut s1 = p.detach_host(1, 2);
+        use super::RdmaFabric;
+        s0.message(2, SimTime::ZERO);
+        s1.message(2, SimTime::ZERO);
+        let before = p.nic_bytes(2);
+        p.attach_host(s0);
+        p.attach_host(s1);
+        // Both messages land on the server host's tx pipe.
+        assert_eq!(p.nic_bytes(2), before + 128);
+        // And the serial-equivalent backlog: a third message queues
+        // behind both, exactly as if all three were sent on the pool.
+        let mut serial = RdmaPool::new(1 << 20, 3);
+        serial.message(2, SimTime::ZERO);
+        serial.message(2, SimTime::ZERO);
+        assert_eq!(
+            p.message(2, SimTime::ZERO),
+            serial.message(2, SimTime::ZERO)
+        );
     }
 
     #[test]

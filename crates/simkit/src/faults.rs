@@ -309,6 +309,22 @@ impl FaultStats {
         self.hits.iter().sum()
     }
 
+    /// Fold another engine's counters into this one (used to aggregate
+    /// per-node [`FaultState`]s in fixed node order at the end of a
+    /// parallel-stepped run). The crash markers keep the first crash
+    /// observed.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        for i in 0..SITE_COUNT {
+            self.hits[i] += other.hits[i];
+            self.injected[i] += other.injected[i];
+        }
+        self.node_crashes += other.node_crashes;
+        if self.crash_hit.is_none() {
+            self.crash_hit = other.crash_hit;
+            self.crash_site = other.crash_site;
+        }
+    }
+
     /// Injected faults across all sites.
     pub fn total_injected(&self) -> u64 {
         self.injected.iter().sum()
@@ -397,6 +413,84 @@ pub fn clear() {
 #[inline]
 pub fn active() -> bool {
     FLAGS.with(|f| f.get()) & ACTIVE != 0
+}
+
+/// A detached fault-engine state: one node's private schedule, flags
+/// and counters, movable across worker threads.
+///
+/// Barrier-synchronized parallel stepping gives every simulated node
+/// its own engine: the driver prepares one state per node (routing each
+/// plan event to the node whose primitives it perturbs), swaps the
+/// state in around the node's quantum with [`swap_state`], and polls /
+/// merges the detached states at barriers. Because each node's gates
+/// only ever consult its own engine, the fault schedule is a function
+/// of the node's own deterministic poll sequence — invariant to worker
+/// count and to which host thread runs the quantum.
+pub struct FaultState {
+    flags: u8,
+    engine: Engine,
+}
+
+impl FaultState {
+    /// An inactive state: gates behave as if no plan were installed.
+    pub fn inactive() -> Self {
+        FaultState {
+            flags: 0,
+            engine: Engine::empty(),
+        }
+    }
+
+    /// A state armed with `plan`, counters at zero (the detached
+    /// equivalent of [`install`]).
+    pub fn prepared(plan: FaultPlan) -> Self {
+        let mut engine = Engine::empty();
+        engine.events = plan.events.into_iter().map(|ev| (ev, false)).collect();
+        FaultState {
+            flags: ACTIVE,
+            engine,
+        }
+    }
+
+    /// Whether this state's plan has killed its host (the detached
+    /// equivalent of [`crashed`]).
+    pub fn crashed(&self) -> bool {
+        self.flags & CRASHED != 0
+    }
+
+    /// Consume one pending node crash from this state (the detached
+    /// equivalent of [`take_node_crash`], polled at barriers).
+    pub fn take_node_crash(&mut self) -> Option<u32> {
+        if self.flags & NODE_CRASH == 0 {
+            return None;
+        }
+        let node = if self.engine.pending_node_crashes.is_empty() {
+            None
+        } else {
+            Some(self.engine.pending_node_crashes.remove(0))
+        };
+        if self.engine.pending_node_crashes.is_empty() {
+            self.flags &= !NODE_CRASH;
+        }
+        node
+    }
+
+    /// Counter snapshot of this state.
+    pub fn stats(&self) -> FaultStats {
+        self.engine.stats
+    }
+}
+
+/// Exchange the calling thread's fault-engine state with `state`. Used
+/// by the parallel stepper around each node's quantum: swap the node's
+/// state in, run the quantum, swap it back out — identical whether the
+/// quantum runs inline or on a pool worker.
+pub fn swap_state(state: &mut FaultState) {
+    FLAGS.with(|f| {
+        let cur = f.get();
+        f.set(state.flags);
+        state.flags = cur;
+    });
+    ENGINE.with(|e| std::mem::swap(&mut *e.borrow_mut(), &mut state.engine));
 }
 
 /// Whether the installed plan has killed the host. The harness polls
@@ -909,6 +1003,33 @@ mod tests {
             LinkHealth::Down { retry_ns, .. } => assert_eq!(retry_ns, 25),
             h => panic!("expected Down, got {h:?}"),
         }
+        drain();
+    }
+
+    #[test]
+    fn detached_states_isolate_node_schedules() {
+        drain();
+        let mut a = FaultState::prepared(FaultPlan::crash_at_hit(0));
+        let mut b = FaultState::prepared(FaultPlan::default().with(
+            Trigger::SiteHit(FaultSite::CxlRead, 0),
+            Action::CrashNode { node: 3 },
+        ));
+        swap_state(&mut a);
+        assert_eq!(gate(FaultSite::CxlRead, SimTime::ZERO), Verdict::Dead);
+        swap_state(&mut a);
+        assert!(a.crashed());
+        assert!(!crashed(), "main-thread state untouched");
+        assert_eq!(stats().total_hits(), 0);
+        swap_state(&mut b);
+        assert_eq!(gate(FaultSite::CxlRead, SimTime::ZERO), Verdict::Run);
+        swap_state(&mut b);
+        assert_eq!(b.take_node_crash(), Some(3));
+        assert_eq!(b.take_node_crash(), None);
+        let mut total = a.stats();
+        total.absorb(&b.stats());
+        assert_eq!(total.total_hits(), 2);
+        assert_eq!(total.node_crashes, 1);
+        assert_eq!(total.crash_hit, Some(0));
         drain();
     }
 

@@ -32,6 +32,7 @@ pub mod fastmap;
 pub mod faults;
 pub mod json;
 pub mod lock;
+pub mod par;
 pub mod profile;
 pub mod resource;
 pub mod rng;
@@ -42,8 +43,8 @@ pub mod worker;
 
 pub use fastmap::{FastMap, FastSet};
 pub use faults::{FaultPlan, FaultSite, FaultStats, Verdict};
-pub use lock::{LockMode, LockTable, VLock};
-pub use resource::{Grant, Link, MultiServer};
+pub use lock::{LockDelta, LockMode, LockShard, LockTable, VLock};
+pub use resource::{Grant, Link, LinkFork, MultiServer};
 pub use stats::{Counter, Histogram, MetricsRegistry, TimeSeries};
 pub use time::{dur, SimTime};
 pub use trace::{Lane, QueryBreakdown, SpanKind, TraceEvent};

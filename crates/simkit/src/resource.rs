@@ -259,6 +259,72 @@ impl Link {
         self.transfers = 0;
         self.busy_ns = 0;
     }
+
+    /// Fork a private proxy of this link for barrier-synchronized
+    /// parallel stepping: one node charges its quantum's transfers
+    /// against the proxy, and [`Link::merge`] folds the accumulated
+    /// *deltas* back at the barrier in fixed node order.
+    ///
+    /// This is sound precisely because the backlog clock is cumulative
+    /// (never ratcheted to request times, see the type docs): each
+    /// transfer advances `free_at` by its occupancy only, so the final
+    /// clock is `Σ occupancy` regardless of interleaving. Summing each
+    /// fork's occupancy delta reproduces the clock any serial schedule
+    /// of the same transfers would have produced; grant *start* times
+    /// within a quantum may lag peers' same-quantum traffic by at most
+    /// one barrier interval, identically for every worker count.
+    pub fn fork(&self) -> LinkFork {
+        LinkFork {
+            link: Link {
+                name: self.name,
+                gbps: self.gbps,
+                per_op_overhead_ns: self.per_op_overhead_ns,
+                propagation_ns: self.propagation_ns,
+                free_at: self.free_at,
+                bytes: self.bytes,
+                transfers: self.transfers,
+                busy_ns: self.busy_ns,
+            },
+            base_free_at: self.free_at,
+            base_bytes: self.bytes,
+            base_transfers: self.transfers,
+            base_busy_ns: self.busy_ns,
+        }
+    }
+
+    /// Fold a fork's deltas back into the shared link (see
+    /// [`Link::fork`]).
+    pub fn merge(&mut self, fork: &LinkFork) {
+        self.free_at += fork.link.free_at.saturating_since(fork.base_free_at);
+        self.bytes += fork.link.bytes - fork.base_bytes;
+        self.transfers += fork.link.transfers - fork.base_transfers;
+        self.busy_ns += fork.link.busy_ns - fork.base_busy_ns;
+    }
+}
+
+/// A forked [`Link`] proxy (see [`Link::fork`]). Dereferences to the
+/// private clone so callers charge transfers exactly as they would on
+/// the shared link.
+#[derive(Debug)]
+pub struct LinkFork {
+    link: Link,
+    base_free_at: SimTime,
+    base_bytes: u64,
+    base_transfers: u64,
+    base_busy_ns: u64,
+}
+
+impl std::ops::Deref for LinkFork {
+    type Target = Link;
+    fn deref(&self) -> &Link {
+        &self.link
+    }
+}
+
+impl std::ops::DerefMut for LinkFork {
+    fn deref_mut(&mut self) -> &mut Link {
+        &mut self.link
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +401,29 @@ mod tests {
         // as soon as the pipe drains.
         let g2 = nic.transfer(SimTime::ZERO, 0);
         assert_eq!(g2.start, SimTime(1_100));
+    }
+
+    #[test]
+    fn forked_links_merge_to_the_serial_clock() {
+        // Serial reference: four transfers on one link.
+        let mut serial = Link::new("switch", 2.0).with_per_op_overhead(10);
+        for _ in 0..4 {
+            serial.transfer(SimTime(5), 1_000);
+        }
+        // Forked: two proxies take two transfers each, merged in order.
+        let mut shared = Link::new("switch", 2.0).with_per_op_overhead(10);
+        let mut f0 = shared.fork();
+        let mut f1 = shared.fork();
+        f0.transfer(SimTime(5), 1_000);
+        f1.transfer(SimTime(5), 1_000);
+        f0.transfer(SimTime(5), 1_000);
+        f1.transfer(SimTime(5), 1_000);
+        shared.merge(&f0);
+        shared.merge(&f1);
+        assert_eq!(shared.free_at, serial.free_at);
+        assert_eq!(shared.bytes(), serial.bytes());
+        assert_eq!(shared.transfers(), serial.transfers());
+        assert_eq!(shared.busy_ns, serial.busy_ns);
     }
 
     #[test]

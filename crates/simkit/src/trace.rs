@@ -322,6 +322,59 @@ mod imp {
         }
     }
 
+    /// Detached tracer state (flags + lane totals + ring) for one
+    /// simulated node, movable across worker threads.
+    pub struct StateImpl {
+        flags: u8,
+        lanes: [u64; LANE_COUNT],
+        ring: Ring,
+    }
+
+    pub fn state_armed() -> StateImpl {
+        let flags = FLAGS.with(|f| f.get());
+        let mut ring = Ring {
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+        };
+        if flags & SPANS != 0 {
+            ring.buf.reserve(RING_CAPACITY);
+        }
+        StateImpl {
+            flags,
+            lanes: [0; LANE_COUNT],
+            ring,
+        }
+    }
+
+    pub fn state_swap(s: &mut StateImpl) {
+        FLAGS.with(|f| {
+            let cur = f.get();
+            f.set(s.flags);
+            s.flags = cur;
+        });
+        LANES.with(|l| std::mem::swap(&mut *l.borrow_mut(), &mut s.lanes));
+        RING.with(|r| std::mem::swap(&mut *r.borrow_mut(), &mut s.ring));
+    }
+
+    pub fn state_breakdown(s: &StateImpl) -> QueryBreakdown {
+        QueryBreakdown { ns: s.lanes }
+    }
+
+    pub fn state_take_events(s: &mut StateImpl) -> Vec<TraceEvent> {
+        let head = s.ring.head;
+        let mut out = Vec::with_capacity(s.ring.buf.len());
+        out.extend_from_slice(&s.ring.buf[head..]);
+        out.extend_from_slice(&s.ring.buf[..head]);
+        s.ring.buf.clear();
+        s.ring.head = 0;
+        out
+    }
+
+    pub fn state_dropped(s: &StateImpl) -> u64 {
+        s.ring.dropped
+    }
+
     #[cold]
     fn span_slow(kind: SpanKind, node: u32, start: SimTime, end: SimTime, bytes: u64) {
         debug_assert!(end >= start, "span ends before it starts");
@@ -395,6 +448,32 @@ mod imp {
 
     #[inline(always)]
     pub fn span(_kind: SpanKind, _node: u32, _start: SimTime, _end: SimTime, _bytes: u64) {}
+
+    /// Detached tracer state: zero-sized without the `trace` feature.
+    pub struct StateImpl;
+
+    #[inline]
+    pub fn state_armed() -> StateImpl {
+        StateImpl
+    }
+
+    #[inline]
+    pub fn state_swap(_s: &mut StateImpl) {}
+
+    #[inline]
+    pub fn state_breakdown(_s: &StateImpl) -> QueryBreakdown {
+        QueryBreakdown::default()
+    }
+
+    #[inline]
+    pub fn state_take_events(_s: &mut StateImpl) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    #[inline]
+    pub fn state_dropped(_s: &StateImpl) -> u64 {
+        0
+    }
 }
 
 /// Turn span recording on or off for the current thread.
@@ -461,6 +540,50 @@ pub fn attr_add(lane: Lane, ns: u64) {
 #[inline]
 pub fn span(kind: SpanKind, node: u32, start: SimTime, end: SimTime, bytes: u64) {
     imp::span(kind, node, start, end, bytes)
+}
+
+/// A detached tracer state (enable flags, lane totals and span ring)
+/// for one simulated node, movable across worker threads.
+///
+/// Barrier-synchronized parallel stepping gives every node its own
+/// tracer: the driver arms one state per node with [`TraceState::armed`]
+/// (inheriting the calling thread's enable switches), swaps it in
+/// around the node's quantum with [`swap_state`], and reads the
+/// detached states in fixed node order at the end of the run. Lane
+/// totals and recorded spans are therefore a function of the node's own
+/// op sequence — invariant to worker count. Zero-sized without the
+/// `trace` feature.
+pub struct TraceState(imp::StateImpl);
+
+impl TraceState {
+    /// A fresh state inheriting the calling thread's enable switches,
+    /// with zero lane totals and an empty ring.
+    pub fn armed() -> Self {
+        TraceState(imp::state_armed())
+    }
+
+    /// This state's accumulated lane totals.
+    pub fn breakdown(&self) -> QueryBreakdown {
+        imp::state_breakdown(&self.0)
+    }
+
+    /// Drain this state's recorded spans, oldest first.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        imp::state_take_events(&mut self.0)
+    }
+
+    /// Events overwritten because this state's ring was full.
+    pub fn dropped_events(&self) -> u64 {
+        imp::state_dropped(&self.0)
+    }
+}
+
+/// Exchange the calling thread's tracer state with `state` (see
+/// [`TraceState`]): swap the node's state in, run its quantum, swap it
+/// back out — identical whether the quantum runs inline or on a pool
+/// worker.
+pub fn swap_state(state: &mut TraceState) {
+    imp::state_swap(&mut state.0)
 }
 
 // ---------------------------------------------------------------------------

@@ -32,14 +32,15 @@ use crate::sharing::{seed_storage, GroupLayout};
 use memsim::calib::{
     CPU_POINT_SELECT_NS, CPU_TXN_OVERHEAD_NS, CPU_WRITE_STMT_NS, LOCK_SERVICE_NS, PAGE_SIZE,
 };
-use memsim::{CxlNodeConfig, CxlPool, NodeId};
+use memsim::{CxlNodeConfig, CxlPool, CxlShard, NodeId};
 use polarcxlmem::{CxlMemoryManager, FencingPolicy, FusionServer, FusionStats, Lease, SharingNode};
-use simkit::faults::{self, Action, FaultPlan, FaultSite, FaultStats, Trigger};
+use simkit::faults::{self, Action, FaultPlan, FaultSite, FaultState, FaultStats, Trigger};
 use simkit::rng::{stream_rng, SimRng};
 use simkit::stats::TimeSeries;
-use simkit::trace::{self, SpanKind};
+use simkit::trace::{self, Lane, SpanKind, TraceState};
 use simkit::{
-    LockMode, LockTable, MetricsRegistry, MultiServer, SimTime, Step, WorkerId, WorkerSet,
+    par, LockDelta, LockMode, LockShard, LockTable, MetricsRegistry, MultiServer, SimTime, Step,
+    WorkerId, WorkerSet,
 };
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -104,6 +105,10 @@ pub struct FailoverConfig {
     pub death: DeathMode,
     /// Optional link degradation riding along with the crash.
     pub link_chaos: LinkChaos,
+    /// Host worker threads stepping nodes between barriers
+    /// (`0` = [`par::host_threads`]). Any value yields bit-identical
+    /// results; it only changes wall-clock time.
+    pub host_threads: usize,
 }
 
 impl FailoverConfig {
@@ -126,6 +131,7 @@ impl FailoverConfig {
             fencing: FencingPolicy::Epoch,
             death: DeathMode::Zombie,
             link_chaos: LinkChaos::None,
+            host_threads: 0,
         }
     }
 
@@ -222,6 +228,27 @@ fn fill_byte(w: usize, k: u64) -> u8 {
     }
 }
 
+/// Per-node driver state surviving across quanta (primaries `0..n`,
+/// the standby at index `n`): the node's closed-loop scheduler, CPU
+/// cores, RNG streams, write sequence numbers, timeline, reusable I/O
+/// buffers, the per-quantum committed-write log for the oracle, and
+/// the node's detached tracer / fault-engine states (swapped in around
+/// each quantum).
+struct FoLoop {
+    ws: WorkerSet,
+    cpu: MultiServer,
+    rngs: Vec<SimRng>,
+    write_seq: Vec<u64>,
+    wbase: usize,
+    series: TimeSeries,
+    queries: u64,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    writes: Vec<((PageId, u16), u8)>,
+    trace: TraceState,
+    faults: FaultState,
+}
+
 /// Run the failover scenario.
 pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
     let layout = cfg.layout;
@@ -292,8 +319,7 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
         .map(|i| {
             let (grant, _) =
                 server.register_node_fenced(NodeId(i), flag_leases[i].offset, SimTime::ZERO);
-            let mut node =
-                SharingNode::new(Rc::clone(&cxl), NodeId(i), flag_leases[i].offset, PAGE_SIZE);
+            let mut node = SharingNode::new(NodeId(i), flag_leases[i].offset, PAGE_SIZE);
             if guard_nodes {
                 node.enable_fencing(epoch_lease.offset, grant);
             }
@@ -315,11 +341,17 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
 
     // ---- Fault plan --------------------------------------------------
     // The crash instant is derived from the fault seed: same
-    // (seed, fault_seed) ⇒ bit-identical run.
+    // (seed, fault_seed) ⇒ bit-identical run. Each plan event is routed
+    // to the node whose primitives it perturbs — gates only ever
+    // consult their own node's detached engine, so the fault schedule
+    // is a function of that node's deterministic poll sequence,
+    // invariant to the host worker count.
+    let dead = cfg.crash_node;
     let mut frng = stream_rng(cfg.fault_seed, 0xFA11);
     let span = cfg.duration.as_nanos();
     let crash_at = SimTime(span / 4 + frng.gen_range(0..span / 8));
-    let mut plan = FaultPlan::default().with(
+    let mut lane_plans: Vec<FaultPlan> = (0..n + 1).map(|_| FaultPlan::default()).collect();
+    lane_plans[dead] = std::mem::take(&mut lane_plans[dead]).with(
         Trigger::At(crash_at),
         Action::CrashNode {
             node: cfg.crash_node as u32,
@@ -331,7 +363,9 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
         heal_ns,
     } = cfg.link_chaos
     {
-        plan = plan.with(
+        // Link health is consulted by the degraded host's own accesses.
+        let lane = (host as usize).min(n);
+        lane_plans[lane] = std::mem::take(&mut lane_plans[lane]).with(
             Trigger::At(crash_at),
             Action::LinkDegrade {
                 host,
@@ -340,21 +374,9 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
             },
         );
     }
-    faults::install(plan);
 
     // ---- The cluster run ---------------------------------------------
-    let dead = cfg.crash_node;
-    let mut cpus: Vec<MultiServer> = (0..n + 1).map(|_| MultiServer::new(16)).collect();
     let mut locks: LockTable<PageId> = LockTable::new();
-    let n_workers = n * wpn + wpn + 1; // primaries + standby + supervisor
-    let supervisor = n_workers - 1;
-    let mut rngs: Vec<SimRng> = (0..n_workers)
-        .map(|w| stream_rng(cfg.seed, w as u64))
-        .collect();
-    let mut ws = WorkerSet::new();
-    for w in 0..n_workers {
-        ws.spawn(WorkerId(w), SimTime::ZERO);
-    }
 
     // Oracle: committed row contents, keyed (page, offset). Shared row 0
     // is reserved as the zombie's target — the workload never writes it,
@@ -363,17 +385,11 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
     let mut model: BTreeMap<(PageId, u16), u8> = BTreeMap::new();
     let zombie_row = layout.locate(n, 0);
     model.insert(zombie_row, n as u8);
-    let mut series: Vec<TimeSeries> = (0..n + 1)
-        .map(|_| TimeSeries::with_capacity_for(cfg.bucket.as_nanos(), cfg.duration))
-        .collect();
-    let mut queries_per_node = vec![0u64; n + 1];
-    let mut write_seq = vec![0u64; n_workers];
 
     let mut death_declared: Option<SimTime> = None;
     let mut takeover: Option<TakeoverSummary> = None;
     let mut zombie_due: Option<SimTime> = None;
     let mut standby_node: Option<SharingNode> = None;
-    let mut standby_grant = 0u64;
     let detection_ns = cfg.detection.as_nanos();
     let idle_tick = (detection_ns / 4).max(10_000);
     let payload_len = 120usize;
@@ -392,41 +408,215 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
         t.as_nanos()
     };
 
-    ws.run_until(cfg.duration, |WorkerId(w), start| {
-        // ---------- supervisor: detection, fencing, takeover ----------
-        if w == supervisor {
-            if let Some(due) = zombie_due {
-                if start >= due {
-                    zombie_due = None;
-                    // The zombie speaks: one late guarded write+publish
-                    // against a shared row. Epoch fencing refuses it;
-                    // the ablation lets it straight through to readers.
-                    let (page, off) = zombie_row;
-                    let t = start;
-                    if let Ok(t2) =
-                        nodes[dead].guarded_write(&mut server, page, off as u64, &[0xEE; 120], t)
-                    {
-                        let _ = nodes[dead].guarded_publish(&mut server, page, t2);
+    // ---- Phased stepping between virtual-time barriers ---------------
+    // Every node (and, once serving, the standby) steps on its own lane
+    // between barriers; cross-node effects — CXL write logs, lock
+    // deltas, invalid flags, oracle commits — land at each barrier in
+    // fixed node order. Detection, fencing, takeover and the zombie's
+    // late write are control-plane actions: they run serially at
+    // barrier boundaries on the driver thread, which is also where the
+    // serial supervisor polled them (once per idle tick).
+    let threads = if cfg.host_threads == 0 {
+        par::host_threads()
+    } else {
+        cfg.host_threads
+    };
+    let quantum = idle_tick;
+    let mut loops: Vec<FoLoop> = (0..n + 1)
+        .map(|i| {
+            let mut ws = WorkerSet::new();
+            if i < n {
+                for k in 0..wpn {
+                    ws.spawn(WorkerId(k), SimTime::ZERO);
+                }
+            } // the standby's workers spawn at takeover_done
+            FoLoop {
+                ws,
+                cpu: MultiServer::new(16),
+                rngs: (0..wpn)
+                    .map(|k| stream_rng(cfg.seed, (i * wpn + k) as u64))
+                    .collect(),
+                write_seq: vec![0u64; wpn],
+                wbase: i * wpn,
+                series: TimeSeries::with_capacity_for(cfg.bucket.as_nanos(), cfg.duration),
+                queries: 0,
+                rbuf: vec![0u8; payload_len],
+                wbuf: vec![0u8; payload_len],
+                writes: Vec::new(),
+                trace: TraceState::armed(),
+                faults: FaultState::prepared(std::mem::take(&mut lane_plans[i])),
+            }
+        })
+        .collect();
+    let mut dir = server.dir_snapshot();
+    // Shards of currently-stepping identities, ascending: primaries
+    // 0..n, minus the victim once declared, plus the standby once
+    // serving (its identity n+1 sorts last).
+    let mut shards: Vec<CxlShard> = {
+        let mut pool = cxl.borrow_mut();
+        (0..n).map(|i| pool.detach_node(NodeId(i))).collect()
+    };
+
+    struct FoLane<'a> {
+        serve_group: usize,
+        node: &'a mut SharingNode,
+        shard: &'a mut CxlShard,
+        lock: LockShard<'a, PageId>,
+        lp: &'a mut FoLoop,
+    }
+
+    let shared_pct = cfg.shared_pct;
+    let rows = layout.rows_per_group;
+    let mut now = SimTime::ZERO;
+    while now < cfg.duration {
+        let q_end = (now + quantum).min(cfg.duration);
+        let mut lanes: Vec<FoLane> = Vec::with_capacity(shards.len());
+        {
+            let node_iter = nodes
+                .iter_mut()
+                .map(Some)
+                .chain(std::iter::once(standby_node.as_mut()));
+            let mut shard_iter = shards.iter_mut();
+            for ((idx, node_opt), lp) in node_iter.enumerate().zip(loops.iter_mut()) {
+                let active = if idx < n {
+                    !(idx == dead && death_declared.is_some())
+                } else {
+                    takeover.is_some()
+                };
+                if !active {
+                    continue;
+                }
+                lanes.push(FoLane {
+                    serve_group: if idx < n { idx } else { dead },
+                    node: node_opt.expect("active node exists"),
+                    shard: shard_iter.next().expect("one shard per active node"),
+                    lock: locks.shard(),
+                    lp,
+                });
+            }
+        }
+        let dir_ref = &dir;
+        par::run_phase(threads, &mut lanes, |_, lane| {
+            let FoLane {
+                serve_group,
+                node,
+                shard,
+                lock,
+                lp,
+            } = lane;
+            let serve_group = *serve_group;
+            let FoLoop {
+                ws,
+                cpu,
+                rngs,
+                write_seq,
+                wbase,
+                series,
+                queries,
+                rbuf,
+                wbuf,
+                writes,
+                trace: tr,
+                faults: fs,
+            } = &mut **lp;
+            trace::swap_state(tr);
+            faults::swap_state(fs);
+            ws.run_until(q_end, |WorkerId(w), start| {
+                let rng = &mut rngs[w];
+                let mut t = start + CPU_TXN_OVERHEAD_NS;
+                let mut stmts = 0u64;
+                for _ in 0..4 {
+                    let group = if rng.gen_range(0..100) < shared_pct {
+                        n
+                    } else {
+                        serve_group
+                    };
+                    // Shared row 0 is the zombie's reserved target.
+                    let row = if group == n {
+                        rng.gen_range(1..rows)
+                    } else {
+                        rng.gen_range(0..rows)
+                    };
+                    let (page, off) = layout.locate(group, row);
+                    let is_write = rng.gen_range(0..100) < 40;
+                    if is_write {
+                        t = cpu.acquire(t, CPU_WRITE_STMT_NS).end;
+                        t += LOCK_SERVICE_NS;
+                        let (grant, _) = lock.acquire(page, t, LockMode::Exclusive, 0);
+                        t = grant;
+                        write_seq[w] += 1;
+                        let b = fill_byte(*wbase + w, write_seq[w]);
+                        wbuf.fill(b);
+                        match node
+                            .guarded_write_resident(*shard, page, off as u64, wbuf, t)
+                            .and_then(|t2| node.guarded_publish_resident(*shard, dir_ref, page, t2))
+                        {
+                            Ok(t2) => {
+                                t = t2;
+                                writes.push(((page, off), b));
+                            }
+                            Err(_) => {
+                                // Fenced mid-run: the write never
+                                // committed, so the oracle keeps the old
+                                // value; stop serving.
+                                lock.extend_exclusive(page, t);
+                                return Step::Park;
+                            }
+                        }
+                        lock.extend_exclusive(page, t);
+                    } else {
+                        t = cpu.acquire(t, CPU_POINT_SELECT_NS).end;
+                        t += LOCK_SERVICE_NS;
+                        let (grant, _) = lock.acquire(page, t, LockMode::Shared, 0);
+                        t = grant;
+                        t = node.read_resident(*shard, page, off as u64, rbuf, t);
+                        lock.extend_shared(page, t);
                     }
-                    return Step::Done(start + idle_tick);
+                    stmts += 1;
+                }
+                series.record_at(t, stmts);
+                *queries += stmts;
+                Step::Done(t)
+            });
+            faults::swap_state(fs);
+            trace::swap_state(tr);
+        });
+        // Barrier: fold lock deltas, then the oracle's committed writes,
+        // then the fabric write logs — all in fixed node order, so the
+        // oracle's last-writer-wins agrees with the region's.
+        let deltas: Vec<LockDelta<PageId>> =
+            lanes.into_iter().map(|lane| lane.lock.finish()).collect();
+        for delta in deltas {
+            locks.absorb(delta);
+        }
+        for lp in loops.iter_mut() {
+            for (key, b) in lp.writes.drain(..) {
+                model.insert(key, b);
+            }
+        }
+        cxl.borrow_mut().barrier(&mut shards);
+        now = q_end;
+
+        // ---- Barrier-boundary control plane --------------------------
+        if death_declared.is_none() {
+            if let Some(node) = loops[dead].faults.take_node_crash() {
+                debug_assert_eq!(node as usize, dead);
+                death_declared = Some(now);
+                // The victim stops being stepped; its shard re-attaches
+                // so barrier-boundary serial code (the zombie, the crash
+                // path) works through the pool.
+                let sh = shards.remove(dead);
+                let mut pool = cxl.borrow_mut();
+                pool.attach_node(sh);
+                if cfg.death == DeathMode::Crash {
+                    pool.crash_node(NodeId(dead));
                 }
             }
-            if death_declared.is_none() {
-                if let Some(node) = faults::take_node_crash() {
-                    debug_assert_eq!(node as usize, dead);
-                    death_declared = Some(start);
-                    if cfg.death == DeathMode::Crash {
-                        cxl.borrow_mut().crash_node(NodeId(dead));
-                    }
-                    // Wake exactly at the end of the detection window.
-                    return Step::Done(start + detection_ns);
-                }
-                return Step::Done(start + idle_tick);
-            }
-            if takeover.is_none() {
-                let declared = death_declared.expect("declared");
-                let fence_start = start;
-                // 1. Fence: bump the dead node's epoch word.
+        } else if let Some(declared) = death_declared {
+            if takeover.is_none() && now >= declared + detection_ns {
+                let fence_start = now;
+                // 1. Fence: bump the dead node's epoch word. Serial at
+                //    the barrier — shard reads observe it next quantum.
                 let mut t = server.fence_node(NodeId(dead), fence_start);
                 // 2. Reclaim its page locks (its group + shared pages).
                 let mut locks_reclaimed = 0u64;
@@ -454,15 +644,9 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
                 let fills_before = server.stats().storage_fills;
                 let (grant, t2) = server.register_node_fenced(standby_id, flag_leases[n].offset, t);
                 t = t2;
-                standby_grant = grant;
-                let mut sb = SharingNode::new(
-                    Rc::clone(&cxl),
-                    standby_id,
-                    flag_leases[n].offset,
-                    PAGE_SIZE,
-                );
+                let mut sb = SharingNode::new(standby_id, flag_leases[n].offset, PAGE_SIZE);
                 if guard_nodes {
-                    sb.enable_fencing(epoch_lease.offset, standby_grant);
+                    sb.enable_fencing(epoch_lease.offset, grant);
                 }
                 // One bulk RPC adopts the dead node's whole group out of
                 // the DBP directory — no per-page round trips, no
@@ -474,7 +658,6 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
                     t,
                 );
                 t = t2;
-                standby_node = Some(sb);
                 // 5. Self-heal the server: drop the dead node from every
                 //    active list, clear its flag words, recycle slots
                 //    nobody else holds.
@@ -498,103 +681,72 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
                     locks_reclaimed,
                     slots_reclaimed: server.stats().reclaimed_slots - slots_before,
                 });
+                // The standby also serves the shared group: resolve its
+                // pages serially so no RPC happens mid-phase, then start
+                // its workers at takeover_done and hand it a fabric
+                // shard for the next quantum.
+                for p in 0..pages_per_group {
+                    let page = PageId(n as u64 * pages_per_group + p);
+                    sb.access(&mut server, page, t);
+                }
+                standby_node = Some(sb);
+                for k in 0..wpn {
+                    loops[n].ws.spawn(WorkerId(k), t);
+                }
+                shards.push(cxl.borrow_mut().detach_node(standby_id));
+                dir = server.dir_snapshot();
                 if cfg.death == DeathMode::Zombie {
                     zombie_due = Some(t + idle_tick);
                 }
-                return Step::Done(t + idle_tick);
             }
-            return Step::Done(start + idle_tick);
         }
-
-        // ---------- standby workers: idle until takeover ---------------
-        let (node_idx, serve_group) = if w >= n * wpn {
-            let Some(t) = takeover.as_ref().map(|s| s.takeover_done) else {
-                return Step::Done(start + idle_tick);
-            };
-            if start < t {
-                return Step::Done(t);
-            }
-            (n, dead)
-        } else {
-            let node = w / wpn;
-            if node == dead && death_declared.is_some() {
-                // Declared dead: the node stops serving (its zombie, if
-                // any, speaks through the supervisor).
-                return Step::Park;
-            }
-            (node, node)
-        };
-
-        // ---------- one closed-loop transaction ------------------------
-        let rng = &mut rngs[w];
-        let mut t = start + CPU_TXN_OVERHEAD_NS;
-        let mut stmts = 0u64;
-        for _ in 0..4 {
-            let group = if rng.gen_range(0..100) < cfg.shared_pct {
-                n
-            } else {
-                serve_group
-            };
-            // Shared row 0 is the zombie's reserved target.
-            let row = if group == n {
-                rng.gen_range(1..layout.rows_per_group)
-            } else {
-                rng.gen_range(0..layout.rows_per_group)
-            };
-            let (page, off) = layout.locate(group, row);
-            let is_write = rng.gen_range(0..100) < 40;
-            if is_write {
-                t = cpus[node_idx].acquire(t, CPU_WRITE_STMT_NS).end;
-                t += LOCK_SERVICE_NS;
-                let (grant, _) = locks.acquire(page, t, LockMode::Exclusive, 0);
-                t = grant;
-                write_seq[w] += 1;
-                let b = fill_byte(w, write_seq[w]);
-                let data = vec![b; payload_len];
-                let sn = if node_idx == n {
-                    standby_node.as_mut().expect("standby serving")
-                } else {
-                    &mut nodes[node_idx]
-                };
-                match sn
-                    .guarded_write(&mut server, page, off as u64, &data, t)
-                    .and_then(|t2| sn.guarded_publish(&mut server, page, t2))
+        if let Some(due) = zombie_due {
+            if now >= due {
+                zombie_due = None;
+                // The zombie speaks: one late guarded write+publish
+                // against a shared row. Epoch fencing refuses it; the
+                // ablation lets it straight through to readers.
+                let (page, off) = zombie_row;
+                if let Ok(t2) =
+                    nodes[dead].guarded_write(&mut server, page, off as u64, &[0xEE; 120], now)
                 {
-                    Ok(t2) => {
-                        t = t2;
-                        model.insert((page, off), b);
-                    }
-                    Err(_) => {
-                        // Fenced mid-run: the write never committed, so
-                        // the oracle keeps the old value; stop serving.
-                        locks.extend_exclusive(page, t);
-                        return Step::Park;
-                    }
+                    let _ = nodes[dead].guarded_publish(&mut server, page, t2);
                 }
-                locks.extend_exclusive(page, t);
-            } else {
-                t = cpus[node_idx].acquire(t, CPU_POINT_SELECT_NS).end;
-                t += LOCK_SERVICE_NS;
-                let (grant, _) = locks.acquire(page, t, LockMode::Shared, 0);
-                t = grant;
-                let mut buf = vec![0u8; payload_len];
-                let sn = if node_idx == n {
-                    standby_node.as_mut().expect("standby serving")
-                } else {
-                    &mut nodes[node_idx]
-                };
-                t = sn.read(&mut server, page, off as u64, &mut buf, t);
-                locks.extend_shared(page, t);
             }
-            stmts += 1;
         }
-        series[node_idx].record_at(t, stmts);
-        queries_per_node[node_idx] += stmts;
-        Step::Done(t)
-    });
-
-    let fault_stats = faults::stats();
-    faults::clear();
+    }
+    // Re-attach the surviving shards: the safety check below reads
+    // serially through the pool.
+    {
+        let mut pool = cxl.borrow_mut();
+        for shard in shards.drain(..) {
+            pool.attach_node(shard);
+        }
+    }
+    server.absorb_invalidations(
+        nodes
+            .iter()
+            .chain(standby_node.iter())
+            .map(|node| node.stats().invalidations_sent)
+            .sum(),
+    );
+    // Fold per-lane fault counters and trace state back in node order.
+    let mut fault_stats = FaultStats::default();
+    for lp in loops.iter_mut() {
+        fault_stats.absorb(&lp.faults.stats());
+        let bd = lp.trace.breakdown();
+        for lane in Lane::ALL {
+            let ns = bd.lane(lane);
+            if ns > 0 {
+                trace::attr_add(lane, ns);
+            }
+        }
+        for ev in lp.trace.take_events() {
+            trace::span(ev.kind, ev.node, ev.start, ev.end, ev.bytes);
+        }
+    }
+    let queries_per_node: Vec<u64> = loops.iter().map(|lp| lp.queries).collect();
+    let series: Vec<TimeSeries> = loops.into_iter().map(|lp| lp.series).collect();
 
     // ---- End-of-run safety check: protocol reads vs the oracle -------
     let reader_for = |page: PageId| -> usize {
@@ -610,9 +762,10 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
     };
     let mut mismatches = 0u64;
     let t_check = cfg.duration;
+    let mut buf = vec![0u8; payload_len];
     for (&(page, off), &expect) in model.iter() {
         let ridx = reader_for(page);
-        let mut buf = vec![0u8; payload_len];
+        buf.fill(0);
         if ridx == n {
             match standby_node.as_mut() {
                 Some(sb) => {

@@ -20,11 +20,16 @@ use crate::sysbench::RECORD_SIZE;
 use memsim::calib::{
     CPU_POINT_SELECT_NS, CPU_TXN_OVERHEAD_NS, CPU_WRITE_STMT_NS, LOCK_SERVICE_NS, PAGE_SIZE,
 };
-use memsim::{CxlNodeConfig, CxlPool, NodeId, RdmaPool};
+use memsim::{CxlNodeConfig, CxlPool, CxlShard, NodeId, RdmaPool, RdmaShard};
 use polarcxlmem::fusion::CoherencyMode;
 use polarcxlmem::{FusionServer, RdmaDbp, RdmaSharingNode, SharingNode};
+use simkit::faults::{self, FaultState};
 use simkit::rng::{stream_rng, SimRng};
-use simkit::{Histogram, LockMode, LockTable, MultiServer, SimTime, Step, WorkerId, WorkerSet};
+use simkit::trace::{self, Lane, TraceState};
+use simkit::{
+    par, Histogram, LockDelta, LockMode, LockShard, LockTable, MultiServer, SimTime, Step,
+    WorkerId, WorkerSet,
+};
 use std::cell::RefCell;
 use std::rc::Rc;
 use storage::{PageId, PageStore};
@@ -130,6 +135,15 @@ pub struct SharingConfig {
     pub duration: SimTime,
     /// RNG seed.
     pub seed: u64,
+    /// Virtual-time barrier quantum: nodes step independently between
+    /// barriers; cross-node effects commit at each barrier in fixed
+    /// node order. Results are a function of the quantum, never of the
+    /// host thread count.
+    pub quantum: SimTime,
+    /// Host worker threads stepping nodes between barriers
+    /// (`0` = [`par::host_threads`]). Any value yields bit-identical
+    /// results; it only changes wall-clock time.
+    pub host_threads: usize,
 }
 
 impl SharingConfig {
@@ -145,6 +159,8 @@ impl SharingConfig {
             },
             duration: SimTime::from_millis(200),
             seed: 11,
+            quantum: SimTime::from_micros(200),
+            host_threads: 0,
         }
     }
 }
@@ -154,7 +170,7 @@ impl SharingConfig {
 pub fn point_update_gen(
     layout: GroupLayout,
     shared_pct: u32,
-) -> impl FnMut(&mut SimRng, usize) -> Vec<ShOp> {
+) -> impl Fn(&mut SimRng, usize) -> Vec<ShOp> + Sync {
     move |rng, node| {
         (0..10)
             .map(|_| {
@@ -180,7 +196,7 @@ pub fn point_update_gen(
 pub fn read_write_gen(
     layout: GroupLayout,
     shared_pct: u32,
-) -> impl FnMut(&mut SimRng, usize) -> Vec<ShOp> {
+) -> impl Fn(&mut SimRng, usize) -> Vec<ShOp> + Sync {
     move |rng, node| {
         let pick = |rng: &mut SimRng| {
             let group = if rng.gen_range(0..100) < shared_pct {
@@ -250,16 +266,88 @@ pub(crate) fn seed_storage(layout: &GroupLayout) -> PageStore {
 }
 
 /// Run a sharing experiment with the given transaction generator.
-pub fn run_sharing<F>(cfg: &SharingConfig, mut gen: F) -> SharingResult
+///
+/// The run is *always* phased (barrier-synchronized parallel stepping,
+/// see [`par::run_phase`]): nodes step between virtual-time barriers on
+/// up to [`SharingConfig::host_threads`] host threads, and the results
+/// are bit-identical for every thread count — including 1, which runs
+/// the same phased code inline.
+pub fn run_sharing<F>(cfg: &SharingConfig, gen: F) -> SharingResult
 where
-    F: FnMut(&mut SimRng, usize) -> Vec<ShOp>,
+    F: Fn(&mut SimRng, usize) -> Vec<ShOp> + Sync,
 {
     match cfg.system {
-        SharingSystem::Cxl => run_cxl(cfg, &mut gen, CoherencyMode::SoftwareLines),
-        SharingSystem::CxlFullPageFlush => run_cxl(cfg, &mut gen, CoherencyMode::SoftwareFullPage),
-        SharingSystem::Cxl3Hw => run_cxl(cfg, &mut gen, CoherencyMode::Hardware),
-        SharingSystem::Rdma { lbp_fraction } => run_rdma(cfg, &mut gen, lbp_fraction),
+        SharingSystem::Cxl => run_cxl(cfg, &gen, CoherencyMode::SoftwareLines),
+        SharingSystem::CxlFullPageFlush => run_cxl(cfg, &gen, CoherencyMode::SoftwareFullPage),
+        SharingSystem::Cxl3Hw => run_cxl(cfg, &gen, CoherencyMode::Hardware),
+        SharingSystem::Rdma { lbp_fraction } => run_rdma(cfg, &gen, lbp_fraction),
     }
+}
+
+/// Per-node driver state that survives across quanta: the node's
+/// closed-loop scheduler, CPU cores, RNG streams, latency histogram,
+/// statement counters, a reusable read buffer, and the node's detached
+/// tracer / fault-engine states (swapped in around each quantum).
+struct NodeLoop {
+    ws: WorkerSet,
+    cpu: MultiServer,
+    rngs: Vec<SimRng>,
+    hist: Histogram,
+    queries: u64,
+    txns: u64,
+    buf: Vec<u8>,
+    trace: TraceState,
+    faults: FaultState,
+}
+
+fn node_loops(n: usize, wpn: usize, seed: u64) -> Vec<NodeLoop> {
+    (0..n)
+        .map(|i| {
+            let mut ws = WorkerSet::new();
+            for k in 0..wpn {
+                ws.spawn(WorkerId(k), SimTime::ZERO);
+            }
+            NodeLoop {
+                ws,
+                cpu: MultiServer::new(16),
+                rngs: (0..wpn)
+                    .map(|k| stream_rng(seed, (i * wpn + k) as u64))
+                    .collect(),
+                hist: Histogram::new(),
+                queries: 0,
+                txns: 0,
+                buf: vec![0u8; 256],
+                trace: TraceState::armed(),
+                faults: FaultState::inactive(),
+            }
+        })
+        .collect()
+}
+
+/// Fold per-node loop state back into driver-level aggregates **in node
+/// order**: histograms and counters merge, and each node's lane totals
+/// and spans re-land on the driver thread's tracer so attribution and
+/// span consumers observe one coherent stream.
+fn merge_loops(loops: Vec<NodeLoop>) -> (Histogram, u64, u64) {
+    let mut hist = Histogram::new();
+    let mut queries = 0u64;
+    let mut txns = 0u64;
+    for mut lp in loops {
+        hist.merge(&lp.hist);
+        queries += lp.queries;
+        txns += lp.txns;
+        let bd = lp.trace.breakdown();
+        for lane in Lane::ALL {
+            let ns = bd.lane(lane);
+            if ns > 0 {
+                trace::attr_add(lane, ns);
+            }
+        }
+        for ev in lp.trace.take_events() {
+            trace::span(ev.kind, ev.node, ev.start, ev.end, ev.bytes);
+        }
+    }
+    (hist, queries, txns)
 }
 
 fn finish(
@@ -291,9 +379,9 @@ fn finish(
     }
 }
 
-fn run_cxl<F>(cfg: &SharingConfig, gen: &mut F, mode: CoherencyMode) -> SharingResult
+fn run_cxl<F>(cfg: &SharingConfig, gen: &F, mode: CoherencyMode) -> SharingResult
 where
-    F: FnMut(&mut SimRng, usize) -> Vec<ShOp>,
+    F: Fn(&mut SimRng, usize) -> Vec<ShOp> + Sync,
 {
     let layout = cfg.layout;
     let n = cfg.nodes;
@@ -327,11 +415,12 @@ where
         .map(|i| {
             let flag_base = slots_bytes + i as u64 * flags_bytes;
             server.register_node(NodeId(i), flag_base);
-            SharingNode::with_mode(Rc::clone(&cxl), NodeId(i), flag_base, PAGE_SIZE, mode)
+            SharingNode::with_mode(NodeId(i), flag_base, PAGE_SIZE, mode)
         })
         .collect();
-    // Warm the DBP: every node resolves the pages of the groups it can
-    // touch (its own + shared).
+    // Warm the DBP serially: every node resolves the pages of the
+    // groups it can touch (its own + shared), so no RPC — and no
+    // directory mutation — can happen inside a parallel phase.
     #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         for g in [i, layout.groups - 1] {
@@ -343,67 +432,140 @@ where
     }
     cxl.borrow_mut().reset_link_counters();
 
-    let mut cpus: Vec<MultiServer> = (0..n).map(|_| MultiServer::new(16)).collect();
+    let threads = if cfg.host_threads == 0 {
+        par::host_threads()
+    } else {
+        cfg.host_threads
+    };
+    let quantum = cfg.quantum.max(SimTime(1));
+    let dir = server.dir_snapshot();
     let mut locks: LockTable<PageId> = LockTable::new();
-    let wpn = cfg.workers_per_node;
-    let mut rngs: Vec<SimRng> = (0..n * wpn)
-        .map(|w| stream_rng(cfg.seed, w as u64))
-        .collect();
-    let mut ws = WorkerSet::new();
-    for w in 0..n * wpn {
-        ws.spawn(WorkerId(w), SimTime::ZERO);
+    let mut loops = node_loops(n, cfg.workers_per_node, cfg.seed);
+    let mut shards: Vec<CxlShard> = {
+        let mut pool = cxl.borrow_mut();
+        (0..n).map(|i| pool.detach_node(NodeId(i))).collect()
+    };
+
+    struct CxlLane<'a> {
+        node: &'a mut SharingNode,
+        shard: &'a mut CxlShard,
+        lock: LockShard<'a, PageId>,
+        lp: &'a mut NodeLoop,
     }
-    let mut hist = Histogram::new();
-    let mut queries = 0u64;
-    let mut txns = 0u64;
+
     let payload = [0xC5u8; 120];
-    ws.run_until(cfg.duration, |WorkerId(w), start| {
-        let node = w / wpn;
-        let txn = gen(&mut rngs[w], node);
-        let mut t = start + CPU_TXN_OVERHEAD_NS;
-        for op in &txn {
-            match *op {
-                ShOp::Read { page, off, len } => {
-                    t = cpus[node].acquire(t, CPU_POINT_SELECT_NS).end;
-                    t += LOCK_SERVICE_NS;
-                    let (grant, _) = locks.acquire(page, t, LockMode::Shared, 0);
-                    t = grant;
-                    let mut buf = vec![0u8; len as usize];
-                    t = nodes[node].read(&mut server, page, off as u64, &mut buf, t);
-                    locks.extend_shared(page, t);
+    let mut now = SimTime::ZERO;
+    while now < cfg.duration {
+        let q_end = (now + quantum.as_nanos()).min(cfg.duration);
+        let mut lanes: Vec<CxlLane> = nodes
+            .iter_mut()
+            .zip(shards.iter_mut())
+            .zip(loops.iter_mut())
+            .map(|((node, shard), lp)| CxlLane {
+                node,
+                shard,
+                lock: locks.shard(),
+                lp,
+            })
+            .collect();
+        par::run_phase(threads, &mut lanes, |i, lane| {
+            let CxlLane {
+                node,
+                shard,
+                lock,
+                lp,
+            } = lane;
+            let NodeLoop {
+                ws,
+                cpu,
+                rngs,
+                hist,
+                queries,
+                txns,
+                buf,
+                trace: tr,
+                faults: fs,
+            } = &mut **lp;
+            trace::swap_state(tr);
+            faults::swap_state(fs);
+            ws.run_until(q_end, |WorkerId(w), start| {
+                let txn = gen(&mut rngs[w], i);
+                let mut t = start + CPU_TXN_OVERHEAD_NS;
+                for op in &txn {
+                    match *op {
+                        ShOp::Read { page, off, len } => {
+                            t = cpu.acquire(t, CPU_POINT_SELECT_NS).end;
+                            t += LOCK_SERVICE_NS;
+                            let (grant, _) = lock.acquire(page, t, LockMode::Shared, 0);
+                            t = grant;
+                            t = node.read_resident(
+                                *shard,
+                                page,
+                                off as u64,
+                                &mut buf[..len as usize],
+                                t,
+                            );
+                            lock.extend_shared(page, t);
+                        }
+                        ShOp::Write { page, off, len } => {
+                            t = cpu.acquire(t, CPU_WRITE_STMT_NS).end;
+                            t += LOCK_SERVICE_NS;
+                            let (grant, _) = lock.acquire(page, t, LockMode::Exclusive, 0);
+                            t = grant;
+                            t = node.write_resident(
+                                *shard,
+                                page,
+                                off as u64,
+                                &payload[..len as usize],
+                                t,
+                            );
+                            // Publish (clflush modified lines + invalid
+                            // flags) happens before the lock is
+                            // observed released.
+                            t = node.publish_resident(*shard, &dir, page, t);
+                            lock.extend_exclusive(page, t);
+                        }
+                    }
+                    *queries += 1;
                 }
-                ShOp::Write { page, off, len } => {
-                    t = cpus[node].acquire(t, CPU_WRITE_STMT_NS).end;
-                    t += LOCK_SERVICE_NS;
-                    let (grant, _) = locks.acquire(page, t, LockMode::Exclusive, 0);
-                    t = grant;
-                    t = nodes[node].write(
-                        &mut server,
-                        page,
-                        off as u64,
-                        &payload[..len as usize],
-                        t,
-                    );
-                    // Publish (clflush modified lines + invalid flags)
-                    // happens before the lock is observed released.
-                    t = nodes[node].publish(&mut server, page, t);
-                    locks.extend_exclusive(page, t);
-                }
-            }
-            queries += 1;
+                *txns += 1;
+                hist.record(t - start);
+                Step::Done(t)
+            });
+            faults::swap_state(fs);
+            trace::swap_state(tr);
+        });
+        // Barrier: fold lock deltas, write logs and link backlog back
+        // into the shared state in fixed node order.
+        let deltas: Vec<LockDelta<PageId>> =
+            lanes.into_iter().map(|lane| lane.lock.finish()).collect();
+        for delta in deltas {
+            locks.absorb(delta);
         }
-        txns += 1;
-        hist.record(t - start);
-        Step::Done(t)
-    });
+        cxl.borrow_mut().barrier(&mut shards);
+        now = q_end;
+    }
+    {
+        let mut pool = cxl.borrow_mut();
+        for shard in shards {
+            pool.attach_node(shard);
+        }
+    }
+    server.absorb_invalidations(
+        nodes
+            .iter()
+            .map(|node| node.stats().invalidations_sent)
+            .sum(),
+    );
+    let (hist, queries, txns) = merge_loops(loops);
     let bytes = cxl.borrow().switch_bytes();
     let memory = slots_bytes + flags_bytes * n as u64;
     finish(queries, txns, hist, cfg.duration, bytes, memory, &locks)
 }
 
-fn run_rdma<F>(cfg: &SharingConfig, gen: &mut F, lbp_fraction: f64) -> SharingResult
+fn run_rdma<F>(cfg: &SharingConfig, gen: &F, lbp_fraction: f64) -> SharingResult
 where
-    F: FnMut(&mut SimRng, usize) -> Vec<ShOp>,
+    F: Fn(&mut SimRng, usize) -> Vec<ShOp> + Sync,
 {
     let layout = cfg.layout;
     let n = cfg.nodes;
@@ -425,83 +587,168 @@ where
     let accessed_pages = 2 * layout.pages_per_group();
     let lbp_frames = ((accessed_pages as f64 * lbp_fraction).ceil() as usize).max(4);
     let mut nodes: Vec<RdmaSharingNode> = (0..n)
-        .map(|i| RdmaSharingNode::new(Rc::clone(&rdma), NodeId(i), i, lbp_frames, PAGE_SIZE))
+        .map(|i| RdmaSharingNode::new(NodeId(i), i, lbp_frames, PAGE_SIZE))
         .collect();
-    // Warm: each node faults in up to its LBP capacity from its groups.
+    // Warm serially: resolve the DBP address of *every* page the node
+    // may touch (no server RPC can happen mid-phase), then fault in up
+    // to the LBP capacity.
     #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         let mut warmed = 0;
-        'outer: for g in [i, layout.groups - 1] {
+        for g in [i, layout.groups - 1] {
             for p in 0..layout.pages_per_group() {
-                if warmed >= lbp_frames {
-                    break 'outer;
-                }
                 let page = PageId(g as u64 * layout.pages_per_group() + p);
-                let mut b = [0u8; 8];
-                nodes[i].read(&mut server, page, 16, &mut b, SimTime::ZERO);
-                warmed += 1;
+                nodes[i].resolve(&mut server, page, SimTime::ZERO);
+                if warmed < lbp_frames {
+                    let mut b = [0u8; 8];
+                    nodes[i].read(&mut server, page, 16, &mut b, SimTime::ZERO);
+                    warmed += 1;
+                }
             }
         }
     }
     rdma.borrow_mut().reset_link_counters();
 
-    let mut cpus: Vec<MultiServer> = (0..n).map(|_| MultiServer::new(16)).collect();
+    let threads = if cfg.host_threads == 0 {
+        par::host_threads()
+    } else {
+        cfg.host_threads
+    };
+    let quantum = cfg.quantum.max(SimTime(1));
+    let dir = server.dir_snapshot();
     let mut locks: LockTable<PageId> = LockTable::new();
-    let wpn = cfg.workers_per_node;
-    let mut rngs: Vec<SimRng> = (0..n * wpn)
-        .map(|w| stream_rng(cfg.seed, w as u64))
-        .collect();
-    let mut ws = WorkerSet::new();
-    for w in 0..n * wpn {
-        ws.spawn(WorkerId(w), SimTime::ZERO);
+    let mut loops = node_loops(n, cfg.workers_per_node, cfg.seed);
+    let mut shards: Vec<RdmaShard> = {
+        let mut pool = rdma.borrow_mut();
+        (0..n).map(|i| pool.detach_host(i, n)).collect()
+    };
+    // Per-node invalidation outboxes: `publish_resident` queues
+    // (target, page); the driver drops the targets' local copies at the
+    // barrier in fixed node order.
+    let mut outboxes: Vec<Vec<(NodeId, PageId)>> = (0..n).map(|_| Vec::new()).collect();
+
+    struct RdmaLane<'a> {
+        node: &'a mut RdmaSharingNode,
+        shard: &'a mut RdmaShard,
+        lock: LockShard<'a, PageId>,
+        lp: &'a mut NodeLoop,
+        outbox: &'a mut Vec<(NodeId, PageId)>,
     }
-    let mut hist = Histogram::new();
-    let mut queries = 0u64;
-    let mut txns = 0u64;
+
     let payload = [0xC5u8; 120];
-    ws.run_until(cfg.duration, |WorkerId(w), start| {
-        let node = w / wpn;
-        let txn = gen(&mut rngs[w], node);
-        let mut t = start + CPU_TXN_OVERHEAD_NS;
-        for op in &txn {
-            match *op {
-                ShOp::Read { page, off, len } => {
-                    t = cpus[node].acquire(t, CPU_POINT_SELECT_NS).end;
-                    t += LOCK_SERVICE_NS;
-                    let (grant, _) = locks.acquire(page, t, LockMode::Shared, 0);
-                    t = grant;
-                    let mut buf = vec![0u8; len as usize];
-                    t = nodes[node].read(&mut server, page, off as u64, &mut buf, t);
-                    locks.extend_shared(page, t);
-                }
-                ShOp::Write { page, off, len } => {
-                    t = cpus[node].acquire(t, CPU_WRITE_STMT_NS).end;
-                    t += LOCK_SERVICE_NS;
-                    let (grant, _) = locks.acquire(page, t, LockMode::Exclusive, 0);
-                    t = grant;
-                    t = nodes[node].write(
-                        &mut server,
-                        page,
-                        off as u64,
-                        &payload[..len as usize],
-                        t,
-                    );
-                    // Full-page flush + invalidation messages sit on the
-                    // lock hold path.
-                    let (targets, t2) = nodes[node].publish(&mut server, page, t);
-                    t = t2;
-                    for target in targets {
-                        nodes[target.0].invalidate_local(page);
+    let mut now = SimTime::ZERO;
+    while now < cfg.duration {
+        let q_end = (now + quantum.as_nanos()).min(cfg.duration);
+        let mut lanes: Vec<RdmaLane> = nodes
+            .iter_mut()
+            .zip(shards.iter_mut())
+            .zip(loops.iter_mut())
+            .zip(outboxes.iter_mut())
+            .map(|(((node, shard), lp), outbox)| RdmaLane {
+                node,
+                shard,
+                lock: locks.shard(),
+                lp,
+                outbox,
+            })
+            .collect();
+        par::run_phase(threads, &mut lanes, |i, lane| {
+            let RdmaLane {
+                node,
+                shard,
+                lock,
+                lp,
+                outbox,
+            } = lane;
+            let NodeLoop {
+                ws,
+                cpu,
+                rngs,
+                hist,
+                queries,
+                txns,
+                buf,
+                trace: tr,
+                faults: fs,
+            } = &mut **lp;
+            trace::swap_state(tr);
+            faults::swap_state(fs);
+            ws.run_until(q_end, |WorkerId(w), start| {
+                let txn = gen(&mut rngs[w], i);
+                let mut t = start + CPU_TXN_OVERHEAD_NS;
+                for op in &txn {
+                    match *op {
+                        ShOp::Read { page, off, len } => {
+                            t = cpu.acquire(t, CPU_POINT_SELECT_NS).end;
+                            t += LOCK_SERVICE_NS;
+                            let (grant, _) = lock.acquire(page, t, LockMode::Shared, 0);
+                            t = grant;
+                            t = node.read_resident(
+                                *shard,
+                                page,
+                                off as u64,
+                                &mut buf[..len as usize],
+                                t,
+                            );
+                            lock.extend_shared(page, t);
+                        }
+                        ShOp::Write { page, off, len } => {
+                            t = cpu.acquire(t, CPU_WRITE_STMT_NS).end;
+                            t += LOCK_SERVICE_NS;
+                            let (grant, _) = lock.acquire(page, t, LockMode::Exclusive, 0);
+                            t = grant;
+                            t = node.write_resident(
+                                *shard,
+                                page,
+                                off as u64,
+                                &payload[..len as usize],
+                                t,
+                            );
+                            // Full-page flush + invalidation messages
+                            // sit on the lock hold path; the *effects*
+                            // on peers land at the barrier.
+                            t = node.publish_resident(*shard, &dir, page, outbox, t);
+                            lock.extend_exclusive(page, t);
+                        }
                     }
-                    locks.extend_exclusive(page, t);
+                    *queries += 1;
                 }
-            }
-            queries += 1;
+                *txns += 1;
+                hist.record(t - start);
+                Step::Done(t)
+            });
+            faults::swap_state(fs);
+            trace::swap_state(tr);
+        });
+        // Barrier: fold lock deltas and NIC backlog in fixed node
+        // order, then apply queued invalidations to their targets.
+        let deltas: Vec<LockDelta<PageId>> =
+            lanes.into_iter().map(|lane| lane.lock.finish()).collect();
+        for delta in deltas {
+            locks.absorb(delta);
         }
-        txns += 1;
-        hist.record(t - start);
-        Step::Done(t)
-    });
+        rdma.borrow_mut().barrier(&mut shards);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            for (target, page) in outboxes[i].drain(..) {
+                nodes[target.0].invalidate_local(page);
+            }
+        }
+        now = q_end;
+    }
+    {
+        let mut pool = rdma.borrow_mut();
+        for shard in shards {
+            pool.attach_host(shard);
+        }
+    }
+    server.absorb_invalidation_msgs(
+        nodes
+            .iter()
+            .map(|node| node.stats().invalidation_msgs_sent)
+            .sum(),
+    );
+    let (hist, queries, txns) = merge_loops(loops);
     let bytes = rdma.borrow().total_bytes();
     let memory = total_pages * PAGE_SIZE + n as u64 * lbp_frames as u64 * PAGE_SIZE;
     finish(queries, txns, hist, cfg.duration, bytes, memory, &locks)
@@ -592,14 +839,14 @@ mod tests {
         };
         let shared_range = (l.pages_per_group() * 4)..(l.pages_per_group() * 5);
         let mut rng = stream_rng(3, 0);
-        let mut gen = point_update_gen(l, 100);
+        let gen = point_update_gen(l, 100);
         for op in gen(&mut rng, 0) {
             let ShOp::Write { page, .. } = op else {
                 panic!()
             };
             assert!(shared_range.contains(&page.0), "100% shared");
         }
-        let mut gen0 = point_update_gen(l, 0);
+        let gen0 = point_update_gen(l, 0);
         let own_range = 0..l.pages_per_group();
         for op in gen0(&mut rng, 0) {
             let ShOp::Write { page, .. } = op else {

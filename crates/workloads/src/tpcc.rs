@@ -77,8 +77,9 @@ pub struct Tpcc {
     layout: GroupLayout,
     nodes: usize,
     seg: Segments,
-    /// New-Order transactions generated (TpmC numerator).
-    pub new_orders: u64,
+    /// New-Order transactions generated (TpmC numerator). Atomic so the
+    /// generator can be shared by reference across worker threads.
+    new_orders: std::sync::atomic::AtomicU64,
 }
 
 impl Tpcc {
@@ -89,8 +90,13 @@ impl Tpcc {
             layout,
             nodes,
             seg: Segments::new(layout.rows_per_group),
-            new_orders: 0,
+            new_orders: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// New-Order transactions generated so far (TpmC numerator).
+    pub fn new_orders(&self) -> u64 {
+        self.new_orders.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn read(&self, group: usize, row: u64) -> ShOp {
@@ -124,12 +130,13 @@ impl Tpcc {
     }
 
     /// Generate one transaction for `node`; returns (ops, type).
-    pub fn next_txn(&mut self, rng: &mut SimRng, node: usize) -> (Vec<ShOp>, TpccTxn) {
+    pub fn next_txn(&self, rng: &mut SimRng, node: usize) -> (Vec<ShOp>, TpccTxn) {
         let ty = mix(rng.gen_range(0..100));
         let w = node;
         let ops = match ty {
             TpccTxn::NewOrder => {
-                self.new_orders += 1;
+                self.new_orders
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let mut ops = Vec::with_capacity(26);
                 ops.push(self.read(w, 0)); // warehouse tax
                 let d = rng.gen_range(1..11);
@@ -211,7 +218,7 @@ mod tests {
 
     #[test]
     fn new_order_counts_accumulate() {
-        let mut g = Tpcc::new(layout(), 4);
+        let g = Tpcc::new(layout(), 4);
         let mut rng = stream_rng(1, 0);
         let mut total = 0;
         for _ in 0..200 {
@@ -220,14 +227,14 @@ mod tests {
                 total += 1;
             }
         }
-        assert_eq!(g.new_orders, total);
+        assert_eq!(g.new_orders(), total);
         assert!((60..120).contains(&total), "{total} ≈ 45%");
     }
 
     #[test]
     fn most_transactions_stay_home() {
         let l = layout();
-        let mut g = Tpcc::new(l, 4);
+        let g = Tpcc::new(l, 4);
         let mut rng = stream_rng(2, 0);
         let home_range = 0..l.pages_per_group();
         let mut cross = 0;

@@ -41,8 +41,8 @@ fn main() {
     let flags = |i: u64| 64 * PAGE + i * 64 * 16;
     server.register_node(NodeId(0), flags(0));
     server.register_node(NodeId(1), flags(1));
-    let mut writer = SharingNode::new(Rc::clone(&cxl), NodeId(0), flags(0), PAGE);
-    let mut reader = SharingNode::new(Rc::clone(&cxl), NodeId(1), flags(1), PAGE);
+    let mut writer = SharingNode::new(NodeId(0), flags(0), PAGE);
+    let mut reader = SharingNode::new(NodeId(1), flags(1), PAGE);
 
     let page = PageId(0);
     let mut buf = [0u8; 8];

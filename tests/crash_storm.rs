@@ -285,7 +285,7 @@ fn fusion_cluster_storm_heals_after_each_node_crash() {
     let mut nodes: Vec<SharingNode> = (0..FS_NODES)
         .map(|i| {
             let (grant, _) = server.register_node_fenced(NodeId(i), fs_flag_base(i), SimTime::ZERO);
-            let mut n = SharingNode::new(Rc::clone(&cxl), NodeId(i), fs_flag_base(i), FS_PAGE);
+            let mut n = SharingNode::new(NodeId(i), fs_flag_base(i), FS_PAGE);
             n.enable_fencing(fs_epoch_base(), grant);
             n
         })
@@ -327,7 +327,7 @@ fn fusion_cluster_storm_heals_after_each_node_crash() {
         // sharing node over the now-cold cache.
         let (grant, t2) = server.register_node_fenced(NodeId(d), fs_flag_base(d), t);
         t = t2;
-        let mut fresh = SharingNode::new(Rc::clone(&cxl), NodeId(d), fs_flag_base(d), FS_PAGE);
+        let mut fresh = SharingNode::new(NodeId(d), fs_flag_base(d), FS_PAGE);
         fresh.enable_fencing(fs_epoch_base(), grant);
         nodes[d] = fresh;
 

@@ -249,3 +249,108 @@ fn failover_sweep_is_thread_count_invariant() {
         assert_eq!(s.registry, p.registry, "config {i}: registry diverged");
     }
 }
+
+// ---- intra-config parallel stepping ------------------------------------
+//
+// The sweeps above parallelise across independent runs. The phased
+// engines also parallelise *within* one run: nodes step concurrently
+// between virtual-time barriers, and cross-node effects commit at each
+// barrier in fixed node order. The host worker count must never reach
+// simulated state — 1, 2 and 4 workers have to agree bit-for-bit,
+// traces and fault schedules included.
+
+fn sharing_with_workers(system: SharingSystem, threads: usize) -> SharingResult {
+    let mut c = SharingConfig::standard(system, 4);
+    c.layout.rows_per_group = 1_000;
+    c.duration = SimTime::from_millis(20);
+    c.host_threads = threads;
+    let layout = c.layout;
+    run_sharing(&c, point_update_gen(layout, 40))
+}
+
+#[test]
+fn sharing_intra_config_is_worker_count_invariant() {
+    for system in [
+        SharingSystem::Cxl,
+        SharingSystem::Cxl3Hw,
+        SharingSystem::Rdma { lbp_fraction: 0.3 },
+    ] {
+        let one = sharing_with_workers(system, 1);
+        for workers in [2usize, 4] {
+            assert_eq!(
+                one,
+                sharing_with_workers(system, workers),
+                "{system:?}: {workers} workers diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharing_traces_are_worker_count_invariant() {
+    // Spans recorded on worker threads re-land on the driver in node
+    // order at the merge, so the trace stream (and the attribution it
+    // sums to) is itself part of the determinism contract.
+    use polardb_cxl_repro::simkit::trace;
+    let capture = |threads: usize| {
+        trace::reset();
+        trace::enable_spans(true);
+        trace::enable_attribution(true);
+        let r = sharing_with_workers(SharingSystem::Cxl, threads);
+        trace::enable_spans(false);
+        trace::enable_attribution(false);
+        let attr = trace::attr_snapshot();
+        let events = trace::take_events();
+        trace::reset();
+        (r, attr, events)
+    };
+    let (r1, a1, e1) = capture(1);
+    let (r4, a4, e4) = capture(4);
+    assert_eq!(r1, r4, "tracing + parallel stepping changed results");
+    assert_eq!(a1, a4, "attribution diverged across worker counts");
+    // Without the `trace` feature the hooks compile to nothing and both
+    // streams are (identically) empty — the equality checks still bind.
+    if cfg!(feature = "trace") {
+        assert!(!e1.is_empty(), "traced run recorded no spans");
+    }
+    assert_eq!(e1, e4, "span streams diverged across worker counts");
+}
+
+#[test]
+fn failover_intra_config_is_worker_count_invariant() {
+    // Failover folds the fault engine into the phased run: each node's
+    // fault state steps on whichever worker drives the node, so the
+    // fault schedule is the sharpest place for a worker-count leak to
+    // show up. It must not.
+    let run = |threads: usize| {
+        let mut c = FailoverConfig::smoke(3);
+        c.seed = 11;
+        c.fault_seed = 7;
+        c.host_threads = threads;
+        run_failover(&c)
+    };
+    let one = run(1);
+    for workers in [2usize, 4] {
+        let p = run(workers);
+        assert_eq!(one.queries, p.queries, "{workers} workers: queries");
+        assert_eq!(
+            one.queries_per_node, p.queries_per_node,
+            "{workers} workers: per-node queries"
+        );
+        assert_eq!(
+            one.per_node_timeline, p.per_node_timeline,
+            "{workers} workers: timelines"
+        );
+        assert_eq!(one.takeover, p.takeover, "{workers} workers: takeover");
+        assert_eq!(
+            one.fault_stats, p.fault_stats,
+            "{workers} workers: fault schedule"
+        );
+        assert_eq!(one.fusion, p.fusion, "{workers} workers: fusion stats");
+        assert_eq!(
+            one.max_survivor_gap_ns, p.max_survivor_gap_ns,
+            "{workers} workers: survivor gap"
+        );
+        assert_eq!(one.registry, p.registry, "{workers} workers: registry");
+    }
+}

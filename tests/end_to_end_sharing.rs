@@ -101,7 +101,7 @@ fn dbp_pressure_recycles_without_corruption() {
         .map(|i| {
             let flag_base = slots as u64 * PAGE_SIZE + i as u64 * total_pages * 16;
             server.register_node(NodeId(i), flag_base);
-            SharingNode::new(Rc::clone(&cxl), NodeId(i), flag_base, PAGE_SIZE)
+            SharingNode::new(NodeId(i), flag_base, PAGE_SIZE)
         })
         .collect();
     let mut t = SimTime::ZERO;
@@ -165,7 +165,7 @@ fn cross_node_reads_always_see_committed_writes() {
         .map(|i| {
             let flag_base = total_pages * 16384 + i as u64 * total_pages * 16;
             server.register_node(NodeId(i), flag_base);
-            SharingNode::new(Rc::clone(&cxl), NodeId(i), flag_base, 16384)
+            SharingNode::new(NodeId(i), flag_base, 16384)
         })
         .collect();
 

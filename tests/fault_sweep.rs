@@ -488,7 +488,7 @@ mod fusion_cluster {
             .map(|i| {
                 let flag_base = slots_bytes + i as u64 * flags_bytes;
                 server.register_node_fenced(NodeId(i), flag_base, SimTime::ZERO);
-                SharingNode::new(Rc::clone(&cxl), NodeId(i), flag_base, CL_PAGE)
+                SharingNode::new(NodeId(i), flag_base, CL_PAGE)
             })
             .collect();
         for (i, node) in nodes.iter_mut().enumerate() {
