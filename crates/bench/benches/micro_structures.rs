@@ -130,6 +130,56 @@ fn bench_frame_table() {
         },
     );
 
+    // Eviction-policy hot paths, same table shape. Two mixes: pure
+    // hit-touch (the fix path of a warm pool — LRU/2Q splice a list per
+    // touch, CLOCK stores a refbit) and evict-install (the miss path —
+    // CLOCK pays its hand sweep here, 2Q its queue moves).
+    use bufferpool::PolicyKind;
+    for kind in PolicyKind::ALL {
+        let mut t = FrameTable::with_policy(FRAMES, kind);
+        for p in 0..FRAMES as u64 {
+            let f = t.pop_free().unwrap();
+            t.install(f, PageId(p));
+        }
+        bench(
+            &format!("frame_{}_hit_touch", kind.name()),
+            10_000,
+            1_000_000,
+            || {
+                k = (k + 7919) % FRAMES as u64;
+                let f = t.lookup_touch(PageId(k)).unwrap();
+                t.mark_dirty(f);
+                t.set_lsn(f, Lsn(k));
+                black_box(f);
+            },
+        );
+    }
+    for kind in PolicyKind::ALL {
+        let mut t = FrameTable::with_policy(FRAMES, kind);
+        for p in 0..FRAMES as u64 {
+            let f = t.pop_free().unwrap();
+            t.install(f, PageId(p));
+        }
+        let mut next = FRAMES as u64;
+        bench(
+            &format!("frame_{}_evict_install", kind.name()),
+            10_000,
+            500_000,
+            || {
+                // Touch a spread of resident pages so victim selection
+                // sees a realistic mix of referenced and cold frames.
+                k = (k + 7919) % FRAMES as u64;
+                if let Some(f) = t.lookup_touch(PageId(k)) {
+                    black_box(f);
+                }
+                let f = t.pop_victim().unwrap();
+                t.evict(f);
+                t.install(f, PageId(next));
+                next += 1;
+            },
+        );
+    }
+
     // Intra-node sharding: the same hot path through an 8-way
     // page-partitioned table (one shard-select mask, smaller maps).
     let mut sharded = ShardedFrameTable::new(8, FRAMES / 8);

@@ -6,6 +6,7 @@
 //! the upper bound the CXL pool is measured against.
 
 use crate::frames::FrameTable;
+use crate::policy::PolicyKind;
 use crate::{BpStats, BufferPool};
 use memsim::{Access, DramSpace};
 use simkit::trace::{self, SpanKind};
@@ -32,12 +33,22 @@ impl std::fmt::Debug for DramBp {
 
 impl DramBp {
     /// A pool with `frames` page frames over `store`, fronted by a CPU
-    /// cache of `cache_bytes`.
+    /// cache of `cache_bytes`, evicting by LRU.
     pub fn new(frames: usize, cache_bytes: usize, store: PageStore) -> Self {
+        Self::with_policy(frames, cache_bytes, store, PolicyKind::Lru)
+    }
+
+    /// Like [`DramBp::new`] but evicting under `policy`.
+    pub fn with_policy(
+        frames: usize,
+        cache_bytes: usize,
+        store: PageStore,
+        policy: PolicyKind,
+    ) -> Self {
         assert!(frames > 0);
         let page = store.page_size() as usize;
         // Pre-size the eviction spill map so misses never allocate.
-        let mut table = FrameTable::new(frames);
+        let mut table = FrameTable::with_policy(frames, policy);
         table.reserve_evictions(store.capacity_pages() as usize);
         DramBp {
             space: DramSpace::new(frames * page, cache_bytes, false),
@@ -57,9 +68,13 @@ impl DramBp {
     fn fix(&mut self, page: PageId, now: SimTime) -> (u32, SimTime) {
         if let Some(frame) = self.frames.lookup_touch(page) {
             self.stats.hits += 1;
+            self.stats.tier_dram_hits += 1;
             return (frame, now);
         }
         self.stats.misses += 1;
+        self.stats.tier_dram_misses += 1;
+        // No middle tier: a DRAM miss goes straight to storage.
+        self.stats.tier_cxl_misses += 1;
         let mut t = now;
         let frame = if let Some(f) = self.frames.pop_free() {
             f

@@ -13,12 +13,12 @@
 //! back. A crash ([`FrameTable::clear`]) drops both, exactly like the
 //! old `lsns.clear()`.
 
-use crate::lru::LruList;
+use crate::policy::{AnyPolicy, Policy, PolicyKind};
 use simkit::FastMap;
 use storage::{Lsn, PageId};
 
 /// Struct-of-arrays frame directory: residency map + per-frame parallel
-/// arrays + LRU list + evicted-LSN spill.
+/// arrays + eviction policy + evicted-LSN spill.
 #[derive(Debug)]
 pub struct FrameTable {
     /// Which page each frame holds (`None` = empty frame).
@@ -27,17 +27,28 @@ pub struct FrameTable {
     dirty: Vec<bool>,
     /// Per-frame page LSN (`None` until first write).
     lsn: Vec<Option<Lsn>>,
+    /// Per-frame 8-bit decaying access counter: saturating +1 on every
+    /// hit, halved by [`FrameTable::age_epoch`] on virtual-time epochs.
+    /// The adaptive tiering sweep reads these to pick promote/demote
+    /// candidates.
+    heat: Vec<u8>,
     /// The single residency probe: page → frame.
     map: FastMap<PageId, u32>,
     free: Vec<u32>,
-    lru: LruList,
+    policy: AnyPolicy,
     /// LSNs of evicted pages (cold path only; cleared on crash).
     evicted_lsns: FastMap<PageId, Lsn>,
 }
 
 impl FrameTable {
-    /// An empty table over `frames` slots.
+    /// An empty table over `frames` slots, evicting by LRU (the default
+    /// every pool ran before policies became pluggable).
     pub fn new(frames: usize) -> Self {
+        Self::with_policy(frames, PolicyKind::Lru)
+    }
+
+    /// An empty table over `frames` slots evicting under `kind`.
+    pub fn with_policy(frames: usize, kind: PolicyKind) -> Self {
         assert!(frames > 0);
         // The residency map never holds more than `frames` live entries,
         // but the evict/install churn leaves hash-table tombstones, and
@@ -51,11 +62,17 @@ impl FrameTable {
             page: vec![None; frames],
             dirty: vec![false; frames],
             lsn: vec![None; frames],
+            heat: vec![0; frames],
             map,
             free: (0..frames as u32).rev().collect(),
-            lru: LruList::new(frames),
+            policy: AnyPolicy::new(kind, frames),
             evicted_lsns: FastMap::default(),
         }
+    }
+
+    /// Which eviction policy this table runs.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
     }
 
     /// Pre-size the eviction LSN spill map for a dataset of `pages`
@@ -81,11 +98,14 @@ impl FrameTable {
         self.map.get(&page).copied()
     }
 
-    /// Residency probe that also bumps the frame to MRU — the single
-    /// hash lookup of the hot path.
+    /// Residency probe that also records the hit with the eviction
+    /// policy and bumps the frame's heat counter — the single hash
+    /// lookup of the hot path.
     pub fn lookup_touch(&mut self, page: PageId) -> Option<u32> {
         let frame = self.map.get(&page).copied()?;
-        self.lru.touch(frame);
+        self.policy.touch(frame);
+        let h = &mut self.heat[frame as usize];
+        *h = h.saturating_add(1);
         Some(frame)
     }
 
@@ -99,9 +119,23 @@ impl FrameTable {
         self.free.pop()
     }
 
-    /// Pop the LRU victim (unlinking it from the recency list).
+    /// Return an emptied frame (unlinked and [`evict`](Self::evict)ed)
+    /// to the free stack — migration paths move a page *out* of a tier
+    /// without immediately reusing its slot.
+    pub fn push_free(&mut self, frame: u32) {
+        debug_assert!(self.page[frame as usize].is_none(), "freeing a bound frame");
+        self.free.push(frame);
+    }
+
+    /// Pop the policy's eviction victim (unlinking it).
     pub fn pop_victim(&mut self) -> Option<u32> {
-        self.lru.pop_back()
+        self.policy.pop_victim()
+    }
+
+    /// Unlink `frame` from the policy without evicting it (migration
+    /// paths that already know the victim).
+    pub fn unlink(&mut self, frame: u32) {
+        self.policy.remove(frame);
     }
 
     /// Clear a frame popped via [`FrameTable::pop_victim`]: unmap its
@@ -119,15 +153,16 @@ impl FrameTable {
 
     /// Bind `frame` (fresh from [`pop_free`](Self::pop_free) or
     /// [`evict`](Self::evict)) to `page`, clean, restoring any spilled
-    /// LSN, and link it as MRU.
+    /// LSN, and link it with the policy as newest.
     pub fn install(&mut self, frame: u32, page: PageId) {
         let i = frame as usize;
         debug_assert!(self.page[i].is_none(), "installing over a bound frame");
         self.page[i] = Some(page);
         self.dirty[i] = false;
         self.lsn[i] = self.evicted_lsns.remove(&page);
+        self.heat[i] = 1;
         self.map.insert(page, frame);
-        self.lru.push_front(frame);
+        self.policy.insert(frame);
     }
 
     /// The page bound to `frame`, if any.
@@ -163,16 +198,35 @@ impl FrameTable {
         }
     }
 
+    /// The frame's decaying access counter.
+    pub fn heat(&self, frame: u32) -> u8 {
+        self.heat[frame as usize]
+    }
+
+    /// Overwrite the frame's heat (migration carries heat across tiers).
+    pub fn set_heat(&mut self, frame: u32, heat: u8) {
+        self.heat[frame as usize] = heat;
+    }
+
+    /// Epoch aging: halve every frame's heat counter. Called by the
+    /// adaptive tiering sweep on virtual-time epoch boundaries, so a
+    /// page's heat approximates an exponentially-decayed hit count.
+    pub fn age_epoch(&mut self) {
+        self.heat.iter_mut().for_each(|h| *h >>= 1);
+    }
+
     /// Crash: drop every binding, dirty bit and LSN (resident and
     /// spilled alike).
     pub fn clear(&mut self) {
         let n = self.capacity();
+        let kind = self.policy.kind();
         self.page.iter_mut().for_each(|p| *p = None);
         self.dirty.iter_mut().for_each(|d| *d = false);
         self.lsn.iter_mut().for_each(|l| *l = None);
+        self.heat.iter_mut().for_each(|h| *h = 0);
         self.map.clear();
         self.free = (0..n as u32).rev().collect();
-        self.lru = LruList::new(n);
+        self.policy = AnyPolicy::new(kind, n);
         self.evicted_lsns.clear();
     }
 }
@@ -271,6 +325,53 @@ mod tests {
         t.lookup_touch(PageId(0)); // 0 hot, 1 cold
         let v = t.pop_victim().unwrap();
         assert_eq!(t.evict(v).0, PageId(1));
+    }
+
+    #[test]
+    fn heat_counts_hits_and_ages_by_halving() {
+        let mut t = FrameTable::new(2);
+        let f = t.pop_free().unwrap();
+        t.install(f, PageId(3));
+        assert_eq!(t.heat(f), 1, "install seeds heat at 1");
+        for _ in 0..5 {
+            t.lookup_touch(PageId(3));
+        }
+        assert_eq!(t.heat(f), 6);
+        t.age_epoch();
+        assert_eq!(t.heat(f), 3);
+        t.age_epoch();
+        t.age_epoch();
+        assert_eq!(t.heat(f), 0);
+        // Saturates instead of wrapping.
+        t.set_heat(f, u8::MAX);
+        t.lookup_touch(PageId(3));
+        assert_eq!(t.heat(f), u8::MAX);
+    }
+
+    #[test]
+    fn policy_is_pluggable_per_table() {
+        use crate::policy::PolicyKind;
+        for kind in PolicyKind::ALL {
+            let mut t = FrameTable::with_policy(4, kind);
+            assert_eq!(t.policy_kind(), kind);
+            for p in 0..4u64 {
+                let f = t.pop_free().unwrap();
+                t.install(f, PageId(p));
+            }
+            // One full drain cycle so CLOCK's insert-time reference bits
+            // are cleared; then re-touch page 0 and evict once.
+            let v = t.pop_victim().unwrap();
+            let (gone, _) = t.evict(v);
+            t.install(v, gone);
+            t.lookup_touch(PageId(0));
+            let v = t.pop_victim().unwrap();
+            let (page, _) = t.evict(v);
+            // Every policy spares the just-touched page.
+            assert_ne!(page, PageId(0), "{kind:?} evicted the hot page");
+            t.clear();
+            assert_eq!(t.policy_kind(), kind, "clear preserves the policy");
+            assert_eq!(t.resident(), 0);
+        }
     }
 
     #[test]

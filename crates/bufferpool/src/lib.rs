@@ -21,9 +21,11 @@
 pub mod dram_bp;
 pub mod frames;
 pub mod lru;
+pub mod policy;
 pub mod tiered;
 
 pub use frames::{FrameTable, ShardedFrameTable};
+pub use policy::{AnyPolicy, ClockRing, Policy, PolicyKind, TwoQ};
 
 use memsim::Access;
 use simkit::SimTime;
@@ -54,6 +56,19 @@ pub struct BpStats {
     pub fault_fallbacks: u64,
     /// Poisoned CXL reads healed by rebuilding the block from storage.
     pub poison_rebuilds: u64,
+    /// Lookups served by the DRAM tier (single-tier pools count every
+    /// local hit here).
+    pub tier_dram_hits: u64,
+    /// Lookups that missed the DRAM tier.
+    pub tier_dram_misses: u64,
+    /// DRAM-tier misses served by the CXL (or remote) tier.
+    pub tier_cxl_hits: u64,
+    /// Lookups that missed every memory tier and went to storage.
+    pub tier_cxl_misses: u64,
+    /// Pages migrated upward (CXL → DRAM).
+    pub tier_promotes: u64,
+    /// Pages migrated downward (DRAM → CXL, CXL → storage).
+    pub tier_demotes: u64,
 }
 
 impl BpStats {

@@ -14,6 +14,7 @@
 //! instance steals bandwidth from all.
 
 use crate::frames::FrameTable;
+use crate::policy::PolicyKind;
 use crate::{BpStats, BufferPool};
 use memsim::{Access, DramSpace, RdmaError, RdmaPool};
 use simkit::faults;
@@ -89,6 +90,28 @@ impl TieredRdmaBp {
         cache_bytes: usize,
         store: PageStore,
     ) -> Self {
+        Self::with_policy(
+            rdma,
+            host,
+            remote_base,
+            lbp_frames,
+            cache_bytes,
+            store,
+            PolicyKind::Lru,
+        )
+    }
+
+    /// Like [`TieredRdmaBp::new`] but evicting the LBP under `policy`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_policy(
+        rdma: SharedRdma,
+        host: usize,
+        remote_base: u64,
+        lbp_frames: usize,
+        cache_bytes: usize,
+        store: PageStore,
+        policy: PolicyKind,
+    ) -> Self {
         assert!(lbp_frames > 0);
         let page = store.page_size() as usize;
         let capacity = store.capacity_pages() as usize;
@@ -98,7 +121,7 @@ impl TieredRdmaBp {
         // so 2x keeps its tombstone rehashes allocation-free.
         let mut remote_dirty = FastSet::default();
         remote_dirty.reserve(capacity * 2);
-        let mut frames = FrameTable::new(lbp_frames);
+        let mut frames = FrameTable::with_policy(lbp_frames, policy);
         frames.reserve_evictions(capacity);
         TieredRdmaBp {
             rdma,
@@ -132,9 +155,16 @@ impl TieredRdmaBp {
     fn fix(&mut self, page: PageId, now: SimTime) -> (u32, SimTime) {
         if let Some(frame) = self.frames.lookup_touch(page) {
             self.stats.hits += 1;
+            self.stats.tier_dram_hits += 1;
             return (frame, now);
         }
         self.stats.misses += 1;
+        self.stats.tier_dram_misses += 1;
+        if self.remote_resident[page.0 as usize] {
+            self.stats.tier_cxl_hits += 1;
+        } else {
+            self.stats.tier_cxl_misses += 1;
+        }
         let mut t = now;
         let frame = if let Some(f) = self.frames.pop_free() {
             f

@@ -22,7 +22,7 @@
 //! the CXL copy is complete and trusted.
 
 use crate::layout::{field, BlockMeta, Geometry, RegionHeader, MAGIC, META_SIZE, NO_PAGE};
-use bufferpool::lru::LruList;
+use bufferpool::policy::{AnyPolicy, Policy, PolicyKind};
 use bufferpool::{BpStats, BufferPool};
 use memsim::{Access, CxlPool, NodeId};
 use simkit::faults;
@@ -64,9 +64,10 @@ pub struct CxlBp {
     store: PageStore,
     /// Volatile page → block map (rebuilt by recovery).
     map: FastMap<PageId, u32>,
-    /// Volatile recency order over blocks; membership itself is
-    /// authoritative in CXL (`in_use` + list links).
-    lru: LruList,
+    /// Volatile eviction-order state over blocks (LRU / CLOCK / 2Q);
+    /// membership itself is authoritative in CXL (`in_use` + list
+    /// links), so the policy is rebuildable after a crash.
+    policy: AnyPolicy,
     free: Vec<u32>,
     /// Host-side mirror of every block's metadata (write-through).
     mirror: Vec<BlockMeta>,
@@ -100,8 +101,21 @@ impl std::fmt::Debug for CxlBp {
 impl CxlBp {
     /// Format a fresh pool region at `base` (a lease from the
     /// [`crate::manager::CxlMemoryManager`]) with `nblocks` blocks, and
-    /// attach to it. Formatting is raw (startup, untimed).
+    /// attach to it, evicting by LRU. Formatting is raw (startup,
+    /// untimed).
     pub fn format(cxl: SharedCxl, node: NodeId, base: u64, nblocks: u64, store: PageStore) -> Self {
+        Self::format_with_policy(cxl, node, base, nblocks, store, PolicyKind::Lru)
+    }
+
+    /// Like [`CxlBp::format`] but evicting under `policy`.
+    pub fn format_with_policy(
+        cxl: SharedCxl,
+        node: NodeId,
+        base: u64,
+        nblocks: u64,
+        store: PageStore,
+        policy: PolicyKind,
+    ) -> Self {
         let geo = Geometry {
             base,
             nblocks,
@@ -133,7 +147,7 @@ impl CxlBp {
             geo,
             store,
             map: presized_map(nblocks as usize),
-            lru: LruList::new(nblocks as usize),
+            policy: AnyPolicy::new(policy, nblocks as usize),
             free: (0..nblocks as u32).rev().collect(),
             mirror: vec![BlockMeta::free(); nblocks as usize],
             inuse_head: 0,
@@ -146,8 +160,19 @@ impl CxlBp {
 
     /// Attach to an already-formatted region after a crash, *without*
     /// rebuilding volatile state — [`crate::recovery::polar_recv`] does
-    /// that. Panics if the region is not formatted.
+    /// that. Evicts by LRU; panics if the region is not formatted.
     pub fn attach(cxl: SharedCxl, node: NodeId, base: u64, store: PageStore) -> Self {
+        Self::attach_with_policy(cxl, node, base, store, PolicyKind::Lru)
+    }
+
+    /// Like [`CxlBp::attach`] but evicting under `policy`.
+    pub fn attach_with_policy(
+        cxl: SharedCxl,
+        node: NodeId,
+        base: u64,
+        store: PageStore,
+        policy: PolicyKind,
+    ) -> Self {
         let hdr = {
             let pool = cxl.borrow();
             RegionHeader::decode(pool.raw().slice(base, META_SIZE as usize))
@@ -166,7 +191,7 @@ impl CxlBp {
             geo,
             store,
             map: presized_map(nblocks),
-            lru: LruList::new(nblocks),
+            policy: AnyPolicy::new(policy, nblocks),
             free: Vec::new(),
             mirror: vec![BlockMeta::free(); nblocks],
             inuse_head: hdr.inuse_head,
@@ -187,6 +212,11 @@ impl CxlBp {
         self.node
     }
 
+    /// Which eviction policy this pool runs.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
     /// Shared fabric handle (used by recovery).
     pub fn fabric(&self) -> &SharedCxl {
         &self.cxl
@@ -198,7 +228,7 @@ impl CxlBp {
     pub fn crash(&mut self) {
         self.cxl.borrow_mut().crash_node(self.node);
         self.map.clear();
-        self.lru = LruList::new(self.geo.nblocks as usize);
+        self.policy = AnyPolicy::new(self.policy.kind(), self.geo.nblocks as usize);
         self.free.clear();
         for m in &mut self.mirror {
             *m = BlockMeta::free();
@@ -215,16 +245,18 @@ impl CxlBp {
     /// `metas` is ordered front (MRU) to back (LRU).
     pub fn adopt_recovered_state(&mut self, metas: &[(u32, BlockMeta)]) {
         self.map.clear();
-        self.lru = LruList::new(self.geo.nblocks as usize);
+        self.policy = AnyPolicy::new(self.policy.kind(), self.geo.nblocks as usize);
         for m in &mut self.mirror {
             *m = BlockMeta::free();
         }
         let mut used = vec![false; self.geo.nblocks as usize];
-        // Push in reverse so the first meta ends up most recently used.
+        // Insert in reverse so the first meta ends up newest with the
+        // policy (exact MRU for LRU; for CLOCK/2Q the recovered order
+        // seeds the ring/probation equivalently).
         for (b, m) in metas.iter().rev() {
             self.mirror[*b as usize] = *m;
             self.map.insert(PageId(m.page_id), *b);
-            self.lru.push_front(*b);
+            self.policy.insert(*b);
             used[*b as usize] = true;
         }
         self.free = (0..self.geo.nblocks as u32)
@@ -319,15 +351,20 @@ impl CxlBp {
     fn fix(&mut self, page: PageId, now: SimTime) -> (u32, SimTime) {
         if let Some(&b) = self.map.get(&page) {
             self.stats.hits += 1;
-            self.lru.touch(b);
+            self.stats.tier_cxl_hits += 1;
+            self.policy.touch(b);
             return (b, now);
         }
         self.stats.misses += 1;
+        self.stats.tier_cxl_misses += 1;
         let mut t = now;
         let b = if let Some(b) = self.free.pop() {
             b
         } else {
-            let victim = self.lru.pop_back().expect("no free block and empty LRU");
+            let victim = self
+                .policy
+                .pop_victim()
+                .expect("no free block and empty policy");
             t = self.evict(victim, t);
             victim
         };
@@ -350,7 +387,7 @@ impl CxlBp {
         t = self.set_meta_field(b, field::LOCK_STATE, 0, t);
         self.mirror[b as usize].lock_state = 0;
         self.map.insert(page, b);
-        self.lru.push_front(b);
+        self.policy.insert(b);
         trace::span(
             SpanKind::BpMiss,
             self.node.0 as u32,
@@ -614,7 +651,7 @@ impl BufferPool for CxlBp {
             }
             prev_link = b as u64 + 1;
             self.map.insert(page, b);
-            self.lru.push_front(b);
+            self.policy.insert(b);
         }
     }
 }

@@ -27,6 +27,7 @@ pub mod layout;
 pub mod manager;
 pub mod rdma_sharing;
 pub mod recovery;
+pub mod tiering;
 
 pub use cxl_bp::{CxlBp, SharedCxl};
 pub use fusion::{
@@ -36,3 +37,4 @@ pub use fusion::{
 pub use manager::{AllocError, CxlMemoryManager, Lease, ReleaseError};
 pub use rdma_sharing::{RdmaDbp, RdmaDir, RdmaSharingNode};
 pub use recovery::{polar_recv, polar_recv_policy, polar_recv_with, RecoveryReport, TrustPolicy};
+pub use tiering::{AdaptivePool, TierConfig};

@@ -13,6 +13,7 @@
 //! granularity, and invalidation by a single CXL store.
 
 use bufferpool::lru::LruList;
+use bufferpool::policy::{AnyPolicy, Policy, PolicyKind};
 use bufferpool::tiered::SharedRdma;
 use memsim::calib::{DRAM_LOCAL_NS, DRAM_STREAM_NS_PER_LINE, RPC_NS};
 use memsim::{NodeId, RdmaFabric};
@@ -270,7 +271,7 @@ pub struct RdmaSharingNode {
     frame_buf: Vec<Vec<u8>>,
     free: Vec<u32>,
     map: FastMap<PageId, u32>,
-    lru: LruList,
+    policy: AnyPolicy,
     dirty: FastSet<PageId>,
     addrs: FastMap<PageId, u64>,
     stats: RdmaNodeStats,
@@ -292,6 +293,19 @@ impl RdmaSharingNode {
     /// pool through their `server` argument, which keeps the struct
     /// `Send` for barrier-synchronized phases.
     pub fn new(node: NodeId, host: usize, lbp_frames: usize, page_size: u64) -> Self {
+        Self::with_policy(node, host, lbp_frames, page_size, PolicyKind::Lru)
+    }
+
+    /// Like [`RdmaSharingNode::new`] but evicting the LBP under
+    /// `policy`. The policy runs *inside* barrier-synchronized parallel
+    /// phases, so every implementation must be (and is) deterministic.
+    pub fn with_policy(
+        node: NodeId,
+        host: usize,
+        lbp_frames: usize,
+        page_size: u64,
+        policy: PolicyKind,
+    ) -> Self {
         assert!(lbp_frames > 0);
         RdmaSharingNode {
             node,
@@ -301,7 +315,7 @@ impl RdmaSharingNode {
             frame_buf: vec![vec![0u8; page_size as usize]; lbp_frames],
             free: (0..lbp_frames as u32).rev().collect(),
             map: FastMap::default(),
-            lru: LruList::new(lbp_frames),
+            policy: AnyPolicy::new(policy, lbp_frames),
             dirty: FastSet::default(),
             addrs: FastMap::default(),
             stats: RdmaNodeStats::default(),
@@ -328,19 +342,19 @@ impl RdmaSharingNode {
         if let Some(frame) = self.map.remove(&page) {
             debug_assert!(!self.dirty.contains(&page), "invalidating a dirty page");
             self.frame_page[frame as usize] = None;
-            self.lru.remove(frame);
+            self.policy.remove(frame);
             self.free.push(frame);
             self.stats.invalidations += 1;
         }
     }
 
-    /// Claim a frame for `page`, evicting the LRU victim if none is
-    /// free. Pure local-metadata work.
+    /// Claim a frame for `page`, evicting the policy's victim if none
+    /// is free. Pure local-metadata work.
     fn claim_frame(&mut self, page: PageId) -> u32 {
         let frame = if let Some(f) = self.free.pop() {
             f
         } else {
-            let victim = self.lru.pop_back().expect("nonempty LRU");
+            let victim = self.policy.pop_victim().expect("nonempty policy");
             let vpage = self.frame_page[victim as usize]
                 .take()
                 .expect("page in frame");
@@ -353,7 +367,7 @@ impl RdmaSharingNode {
         };
         self.frame_page[frame as usize] = Some(page);
         self.map.insert(page, frame);
-        self.lru.push_front(frame);
+        self.policy.insert(frame);
         frame
     }
 
@@ -361,7 +375,7 @@ impl RdmaSharingNode {
     fn fault_in(&mut self, server: &mut RdmaDbp, page: PageId, now: SimTime) -> (u32, SimTime) {
         if let Some(&frame) = self.map.get(&page) {
             self.stats.local_hits += 1;
-            self.lru.touch(frame);
+            self.policy.touch(frame);
             return (frame, now);
         }
         let mut t = now;
@@ -481,7 +495,7 @@ impl RdmaSharingNode {
     ) -> (u32, SimTime) {
         if let Some(&frame) = self.map.get(&page) {
             self.stats.local_hits += 1;
-            self.lru.touch(frame);
+            self.policy.touch(frame);
             return (frame, now);
         }
         let &addr = self

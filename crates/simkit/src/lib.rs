@@ -45,7 +45,7 @@ pub use fastmap::{FastMap, FastSet};
 pub use faults::{FaultPlan, FaultSite, FaultStats, Verdict};
 pub use lock::{LockDelta, LockMode, LockShard, LockTable, VLock};
 pub use resource::{Grant, Link, LinkFork, MultiServer};
-pub use stats::{Counter, Histogram, MetricsRegistry, TimeSeries};
+pub use stats::{Counter, Histogram, MetricValue, MetricsRegistry, TimeSeries};
 pub use time::{dur, SimTime};
 pub use trace::{Lane, QueryBreakdown, SpanKind, TraceEvent};
 pub use worker::{Step, WorkerId, WorkerSet};

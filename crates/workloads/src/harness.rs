@@ -12,7 +12,7 @@ use crate::sysbench::{
 };
 use bufferpool::dram_bp::DramBp;
 use bufferpool::tiered::TieredRdmaBp;
-use bufferpool::BufferPool;
+use bufferpool::{BufferPool, PolicyKind};
 use engine::Db;
 use memsim::calib::PAGE_SIZE;
 use memsim::{CxlPool, NodeId, RdmaPool};
@@ -59,6 +59,8 @@ pub struct PoolingConfig {
     /// CXL only: model direct-attached memory (no switch) instead of the
     /// switched pool — the §2.3 latency counterfactual.
     pub direct_attach: bool,
+    /// Eviction policy for the design's page frames.
+    pub policy: PolicyKind,
     /// Root RNG seed.
     pub seed: u64,
 }
@@ -81,6 +83,7 @@ impl PoolingConfig {
             cache_bytes: 4 << 20,
             lbp_fraction: 0.3,
             direct_attach: false,
+            policy: PolicyKind::Lru,
             seed: 42,
         }
     }
@@ -248,6 +251,12 @@ fn collect_registry<P: BufferPool>(
         bp.fault_retries += s.fault_retries;
         bp.fault_fallbacks += s.fault_fallbacks;
         bp.poison_rebuilds += s.poison_rebuilds;
+        bp.tier_dram_hits += s.tier_dram_hits;
+        bp.tier_dram_misses += s.tier_dram_misses;
+        bp.tier_cxl_hits += s.tier_cxl_hits;
+        bp.tier_cxl_misses += s.tier_cxl_misses;
+        bp.tier_promotes += s.tier_promotes;
+        bp.tier_demotes += s.tier_demotes;
         let (f, b) = db.wal.flush_stats();
         wal_flushes += f;
         wal_bytes += b;
@@ -274,6 +283,14 @@ fn collect_registry<P: BufferPool>(
     reg.set_int("bp_fault_retries", bp.fault_retries);
     reg.set_int("bp_fault_fallbacks", bp.fault_fallbacks);
     reg.set_int("bp_poison_rebuilds", bp.poison_rebuilds);
+    // Per-tier counters are emitted unconditionally (zero for designs
+    // without that tier) so every snapshot has the same schema.
+    reg.set_int("bp_tier_dram_hits", bp.tier_dram_hits);
+    reg.set_int("bp_tier_dram_misses", bp.tier_dram_misses);
+    reg.set_int("bp_tier_cxl_hits", bp.tier_cxl_hits);
+    reg.set_int("bp_tier_cxl_misses", bp.tier_cxl_misses);
+    reg.set_int("bp_tier_promotes", bp.tier_promotes);
+    reg.set_int("bp_tier_demotes", bp.tier_demotes);
     reg.set_int("wal_flushes", wal_flushes);
     reg.set_int("wal_bytes_flushed", wal_bytes);
     reg.set_int("db_queries", db_sum.queries);
@@ -305,7 +322,7 @@ pub fn run_pooling(cfg: &PoolingConfig) -> PoolingResult {
                 .map(|_| {
                     let store = PageStore::new(pages);
                     let mut db = Db::create(
-                        DramBp::new(pages as usize, cfg.cache_bytes, store),
+                        DramBp::with_policy(pages as usize, cfg.cache_bytes, store, cfg.policy),
                         crate::sysbench::RECORD_SIZE,
                     );
                     db.load(rows());
@@ -337,13 +354,14 @@ pub fn run_pooling(cfg: &PoolingConfig) -> PoolingResult {
                 .map(|i| {
                     let store = PageStore::new(pages);
                     let mut db = Db::create(
-                        TieredRdmaBp::new(
+                        TieredRdmaBp::with_policy(
                             Rc::clone(&rdma),
                             0,
                             i as u64 * slice,
                             lbp_frames,
                             cfg.cache_bytes,
                             store,
+                            cfg.policy,
                         ),
                         crate::sysbench::RECORD_SIZE,
                     );
@@ -391,7 +409,14 @@ pub fn run_pooling(cfg: &PoolingConfig) -> PoolingResult {
                         .expect("pool sized for all instances");
                     let store = PageStore::new(pages);
                     let mut db = Db::create(
-                        CxlBp::format(Rc::clone(&cxl), NodeId(i), lease.offset, pages, store),
+                        CxlBp::format_with_policy(
+                            Rc::clone(&cxl),
+                            NodeId(i),
+                            lease.offset,
+                            pages,
+                            store,
+                            cfg.policy,
+                        ),
                         crate::sysbench::RECORD_SIZE,
                     );
                     db.load(rows());

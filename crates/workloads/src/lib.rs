@@ -16,6 +16,7 @@ pub mod recovery_harness;
 pub mod sharing;
 pub mod sysbench;
 pub mod tatp;
+pub mod tiering;
 pub mod tpcc;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosRunResult};
@@ -27,3 +28,4 @@ pub use metrics::RunMetrics;
 pub use recovery_harness::{run_recovery, RecoveryConfig, RecoveryRunResult, Scheme};
 pub use sharing::{run_sharing, GroupLayout, ShOp, SharingConfig, SharingResult, SharingSystem};
 pub use sysbench::{Sysbench, SysbenchKind};
+pub use tiering::{run_tiering, PhasePattern, TieringConfig, TieringResult};

@@ -144,6 +144,9 @@ pub struct SharingConfig {
     /// (`0` = [`par::host_threads`]). Any value yields bit-identical
     /// results; it only changes wall-clock time.
     pub host_threads: usize,
+    /// Eviction policy for node-local page frames (the RDMA design's
+    /// local buffer pool; ignored by designs without one).
+    pub policy: bufferpool::PolicyKind,
 }
 
 impl SharingConfig {
@@ -161,6 +164,7 @@ impl SharingConfig {
             seed: 11,
             quantum: SimTime::from_micros(200),
             host_threads: 0,
+            policy: bufferpool::PolicyKind::Lru,
         }
     }
 }
@@ -587,7 +591,7 @@ where
     let accessed_pages = 2 * layout.pages_per_group();
     let lbp_frames = ((accessed_pages as f64 * lbp_fraction).ceil() as usize).max(4);
     let mut nodes: Vec<RdmaSharingNode> = (0..n)
-        .map(|i| RdmaSharingNode::new(NodeId(i), i, lbp_frames, PAGE_SIZE))
+        .map(|i| RdmaSharingNode::with_policy(NodeId(i), i, lbp_frames, PAGE_SIZE, cfg.policy))
         .collect();
     // Warm serially: resolve the DBP address of *every* page the node
     // may touch (no server RPC can happen mid-phase), then fault in up

@@ -60,9 +60,10 @@ pub mod prelude {
     pub use btree::BTree;
     pub use bufferpool::dram_bp::DramBp;
     pub use bufferpool::tiered::TieredRdmaBp;
-    pub use bufferpool::{BufferPool, Crashable};
+    pub use bufferpool::{BufferPool, Crashable, PolicyKind};
     pub use engine::{recover_polar, recover_polar_policy, recover_replay, Db};
     pub use memsim::{CxlPool, NodeId, RdmaPool};
+    pub use polarcxlmem::{AdaptivePool, TierConfig};
     pub use polarcxlmem::{CxlBp, CxlMemoryManager, FusionServer, SharingNode, TrustPolicy};
     pub use polarcxlmem::{FencingPolicy, ReleaseError};
     pub use simkit::faults::{self, Action, FaultPlan, FaultSite, Trigger};
@@ -70,9 +71,9 @@ pub mod prelude {
     pub use simkit::{dur, SimTime};
     pub use storage::{Lsn, PageId, PageStore, Wal};
     pub use workloads::{
-        run_chaos, run_failover, run_pooling, run_recovery, run_sharing, ChaosConfig,
-        ChaosRunResult, DeathMode, FailoverConfig, FailoverResult, LinkChaos, PoolKind,
-        PoolingConfig, RecoveryConfig, RecoveryRunResult, Scheme, SharingConfig, SharingResult,
-        SharingSystem, SysbenchKind,
+        run_chaos, run_failover, run_pooling, run_recovery, run_sharing, run_tiering, ChaosConfig,
+        ChaosRunResult, DeathMode, FailoverConfig, FailoverResult, LinkChaos, PhasePattern,
+        PoolKind, PoolingConfig, RecoveryConfig, RecoveryRunResult, Scheme, SharingConfig,
+        SharingResult, SharingSystem, SysbenchKind, TieringConfig, TieringResult,
     };
 }

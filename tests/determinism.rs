@@ -287,6 +287,42 @@ fn sharing_intra_config_is_worker_count_invariant() {
 }
 
 #[test]
+fn eviction_policies_are_worker_count_invariant() {
+    // The pluggable eviction policies (LRU / CLOCK / 2Q) live inside
+    // each node's local pool, which steps on whichever host worker
+    // drives the node — so a policy with any host-order dependence
+    // (iteration over a hash map, a tiebreak on wall time) would
+    // diverge here. Every policy must be worker-count invariant.
+    let run = |policy: PolicyKind, threads: usize| {
+        let mut c = SharingConfig::standard(SharingSystem::Rdma { lbp_fraction: 0.3 }, 4);
+        c.layout.rows_per_group = 1_000;
+        c.duration = SimTime::from_millis(20);
+        c.host_threads = threads;
+        c.policy = policy;
+        let layout = c.layout;
+        run_sharing(&c, point_update_gen(layout, 40))
+    };
+    let mut baselines = Vec::new();
+    for policy in PolicyKind::ALL {
+        let one = run(policy, 1);
+        for workers in [2usize, 4] {
+            assert_eq!(
+                one,
+                run(policy, workers),
+                "{policy:?}: {workers} workers diverged from serial"
+            );
+        }
+        baselines.push(one);
+    }
+    // And the knob is alive: the three policies are different algorithms
+    // and must not all produce identical runs on an eviction-heavy pool.
+    assert!(
+        baselines.windows(2).any(|w| w[0] != w[1]),
+        "all eviction policies produced identical runs — policy knob is dead"
+    );
+}
+
+#[test]
 fn sharing_traces_are_worker_count_invariant() {
     // Spans recorded on worker threads re-land on the driver in node
     // order at the merge, so the trace stream (and the attribution it
