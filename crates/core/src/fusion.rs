@@ -597,6 +597,22 @@ pub struct SharingNodeStats {
     pub invalidations_sent: u64,
 }
 
+impl SharingNodeStats {
+    /// Field-wise delta since an `earlier` snapshot (saturating) —
+    /// feeds per-window telemetry at virtual-time barriers.
+    pub fn since(&self, earlier: &SharingNodeStats) -> SharingNodeStats {
+        SharingNodeStats {
+            local_hits: self.local_hits.saturating_sub(earlier.local_hits),
+            rpcs: self.rpcs.saturating_sub(earlier.rpcs),
+            invalid_drops: self.invalid_drops.saturating_sub(earlier.invalid_drops),
+            removal_reloads: self.removal_reloads.saturating_sub(earlier.removal_reloads),
+            invalidations_sent: self
+                .invalidations_sent
+                .saturating_sub(earlier.invalidations_sent),
+        }
+    }
+}
+
 /// A guarded operation was refused because this node has been fenced:
 /// the epoch word in CXL no longer matches the node's grant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

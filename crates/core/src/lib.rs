@@ -32,9 +32,9 @@ pub mod tiering;
 pub use cxl_bp::{CxlBp, SharedCxl};
 pub use fusion::{
     CoherencyMode, FencedError, FencingPolicy, FusionDir, FusionServer, FusionStats, SharedStore,
-    SharingNode,
+    SharingNode, SharingNodeStats,
 };
 pub use manager::{AllocError, CxlMemoryManager, Lease, ReleaseError};
-pub use rdma_sharing::{RdmaDbp, RdmaDir, RdmaSharingNode};
+pub use rdma_sharing::{RdmaDbp, RdmaDir, RdmaNodeStats, RdmaSharingNode};
 pub use recovery::{polar_recv, polar_recv_policy, polar_recv_with, RecoveryReport, TrustPolicy};
 pub use tiering::{AdaptivePool, TierConfig};

@@ -301,6 +301,10 @@ pub struct FaultStats {
     pub crash_site: Option<FaultSite>,
     /// Node-granular crashes declared via [`Action::CrashNode`].
     pub node_crashes: u64,
+    /// Link degrades injected via [`Action::LinkDegrade`].
+    pub link_degrades: u64,
+    /// Link outages injected via [`Action::LinkFlap`].
+    pub link_flaps: u64,
 }
 
 impl FaultStats {
@@ -319,6 +323,8 @@ impl FaultStats {
             self.injected[i] += other.injected[i];
         }
         self.node_crashes += other.node_crashes;
+        self.link_degrades += other.link_degrades;
+        self.link_flaps += other.link_flaps;
         if self.crash_hit.is_none() {
             self.crash_hit = other.crash_hit;
             self.crash_site = other.crash_site;
@@ -372,6 +378,8 @@ impl Engine {
                 crash_hit: None,
                 crash_site: None,
                 node_crashes: 0,
+                link_degrades: 0,
+                link_flaps: 0,
             },
             total_hits: 0,
             transient_left: 0,
@@ -477,6 +485,15 @@ impl FaultState {
     /// Counter snapshot of this state.
     pub fn stats(&self) -> FaultStats {
         self.engine.stats
+    }
+
+    /// Passive link-fault snapshot of this detached state at `now`
+    /// (the detached equivalent of [`link_snapshot`]).
+    pub fn link_snapshot(&self, now: SimTime) -> LinkSnapshot {
+        if self.flags & LINK_FAULTS == 0 {
+            return LinkSnapshot::default();
+        }
+        LinkSnapshot::of(&self.engine.link_faults, now)
     }
 }
 
@@ -596,6 +613,59 @@ fn link_health_slow(site: FaultSite, host: u32, now: SimTime) -> LinkHealth {
     })
 }
 
+/// A passive summary of the live link-fault table: how many per-host
+/// link faults are active at an instant, split degraded vs down, with
+/// the worst slowdown factor. Unlike [`link_health`] the snapshot
+/// paths count no gate hit and prune nothing — surfacing link state
+/// into telemetry and registry snapshots cannot perturb fault
+/// schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSnapshot {
+    /// Live degrade entries (a slowdown factor applies).
+    pub degraded: u32,
+    /// Live outage entries (link down, callers in retry backoff).
+    pub down: u32,
+    /// Worst slowdown factor across live degrade entries (1 = none).
+    pub worst_factor: u32,
+}
+
+impl Default for LinkSnapshot {
+    fn default() -> Self {
+        LinkSnapshot {
+            degraded: 0,
+            down: 0,
+            worst_factor: 1,
+        }
+    }
+}
+
+impl LinkSnapshot {
+    fn of(link_faults: &[LinkFault], now: SimTime) -> LinkSnapshot {
+        let mut s = LinkSnapshot::default();
+        for lf in link_faults {
+            if lf.until <= now {
+                continue;
+            }
+            if lf.down {
+                s.down += 1;
+            } else {
+                s.degraded += 1;
+                s.worst_factor = s.worst_factor.max(lf.factor);
+            }
+        }
+        s
+    }
+}
+
+/// Snapshot the calling thread's live link faults at `now` — see
+/// [`LinkSnapshot`]. One flag test when no link fault was ever armed.
+pub fn link_snapshot(now: SimTime) -> LinkSnapshot {
+    if FLAGS.with(|f| f.get()) & LINK_FAULTS == 0 {
+        return LinkSnapshot::default();
+    }
+    ENGINE.with(|e| LinkSnapshot::of(&e.borrow().link_faults, now))
+}
+
 /// Poll the fault engine at an injection site. One inlined thread-local
 /// flag test when no plan is installed; otherwise the slow path counts
 /// the hit and matches it against the plan.
@@ -708,6 +778,7 @@ fn gate_slow(site: FaultSite, now: SimTime) -> Verdict {
                 heal_ns,
             } => {
                 e.stats.injected[site as usize] += 1;
+                e.stats.link_degrades += 1;
                 e.link_faults.push(LinkFault {
                     site: link_site_for(site),
                     host,
@@ -725,6 +796,7 @@ fn gate_slow(site: FaultSite, now: SimTime) -> Verdict {
                 retry_ns,
             } => {
                 e.stats.injected[site as usize] += 1;
+                e.stats.link_flaps += 1;
                 e.link_faults.push(LinkFault {
                     site: link_site_for(site),
                     host,

@@ -329,6 +329,24 @@ pub enum MetricValue {
     Num(f64),
 }
 
+impl MetricValue {
+    /// Integer view (a `Num` is truncated toward zero).
+    pub fn as_u64(self) -> u64 {
+        match self {
+            MetricValue::Int(v) => v,
+            MetricValue::Num(v) => v as u64,
+        }
+    }
+
+    /// Floating-point view.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            MetricValue::Int(v) => v as f64,
+            MetricValue::Num(v) => v,
+        }
+    }
+}
+
 /// Named metric registry: the uniform snapshot surface for simulator
 /// counters (memsim link bytes, cache stats, WAL flush stats, Db stats,
 /// latency quantiles), rendered identically into `BENCH_*.json` and the

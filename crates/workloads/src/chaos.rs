@@ -24,6 +24,7 @@ use memsim::{CxlPool, NodeId, RdmaPool};
 use polarcxlmem::CxlBp;
 use simkit::faults::{self, Action, FaultPlan, FaultSite, FaultStats, Trigger};
 use simkit::rng::stream_rng;
+use simkit::telemetry::{self, NodeProbe, SloRule, TelemetryConfig, TelemetryHub, TelemetryReport};
 use simkit::{dur, MetricsRegistry, SimTime, Step, TimeSeries, WorkerId, WorkerSet};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -55,6 +56,9 @@ pub struct ChaosConfig {
     /// Also crash the host at this global site hit, then recover with
     /// the scheme under test and resume.
     pub crash_at_hit: Option<u64>,
+    /// Telemetry window width (ZERO disables the probe even when the
+    /// `telemetry` feature is compiled in).
+    pub telemetry_window: SimTime,
 }
 
 impl ChaosConfig {
@@ -73,6 +77,7 @@ impl ChaosConfig {
             fault_events: 24,
             horizon_hits: 200_000,
             crash_at_hit: Some(60_000),
+            telemetry_window: SimTime::from_millis(5),
         }
     }
 }
@@ -95,6 +100,9 @@ pub struct ChaosRunResult {
     /// Uniform counter snapshot (fault injections, degradation
     /// counters, recovery numbers, throughput).
     pub registry: MetricsRegistry,
+    /// Windowed ops report (`None` when the `telemetry` feature is
+    /// compiled out or `telemetry_window` is ZERO).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 fn run_chaos_phases<P, FR>(cfg: &ChaosConfig, mut db: Db<P>, recover: FR) -> ChaosRunResult
@@ -119,6 +127,21 @@ where
     }
     db.reset_timing_queues();
 
+    // Single-host telemetry: one probe, one "txn" lane. The absence
+    // rule is the crash detector — after the plan kills the host every
+    // worker parks, the probe goes silent, and the alert fires; it
+    // clears once recovery finishes and service resumes.
+    let tcfg = TelemetryConfig::new(cfg.telemetry_window, 1)
+        .lanes(&["txn"])
+        .rule(
+            SloRule::absence("host_absent", 2)
+                .fire_after(1)
+                .clear_after(2),
+        );
+    let mut hub = TelemetryHub::new(tcfg.clone());
+    let mut probe = NodeProbe::new(0, &tcfg);
+    let mut prev_bp = db.pool.stats();
+
     // Phase 1: run under the fault plan. Workers park the moment the
     // plan kills the host; an in-flight transaction dies with it and is
     // not recorded.
@@ -137,11 +160,21 @@ where
         }
         series.record_at(end, txn.len() as u64);
         queries += txn.len() as u64;
+        if probe.enabled() {
+            probe.record_op(0, end, end.saturating_since(start));
+            let s = db.pool.stats();
+            let d = s.since(&prev_bp);
+            probe.record_misses(0, end, d.misses);
+            probe.record_retries(0, end, d.fault_retries);
+            probe.record_bytes(0, end, d.remote_read_bytes + d.remote_write_bytes);
+            prev_bp = s;
+        }
         Step::Done(end)
     });
 
     // Snapshot the counters *before* clearing: clear() wipes them.
     let fault_stats = faults::stats();
+    let link_snap = faults::link_snapshot(cfg.duration);
     faults::clear();
 
     // Phase 2 (only when the plan crashed the host): recover with the
@@ -153,15 +186,35 @@ where
         for w in 0..cfg.workers {
             ws.spawn(WorkerId(w), summary.done);
         }
+        // The crash reset the pool's counters; re-base the delta so the
+        // first post-recovery transaction doesn't see a wrap.
+        prev_bp = db.pool.stats();
         ws.run_until(cfg.duration, |WorkerId(w), start| {
             let txn = gen.next_txn(&mut rngs[w]);
             let end = exec_txn(&mut db, &txn, start);
             series.record_at(end, txn.len() as u64);
             queries += txn.len() as u64;
+            if probe.enabled() {
+                probe.record_op(0, end, end.saturating_since(start));
+                let s = db.pool.stats();
+                let d = s.since(&prev_bp);
+                probe.record_misses(0, end, d.misses);
+                probe.record_retries(0, end, d.fault_retries);
+                probe.record_bytes(0, end, d.remote_read_bytes + d.remote_write_bytes);
+                prev_bp = s;
+            }
             Step::Done(end)
         });
         recovery = Some(summary);
     }
+
+    hub.drain(&mut probe);
+    hub.finish(cfg.duration);
+    let telemetry_report = if telemetry::compiled() && hub.enabled() {
+        Some(hub.report())
+    } else {
+        None
+    };
 
     let timeline = series
         .rates_per_sec()
@@ -183,6 +236,11 @@ where
             fault_stats.injected[i]
         });
     }
+    reg.set_int("faults_link_degrades", fault_stats.link_degrades);
+    reg.set_int("faults_link_flaps", fault_stats.link_flaps);
+    reg.set_int("links_degraded", link_snap.degraded as u64);
+    reg.set_int("links_down", link_snap.down as u64);
+    reg.set_int("links_worst_factor", link_snap.worst_factor as u64);
     let bp = db.pool.stats();
     reg.set_int("bp_fault_retries", bp.fault_retries);
     reg.set_int("bp_fault_fallbacks", bp.fault_fallbacks);
@@ -198,6 +256,12 @@ where
     }
     reg.set_int("queries", queries);
     reg.set_num("qps", queries as f64 / cfg.duration.as_secs_f64());
+    if let Some(rep) = &telemetry_report {
+        rep.register_into(&mut reg);
+        if let Some(mttd) = crash_time.and_then(|t| rep.mttd_ns("host_absent", 0, t)) {
+            reg.set_int("telemetry_mttd_crash_ns", mttd);
+        }
+    }
 
     ChaosRunResult {
         scheme: cfg.scheme.name(),
@@ -207,6 +271,7 @@ where
         recovery,
         queries,
         registry: reg,
+        telemetry: telemetry_report,
     }
 }
 
@@ -327,6 +392,49 @@ mod tests {
             .sum::<f64>();
         assert!(post > 0.0, "no throughput after recovery");
         assert!(!faults::active());
+    }
+
+    #[test]
+    fn telemetry_detects_the_chaos_crash() {
+        // RdmaBased replays the full log on recovery, so the outage
+        // spans several 500 us windows; PolarRecv's instant recovery is
+        // sub-window and (correctly) invisible to the absence rule.
+        let mut cfg = quick(Scheme::RdmaBased, Some(5_000));
+        cfg.telemetry_window = SimTime(500_000);
+        let r = run_chaos(&cfg);
+        assert_eq!(r.crashes, 1);
+        if !telemetry::compiled() {
+            assert!(r.telemetry.is_none());
+            return;
+        }
+        let rep = r.telemetry.as_ref().expect("telemetry compiled in");
+        assert!(rep.windows > 0);
+        // The absence alert fired after the crash, and the registry
+        // carries the detection delay.
+        let mttd = r
+            .registry
+            .get("telemetry_mttd_crash_ns")
+            .expect("crash detected by absence rule")
+            .as_u64();
+        assert!(
+            mttd >= cfg.telemetry_window.as_nanos() && mttd <= 8 * cfg.telemetry_window.as_nanos(),
+            "implausible MTTD {mttd}"
+        );
+        // Service resumed, so the alert also cleared.
+        assert!(rep.alert_clears() > 0, "{}", rep.alert_log());
+    }
+
+    #[test]
+    fn fault_free_chaos_run_raises_no_alerts() {
+        let mut cfg = quick(Scheme::PolarRecv, None);
+        cfg.fault_events = 0;
+        cfg.telemetry_window = SimTime::from_millis(2);
+        let r = run_chaos(&cfg);
+        if !telemetry::compiled() {
+            return;
+        }
+        let rep = r.telemetry.as_ref().expect("telemetry compiled in");
+        assert_eq!(rep.alert_fires(), 0, "{}", rep.alert_log());
     }
 
     #[test]

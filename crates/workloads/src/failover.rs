@@ -37,6 +37,9 @@ use polarcxlmem::{CxlMemoryManager, FencingPolicy, FusionServer, FusionStats, Le
 use simkit::faults::{self, Action, FaultPlan, FaultSite, FaultState, FaultStats, Trigger};
 use simkit::rng::{stream_rng, SimRng};
 use simkit::stats::TimeSeries;
+use simkit::telemetry::{
+    self, Metric, NodeProbe, SloRule, TelemetryConfig, TelemetryHub, TelemetryReport,
+};
 use simkit::trace::{self, Lane, SpanKind, TraceState};
 use simkit::{
     par, LockDelta, LockMode, LockShard, LockTable, MetricsRegistry, MultiServer, SimTime, Step,
@@ -74,6 +77,28 @@ pub enum LinkChaos {
         /// Outage length, ns.
         heal_ns: u64,
     },
+    /// Take `host`'s CXL link fully down for `down_ns` once the crash
+    /// fires: the host's accesses stall until the link returns (the
+    /// fabric replays them), so its completions go silent for the
+    /// outage — the signature the telemetry absence rule detects.
+    Flap {
+        /// Host whose link flaps.
+        host: u32,
+        /// Outage length, ns.
+        down_ns: u64,
+        /// Suggested retry backoff for software-retry fabrics, ns.
+        retry_ns: u64,
+    },
+}
+
+impl LinkChaos {
+    /// The host this chaos strikes, if any.
+    pub fn host(&self) -> Option<u32> {
+        match *self {
+            LinkChaos::None => None,
+            LinkChaos::Degrade { host, .. } | LinkChaos::Flap { host, .. } => Some(host),
+        }
+    }
 }
 
 /// Failover experiment configuration.
@@ -105,6 +130,13 @@ pub struct FailoverConfig {
     pub death: DeathMode,
     /// Optional link degradation riding along with the crash.
     pub link_chaos: LinkChaos,
+    /// Telemetry window width (`SimTime::ZERO` disables the online
+    /// telemetry pipeline at runtime; the `telemetry` cargo feature
+    /// compiles it out entirely).
+    pub telemetry_window: SimTime,
+    /// Run entirely fault-free — no crash, no link chaos. The control
+    /// run for the telemetry false-positive measurement.
+    pub fault_free: bool,
     /// Host worker threads stepping nodes between barriers
     /// (`0` = [`par::host_threads`]). Any value yields bit-identical
     /// results; it only changes wall-clock time.
@@ -131,6 +163,8 @@ impl FailoverConfig {
             fencing: FencingPolicy::Epoch,
             death: DeathMode::Zombie,
             link_chaos: LinkChaos::None,
+            telemetry_window: SimTime::from_millis(2),
+            fault_free: false,
             host_threads: 0,
         }
     }
@@ -143,6 +177,7 @@ impl FailoverConfig {
         cfg.bucket = SimTime::from_millis(1);
         cfg.workers_per_node = 4;
         cfg.detection = SimTime::from_millis(1);
+        cfg.telemetry_window = cfg.bucket;
         cfg
     }
 }
@@ -195,6 +230,9 @@ pub struct FailoverResult {
     pub fault_stats: FaultStats,
     /// Fusion-server counters.
     pub fusion: FusionStats,
+    /// Online telemetry report (`None` when the layer is compiled out
+    /// or the run disabled it).
+    pub telemetry: Option<TelemetryReport>,
     /// All counters, for tables and machine diffing.
     pub registry: MetricsRegistry,
 }
@@ -212,6 +250,11 @@ impl FailoverResult {
         );
     }
 }
+
+/// p99 budget (ns) for the `p99_slow` burn-rate rule: safely above the
+/// healthy per-window p99 of the failover workload at every shipped
+/// config, and well below what a 4x link degrade sustains.
+const P99_SLOW_BUDGET_NS: f64 = 400_000.0;
 
 /// Deterministic payload byte for the `k`-th write of worker `w`.
 /// Never zero and never the zombie's 0xEE sentinel.
@@ -247,6 +290,10 @@ struct FoLoop {
     writes: Vec<((PageId, u16), u8)>,
     trace: TraceState,
     faults: FaultState,
+    probe: NodeProbe,
+    /// Fusion-stat snapshot at the last quantum edge (miss/retry deltas
+    /// feed the probe per quantum).
+    prev: polarcxlmem::SharingNodeStats,
 }
 
 /// Run the failover scenario.
@@ -351,28 +398,48 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
     let span = cfg.duration.as_nanos();
     let crash_at = SimTime(span / 4 + frng.gen_range(0..span / 8));
     let mut lane_plans: Vec<FaultPlan> = (0..n + 1).map(|_| FaultPlan::default()).collect();
-    lane_plans[dead] = std::mem::take(&mut lane_plans[dead]).with(
-        Trigger::At(crash_at),
-        Action::CrashNode {
-            node: cfg.crash_node as u32,
-        },
-    );
-    if let LinkChaos::Degrade {
-        host,
-        factor,
-        heal_ns,
-    } = cfg.link_chaos
-    {
-        // Link health is consulted by the degraded host's own accesses.
-        let lane = (host as usize).min(n);
-        lane_plans[lane] = std::mem::take(&mut lane_plans[lane]).with(
+    if !cfg.fault_free {
+        lane_plans[dead] = std::mem::take(&mut lane_plans[dead]).with(
             Trigger::At(crash_at),
-            Action::LinkDegrade {
+            Action::CrashNode {
+                node: cfg.crash_node as u32,
+            },
+        );
+        // Link health is consulted by the afflicted host's own accesses,
+        // so the chaos event rides that host's lane.
+        match cfg.link_chaos {
+            LinkChaos::None => {}
+            LinkChaos::Degrade {
                 host,
                 factor,
                 heal_ns,
-            },
-        );
+            } => {
+                let lane = (host as usize).min(n);
+                lane_plans[lane] = std::mem::take(&mut lane_plans[lane]).with(
+                    Trigger::At(crash_at),
+                    Action::LinkDegrade {
+                        host,
+                        factor,
+                        heal_ns,
+                    },
+                );
+            }
+            LinkChaos::Flap {
+                host,
+                down_ns,
+                retry_ns,
+            } => {
+                let lane = (host as usize).min(n);
+                lane_plans[lane] = std::mem::take(&mut lane_plans[lane]).with(
+                    Trigger::At(crash_at),
+                    Action::LinkFlap {
+                        host,
+                        down_ns,
+                        retry_ns,
+                    },
+                );
+            }
+        }
     }
 
     // ---- The cluster run ---------------------------------------------
@@ -422,6 +489,29 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
         cfg.host_threads
     };
     let quantum = idle_tick;
+
+    // ---- Online telemetry ---------------------------------------------
+    // One probe per identity (primaries + standby), ingested and sealed
+    // at every barrier. The absence rule is the telemetry-driven death
+    // detector scored against the fault plan's ground truth; the p99
+    // burn-rate rule catches link degradation (sustained latency
+    // inflation with the short mean reacting and the long confirming).
+    let tcfg = TelemetryConfig::new(cfg.telemetry_window, n + 1)
+        .lanes(&["private", "shared"])
+        .rule(
+            SloRule::absence("node_absent", 2)
+                .fire_after(1)
+                .clear_after(2),
+        )
+        .rule(
+            SloRule::burn_rate("p99_slow", Metric::P99Ns, P99_SLOW_BUDGET_NS, 2, 4)
+                .fire_after(1)
+                .clear_after(2),
+        );
+    let mut hub = TelemetryHub::new(tcfg.clone());
+    // The standby is silent until takeover — not a missing heartbeat.
+    hub.set_inactive(n as u32);
+
     let mut loops: Vec<FoLoop> = (0..n + 1)
         .map(|i| {
             let mut ws = WorkerSet::new();
@@ -445,6 +535,8 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
                 writes: Vec::new(),
                 trace: TraceState::armed(),
                 faults: FaultState::prepared(std::mem::take(&mut lane_plans[i])),
+                probe: NodeProbe::new(i as u32, &tcfg),
+                prev: polarcxlmem::SharingNodeStats::default(),
             }
         })
         .collect();
@@ -518,6 +610,8 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
                 writes,
                 trace: tr,
                 faults: fs,
+                probe,
+                prev,
             } = &mut **lp;
             trace::swap_state(tr);
             faults::swap_state(fs);
@@ -526,11 +620,13 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
                 let mut t = start + CPU_TXN_OVERHEAD_NS;
                 let mut stmts = 0u64;
                 for _ in 0..4 {
+                    let s0 = t;
                     let group = if rng.gen_range(0..100) < shared_pct {
                         n
                     } else {
                         serve_group
                     };
+                    let lane_ix = (group == n) as usize;
                     // Shared row 0 is the zombie's reserved target.
                     let row = if group == n {
                         rng.gen_range(1..rows)
@@ -560,6 +656,7 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
                                 // committed, so the oracle keeps the old
                                 // value; stop serving.
                                 lock.extend_exclusive(page, t);
+                                probe.record_errs(lane_ix, t, 1);
                                 return Step::Park;
                             }
                         }
@@ -572,12 +669,25 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
                         t = node.read_resident(*shard, page, off as u64, rbuf, t);
                         lock.extend_shared(page, t);
                     }
+                    probe.record_op(lane_ix, t, t.saturating_since(s0));
+                    probe.record_bytes(lane_ix, t, 120);
                     stmts += 1;
                 }
                 series.record_at(t, stmts);
                 *queries += stmts;
                 Step::Done(t)
             });
+            // Fold the quantum's fusion-protocol deltas into the window
+            // still open at the quantum edge (misses = RPCs, retries =
+            // coherency drops/reloads).
+            if probe.enabled() {
+                let s1 = node.stats();
+                let d = s1.since(prev);
+                let edge = SimTime(q_end.as_nanos().saturating_sub(1));
+                probe.record_misses(0, edge, d.rpcs);
+                probe.record_retries(0, edge, d.invalid_drops + d.removal_reloads);
+                *prev = s1;
+            }
             faults::swap_state(fs);
             trace::swap_state(tr);
         });
@@ -596,6 +706,13 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
         }
         cxl.borrow_mut().barrier(&mut shards);
         now = q_end;
+        // Telemetry barrier: hand every window that closed before `now`
+        // to the hub (fixed node order), then seal — rows, health and
+        // alert transitions are a function of virtual time only.
+        for lp in loops.iter_mut() {
+            hub.ingest(&mut lp.probe, now);
+        }
+        hub.seal(now);
 
         // ---- Barrier-boundary control plane --------------------------
         if death_declared.is_none() {
@@ -611,6 +728,10 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
                 if cfg.death == DeathMode::Crash {
                     pool.crash_node(NodeId(dead));
                 }
+                // Ground-truth acknowledged: pin the victim's health to
+                // Dead from this window on. Its rules keep evaluating —
+                // the absence alert still fires and scores MTTD.
+                hub.retire(dead as u32, now);
             }
         } else if let Some(declared) = death_declared {
             if takeover.is_none() && now >= declared + detection_ns {
@@ -693,6 +814,7 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
                 for k in 0..wpn {
                     loops[n].ws.spawn(WorkerId(k), t);
                 }
+                hub.expect_from(n as u32, t);
                 shards.push(cxl.borrow_mut().detach_node(standby_id));
                 dir = server.dir_snapshot();
                 if cfg.death == DeathMode::Zombie {
@@ -730,10 +852,27 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
             .map(|node| node.stats().invalidations_sent)
             .sum(),
     );
-    // Fold per-lane fault counters and trace state back in node order.
+    // Drain the probes' tail windows (operation overshoot past the last
+    // barrier) and seal through the end of the run.
+    for lp in loops.iter_mut() {
+        hub.drain(&mut lp.probe);
+    }
+    hub.finish(cfg.duration);
+    let telemetry_report = if telemetry::compiled() && hub.enabled() {
+        Some(hub.report())
+    } else {
+        None
+    };
+    // Fold per-lane fault counters, end-of-run link state and trace
+    // state back in node order.
     let mut fault_stats = FaultStats::default();
+    let mut link_snap = faults::LinkSnapshot::default();
     for lp in loops.iter_mut() {
         fault_stats.absorb(&lp.faults.stats());
+        let ls = lp.faults.link_snapshot(cfg.duration);
+        link_snap.degraded += ls.degraded;
+        link_snap.down += ls.down;
+        link_snap.worst_factor = link_snap.worst_factor.max(ls.worst_factor);
         let bd = lp.trace.breakdown();
         for lane in Lane::ALL {
             let ns = bd.lane(lane);
@@ -838,6 +977,11 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
     registry.set_int("faults_hits", fault_stats.total_hits());
     registry.set_int("faults_injected", fault_stats.total_injected());
     registry.set_int("faults_node_crashes", fault_stats.node_crashes);
+    registry.set_int("faults_link_degrades", fault_stats.link_degrades);
+    registry.set_int("faults_link_flaps", fault_stats.link_flaps);
+    registry.set_int("links_degraded", link_snap.degraded as u64);
+    registry.set_int("links_down", link_snap.down as u64);
+    registry.set_int("links_worst_factor", link_snap.worst_factor as u64);
     for site in FaultSite::ALL {
         registry.set_int(
             &format!("faults_injected_{}", site.name()),
@@ -858,6 +1002,26 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
         registry.set_int("failover_locks_reclaimed", s.locks_reclaimed);
         registry.set_int("failover_slots_reclaimed", s.slots_reclaimed);
     }
+    if let Some(rep) = &telemetry_report {
+        rep.register_into(&mut registry);
+        if takeover.is_some() {
+            if let Some(mttd) = rep.mttd_ns("node_absent", dead as u32, crash_at) {
+                registry.set_int("telemetry_mttd_crash_ns", mttd);
+            }
+        }
+        if let Some(host) = cfg.link_chaos.host() {
+            // Link chaos is detected by whichever rule reacts first:
+            // a flap silences the host (absence), a degrade inflates
+            // its p99 (burn rate).
+            let mttd = ["node_absent", "p99_slow"]
+                .iter()
+                .filter_map(|r| rep.mttd_ns(r, host, crash_at))
+                .min();
+            if let Some(mttd) = mttd {
+                registry.set_int("telemetry_mttd_link_ns", mttd);
+            }
+        }
+    }
 
     // The DBP must never leak slots, whatever the failure did.
     assert_eq!(
@@ -877,6 +1041,7 @@ pub fn run_failover(cfg: &FailoverConfig) -> FailoverResult {
         max_survivor_gap_ns,
         fault_stats,
         fusion,
+        telemetry: telemetry_report,
         registry,
     }
 }
@@ -955,6 +1120,107 @@ mod tests {
             r.queries_per_node[1],
             healthy.queries_per_node[1]
         );
+    }
+
+    #[test]
+    fn telemetry_detects_the_crash_on_the_victim_only() {
+        let cfg = FailoverConfig::smoke(3);
+        let r = run_failover(&cfg);
+        r.assert_safety();
+        if !telemetry::compiled() {
+            assert!(r.telemetry.is_none());
+            return;
+        }
+        let rep = r.telemetry.as_ref().expect("telemetry compiled in");
+        let crash_at = SimTime(
+            r.registry
+                .get("failover_crash_at_ns")
+                .expect("crash instant recorded")
+                .as_u64(),
+        );
+        let mttd = rep
+            .mttd_ns("node_absent", cfg.crash_node as u32, crash_at)
+            .expect("absence alert fired for the victim");
+        // Fire at a window boundary, within a few detection windows.
+        assert!(
+            mttd <= 4 * cfg.telemetry_window.as_nanos(),
+            "MTTD {mttd} ns too slow"
+        );
+        assert_eq!(
+            r.registry
+                .get("telemetry_mttd_crash_ns")
+                .map(|v| v.as_u64()),
+            Some(mttd)
+        );
+        // No other node trips the absence rule.
+        for a in rep.alerts.iter().filter(|a| a.firing) {
+            assert!(
+                a.rule != "node_absent" || a.node == cfg.crash_node as u32,
+                "absence fired on non-victim node {}",
+                a.node
+            );
+        }
+    }
+
+    #[test]
+    fn fault_free_failover_run_raises_no_alerts() {
+        let mut cfg = FailoverConfig::smoke(3);
+        cfg.fault_free = true;
+        let r = run_failover(&cfg);
+        r.assert_safety();
+        assert!(r.takeover.is_none(), "fault-free run must not fail over");
+        if !telemetry::compiled() {
+            return;
+        }
+        let rep = r.telemetry.as_ref().expect("telemetry compiled in");
+        assert_eq!(rep.alert_fires(), 0, "{}", rep.alert_log());
+        assert_eq!(rep.alert_clears(), 0);
+    }
+
+    #[test]
+    fn telemetry_detects_a_link_flap_and_clears() {
+        if !telemetry::compiled() {
+            return;
+        }
+        let mut cfg = FailoverConfig::smoke(3);
+        cfg.link_chaos = LinkChaos::Flap {
+            host: 1,
+            down_ns: 4 * cfg.telemetry_window.as_nanos(),
+            retry_ns: 100_000,
+        };
+        let r = run_failover(&cfg);
+        r.assert_safety();
+        let mttd = r
+            .registry
+            .get("telemetry_mttd_link_ns")
+            .expect("flap detected")
+            .as_u64();
+        assert!(
+            mttd <= 8 * cfg.telemetry_window.as_nanos(),
+            "flap MTTD {mttd} ns too slow"
+        );
+        // The outage heals, so the alert must clear again.
+        let rep = r.telemetry.as_ref().unwrap();
+        assert!(
+            rep.alert_clears() > 0,
+            "flap alert never cleared:\n{}",
+            rep.alert_log()
+        );
+    }
+
+    #[test]
+    fn telemetry_is_observation_only() {
+        // Turning the window width to ZERO (probes off) must not change
+        // a single simulated outcome.
+        let on = run_failover(&FailoverConfig::smoke(3));
+        let mut cfg = FailoverConfig::smoke(3);
+        cfg.telemetry_window = SimTime::ZERO;
+        let off = run_failover(&cfg);
+        assert!(off.telemetry.is_none());
+        assert_eq!(on.queries, off.queries);
+        assert_eq!(on.queries_per_node, off.queries_per_node);
+        assert_eq!(on.per_node_timeline, off.per_node_timeline);
+        assert_eq!(on.max_survivor_gap_ns, off.max_survivor_gap_ns);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use engine::Db;
 use memsim::calib::PAGE_SIZE;
 use memsim::{CxlPool, NodeId, RdmaPool};
 use polarcxlmem::{CxlBp, CxlMemoryManager};
+use simkit::faults;
 use simkit::rng::stream_rng;
 use simkit::trace::{self, Lane, QueryBreakdown, SpanKind};
 use simkit::{Histogram, MetricsRegistry, SimTime, Step, WorkerId, WorkerSet};
@@ -300,6 +301,16 @@ fn collect_registry<P: BufferPool>(
     reg.set_int("storage_reads", io_reads);
     reg.set_int("storage_writes", io_writes);
     reg.set_int("storage_channel_bytes", channel_bytes);
+    // Link health: cumulative fault-engine counters plus the passive
+    // end-of-run snapshot (what is *still* degraded/down at the
+    // horizon). All zero on fault-free runs, but the schema is uniform.
+    let fstats = faults::stats();
+    reg.set_int("faults_link_degrades", fstats.link_degrades);
+    reg.set_int("faults_link_flaps", fstats.link_flaps);
+    let links = faults::link_snapshot(metrics.window);
+    reg.set_int("links_degraded", links.degraded as u64);
+    reg.set_int("links_down", links.down as u64);
+    reg.set_int("links_worst_factor", links.worst_factor as u64);
     reg.set_num("qps", metrics.qps);
     reg.set_num("tps", metrics.tps);
     reg.set_histogram("latency", &metrics.latency);

@@ -29,3 +29,10 @@ pub use recovery_harness::{run_recovery, RecoveryConfig, RecoveryRunResult, Sche
 pub use sharing::{run_sharing, GroupLayout, ShOp, SharingConfig, SharingResult, SharingSystem};
 pub use sysbench::{Sysbench, SysbenchKind};
 pub use tiering::{run_tiering, PhasePattern, TieringConfig, TieringResult};
+
+// The telemetry vocabulary the harness results speak (re-exported so
+// downstream code can consume `FailoverResult::telemetry` and friends
+// without importing simkit directly).
+pub use simkit::telemetry::{
+    AlertEvent, Health, HealthPolicy, Metric, SloRule, TelemetryConfig, TelemetryReport, WindowRow,
+};

@@ -25,6 +25,7 @@ use polarcxlmem::fusion::CoherencyMode;
 use polarcxlmem::{FusionServer, RdmaDbp, RdmaSharingNode, SharingNode};
 use simkit::faults::{self, FaultState};
 use simkit::rng::{stream_rng, SimRng};
+use simkit::telemetry::{self, NodeProbe, TelemetryConfig, TelemetryHub, TelemetryReport};
 use simkit::trace::{self, Lane, TraceState};
 use simkit::{
     par, Histogram, LockDelta, LockMode, LockShard, LockTable, MultiServer, SimTime, Step,
@@ -147,6 +148,9 @@ pub struct SharingConfig {
     /// Eviction policy for node-local page frames (the RDMA design's
     /// local buffer pool; ignored by designs without one).
     pub policy: bufferpool::PolicyKind,
+    /// Telemetry window width (ZERO = probes off, the default: this
+    /// harness is a throughput experiment, not an ops scenario).
+    pub telemetry_window: SimTime,
 }
 
 impl SharingConfig {
@@ -165,6 +169,7 @@ impl SharingConfig {
             quantum: SimTime::from_micros(200),
             host_threads: 0,
             policy: bufferpool::PolicyKind::Lru,
+            telemetry_window: SimTime::ZERO,
         }
     }
 }
@@ -241,6 +246,9 @@ pub struct SharingResult {
     pub lock_contended: u64,
     /// Mean lock wait, ns.
     pub lock_mean_wait_ns: f64,
+    /// Windowed per-node ops report (`None` when the `telemetry`
+    /// feature is compiled out or `telemetry_window` is ZERO).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 pub(crate) fn seed_storage(layout: &GroupLayout) -> PageStore {
@@ -302,9 +310,10 @@ struct NodeLoop {
     buf: Vec<u8>,
     trace: TraceState,
     faults: FaultState,
+    probe: NodeProbe,
 }
 
-fn node_loops(n: usize, wpn: usize, seed: u64) -> Vec<NodeLoop> {
+fn node_loops(n: usize, wpn: usize, seed: u64, tcfg: &TelemetryConfig) -> Vec<NodeLoop> {
     (0..n)
         .map(|i| {
             let mut ws = WorkerSet::new();
@@ -323,9 +332,17 @@ fn node_loops(n: usize, wpn: usize, seed: u64) -> Vec<NodeLoop> {
                 buf: vec![0u8; 256],
                 trace: TraceState::armed(),
                 faults: FaultState::inactive(),
+                probe: NodeProbe::new(i as u32, tcfg),
             }
         })
         .collect()
+}
+
+/// Telemetry shape shared by both systems: one probe per node, the
+/// statement's target group as the lane. No SLO rules — this harness is
+/// fault-free; the report is a per-node windowed throughput/latency map.
+fn sharing_tcfg(cfg: &SharingConfig) -> TelemetryConfig {
+    TelemetryConfig::new(cfg.telemetry_window, cfg.nodes).lanes(&["private", "shared"])
 }
 
 /// Fold per-node loop state back into driver-level aggregates **in node
@@ -354,6 +371,8 @@ fn merge_loops(loops: Vec<NodeLoop>) -> (Histogram, u64, u64) {
     (hist, queries, txns)
 }
 
+// Private result assembler: the argument list IS the result shape.
+#[allow(clippy::too_many_arguments)]
 fn finish(
     queries: u64,
     txns: u64,
@@ -362,6 +381,7 @@ fn finish(
     bytes: u64,
     memory: u64,
     locks: &LockTable<PageId>,
+    telemetry: Option<TelemetryReport>,
 ) -> SharingResult {
     let secs = window.as_secs_f64();
     SharingResult {
@@ -380,6 +400,7 @@ fn finish(
         },
         lock_contended: locks.contended(),
         lock_mean_wait_ns: locks.mean_wait_ns(),
+        telemetry,
     }
 }
 
@@ -444,7 +465,11 @@ where
     let quantum = cfg.quantum.max(SimTime(1));
     let dir = server.dir_snapshot();
     let mut locks: LockTable<PageId> = LockTable::new();
-    let mut loops = node_loops(n, cfg.workers_per_node, cfg.seed);
+    let tcfg = sharing_tcfg(cfg);
+    let mut hub = TelemetryHub::new(tcfg.clone());
+    let mut loops = node_loops(n, cfg.workers_per_node, cfg.seed, &tcfg);
+    let mut prevs: Vec<polarcxlmem::SharingNodeStats> = vec![Default::default(); n];
+    let shared_start = (layout.groups - 1) as u64 * layout.pages_per_group();
     let mut shards: Vec<CxlShard> = {
         let mut pool = cxl.borrow_mut();
         (0..n).map(|i| pool.detach_node(NodeId(i))).collect()
@@ -455,6 +480,7 @@ where
         shard: &'a mut CxlShard,
         lock: LockShard<'a, PageId>,
         lp: &'a mut NodeLoop,
+        prev: &'a mut polarcxlmem::SharingNodeStats,
     }
 
     let payload = [0xC5u8; 120];
@@ -465,11 +491,13 @@ where
             .iter_mut()
             .zip(shards.iter_mut())
             .zip(loops.iter_mut())
-            .map(|((node, shard), lp)| CxlLane {
+            .zip(prevs.iter_mut())
+            .map(|(((node, shard), lp), prev)| CxlLane {
                 node,
                 shard,
                 lock: locks.shard(),
                 lp,
+                prev,
             })
             .collect();
         par::run_phase(threads, &mut lanes, |i, lane| {
@@ -478,6 +506,7 @@ where
                 shard,
                 lock,
                 lp,
+                prev,
             } = lane;
             let NodeLoop {
                 ws,
@@ -489,6 +518,7 @@ where
                 buf,
                 trace: tr,
                 faults: fs,
+                probe,
             } = &mut **lp;
             trace::swap_state(tr);
             faults::swap_state(fs);
@@ -496,6 +526,7 @@ where
                 let txn = gen(&mut rngs[w], i);
                 let mut t = start + CPU_TXN_OVERHEAD_NS;
                 for op in &txn {
+                    let s0 = t;
                     match *op {
                         ShOp::Read { page, off, len } => {
                             t = cpu.acquire(t, CPU_POINT_SELECT_NS).end;
@@ -510,6 +541,11 @@ where
                                 t,
                             );
                             lock.extend_shared(page, t);
+                            if probe.enabled() {
+                                let lane_ix = (page.0 >= shared_start) as usize;
+                                probe.record_op(lane_ix, t, t.saturating_since(s0));
+                                probe.record_bytes(lane_ix, t, len as u64);
+                            }
                         }
                         ShOp::Write { page, off, len } => {
                             t = cpu.acquire(t, CPU_WRITE_STMT_NS).end;
@@ -528,6 +564,11 @@ where
                             // observed released.
                             t = node.publish_resident(*shard, &dir, page, t);
                             lock.extend_exclusive(page, t);
+                            if probe.enabled() {
+                                let lane_ix = (page.0 >= shared_start) as usize;
+                                probe.record_op(lane_ix, t, t.saturating_since(s0));
+                                probe.record_bytes(lane_ix, t, len as u64);
+                            }
                         }
                     }
                     *queries += 1;
@@ -536,6 +577,16 @@ where
                 hist.record(t - start);
                 Step::Done(t)
             });
+            if probe.enabled() {
+                // Coherency-protocol counters land as misses/retries in
+                // the window closing at this quantum edge.
+                let s1 = node.stats();
+                let d = s1.since(prev);
+                let edge = SimTime(q_end.as_nanos().saturating_sub(1));
+                probe.record_misses(0, edge, d.rpcs);
+                probe.record_retries(0, edge, d.invalid_drops + d.removal_reloads);
+                **prev = s1;
+            }
             faults::swap_state(fs);
             trace::swap_state(tr);
         });
@@ -548,6 +599,12 @@ where
         }
         cxl.borrow_mut().barrier(&mut shards);
         now = q_end;
+        if hub.enabled() {
+            for lp in loops.iter_mut() {
+                hub.ingest(&mut lp.probe, now);
+            }
+            hub.seal(now);
+        }
     }
     {
         let mut pool = cxl.borrow_mut();
@@ -561,10 +618,28 @@ where
             .map(|node| node.stats().invalidations_sent)
             .sum(),
     );
+    for lp in loops.iter_mut() {
+        hub.drain(&mut lp.probe);
+    }
+    hub.finish(cfg.duration);
+    let telemetry_report = if telemetry::compiled() && hub.enabled() {
+        Some(hub.report())
+    } else {
+        None
+    };
     let (hist, queries, txns) = merge_loops(loops);
     let bytes = cxl.borrow().switch_bytes();
     let memory = slots_bytes + flags_bytes * n as u64;
-    finish(queries, txns, hist, cfg.duration, bytes, memory, &locks)
+    finish(
+        queries,
+        txns,
+        hist,
+        cfg.duration,
+        bytes,
+        memory,
+        &locks,
+        telemetry_report,
+    )
 }
 
 fn run_rdma<F>(cfg: &SharingConfig, gen: &F, lbp_fraction: f64) -> SharingResult
@@ -621,7 +696,11 @@ where
     let quantum = cfg.quantum.max(SimTime(1));
     let dir = server.dir_snapshot();
     let mut locks: LockTable<PageId> = LockTable::new();
-    let mut loops = node_loops(n, cfg.workers_per_node, cfg.seed);
+    let tcfg = sharing_tcfg(cfg);
+    let mut hub = TelemetryHub::new(tcfg.clone());
+    let mut loops = node_loops(n, cfg.workers_per_node, cfg.seed, &tcfg);
+    let mut prevs: Vec<polarcxlmem::RdmaNodeStats> = vec![Default::default(); n];
+    let shared_start = (layout.groups - 1) as u64 * layout.pages_per_group();
     let mut shards: Vec<RdmaShard> = {
         let mut pool = rdma.borrow_mut();
         (0..n).map(|i| pool.detach_host(i, n)).collect()
@@ -637,6 +716,7 @@ where
         lock: LockShard<'a, PageId>,
         lp: &'a mut NodeLoop,
         outbox: &'a mut Vec<(NodeId, PageId)>,
+        prev: &'a mut polarcxlmem::RdmaNodeStats,
     }
 
     let payload = [0xC5u8; 120];
@@ -648,12 +728,14 @@ where
             .zip(shards.iter_mut())
             .zip(loops.iter_mut())
             .zip(outboxes.iter_mut())
-            .map(|(((node, shard), lp), outbox)| RdmaLane {
+            .zip(prevs.iter_mut())
+            .map(|((((node, shard), lp), outbox), prev)| RdmaLane {
                 node,
                 shard,
                 lock: locks.shard(),
                 lp,
                 outbox,
+                prev,
             })
             .collect();
         par::run_phase(threads, &mut lanes, |i, lane| {
@@ -663,6 +745,7 @@ where
                 lock,
                 lp,
                 outbox,
+                prev,
             } = lane;
             let NodeLoop {
                 ws,
@@ -674,6 +757,7 @@ where
                 buf,
                 trace: tr,
                 faults: fs,
+                probe,
             } = &mut **lp;
             trace::swap_state(tr);
             faults::swap_state(fs);
@@ -681,6 +765,7 @@ where
                 let txn = gen(&mut rngs[w], i);
                 let mut t = start + CPU_TXN_OVERHEAD_NS;
                 for op in &txn {
+                    let s0 = t;
                     match *op {
                         ShOp::Read { page, off, len } => {
                             t = cpu.acquire(t, CPU_POINT_SELECT_NS).end;
@@ -695,6 +780,11 @@ where
                                 t,
                             );
                             lock.extend_shared(page, t);
+                            if probe.enabled() {
+                                let lane_ix = (page.0 >= shared_start) as usize;
+                                probe.record_op(lane_ix, t, t.saturating_since(s0));
+                                probe.record_bytes(lane_ix, t, len as u64);
+                            }
                         }
                         ShOp::Write { page, off, len } => {
                             t = cpu.acquire(t, CPU_WRITE_STMT_NS).end;
@@ -713,6 +803,11 @@ where
                             // on peers land at the barrier.
                             t = node.publish_resident(*shard, &dir, page, outbox, t);
                             lock.extend_exclusive(page, t);
+                            if probe.enabled() {
+                                let lane_ix = (page.0 >= shared_start) as usize;
+                                probe.record_op(lane_ix, t, t.saturating_since(s0));
+                                probe.record_bytes(lane_ix, t, len as u64);
+                            }
                         }
                     }
                     *queries += 1;
@@ -721,6 +816,16 @@ where
                 hist.record(t - start);
                 Step::Done(t)
             });
+            if probe.enabled() {
+                // Page-fetch / invalidation counters land as
+                // misses/retries in the window closing at this edge.
+                let s1 = node.stats();
+                let d = s1.since(prev);
+                let edge = SimTime(q_end.as_nanos().saturating_sub(1));
+                probe.record_misses(0, edge, d.page_reads);
+                probe.record_retries(0, edge, d.invalidations);
+                **prev = s1;
+            }
             faults::swap_state(fs);
             trace::swap_state(tr);
         });
@@ -739,6 +844,12 @@ where
             }
         }
         now = q_end;
+        if hub.enabled() {
+            for lp in loops.iter_mut() {
+                hub.ingest(&mut lp.probe, now);
+            }
+            hub.seal(now);
+        }
     }
     {
         let mut pool = rdma.borrow_mut();
@@ -752,10 +863,28 @@ where
             .map(|node| node.stats().invalidation_msgs_sent)
             .sum(),
     );
+    for lp in loops.iter_mut() {
+        hub.drain(&mut lp.probe);
+    }
+    hub.finish(cfg.duration);
+    let telemetry_report = if telemetry::compiled() && hub.enabled() {
+        Some(hub.report())
+    } else {
+        None
+    };
     let (hist, queries, txns) = merge_loops(loops);
     let bytes = rdma.borrow().total_bytes();
     let memory = total_pages * PAGE_SIZE + n as u64 * lbp_frames as u64 * PAGE_SIZE;
-    finish(queries, txns, hist, cfg.duration, bytes, memory, &locks)
+    finish(
+        queries,
+        txns,
+        hist,
+        cfg.duration,
+        bytes,
+        memory,
+        &locks,
+        telemetry_report,
+    )
 }
 
 #[cfg(test)]
@@ -816,6 +945,66 @@ mod tests {
             hi.metrics.qps < lo.metrics.qps,
             "contention must cost throughput"
         );
+    }
+
+    #[test]
+    fn telemetry_lanes_split_private_from_shared_traffic() {
+        if !telemetry::compiled() {
+            return;
+        }
+        let run = |shared_pct| {
+            let mut cfg = SharingConfig::standard(SharingSystem::Cxl, 4);
+            cfg.layout.rows_per_group = 1_000;
+            cfg.duration = SimTime::from_millis(20);
+            cfg.workers_per_node = 4;
+            cfg.telemetry_window = SimTime::from_millis(2);
+            let layout = cfg.layout;
+            run_sharing(&cfg, point_update_gen(layout, shared_pct))
+        };
+        let r0 = run(0);
+        let rep0 = r0.telemetry.as_ref().expect("telemetry compiled in");
+        let lane_sum = |rep: &simkit::telemetry::TelemetryReport, lane: usize| {
+            rep.rows.iter().map(|w| w.lane_ops[lane]).sum::<u64>()
+        };
+        assert!(lane_sum(rep0, 0) > 0);
+        assert_eq!(
+            lane_sum(rep0, 1),
+            0,
+            "0% shared puts nothing on the shared lane"
+        );
+
+        let r40 = run(40);
+        let rep40 = r40.telemetry.as_ref().unwrap();
+        let (private, shared) = (lane_sum(rep40, 0), lane_sum(rep40, 1));
+        assert!(shared > 0);
+        // ~40% of statements aim at the shared group.
+        let frac = shared as f64 / (private + shared) as f64;
+        assert!((0.25..0.55).contains(&frac), "shared fraction {frac}");
+        // Fault-free throughput run: no rules, so no alerts ever.
+        assert_eq!(rep40.alert_fires(), 0);
+    }
+
+    #[test]
+    fn telemetry_is_identical_across_host_thread_counts() {
+        if !telemetry::compiled() {
+            return;
+        }
+        let run = |threads| {
+            let mut cfg = SharingConfig::standard(SharingSystem::Rdma { lbp_fraction: 0.3 }, 4);
+            cfg.layout.rows_per_group = 1_000;
+            cfg.duration = SimTime::from_millis(20);
+            cfg.workers_per_node = 4;
+            cfg.telemetry_window = SimTime::from_millis(2);
+            cfg.host_threads = threads;
+            let layout = cfg.layout;
+            run_sharing(&cfg, point_update_gen(layout, 30))
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(4);
+        assert_eq!(a.telemetry, b.telemetry, "1 vs 2 host threads");
+        assert_eq!(b.telemetry, c.telemetry, "2 vs 4 host threads");
+        assert!(a.telemetry.as_ref().unwrap().windows > 0);
     }
 
     #[test]

@@ -26,6 +26,9 @@ use bufferpool::{BufferPool, PolicyKind};
 use memsim::{CxlPool, NodeId};
 use polarcxlmem::tiering::{AdaptivePool, TierConfig};
 use simkit::rng::{stream_rng, Zipf};
+use simkit::telemetry::{
+    self, Metric, NodeProbe, SloRule, TelemetryConfig, TelemetryHub, TelemetryReport,
+};
 use simkit::{Histogram, MetricsRegistry, SimTime, Step, WorkerId, WorkerSet};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -93,6 +96,11 @@ pub struct TieringConfig {
     pub duration: SimTime,
     /// Root RNG seed.
     pub seed: u64,
+    /// Telemetry window width (ZERO = probes off; tiering leaves the
+    /// layer opt-in because sweeps, not alerts, are its headline).
+    pub telemetry_window: SimTime,
+    /// Windowed storage-miss-rate limit for the `miss_thrash` rule.
+    pub telemetry_miss_budget: f64,
 }
 
 impl TieringConfig {
@@ -115,6 +123,8 @@ impl TieringConfig {
             epoch_ns: 1_000_000,
             duration: SimTime::from_millis(60),
             seed: 7,
+            telemetry_window: SimTime::ZERO,
+            telemetry_miss_budget: 0.9,
         }
     }
 }
@@ -132,6 +142,9 @@ pub struct TieringResult {
     pub dram_hit_rate: f64,
     /// Epoch sweeps executed.
     pub sweeps: u64,
+    /// Windowed ops report (`None` when the `telemetry` feature is
+    /// compiled out or `telemetry_window` is ZERO).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Map a zipfian rank to a page id under the phase pattern. Rank 0 is
@@ -182,6 +195,21 @@ pub fn run_tiering(cfg: &TieringConfig) -> TieringResult {
     for w in 0..cfg.workers {
         ws.spawn(WorkerId(w), SimTime::ZERO);
     }
+    // One probe, read/write lanes; the threshold rule trips when the
+    // windowed storage-miss rate holds above budget for two consecutive
+    // windows (tier thrash, e.g. a burst phase's uniform scans) — a
+    // single cold or overshoot window is not an incident.
+    let tcfg = TelemetryConfig::new(cfg.telemetry_window, 1)
+        .lanes(&["read", "write"])
+        .rule(
+            SloRule::above("miss_thrash", Metric::MissRate, cfg.telemetry_miss_budget)
+                .fire_after(2)
+                .clear_after(2),
+        );
+    let mut hub = TelemetryHub::new(tcfg.clone());
+    let mut probe = NodeProbe::new(0, &tcfg);
+    let mut prev_bp = pool.stats();
+
     let mut hist = Histogram::new();
     let mut ops = 0u64;
     let mut lsn = 0u64;
@@ -212,9 +240,29 @@ pub fn run_tiering(cfg: &TieringConfig) -> TieringResult {
             lat_batch.clear();
         }
         ops += 1;
+        if probe.enabled() {
+            probe.record_op(is_write as usize, end, end - t0);
+            let s = pool.stats();
+            let d = s.since(&prev_bp);
+            probe.record_misses(is_write as usize, end, d.misses);
+            probe.record_bytes(
+                is_write as usize,
+                end,
+                d.remote_read_bytes + d.remote_write_bytes,
+            );
+            prev_bp = s;
+        }
         Step::Done(end)
     });
     hist.record_batch(&lat_batch);
+
+    hub.drain(&mut probe);
+    hub.finish(cfg.duration);
+    let telemetry_report = if telemetry::compiled() && hub.enabled() {
+        Some(hub.report())
+    } else {
+        None
+    };
 
     let s = pool.stats();
     let total = (s.hits + s.misses).max(1);
@@ -253,12 +301,16 @@ pub fn run_tiering(cfg: &TieringConfig) -> TieringResult {
     reg.set_num("dram_hit_rate", dram_hit_rate);
     reg.set_int("sweeps", pool.sweeps());
     reg.set_histogram("latency", &metrics.latency);
+    if let Some(rep) = &telemetry_report {
+        rep.register_into(&mut reg);
+    }
     TieringResult {
         metrics,
         registry: reg,
         storage_miss_rate,
         dram_hit_rate,
         sweeps: pool.sweeps(),
+        telemetry: telemetry_report,
     }
 }
 
@@ -320,6 +372,76 @@ mod tests {
         };
         assert!(promotes > 0, "hot pages must migrate to DRAM");
         assert!(r.dram_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn telemetry_rows_account_for_every_op() {
+        let mut cfg = tiny(PolicyKind::Lru, true, PhasePattern::Burst);
+        cfg.telemetry_window = SimTime::from_millis(1);
+        let r = run_tiering(&cfg);
+        if !telemetry::compiled() {
+            assert!(r.telemetry.is_none());
+            return;
+        }
+        let rep = r.telemetry.as_ref().expect("telemetry compiled in");
+        let ops = match r.registry.get("ops") {
+            Some(v) => v.as_u64(),
+            None => panic!("ops missing"),
+        };
+        // Every operation lands in exactly one window (ops past the
+        // horizon spill into the overshoot tail window, not the void).
+        assert_eq!(rep.rows.iter().map(|w| w.ops).sum::<u64>(), ops);
+        // And the read/write lane split is exact too.
+        let lanes: u64 = rep.rows.iter().flat_map(|w| w.lane_ops.iter()).sum();
+        assert_eq!(lanes, ops);
+    }
+
+    #[test]
+    fn burst_thrash_is_visible_in_windowed_miss_rates() {
+        if !telemetry::compiled() {
+            return;
+        }
+        let window = SimTime::from_millis(1);
+        let peak_miss = |pattern| {
+            let mut cfg = tiny(PolicyKind::Lru, true, pattern);
+            cfg.telemetry_window = window;
+            let r = run_tiering(&cfg);
+            let rep = r.telemetry.unwrap();
+            // Skip thin windows (the overshoot tail has a handful of
+            // ops and a meaningless ratio).
+            rep.rows
+                .iter()
+                .filter(|w| w.ops >= 16)
+                .map(|w| w.misses as f64 / w.ops as f64)
+                .fold(0.0f64, f64::max)
+        };
+        let stable = peak_miss(PhasePattern::Stable);
+        let burst = peak_miss(PhasePattern::Burst);
+        // The uniform-scan phases thrash the tiers; end-of-run averages
+        // blur this, per-window telemetry does not.
+        assert!(
+            burst > stable,
+            "burst peak window miss rate {burst} must exceed stable {stable}"
+        );
+
+        // A limit between the two turns the thrash into an alert on
+        // the burst run and stays quiet on the stable one.
+        let limit = (stable + burst) / 2.0;
+        let fires = |pattern| {
+            let mut cfg = tiny(PolicyKind::Lru, true, pattern);
+            cfg.telemetry_window = window;
+            cfg.telemetry_miss_budget = limit;
+            let r = run_tiering(&cfg);
+            let rep = r.telemetry.unwrap();
+            (rep.alert_fires(), rep.alert_log())
+        };
+        let (burst_fires, log) = fires(PhasePattern::Burst);
+        assert!(
+            burst_fires > 0,
+            "miss_thrash must fire in scan phases:\n{log}"
+        );
+        let (stable_fires, log) = fires(PhasePattern::Stable);
+        assert_eq!(stable_fires, 0, "stable traffic must not alert:\n{log}");
     }
 
     #[test]

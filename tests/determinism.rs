@@ -218,6 +218,7 @@ fn failover_timeline_is_bit_deterministic() {
     assert_eq!(a.fusion, b.fusion);
     assert_eq!(a.max_survivor_gap_ns, b.max_survivor_gap_ns);
     assert_eq!(a.registry, b.registry);
+    assert_eq!(a.telemetry, b.telemetry);
     // A different fault schedule moves the crash instant and with it
     // the whole takeover timeline.
     let c = failover(11, 0xBEEF);
@@ -388,5 +389,10 @@ fn failover_intra_config_is_worker_count_invariant() {
             "{workers} workers: survivor gap"
         );
         assert_eq!(one.registry, p.registry, "{workers} workers: registry");
+        // The telemetry report — every window row, health glyph and
+        // alert timestamp — is part of the bit-identical contract:
+        // windows close at virtual-time barriers, not host-thread
+        // boundaries.
+        assert_eq!(one.telemetry, p.telemetry, "{workers} workers: telemetry");
     }
 }

@@ -23,10 +23,14 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Crates whose sources are scanned (the ones holding simulated state).
+/// simkit is included for the telemetry/alerting pipeline: window rows,
+/// alert logs and health maps feed bit-deterministic reports, so any
+/// hash-order iteration there is just as corrupting as in the simulator.
 const SCANNED: &[&str] = &[
     "crates/memsim/src",
     "crates/bufferpool/src",
     "crates/core/src",
+    "crates/simkit/src",
 ];
 
 /// Iteration methods that surface hash order.
