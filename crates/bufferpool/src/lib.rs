@@ -69,6 +69,18 @@ pub struct BpStats {
     pub tier_promotes: u64,
     /// Pages migrated downward (DRAM → CXL, CXL → storage).
     pub tier_demotes: u64,
+    /// Retry budgets burned to exhaustion (each surfaced as a typed
+    /// [`OverloadError`], distinguishable from an orderly fallback).
+    pub overload_errors: u64,
+    /// Circuit-breaker trips (closed/half-open → open).
+    pub breaker_trips: u64,
+    /// Fabric calls fast-failed to storage while the breaker was open.
+    pub breaker_fast_fails: u64,
+    /// Breaker recoveries (half-open probe succeeded, breaker closed).
+    pub breaker_recoveries: u64,
+    /// Lookups served storage-direct because the pool was browned out
+    /// (no shared-tier admission).
+    pub brownout_bypasses: u64,
 }
 
 impl BpStats {
@@ -105,6 +117,17 @@ impl BpStats {
             tier_cxl_misses: self.tier_cxl_misses.saturating_sub(earlier.tier_cxl_misses),
             tier_promotes: self.tier_promotes.saturating_sub(earlier.tier_promotes),
             tier_demotes: self.tier_demotes.saturating_sub(earlier.tier_demotes),
+            overload_errors: self.overload_errors.saturating_sub(earlier.overload_errors),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            breaker_fast_fails: self
+                .breaker_fast_fails
+                .saturating_sub(earlier.breaker_fast_fails),
+            breaker_recoveries: self
+                .breaker_recoveries
+                .saturating_sub(earlier.breaker_recoveries),
+            brownout_bypasses: self
+                .brownout_bypasses
+                .saturating_sub(earlier.brownout_bypasses),
         }
     }
 
@@ -118,6 +141,49 @@ impl BpStats {
         }
     }
 }
+
+/// Why an operation was declared overloaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadKind {
+    /// The bounded fabric retry budget was burned to exhaustion.
+    RetryBudget,
+    /// The circuit breaker was open and the call fast-failed.
+    BreakerOpen,
+}
+
+/// A fabric operation exhausted its overload budget. The pool still
+/// degrades to storage where that is safe, but the condition is typed
+/// and counted ([`BpStats::overload_errors`]) so load shedding is
+/// distinguishable from an orderly fallback in every registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadError {
+    /// The page whose operation overloaded.
+    pub page: PageId,
+    /// Fabric attempts made before giving up.
+    pub attempts: u32,
+    /// Virtual time burned on the failed attempts (ns).
+    pub burned_ns: u64,
+    /// What exhausted the budget.
+    pub kind: OverloadKind,
+}
+
+impl std::fmt::Display for OverloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "page {:?} overloaded after {} fabric attempts ({} ns burned): {}",
+            self.page,
+            self.attempts,
+            self.burned_ns,
+            match self.kind {
+                OverloadKind::RetryBudget => "retry budget exhausted",
+                OverloadKind::BreakerOpen => "circuit breaker open",
+            }
+        )
+    }
+}
+
+impl std::error::Error for OverloadError {}
 
 /// The buffer pool contract used by the B+tree and the engine.
 ///

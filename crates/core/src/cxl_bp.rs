@@ -23,9 +23,10 @@
 
 use crate::layout::{field, BlockMeta, Geometry, RegionHeader, MAGIC, META_SIZE, NO_PAGE};
 use bufferpool::policy::{AnyPolicy, Policy, PolicyKind};
-use bufferpool::{BpStats, BufferPool};
+use bufferpool::{BpStats, BufferPool, OverloadError, OverloadKind};
 use memsim::{Access, CxlPool, NodeId};
 use simkit::faults;
+use simkit::qos::{BreakerConfig, BreakerState, CircuitBreaker};
 use simkit::trace::{self, SpanKind};
 use simkit::FastMap;
 use simkit::SimTime;
@@ -85,6 +86,14 @@ pub struct CxlBp {
     /// (miss fills and checkpoints), so the hot path never allocates.
     page_buf: Vec<u8>,
     stats: BpStats,
+    /// Optional circuit breaker over the poisoned-read heal path: when
+    /// poison storms make fabric reads untrustworthy, storage-clean
+    /// reads are served storage-direct until a half-open probe succeeds.
+    /// `None` (the default) preserves the always-retry behaviour.
+    breaker: Option<CircuitBreaker>,
+    /// Most recent typed overload condition (one-shot, see
+    /// [`CxlBp::take_overload`]).
+    last_overload: Option<OverloadError>,
 }
 
 impl std::fmt::Debug for CxlBp {
@@ -155,6 +164,8 @@ impl CxlBp {
             ckpt_dirty: vec![false; nblocks as usize],
             page_buf: vec![0u8; geo.page_size as usize],
             stats: BpStats::default(),
+            breaker: None,
+            last_overload: None,
         }
     }
 
@@ -199,6 +210,8 @@ impl CxlBp {
             ckpt_dirty: vec![false; nblocks],
             page_buf: vec![0u8; geo.page_size as usize],
             stats: BpStats::default(),
+            breaker: None,
+            last_overload: None,
         }
     }
 
@@ -215,6 +228,36 @@ impl CxlBp {
     /// Which eviction policy this pool runs.
     pub fn policy_kind(&self) -> PolicyKind {
         self.policy.kind()
+    }
+
+    /// Arm a circuit breaker over the poisoned-read heal path. Every
+    /// poisoned fabric read counts as a failure; `cfg.trip_consecutive`
+    /// of them in a row open the breaker, after which storage-clean
+    /// reads are served storage-direct (no fabric touch, no heal cost)
+    /// until a half-open probe comes back unpoisoned. Dirty pages —
+    /// whose only current copy is the CXL one — always go through.
+    pub fn enable_breaker(&mut self, cfg: BreakerConfig) {
+        self.breaker = Some(CircuitBreaker::new(cfg));
+    }
+
+    /// Current breaker state, if a breaker is armed.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.state())
+    }
+
+    /// Take (and clear) the most recent typed overload condition.
+    pub fn take_overload(&mut self) -> Option<OverloadError> {
+        self.last_overload.take()
+    }
+
+    fn overload(&mut self, page: PageId, attempts: u32, burned_ns: u64, kind: OverloadKind) {
+        self.stats.overload_errors += 1;
+        self.last_overload = Some(OverloadError {
+            page,
+            attempts,
+            burned_ns,
+            kind,
+        });
     }
 
     /// Shared fabric handle (used by recovery).
@@ -503,6 +546,33 @@ impl BufferPool for CxlBp {
 
     fn read(&mut self, page: PageId, off: u16, buf: &mut [u8], now: SimTime) -> Access {
         let _prof = simkit::profile::scope(simkit::profile::Subsys::BufferPool);
+        // An open breaker means fabric reads are being poisoned faster
+        // than healing pays off. A storage-clean page can be served
+        // straight from storage without touching (or admitting it to)
+        // the fabric; a dirty page's only current copy is the CXL one,
+        // so it always goes through regardless of breaker state.
+        let dirty = self
+            .map
+            .get(&page)
+            .is_some_and(|&b| self.ckpt_dirty[b as usize]);
+        if !dirty {
+            if let Some(br) = self.breaker.as_mut() {
+                if !br.allow(now) {
+                    let ps = self.geo.page_size as usize;
+                    let io = self.store.read_page(page, &mut self.page_buf, now);
+                    self.stats.storage_read_bytes += ps as u64;
+                    let o = off as usize;
+                    buf.copy_from_slice(&self.page_buf[o..o + buf.len()]);
+                    self.overload(page, 0, 0, OverloadKind::BreakerOpen);
+                    return Access {
+                        end: io.end,
+                        link_bytes: 0,
+                        hits: 0,
+                        misses: 0,
+                    };
+                }
+            }
+        }
         let (b, t) = self.fix(page, now);
         let data = self.geo.data_off(b as u64);
         let a = self
@@ -510,7 +580,13 @@ impl BufferPool for CxlBp {
             .borrow_mut()
             .read(self.node, data + off as u64, buf, t);
         if faults::take_poisoned() {
+            if let Some(br) = self.breaker.as_mut() {
+                br.on_failure(a.end);
+            }
             return self.heal_poisoned_read(page, b, off, buf, a);
+        }
+        if let Some(br) = self.breaker.as_mut() {
+            br.on_success(a.end);
         }
         a
     }
@@ -599,7 +675,14 @@ impl BufferPool for CxlBp {
     }
 
     fn stats(&self) -> BpStats {
-        self.stats
+        let mut s = self.stats;
+        if let Some(b) = &self.breaker {
+            let bs = b.stats();
+            s.breaker_trips = bs.trips;
+            s.breaker_fast_fails = bs.fast_fails;
+            s.breaker_recoveries = bs.recoveries;
+        }
+        s
     }
 
     fn store(&self) -> &PageStore {
@@ -867,6 +950,77 @@ mod tests {
         assert_eq!(bp.stats().poison_rebuilds, 0);
         assert_eq!(bp.stats().fault_retries, 1);
         assert_eq!(bp.stats().storage_read_bytes, 0);
+    }
+
+    #[test]
+    fn breaker_opens_on_poison_storm_and_serves_clean_reads_direct() {
+        use simkit::faults::{self, Action, FaultPlan, FaultSite, Trigger};
+        faults::clear();
+        let mut bp = setup(8, 8);
+        bp.enable_breaker(BreakerConfig {
+            trip_consecutive: 2,
+            cooldown_ns: 1_000_000,
+            half_open_probes: 1,
+        });
+        if !simkit::qos::compiled() {
+            // Compiled out: the armed breaker is a zero-sized no-op and
+            // the heal path behaves exactly as without it.
+            faults::install(
+                FaultPlan::default()
+                    .with(Trigger::SiteHit(FaultSite::CxlRead, 0), Action::PoisonLine),
+            );
+            let mut buf = [0u8; 8];
+            bp.read(PageId(3), 0, &mut buf, SimTime::ZERO);
+            faults::clear();
+            assert_eq!(buf, [4u8; 8]);
+            assert_eq!(bp.stats().poison_rebuilds, 1);
+            assert_eq!(bp.stats().breaker_trips, 0);
+            assert_eq!(bp.stats().overload_errors, 0);
+            assert_eq!(bp.breaker_state(), Some(BreakerState::Closed));
+            return;
+        }
+        // Two poisoned reads in a row trip the breaker. Each heal of a
+        // clean page re-reads via the fabric (hits 1 and 3), so the
+        // poison triggers sit at fabric-read hits 0 and 2.
+        let plan = FaultPlan::default()
+            .with(Trigger::SiteHit(FaultSite::CxlRead, 0), Action::PoisonLine)
+            .with(Trigger::SiteHit(FaultSite::CxlRead, 2), Action::PoisonLine);
+        faults::install(plan);
+        let mut buf = [0u8; 8];
+        bp.read(PageId(3), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [4u8; 8]);
+        bp.read(PageId(4), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [5u8; 8]);
+        assert_eq!(bp.breaker_state(), Some(BreakerState::Open));
+        assert_eq!(bp.stats().poison_rebuilds, 2);
+        assert_eq!(bp.stats().breaker_trips, 1);
+        let storage_before = bp.stats().storage_read_bytes;
+        // Open breaker: a clean read is served storage-direct — no
+        // fabric touch, no heal cost — and surfaces a typed overload.
+        bp.read(PageId(5), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [6u8; 8], "storage-direct read returns good bytes");
+        assert_eq!(bp.stats().storage_read_bytes, storage_before + 1024);
+        assert_eq!(bp.stats().poison_rebuilds, 2, "no heal on the direct path");
+        assert_eq!(bp.stats().breaker_fast_fails, 1);
+        let err = bp.take_overload().expect("typed overload surfaced");
+        assert_eq!(err.page, PageId(5));
+        assert_eq!(err.kind, OverloadKind::BreakerOpen);
+        // A dirty page's only current copy is the CXL one: it bypasses
+        // the breaker and reads through the fabric even while open.
+        let t = bp.set_latch(PageId(7), true, SimTime::ZERO);
+        let a = bp.write(PageId(7), 0, &[0xD7; 8], Lsn(4), t);
+        bp.set_latch(PageId(7), false, a.end);
+        bp.read(PageId(7), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(buf, [0xD7; 8], "dirty read always goes through");
+        assert_eq!(bp.breaker_state(), Some(BreakerState::Open));
+        faults::clear();
+        // Past the cooldown a half-open probe rides a real fabric read;
+        // unpoisoned, it closes the breaker.
+        bp.read(PageId(6), 0, &mut buf, SimTime::from_millis(2));
+        assert_eq!(buf, [7u8; 8]);
+        assert_eq!(bp.breaker_state(), Some(BreakerState::Closed));
+        assert_eq!(bp.stats().breaker_recoveries, 1);
+        assert_eq!(bp.stats().breaker_trips, 1, "no re-trip after recovery");
     }
 
     #[test]

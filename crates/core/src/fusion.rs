@@ -59,6 +59,11 @@ pub struct FusionStats {
     pub reclaimed_slots: u64,
     /// Per-(node, page) flag words cleared during reclamation.
     pub reclaimed_flags: u64,
+    /// Brownout entries (nodes degraded to storage-direct service).
+    pub brownouts: u64,
+    /// DBP slots recycled by [`FusionServer::shrink_node_share`] while
+    /// their exclusive owner was browned out.
+    pub brownout_reclaims: u64,
 }
 
 /// Whether the fusion server enforces epoch fencing against declared-
@@ -109,6 +114,9 @@ pub struct FusionServer {
     epochs: FastMap<NodeId, u64>,
     /// Nodes currently declared dead.
     dead: Vec<NodeId>,
+    /// Nodes currently browned out (degraded to storage-direct service
+    /// by the overload controller; their DBP share may be shrunk).
+    browned: Vec<NodeId>,
 }
 
 impl std::fmt::Debug for FusionServer {
@@ -159,6 +167,7 @@ impl FusionServer {
             epoch_base: None,
             epochs: FastMap::default(),
             dead: Vec::new(),
+            browned: Vec::new(),
         }
     }
 
@@ -287,6 +296,68 @@ impl FusionServer {
                 self.free.push(slot);
                 self.stats.reclaimed_slots += 1;
             }
+        }
+        t
+    }
+
+    /// Put `node` into (or take it out of) brownout. A browned-out node
+    /// is served storage-direct by its harness (no new DBP admissions)
+    /// and its exclusive DBP share may be shrunk with
+    /// [`FusionServer::shrink_node_share`]. Pure control plane — no
+    /// fabric traffic, idempotent, and orthogonal to fencing (a browned
+    /// node is degraded, not dead).
+    pub fn set_brownout(&mut self, node: NodeId, on: bool) {
+        if on {
+            if !self.browned.contains(&node) {
+                self.browned.push(node);
+                self.stats.brownouts += 1;
+            }
+        } else {
+            self.browned.retain(|&n| n != node);
+        }
+    }
+
+    /// Whether `node` is currently browned out.
+    pub fn is_browned(&self, node: NodeId) -> bool {
+        self.browned.contains(&node)
+    }
+
+    /// Shrink a browned-out node's DBP footprint: recycle pages *only*
+    /// `node` is active on until at most `keep` of them remain (sorted
+    /// page order; the lowest-numbered survive, deterministically).
+    /// Pages shared with any other node are untouched — the data in
+    /// CXL outlives one tenant's demotion. Each recycled page gets the
+    /// node's removal flag set, exactly like an LRU recycle, so a
+    /// restored node re-requests it cleanly. Returns completion time.
+    pub fn shrink_node_share(&mut self, node: NodeId, keep: usize, now: SimTime) -> SimTime {
+        let Some(&flag_base) = self.flag_bases.get(&node) else {
+            return now;
+        };
+        // FastMap iteration order is not deterministic: collect and sort
+        // before doing timed work.
+        let mut exclusive: Vec<PageId> = self
+            .map
+            .iter()
+            .filter(|(_, info)| info.active.len() == 1 && info.active[0] == node)
+            .map(|(&page, _)| page)
+            .collect();
+        exclusive.sort_unstable();
+        let mut t = now;
+        for page in exclusive.into_iter().skip(keep) {
+            let Some(info) = self.map.remove(&page) else {
+                continue;
+            };
+            let a = self.cxl.borrow_mut().write_uncached(
+                self.server_node,
+                removal_flag_off(flag_base, page),
+                &1u64.to_le_bytes(),
+                t,
+            );
+            t = a.end;
+            self.slot_page[info.slot as usize] = None;
+            self.lru.remove(info.slot);
+            self.free.push(info.slot);
+            self.stats.brownout_reclaims += 1;
         }
         t
     }
@@ -1447,6 +1518,49 @@ mod tests {
         n0b.enable_fencing(EPOCH_BASE, e0b);
         n0b.guarded_write(&mut server, PageId(2), 0, &[7u8; 8], t)
             .expect("resurrected node writes at the new epoch");
+    }
+
+    #[test]
+    fn brownout_shrinks_exclusive_share_and_restores_cleanly() {
+        let (mut server, mut n0, mut n1) = setup();
+        let mut buf = [0u8; 8];
+        // Node 0 alone touches pages 1..=3; both nodes share page 5.
+        n0.read(&mut server, PageId(1), 0, &mut buf, SimTime::ZERO);
+        n0.read(&mut server, PageId(2), 0, &mut buf, SimTime::ZERO);
+        n0.read(&mut server, PageId(3), 0, &mut buf, SimTime::ZERO);
+        n0.read(&mut server, PageId(5), 0, &mut buf, SimTime::ZERO);
+        n1.read(&mut server, PageId(5), 0, &mut buf, SimTime::ZERO);
+        assert_eq!(server.pages_in_use(), 4);
+        assert!(!server.is_browned(NodeId(0)));
+        server.set_brownout(NodeId(0), true);
+        server.set_brownout(NodeId(0), true); // idempotent
+        assert!(server.is_browned(NodeId(0)));
+        let t = server.shrink_node_share(NodeId(0), 1, SimTime::ZERO);
+        // Pages 2 and 3 recycled (lowest page id survives); the page
+        // shared with node 1 is untouched.
+        assert_eq!(server.pages_in_use(), 2);
+        assert_eq!(server.stats().brownouts, 1);
+        assert_eq!(server.stats().brownout_reclaims, 2);
+        assert_eq!(
+            server.pages_in_use() + server.free_slots(),
+            16,
+            "no leaked slots"
+        );
+        // The shared page still reads from the DBP without a storage
+        // round trip.
+        let fills = server.stats().storage_fills;
+        n1.read(&mut server, PageId(5), 0, &mut buf, t);
+        assert_eq!(buf, [6u8; 8]);
+        assert_eq!(server.stats().storage_fills, fills);
+        // Restore: the node sees the removal flag on a recycled page
+        // and re-requests it through the normal protocol.
+        server.set_brownout(NodeId(0), false);
+        assert!(!server.is_browned(NodeId(0)));
+        let removals = n0.stats().removal_reloads;
+        n0.read(&mut server, PageId(3), 0, &mut buf, t);
+        assert_eq!(buf, [4u8; 8]);
+        assert_eq!(n0.stats().removal_reloads, removals + 1);
+        assert_eq!(server.pages_in_use(), 3);
     }
 
     #[test]

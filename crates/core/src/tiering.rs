@@ -119,6 +119,11 @@ pub struct AdaptivePool {
     /// Reusable candidate scratch: `(heat, frame)`.
     promote_scratch: Vec<(u8, u32)>,
     demote_scratch: Vec<(u8, u32)>,
+    /// Brownout: when set by the overload controller, non-resident
+    /// reads are served storage-direct with *no* tier admission, so a
+    /// degraded tenant cannot grow its memory footprint. Resident pages
+    /// and all writes keep the normal path.
+    brownout: bool,
     stats: BpStats,
 }
 
@@ -174,9 +179,25 @@ impl AdaptivePool {
             sweeps: 0,
             promote_scratch: Vec::with_capacity(cfg.cxl_blocks),
             demote_scratch: Vec::with_capacity(cfg.dram_frames),
+            brownout: false,
             store,
             stats: BpStats::default(),
         }
+    }
+
+    /// Enter or leave brownout. While browned out, a read of a page
+    /// resident in neither memory tier is served straight from storage
+    /// and *not* admitted ([`BpStats::brownout_bypasses`] counts them),
+    /// so a degraded tenant stops competing for DRAM/CXL capacity.
+    /// Resident pages are still served from their tier and writes keep
+    /// the normal (durable) path.
+    pub fn set_brownout(&mut self, on: bool) {
+        self.brownout = on;
+    }
+
+    /// Whether the pool is currently browned out.
+    pub fn browned(&self) -> bool {
+        self.brownout
     }
 
     /// The eviction policy both tiers run.
@@ -453,6 +474,22 @@ impl BufferPool for AdaptivePool {
 
     fn read(&mut self, page: PageId, off: u16, buf: &mut [u8], now: SimTime) -> Access {
         let _prof = profile::scope(Subsys::BufferPool);
+        if self.brownout && !self.dram.contains(page) && !self.cxlt.contains(page) {
+            // Browned out: serve the miss storage-direct without
+            // admitting the page to either tier.
+            let ps = self.store.page_size() as usize;
+            let io = self.store.read_page(page, &mut self.page_buf, now);
+            self.stats.storage_read_bytes += ps as u64;
+            self.stats.brownout_bypasses += 1;
+            let o = off as usize;
+            buf.copy_from_slice(&self.page_buf[o..o + buf.len()]);
+            return Access {
+                end: io.end,
+                link_bytes: 0,
+                hits: 0,
+                misses: 0,
+            };
+        }
         let (loc, t) = self.locate(page, now);
         match loc {
             Loc::Dram(frame) => self.space.read(self.frame_off(frame) + off as u64, buf, t),
@@ -698,6 +735,36 @@ mod tests {
         assert!(!bp.is_resident(PageId(0)));
         assert_eq!(bp.page_lsn(PageId(0)), None);
         assert_eq!(bp.dram_resident() + bp.cxl_resident(), 0);
+    }
+
+    #[test]
+    fn brownout_serves_nonresident_reads_storage_direct() {
+        let mut bp = pool(2, 4, true);
+        let mut t = SimTime::ZERO;
+        t = bp.read(PageId(0), 0, &mut [0u8; 4], t).end; // fills CXL
+        bp.set_brownout(true);
+        assert!(bp.browned());
+        // A resident page is still served from its tier, no bypass.
+        let mut buf = [0u8; 4];
+        t = bp.read(PageId(0), 0, &mut buf, t).end;
+        assert_eq!(bp.stats().brownout_bypasses, 0);
+        // A non-resident page goes storage-direct with no admission:
+        // the browned tenant's footprint cannot grow.
+        let resident_before = bp.dram_resident() + bp.cxl_resident();
+        let storage_before = bp.stats().storage_read_bytes;
+        t = bp.read(PageId(9), 0, &mut buf, t).end;
+        assert_eq!(bp.stats().brownout_bypasses, 1);
+        assert_eq!(bp.stats().storage_read_bytes, storage_before + PS);
+        assert!(!bp.is_resident(PageId(9)), "no admission while browned");
+        assert_eq!(bp.dram_resident() + bp.cxl_resident(), resident_before);
+        // Writes keep the normal (durable) path even while browned.
+        t = bp.write(PageId(10), 0, &[0xAB; 4], Lsn(3), t).end;
+        assert!(bp.is_resident(PageId(10)));
+        // Restore with hysteresis is the controller's job; once off,
+        // the next read admits again.
+        bp.set_brownout(false);
+        bp.read(PageId(9), 0, &mut buf, t);
+        assert!(bp.is_resident(PageId(9)));
     }
 
     #[test]

@@ -586,15 +586,17 @@ fn link_health_slow(site: FaultSite, host: u32, now: SimTime) -> LinkHealth {
         return LinkHealth::Healthy;
     }
     ENGINE.with(|e| {
-        let mut e = e.borrow_mut();
-        e.link_faults.retain(|lf| lf.until > now);
-        if e.link_faults.is_empty() {
-            FLAGS.with(|f| f.set(f.get() & !LINK_FAULTS));
-            return LinkHealth::Healthy;
-        }
+        let e = e.borrow();
+        // Evaluate each entry against THIS call's `now` — never prune.
+        // Lane worker times are not monotonic (an op that stalls through
+        // an outage runs its next accesses far ahead of its peers), so
+        // pruning on the maximum time seen would hide a live outage
+        // from workers still inside it. Expired entries are skipped and
+        // linger until the state drops or [`clear`] runs; plans inject
+        // a bounded handful of link faults, so the table stays tiny.
         let mut health = LinkHealth::Healthy;
         for lf in e.link_faults.iter() {
-            if lf.site != site || lf.host != host {
+            if lf.site != site || lf.host != host || lf.until <= now {
                 continue;
             }
             if lf.down {

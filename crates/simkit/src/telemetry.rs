@@ -1021,6 +1021,24 @@ mod rt {
             self.retired[node as usize] = Some(t.as_nanos() / self.window_ns);
         }
 
+        /// Whether `rule` is currently firing for `node` — the
+        /// hysteresis-filtered alert state as of the last sealed
+        /// window. This is the control-plane read used by brownout
+        /// controllers at virtual-time barriers; unknown rule names and
+        /// disabled hubs read `false`.
+        pub fn firing(&self, rule: &str, node: u32) -> bool {
+            if self.window_ns == 0 {
+                return false;
+            }
+            let Some(ri) = self.cfg.rules.iter().position(|r| r.name == rule) else {
+                return false;
+            };
+            self.rule_state
+                .get(ri * self.cfg.nodes + node as usize)
+                .map(|st| st.firing)
+                .unwrap_or(false)
+        }
+
         /// Merge every retained window histogram for `node` (all lanes)
         /// — with `retain == 0` this is exactly the end-of-run
         /// histogram, which the window-exactness test pins via
@@ -1201,6 +1219,11 @@ mod rt {
 
         /// No-op.
         pub fn retire(&mut self, _node: u32, _t: SimTime) {}
+
+        /// Never firing in the no-op build.
+        pub fn firing(&self, _rule: &str, _node: u32) -> bool {
+            false
+        }
 
         /// Always the empty histogram in the no-op build.
         pub fn merged_histogram(&self, _node: u32) -> Histogram {

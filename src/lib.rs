@@ -67,6 +67,10 @@ pub mod prelude {
     pub use polarcxlmem::{CxlBp, CxlMemoryManager, FusionServer, SharingNode, TrustPolicy};
     pub use polarcxlmem::{FencingPolicy, ReleaseError};
     pub use simkit::faults::{self, Action, FaultPlan, FaultSite, Trigger};
+    pub use simkit::qos::{
+        self, Admission, AdmissionStats, BreakerConfig, BreakerState, BreakerStats, CircuitBreaker,
+        Decision, QosConfig, TenantClass,
+    };
     pub use simkit::rng::{stream_rng, SimRng};
     pub use simkit::telemetry::{
         self, Health, Metric, SloRule, TelemetryConfig, TelemetryHub, TelemetryReport,
@@ -74,9 +78,10 @@ pub mod prelude {
     pub use simkit::{dur, SimTime};
     pub use storage::{Lsn, PageId, PageStore, Wal};
     pub use workloads::{
-        run_chaos, run_failover, run_pooling, run_recovery, run_sharing, run_tiering, ChaosConfig,
-        ChaosRunResult, DeathMode, FailoverConfig, FailoverResult, LinkChaos, PhasePattern,
-        PoolKind, PoolingConfig, RecoveryConfig, RecoveryRunResult, Scheme, SharingConfig,
-        SharingResult, SharingSystem, SysbenchKind, TieringConfig, TieringResult,
+        run_chaos, run_failover, run_overload, run_pooling, run_recovery, run_sharing, run_tiering,
+        ChaosConfig, ChaosRunResult, DeathMode, FailoverConfig, FailoverResult, FlapSpec,
+        LinkChaos, OverloadConfig, OverloadResult, PhasePattern, PoolKind, PoolingConfig,
+        RecoveryConfig, RecoveryRunResult, Scheme, SharingConfig, SharingResult, SharingSystem,
+        SysbenchKind, TenantOutcome, TieringConfig, TieringResult,
     };
 }

@@ -354,6 +354,48 @@ fn sharing_traces_are_worker_count_invariant() {
 }
 
 #[test]
+fn overload_intra_config_is_worker_count_invariant() {
+    // The overload harness adds three host-side actors that could each
+    // leak host order into simulated state: per-lane admission buckets,
+    // per-lane circuit breakers, and the serial brownout controller at
+    // quantum barriers. Every QoS decision must be a function of virtual
+    // time and per-node state only — with QoS on, with it off, and with
+    // a link flap driving the breaker through trip/half-open/close.
+    let run = |qos: bool, flap: bool, threads: usize| {
+        let mut c = OverloadConfig::smoke(3);
+        c.qos = qos;
+        if flap {
+            c.link_flap = Some(FlapSpec {
+                host: 1,
+                at: SimTime::from_millis(6),
+                down_ns: 4_000_000,
+                retry_ns: 100_000,
+            });
+        }
+        c.host_threads = threads;
+        run_overload(&c)
+    };
+    for (qos, flap) in [(true, false), (false, false), (true, true)] {
+        let one = run(qos, flap, 1);
+        for workers in [2usize, 4] {
+            let p = run(qos, flap, workers);
+            assert_eq!(
+                one.per_tenant, p.per_tenant,
+                "qos={qos} flap={flap} {workers} workers: per-tenant outcomes"
+            );
+            assert_eq!(
+                one.registry, p.registry,
+                "qos={qos} flap={flap} {workers} workers: registry"
+            );
+            assert_eq!(
+                one, p,
+                "qos={qos} flap={flap} {workers} workers diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
 fn failover_intra_config_is_worker_count_invariant() {
     // Failover folds the fault engine into the phased run: each node's
     // fault state steps on whichever worker drives the node, so the

@@ -11,7 +11,10 @@
 //! storage primitives `wal.rs` / `pagestore.rs`, and the cluster
 //! control plane `manager.rs` / `fusion.rs` (lease revocation, epoch
 //! fencing and node reclamation run exactly when nodes are dying, so a
-//! panic there takes the failover path down with the failed node). Only
+//! panic there takes the failover path down with the failed node), plus
+//! the overload-reaction layer `tiering.rs` / `telemetry.rs` (brownout
+//! decisions and SLO alerting must keep running *while* the cluster is
+//! degraded — that is the only time they matter). Only
 //! non-test code is
 //! linted (`#[cfg(test)]` and below is free to unwrap). `.expect(` is
 //! allowed — it documents an invariant. Deliberate panicking wrappers
@@ -28,6 +31,8 @@ const SCANNED: &[&str] = &[
     "crates/storage/src/pagestore.rs",
     "crates/core/src/manager.rs",
     "crates/core/src/fusion.rs",
+    "crates/core/src/tiering.rs",
+    "crates/simkit/src/telemetry.rs",
 ];
 
 const FORBIDDEN: &[&str] = &[".unwrap(", "panic!("];
