@@ -64,7 +64,45 @@ pub struct FusionStats {
     /// DBP slots recycled by [`FusionServer::shrink_node_share`] while
     /// their exclusive owner was browned out.
     pub brownout_reclaims: u64,
+    /// Shrink requests clamped because the node's pinned (shared) pages
+    /// already exceeded the requested share ([`ShrinkError`] returned).
+    pub brownout_clamped: u64,
+    /// Pages handed off in place by [`FusionServer::migrate_out`]
+    /// during a lease migration (slots not recycled — they transfer).
+    pub migrated_out: u64,
 }
+
+/// Typed outcome of an unachievable [`FusionServer::shrink_node_share`]
+/// request: the node's pinned share (pages other tenants are also
+/// active on — recycling those would evict a healthy tenant's data)
+/// already exceeds the requested share. The shrink still recycles every
+/// exclusive page, so the error reports what *was* achieved instead of
+/// silently clamping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkError {
+    /// The browned-out node whose share was shrunk.
+    pub node: NodeId,
+    /// The share the caller asked to keep (total DBP pages).
+    pub requested: usize,
+    /// The smallest share actually achievable (the pinned page count).
+    pub achievable: usize,
+    /// Completion time of the partial shrink (all exclusive pages were
+    /// still recycled; callers continue from here).
+    pub completed: SimTime,
+}
+
+impl std::fmt::Display for ShrinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shrink of node {} clamped: requested share {} is below the \
+             {} pages pinned by co-tenants",
+            self.node.0, self.requested, self.achievable
+        )
+    }
+}
+
+impl std::error::Error for ShrinkError {}
 
 /// Whether the fusion server enforces epoch fencing against declared-
 /// dead writers.
@@ -322,16 +360,26 @@ impl FusionServer {
         self.browned.contains(&node)
     }
 
-    /// Shrink a browned-out node's DBP footprint: recycle pages *only*
-    /// `node` is active on until at most `keep` of them remain (sorted
-    /// page order; the lowest-numbered survive, deterministically).
-    /// Pages shared with any other node are untouched — the data in
-    /// CXL outlives one tenant's demotion. Each recycled page gets the
-    /// node's removal flag set, exactly like an LRU recycle, so a
-    /// restored node re-requests it cleanly. Returns completion time.
-    pub fn shrink_node_share(&mut self, node: NodeId, keep: usize, now: SimTime) -> SimTime {
+    /// Shrink a browned-out node's DBP footprint to at most `keep`
+    /// pages total. Only pages *exclusively* active on `node` can be
+    /// recycled (sorted page order; the lowest-numbered survive,
+    /// deterministically) — pages shared with any other node are pinned
+    /// by that co-tenant and set the floor the shrink cannot go below.
+    /// Each recycled page gets the node's removal flag set, exactly
+    /// like an LRU recycle, so a restored node re-requests it cleanly.
+    ///
+    /// Returns the completion time, or a typed [`ShrinkError`] when
+    /// `keep` is below the pinned-page floor: the shrink still recycles
+    /// every exclusive page, and the error reports the achievable share
+    /// instead of silently clamping.
+    pub fn shrink_node_share(
+        &mut self,
+        node: NodeId,
+        keep: usize,
+        now: SimTime,
+    ) -> Result<SimTime, ShrinkError> {
         let Some(&flag_base) = self.flag_bases.get(&node) else {
-            return now;
+            return Ok(now);
         };
         // FastMap iteration order is not deterministic: collect and sort
         // before doing timed work.
@@ -342,8 +390,14 @@ impl FusionServer {
             .map(|(&page, _)| page)
             .collect();
         exclusive.sort_unstable();
+        let pinned = self
+            .map
+            .iter()
+            .filter(|(_, info)| info.active.len() > 1 && info.active.contains(&node))
+            .count();
+        let keep_exclusive = keep.saturating_sub(pinned);
         let mut t = now;
-        for page in exclusive.into_iter().skip(keep) {
+        for page in exclusive.into_iter().skip(keep_exclusive) {
             let Some(info) = self.map.remove(&page) else {
                 continue;
             };
@@ -359,7 +413,16 @@ impl FusionServer {
             self.free.push(info.slot);
             self.stats.brownout_reclaims += 1;
         }
-        t
+        if keep < pinned {
+            self.stats.brownout_clamped += 1;
+            return Err(ShrinkError {
+                node,
+                requested: keep,
+                achievable: pinned,
+                completed: t,
+            });
+        }
+        Ok(t)
     }
 
     /// Bulk directory fetch for standby adoption (PolarRecv-style): one
@@ -399,6 +462,65 @@ impl FusionServer {
             .borrow_mut()
             .write_uncached(self.server_node, foff, &zeros, t);
         (grants, a.end)
+    }
+
+    /// DBP slot size in bytes (one page per slot).
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// CXL byte address of `page`'s DBP slot, if the page is mapped.
+    /// Pure directory lookup — no fabric traffic (the migration
+    /// coordinator uses it to flush a donor range in place).
+    pub fn slot_of(&self, page: PageId) -> Option<u64> {
+        self.map.get(&page).map(|info| self.slot_addr(info.slot))
+    }
+
+    /// Migration hand-off, donor side: drop `donor` from the active
+    /// list of every mapped page in `[from, from + count)` and set its
+    /// removal flags for the whole range in one contiguous patterned
+    /// ntstore sweep (removal word := 1, invalid word := 0 — removal is
+    /// checked first, so a live donor re-requests cleanly). Slots are
+    /// *not* recycled: the pages transfer in place to the recipient
+    /// ([`FusionServer::adopt_range`]), which is the whole point of a
+    /// CXL migration — no data moves. Idempotent; returns completion
+    /// time.
+    pub fn migrate_out(
+        &mut self,
+        donor: NodeId,
+        from: PageId,
+        count: u64,
+        now: SimTime,
+    ) -> SimTime {
+        let Some(&flag_base) = self.flag_bases.get(&donor) else {
+            return now;
+        };
+        self.stats.rpcs += 1;
+        let t = rpc_gate(now);
+        let mut handed = 0u64;
+        for p in from.0..from.0 + count {
+            if let Some(info) = self.map.get_mut(&PageId(p)) {
+                if info.active.contains(&donor) {
+                    info.active.retain(|&n| n != donor);
+                    handed += 1;
+                }
+            }
+        }
+        self.stats.migrated_out += handed;
+        // Flag words for a contiguous page range are contiguous in the
+        // donor's flag array: one patterned sweep sets every removal
+        // word in the range.
+        let mut pattern = vec![0u8; (count * 16) as usize];
+        for i in 0..count as usize {
+            pattern[i * 16 + 8] = 1;
+        }
+        let a = self.cxl.borrow_mut().write_uncached(
+            self.server_node,
+            invalid_flag_off(flag_base, from),
+            &pattern,
+            t,
+        );
+        a.end
     }
 
     /// Server statistics.
@@ -764,6 +886,22 @@ impl SharingNode {
             dirty_ranges: Vec::new(),
             stats: SharingNodeStats::default(),
             fencing: None,
+        }
+    }
+
+    /// This node's fabric identity.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Migration hand-off, node side: drop the local metadata entries
+    /// for `[from, from + count)`. The donor calls this after the
+    /// coordinator's [`FusionServer::migrate_out`] so its next touch of
+    /// a migrated page goes through the normal removal/re-request
+    /// protocol instead of a stale local address. Pure control plane.
+    pub fn forget_range(&mut self, from: PageId, count: u64) {
+        for p in from.0..from.0 + count {
+            self.entries.remove(&PageId(p));
         }
     }
 
@@ -1535,7 +1673,10 @@ mod tests {
         server.set_brownout(NodeId(0), true);
         server.set_brownout(NodeId(0), true); // idempotent
         assert!(server.is_browned(NodeId(0)));
-        let t = server.shrink_node_share(NodeId(0), 1, SimTime::ZERO);
+        // Keep = 2 total: one pinned (shared page 5) + one exclusive.
+        let t = server
+            .shrink_node_share(NodeId(0), 2, SimTime::ZERO)
+            .expect("share of 2 is achievable (1 pinned + 1 exclusive)");
         // Pages 2 and 3 recycled (lowest page id survives); the page
         // shared with node 1 is untouched.
         assert_eq!(server.pages_in_use(), 2);
@@ -1561,6 +1702,73 @@ mod tests {
         assert_eq!(buf, [4u8; 8]);
         assert_eq!(n0.stats().removal_reloads, removals + 1);
         assert_eq!(server.pages_in_use(), 3);
+    }
+
+    #[test]
+    fn shrink_below_pinned_floor_reports_typed_clamp() {
+        let (mut server, mut n0, mut n1) = setup();
+        let mut buf = [0u8; 8];
+        // Node 0 exclusive on pages 1..=2; both nodes share page 5.
+        n0.read(&mut server, PageId(1), 0, &mut buf, SimTime::ZERO);
+        n0.read(&mut server, PageId(2), 0, &mut buf, SimTime::ZERO);
+        n0.read(&mut server, PageId(5), 0, &mut buf, SimTime::ZERO);
+        n1.read(&mut server, PageId(5), 0, &mut buf, SimTime::ZERO);
+        server.set_brownout(NodeId(0), true);
+        // Requesting 0 cannot evict the co-tenant's shared page: the
+        // shrink recycles every exclusive page and reports the floor.
+        let err = server
+            .shrink_node_share(NodeId(0), 0, SimTime::ZERO)
+            .expect_err("share below the pinned floor must be a typed clamp");
+        assert_eq!(err.node, NodeId(0));
+        assert_eq!(err.requested, 0);
+        assert_eq!(err.achievable, 1, "page 5 is pinned by node 1");
+        assert!(err.completed > SimTime::ZERO, "exclusive pages recycled");
+        assert_eq!(server.stats().brownout_reclaims, 2);
+        assert_eq!(server.stats().brownout_clamped, 1);
+        assert_eq!(server.pages_in_use(), 1, "only the shared page remains");
+        assert_eq!(server.pages_in_use() + server.free_slots(), 16);
+        // The co-tenant's shared page still serves from the DBP.
+        let fills = server.stats().storage_fills;
+        n1.read(&mut server, PageId(5), 0, &mut buf, err.completed);
+        assert_eq!(buf, [6u8; 8]);
+        assert_eq!(server.stats().storage_fills, fills);
+    }
+
+    #[test]
+    fn migrate_out_hands_pages_off_without_recycling() {
+        let (mut server, mut n0, mut n1) = setup();
+        let mut buf = [0u8; 8];
+        // Donor (node 0) active on pages 2..=4; write one of them so the
+        // data in CXL is worth keeping.
+        n0.read(&mut server, PageId(2), 0, &mut buf, SimTime::ZERO);
+        n0.read(&mut server, PageId(3), 0, &mut buf, SimTime::ZERO);
+        n0.read(&mut server, PageId(4), 0, &mut buf, SimTime::ZERO);
+        let t = n0.write(&mut server, PageId(3), 0, &[9u8; 8], SimTime::ZERO);
+        let t = n0.publish(&mut server, PageId(3), t);
+        let in_use = server.pages_in_use();
+        let free = server.free_slots();
+        let t = server.migrate_out(NodeId(0), PageId(2), 3, t);
+        // Slots neither freed nor leaked: the pages transfer in place.
+        assert_eq!(server.pages_in_use(), in_use);
+        assert_eq!(server.free_slots(), free);
+        assert_eq!(server.stats().migrated_out, 3);
+        assert!(server.slot_of(PageId(3)).is_some());
+        // Idempotent: a replay hands off nothing new.
+        let t = server.migrate_out(NodeId(0), PageId(2), 3, t);
+        assert_eq!(server.stats().migrated_out, 3);
+        // The recipient adopts the range and reads the donor's committed
+        // write without a storage round trip.
+        let (grants, t) = n1.adopt(&mut server, PageId(2), 3, t);
+        assert_eq!(grants, 3);
+        let fills = server.stats().storage_fills;
+        n1.read(&mut server, PageId(3), 0, &mut buf, t);
+        assert_eq!(buf, [9u8; 8]);
+        assert_eq!(server.stats().storage_fills, fills);
+        // The donor polls its removal flag and re-requests cleanly if it
+        // ever comes back to the page.
+        let removals = n0.stats().removal_reloads;
+        n0.read(&mut server, PageId(3), 0, &mut buf, t);
+        assert_eq!(n0.stats().removal_reloads, removals + 1);
     }
 
     #[test]

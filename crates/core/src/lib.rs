@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod cxl_bp;
+pub mod elastic;
 pub mod fusion;
 pub mod layout;
 pub mod manager;
@@ -30,9 +31,14 @@ pub mod recovery;
 pub mod tiering;
 
 pub use cxl_bp::{CxlBp, SharedCxl};
+pub use elastic::{
+    ElasticConfig, ElasticController, ElasticStats, JournalRecord, MigrationCoordinator,
+    MigrationError, MigrationPlan, MigrationRequest, MigrationState, MigrationStep, RecoveryAction,
+    MIG_JOURNAL_BYTES,
+};
 pub use fusion::{
     CoherencyMode, FencedError, FencingPolicy, FusionDir, FusionServer, FusionStats, SharedStore,
-    SharingNode, SharingNodeStats,
+    SharingNode, SharingNodeStats, ShrinkError,
 };
 pub use manager::{AllocError, CxlMemoryManager, Lease, ReleaseError};
 pub use rdma_sharing::{RdmaDbp, RdmaDir, RdmaNodeStats, RdmaSharingNode};

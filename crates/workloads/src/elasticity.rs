@@ -1,0 +1,806 @@
+//! Diurnal two-tenant elasticity scenario: live CXL re-partitioning
+//! under load vs a static partition.
+//!
+//! Two tenants (= database nodes) own disjoint sets of *extents* (one
+//! table group of pages each) in the shared CXL pool. Traffic follows
+//! the sun: in the first half of the run tenant 0 fronts most of the
+//! row space, in the second half demand flips to tenant 1. A statement
+//! whose extent the tenant *owns* is served fabric-local (lock +
+//! resident read/write); a statement on a foreign extent is served
+//! storage-direct — the tens-of-microseconds path that blows the tail.
+//!
+//! With `adaptive` on, an [`ElasticController`] watches per-tenant miss
+//! pressure at quantum barriers (the `miss_burn` telemetry rule when
+//! compiled in, a remote-share threshold otherwise) and re-partitions
+//! live: each plan runs the two-phase lease migration of
+//! [`MigrationCoordinator`] — PREPARE (journal + write-protect + flush)
+//! at one barrier, COMMIT (reassign + hand-off + bulk adopt + retire)
+//! at the next, so there is a real write-protected window with both
+//! tenants serving traffic through it. With `adaptive` off the
+//! partition is static and the growing tenant thrashes on storage for
+//! the whole second half.
+//!
+//! Everything is a function of virtual time and per-node state, so
+//! results are bit-identical across 1/2/4 host worker threads.
+
+use crate::sharing::{seed_storage, GroupLayout};
+use memsim::calib::{
+    CPU_POINT_SELECT_NS, CPU_TXN_OVERHEAD_NS, CPU_WRITE_STMT_NS, LOCK_SERVICE_NS, PAGE_SIZE,
+    STORAGE_READ_NS, STORAGE_WRITE_NS,
+};
+use memsim::{CxlNodeConfig, CxlPool, CxlShard, NodeId};
+use polarcxlmem::fusion::CoherencyMode;
+use polarcxlmem::{
+    CxlMemoryManager, ElasticConfig, ElasticController, ElasticStats, FusionServer, FusionStats,
+    MigrationCoordinator, MigrationPlan, MigrationRequest, SharingNode,
+};
+use simkit::faults::{self, FaultPlan, FaultState};
+use simkit::rng::{stream_rng, SimRng};
+use simkit::telemetry::{
+    self, Metric, NodeProbe, SloRule, TelemetryConfig, TelemetryHub, TelemetryReport,
+};
+use simkit::trace::{self, Lane, TraceState};
+use simkit::{
+    par, Histogram, LockDelta, LockMode, LockShard, LockTable, MetricsRegistry, MultiServer,
+    SimTime, Step, WorkerId, WorkerSet,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+use storage::PageId;
+
+/// CPU charged to refuse a write into the write-protected (migrating)
+/// range: the donor returns a retryable error without touching locks
+/// or the fabric. Same cost as the brownout write refusal.
+pub const PROTECTED_WRITE_NS: u64 = 5_000;
+
+/// Number of tenants in the diurnal scenario (the shift is two-sided).
+pub const ELASTIC_TENANTS: usize = 2;
+
+/// Elasticity experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ElasticityConfig {
+    /// Extents (= table groups). Initial split: tenant 0 owns the
+    /// first 3/4, tenant 1 the rest — matching first-half demand.
+    pub extents: usize,
+    /// Rows per extent group.
+    pub rows_per_group: u64,
+    /// Measured window.
+    pub duration: SimTime,
+    /// Virtual-time barrier quantum.
+    pub quantum: SimTime,
+    /// Closed-loop workers per node.
+    pub workers_per_node: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Host worker threads (`0` = [`par::host_threads`]). Any value
+    /// yields bit-identical results.
+    pub host_threads: usize,
+    /// Telemetry window width (ZERO disables probes; the controller
+    /// then runs on the remote-share fallback alone).
+    pub telemetry_window: SimTime,
+    /// Live migration on (`true`) or static-partition ablation.
+    pub adaptive: bool,
+    /// Percent of statements that are writes.
+    pub write_pct: u32,
+    /// Percent of statements aimed at a uniformly random extent the
+    /// tenant *owns* rather than its demand set — the residual trickle
+    /// every tenant keeps over its whole share. This is what makes the
+    /// write-protect window observable: the donor keeps touching an
+    /// extent even after demand moved off it.
+    pub background_pct: u32,
+    /// Per-tenant p99 SLO (ns) for the settled window; feeds the
+    /// example's pass/fail and the report, not the controller.
+    pub slo_p99_ns: u64,
+    /// Miss-rate SLO for the `miss_burn` burn-rate rule (misses/op).
+    pub miss_burn_slo: f64,
+    /// Fallback pressure threshold: percent of a tenant's statements
+    /// in the last quantum that went storage-direct.
+    pub pressure_pct: u64,
+    /// Controller knobs (hysteresis, cooldown, shrink floor).
+    pub elastic: ElasticConfig,
+}
+
+impl ElasticityConfig {
+    /// Standard scaled-down diurnal shift.
+    pub fn standard() -> Self {
+        ElasticityConfig {
+            extents: 8,
+            rows_per_group: 2_000,
+            duration: SimTime::from_millis(60),
+            quantum: SimTime::from_micros(200),
+            workers_per_node: 4,
+            seed: 23,
+            host_threads: 0,
+            telemetry_window: SimTime::from_millis(2),
+            adaptive: true,
+            write_pct: 20,
+            background_pct: 10,
+            slo_p99_ns: 420_000,
+            miss_burn_slo: 0.2,
+            pressure_pct: 20,
+            elastic: ElasticConfig {
+                min_extents: 1,
+                fire_streak: 2,
+                cool_quanta: 1,
+            },
+        }
+    }
+
+    /// Small fast config for CI smoke runs and tests.
+    pub fn smoke() -> Self {
+        let mut cfg = ElasticityConfig::standard();
+        cfg.rows_per_group = 800;
+        cfg.duration = SimTime::from_millis(30);
+        cfg
+    }
+}
+
+/// Per-tenant outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticTenantOutcome {
+    /// Tenant id (= node id).
+    pub tenant: usize,
+    /// Served transactions.
+    pub txns: u64,
+    /// Served statements.
+    pub queries: u64,
+    /// Statements served storage-direct off a foreign extent.
+    pub remote_reads: u64,
+    /// Writes forwarded storage-direct off a foreign extent.
+    pub remote_writes: u64,
+    /// Writes refused because they hit the migrating (write-protected)
+    /// range — the live-migration window made visible.
+    pub protected_writes: u64,
+    /// p99 latency over the whole run, ns.
+    pub p99_ns: u64,
+    /// p99 latency over the settled window (last third — the diurnal
+    /// shift has happened and migrations, if any, have completed), ns.
+    pub settled_p99_ns: u64,
+    /// Mean latency of served transactions, ns.
+    pub mean_ns: u64,
+}
+
+/// Result of an elasticity run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticityResult {
+    /// Whether live migration was enabled.
+    pub adaptive: bool,
+    /// Served statements across both tenants.
+    pub queries: u64,
+    /// Served transactions across both tenants.
+    pub txns: u64,
+    /// Per-tenant outcomes, tenant order.
+    pub per_tenant: Vec<ElasticTenantOutcome>,
+    /// Extent → owning tenant at the end of the run.
+    pub final_owners: Vec<usize>,
+    /// Migrations committed (extents moved).
+    pub migrations: u64,
+    /// Migration coordinator counters.
+    pub elastic: ElasticStats,
+    /// Fusion-server counters (includes `migrated_out`).
+    pub fusion: FusionStats,
+    /// Flat metrics export.
+    pub registry: MetricsRegistry,
+    /// Windowed per-node ops report (`None` when telemetry is compiled
+    /// out or the window is ZERO).
+    pub telemetry: Option<TelemetryReport>,
+}
+
+/// Per-lane driver state surviving across quanta.
+struct ElLoop {
+    ws: WorkerSet,
+    cpu: MultiServer,
+    rngs: Vec<SimRng>,
+    hist: Histogram,
+    settled: Histogram,
+    queries: u64,
+    txns: u64,
+    remote_reads: u64,
+    remote_writes: u64,
+    protected_writes: u64,
+    /// Per-extent storage-direct statements this quantum (controller
+    /// food; reset at each barrier).
+    remote: Vec<u64>,
+    /// Statements this quantum.
+    q_ops: u64,
+    buf: Vec<u8>,
+    trace: TraceState,
+    faults: FaultState,
+    probe: NodeProbe,
+}
+
+fn elasticity_tcfg(cfg: &ElasticityConfig) -> TelemetryConfig {
+    TelemetryConfig::new(cfg.telemetry_window, ELASTIC_TENANTS)
+        .lanes(&["local", "remote"])
+        .rule(
+            SloRule::burn_rate("miss_burn", Metric::MissRate, cfg.miss_burn_slo, 2, 4)
+                .fire_after(1)
+                .clear_after(2),
+        )
+}
+
+/// The extents tenant `tenant` demands at virtual time `now`: tenant 0
+/// fronts the first 3/4 of the row space in the first half of the run
+/// and shrinks to the first 1/4 in the second; tenant 1 mirrors it.
+fn demand_range(cfg: &ElasticityConfig, tenant: usize, now: SimTime) -> std::ops::Range<usize> {
+    let e = cfg.extents;
+    let hot = (e * 3) / 4;
+    let cold = e / 4;
+    let evening = now.as_nanos() >= cfg.duration.as_nanos() / 2;
+    match (tenant, evening) {
+        (0, false) => 0..hot,
+        (1, false) => hot..e,
+        (0, true) => 0..cold,
+        (1, true) => cold..e,
+        _ => 0..e,
+    }
+}
+
+/// Run the diurnal-shift elasticity scenario.
+pub fn run_elasticity(cfg: &ElasticityConfig) -> ElasticityResult {
+    let n = ELASTIC_TENANTS;
+    assert!(cfg.extents >= 4, "need at least 4 extents for the shift");
+    let layout = GroupLayout {
+        groups: cfg.extents,
+        rows_per_group: cfg.rows_per_group,
+    };
+    let ext_pages = layout.pages_per_group();
+    let ext_bytes = ext_pages * PAGE_SIZE;
+    let total_pages = layout.total_pages();
+    let slots_bytes = total_pages * PAGE_SIZE;
+    let flags_bytes = total_pages * 16;
+    let journal_base = slots_bytes + flags_bytes * n as u64;
+    let pool_size = journal_base + 4096;
+    let mut cfgs: Vec<CxlNodeConfig> = (0..=n)
+        .map(|host| CxlNodeConfig {
+            host,
+            cache_bytes: 8 << 20,
+            capture: true,
+            remote_numa: false,
+            direct_attach: false,
+        })
+        .collect();
+    cfgs[n].host = n; // fusion server / coordinator on its own link
+    let cxl = Rc::new(RefCell::new(CxlPool::new(pool_size as usize, &cfgs)));
+    let store = Rc::new(RefCell::new(seed_storage(&layout)));
+    let mut server = FusionServer::new(
+        Rc::clone(&cxl),
+        NodeId(n),
+        0,
+        total_pages as u32,
+        Rc::clone(&store),
+    );
+    let mut nodes: Vec<SharingNode> = (0..n)
+        .map(|i| {
+            let flag_base = slots_bytes + i as u64 * flags_bytes;
+            server.register_node(NodeId(i), flag_base);
+            SharingNode::with_mode(
+                NodeId(i),
+                flag_base,
+                PAGE_SIZE,
+                CoherencyMode::SoftwareLines,
+            )
+        })
+        .collect();
+    // Initial partition matches first-half demand: tenant 0 owns the
+    // first 3/4 of the extents, tenant 1 the rest. One manager lease
+    // per extent over the page-address space, so every extent is an
+    // independently migratable unit.
+    let hot = (cfg.extents * 3) / 4;
+    let initial_owner = |e: usize| -> usize { usize::from(e >= hot) };
+    let mut mgr = CxlMemoryManager::new(total_pages * PAGE_SIZE);
+    for e in 0..cfg.extents {
+        let (lease, _) = mgr
+            .allocate(NodeId(initial_owner(e)), ext_bytes, SimTime::ZERO)
+            .expect("pool sized for every extent");
+        debug_assert_eq!(lease.offset, e as u64 * ext_bytes);
+    }
+    // Warm serially: each tenant resolves every page of its extents, so
+    // no RPC happens inside a parallel phase.
+    for e in 0..cfg.extents {
+        let owner = initial_owner(e);
+        for p in 0..ext_pages {
+            let page = PageId(e as u64 * ext_pages + p);
+            nodes[owner].access(&mut server, page, SimTime::ZERO);
+        }
+    }
+    cxl.borrow_mut().reset_link_counters();
+
+    let threads = if cfg.host_threads == 0 {
+        par::host_threads()
+    } else {
+        cfg.host_threads
+    };
+    let quantum = cfg.quantum.max(SimTime(1));
+    let settle_from = SimTime(cfg.duration.as_nanos() * 2 / 3);
+    let mut dir = server.dir_snapshot();
+    let mut locks: LockTable<PageId> = LockTable::new();
+    let tcfg = elasticity_tcfg(cfg);
+    let mut hub = TelemetryHub::new(tcfg.clone());
+    let mut coord = MigrationCoordinator::new(NodeId(n), journal_base);
+    let mut ctl = ElasticController::new(
+        (0..cfg.extents).map(initial_owner).collect(),
+        n,
+        cfg.elastic,
+    );
+    let mut owners: Vec<usize> = ctl.owners().to_vec();
+    let mut loops: Vec<ElLoop> = (0..n)
+        .map(|i| {
+            let mut ws = WorkerSet::new();
+            for k in 0..cfg.workers_per_node {
+                ws.spawn(WorkerId(k), SimTime::ZERO);
+            }
+            ElLoop {
+                ws,
+                cpu: MultiServer::new(16),
+                rngs: (0..cfg.workers_per_node)
+                    .map(|k| stream_rng(cfg.seed, (i * cfg.workers_per_node + k) as u64))
+                    .collect(),
+                hist: Histogram::new(),
+                settled: Histogram::new(),
+                queries: 0,
+                txns: 0,
+                remote_reads: 0,
+                remote_writes: 0,
+                protected_writes: 0,
+                remote: vec![0; cfg.extents],
+                q_ops: 0,
+                buf: vec![0u8; 256],
+                trace: TraceState::armed(),
+                faults: FaultState::prepared(FaultPlan::default()),
+                probe: NodeProbe::new(i as u32, &tcfg),
+            }
+        })
+        .collect();
+    let mut shards: Vec<CxlShard> = {
+        let mut pool = cxl.borrow_mut();
+        (0..n).map(|i| pool.detach_node(NodeId(i))).collect()
+    };
+
+    struct ElLane<'a> {
+        node: &'a mut SharingNode,
+        shard: &'a mut CxlShard,
+        lock: LockShard<'a, PageId>,
+        lp: &'a mut ElLoop,
+    }
+
+    let payload = [0xE7u8; 96];
+    let cfg_ref: &ElasticityConfig = cfg;
+    let layout_ref = &layout;
+    let mut inflight: Option<(MigrationRequest, MigrationPlan)> = None;
+    let mut migrations = 0u64;
+    let mut now = SimTime::ZERO;
+    while now < cfg.duration {
+        let q_end = (now + quantum.as_nanos()).min(cfg.duration);
+        let prot = coord.protected();
+        let owners_ref: &[usize] = &owners;
+        let mut lanes: Vec<ElLane> = nodes
+            .iter_mut()
+            .zip(shards.iter_mut())
+            .zip(loops.iter_mut())
+            .map(|((node, shard), lp)| ElLane {
+                node,
+                shard,
+                lock: locks.shard(),
+                lp,
+            })
+            .collect();
+        let dir_ref = &dir;
+        par::run_phase(threads, &mut lanes, |i, lane| {
+            let ElLane {
+                node,
+                shard,
+                lock,
+                lp,
+            } = lane;
+            let ElLoop {
+                ws,
+                cpu,
+                rngs,
+                hist,
+                settled,
+                queries,
+                txns,
+                remote_reads,
+                remote_writes,
+                protected_writes,
+                remote,
+                q_ops,
+                buf,
+                trace: tr,
+                faults: fs,
+                probe,
+            } = &mut **lp;
+            trace::swap_state(tr);
+            faults::swap_state(fs);
+            ws.run_until(q_end, |WorkerId(w), start| {
+                let rng = &mut rngs[w];
+                let demand = demand_range(cfg_ref, i, start);
+                let span = (demand.end - demand.start) as u64;
+                let mut t = start + CPU_TXN_OVERHEAD_NS;
+                for _ in 0..4 {
+                    let background = rng.gen_range(0..100) < cfg_ref.background_pct as u64;
+                    let e = if background {
+                        // Residual trickle: a uniform pick over the
+                        // extents this tenant currently owns.
+                        let owned_cnt = owners_ref.iter().filter(|&&o| o == i).count() as u64;
+                        let k = rng.gen_range(0..owned_cnt.max(1)) as usize;
+                        owners_ref
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &o)| o == i)
+                            .nth(k)
+                            .map(|(e, _)| e)
+                            .unwrap_or(demand.start)
+                    } else {
+                        demand.start + rng.gen_range(0..span) as usize
+                    };
+                    let row = rng.gen_range(0..layout_ref.rows_per_group);
+                    let (page, off) = layout_ref.locate(e, row);
+                    let is_write = rng.gen_range(0..100) < cfg_ref.write_pct as u64;
+                    let owned = owners_ref[e] == i;
+                    let in_protected = prot
+                        .is_some_and(|(from, count)| page.0 >= from.0 && page.0 < from.0 + count);
+                    let s0 = t;
+                    if owned && is_write && in_protected {
+                        // The migrating range is write-protected on the
+                        // donor: refuse fast, client retries after the
+                        // hand-off. Reads below keep flowing.
+                        t = cpu.acquire(t, PROTECTED_WRITE_NS).end;
+                        *protected_writes += 1;
+                        if probe.enabled() {
+                            probe.record_errs(0, t, 1);
+                        }
+                    } else if owned {
+                        if is_write {
+                            t = cpu.acquire(t, CPU_WRITE_STMT_NS).end;
+                            t += LOCK_SERVICE_NS;
+                            let (grant, _) = lock.acquire(page, t, LockMode::Exclusive, 0);
+                            t = grant;
+                            t = node.write_resident(*shard, page, off as u64 + 8, &payload, t);
+                            t = node.publish_resident(*shard, dir_ref, page, t);
+                            lock.extend_exclusive(page, t);
+                        } else {
+                            t = cpu.acquire(t, CPU_POINT_SELECT_NS).end;
+                            t += LOCK_SERVICE_NS;
+                            let (grant, _) = lock.acquire(page, t, LockMode::Shared, 0);
+                            t = grant;
+                            t = node.read_resident(*shard, page, off as u64 + 8, &mut buf[..96], t);
+                            lock.extend_shared(page, t);
+                        }
+                        if probe.enabled() {
+                            probe.record_op(0, t, t.saturating_since(s0));
+                            probe.record_bytes(0, t, 96);
+                        }
+                    } else {
+                        // Foreign extent: storage-direct service — the
+                        // thrash the controller exists to remove.
+                        if is_write {
+                            t = cpu.acquire(t, CPU_WRITE_STMT_NS).end;
+                            t += STORAGE_WRITE_NS;
+                            *remote_writes += 1;
+                        } else {
+                            t = cpu.acquire(t, CPU_POINT_SELECT_NS).end;
+                            t += STORAGE_READ_NS;
+                            *remote_reads += 1;
+                        }
+                        remote[e] += 1;
+                        if probe.enabled() {
+                            probe.record_op(1, t, t.saturating_since(s0));
+                            probe.record_misses(1, t, 1);
+                        }
+                    }
+                    *queries += 1;
+                    *q_ops += 1;
+                }
+                *txns += 1;
+                hist.record(t - start);
+                if start >= settle_from {
+                    settled.record(t - start);
+                }
+                Step::Done(t)
+            });
+            faults::swap_state(fs);
+            trace::swap_state(tr);
+        });
+        // Barrier: fold lock deltas and shards in node order.
+        let deltas: Vec<LockDelta<PageId>> =
+            lanes.into_iter().map(|lane| lane.lock.finish()).collect();
+        for delta in deltas {
+            locks.absorb(delta);
+        }
+        cxl.borrow_mut().barrier(&mut shards);
+        now = q_end;
+        if hub.enabled() {
+            for lp in loops.iter_mut() {
+                hub.ingest(&mut lp.probe, now);
+            }
+            hub.seal(now);
+        }
+        // Controller food: per-tenant per-extent remote ops and totals
+        // for the quantum just ended, folded in node order.
+        let mut remote_window: Vec<Vec<u64>> = Vec::with_capacity(n);
+        let mut ops_window: Vec<u64> = Vec::with_capacity(n);
+        for lp in loops.iter_mut() {
+            remote_window.push(std::mem::replace(&mut lp.remote, vec![0; cfg.extents]));
+            ops_window.push(std::mem::take(&mut lp.q_ops));
+        }
+        if cfg.adaptive {
+            if let Some((req, _plan)) = inflight.take() {
+                // COMMIT barrier: the intent journalled last barrier
+                // goes through phase 2 while the lanes were serving
+                // through the write-protected window.
+                {
+                    let mut pool = cxl.borrow_mut();
+                    for s in shards.drain(..) {
+                        pool.attach_node(s);
+                    }
+                }
+                let (donor_ix, recip_ix) = (req.donor, req.recipient);
+                {
+                    let (a, b) = nodes.split_at_mut(donor_ix.max(recip_ix));
+                    let (d, r) = if donor_ix < recip_ix {
+                        (&mut a[donor_ix], &mut b[0])
+                    } else {
+                        (&mut b[0], &mut a[recip_ix])
+                    };
+                    coord
+                        .commit(&mut server, &mut mgr, d, r, now)
+                        .expect("fault-free commit");
+                }
+                {
+                    let mut pool = cxl.borrow_mut();
+                    shards = (0..n).map(|i| pool.detach_node(NodeId(i))).collect();
+                }
+                ctl.apply(req);
+                owners = ctl.owners().to_vec();
+                dir = server.dir_snapshot();
+                migrations += 1;
+            } else {
+                // Pressure: the telemetry burn-rate rule when compiled
+                // in, OR the remote-share fallback (deterministic from
+                // folded counters either way).
+                let mut pressured = vec![false; n];
+                for (t, p) in pressured.iter_mut().enumerate() {
+                    let remote_total: u64 = remote_window[t].iter().sum();
+                    let share_hit = remote_total * 100 > ops_window[t] * cfg.pressure_pct;
+                    *p = share_hit || (hub.enabled() && hub.firing("miss_burn", t as u32));
+                }
+                if let Some(req) = ctl.tick(&pressured, &remote_window) {
+                    // PREPARE barrier: journal the intent and flush the
+                    // donor range; the next quantum runs with the range
+                    // write-protected on the donor.
+                    let from = PageId(req.extent as u64 * ext_pages);
+                    let lease = mgr
+                        .lease_at(req.extent as u64 * ext_bytes, ext_bytes)
+                        .expect("every extent keeps its lease");
+                    let plan = MigrationPlan {
+                        donor: NodeId(req.donor),
+                        recipient: NodeId(req.recipient),
+                        from,
+                        count: ext_pages,
+                        lease,
+                    };
+                    {
+                        let mut pool = cxl.borrow_mut();
+                        for s in shards.drain(..) {
+                            pool.attach_node(s);
+                        }
+                    }
+                    coord
+                        .prepare(&mut server, plan, now)
+                        .expect("fault-free prepare");
+                    {
+                        let mut pool = cxl.borrow_mut();
+                        shards = (0..n).map(|i| pool.detach_node(NodeId(i))).collect();
+                    }
+                    inflight = Some((req, plan));
+                }
+            }
+        }
+    }
+    {
+        let mut pool = cxl.borrow_mut();
+        for shard in shards {
+            pool.attach_node(shard);
+        }
+    }
+    server.absorb_invalidations(
+        nodes
+            .iter()
+            .map(|node| node.stats().invalidations_sent)
+            .sum(),
+    );
+    for lp in loops.iter_mut() {
+        hub.drain(&mut lp.probe);
+    }
+    hub.finish(cfg.duration);
+    let telemetry_report = if telemetry::compiled() && hub.enabled() {
+        Some(hub.report())
+    } else {
+        None
+    };
+
+    // Partition sanity: slot conservation, lease invariants, and the
+    // lease map agreeing with the controller's extent map.
+    debug_assert_eq!(
+        server.pages_in_use() + server.free_slots(),
+        total_pages as usize,
+        "DBP slot conservation"
+    );
+    mgr.check_invariants();
+    for e in 0..cfg.extents {
+        let lease = mgr
+            .lease_at(e as u64 * ext_bytes, ext_bytes)
+            .expect("every extent keeps its lease");
+        assert_eq!(
+            lease.client,
+            NodeId(ctl.owner(e)),
+            "lease owner and controller map agree for extent {e}"
+        );
+    }
+
+    // Fold lanes in node order: outcomes, aggregates, trace state.
+    let mut per_tenant = Vec::with_capacity(n);
+    let mut queries = 0u64;
+    let mut txns = 0u64;
+    for (i, mut lp) in loops.into_iter().enumerate() {
+        queries += lp.queries;
+        txns += lp.txns;
+        per_tenant.push(ElasticTenantOutcome {
+            tenant: i,
+            txns: lp.txns,
+            queries: lp.queries,
+            remote_reads: lp.remote_reads,
+            remote_writes: lp.remote_writes,
+            protected_writes: lp.protected_writes,
+            p99_ns: lp.hist.quantile_ns(0.99),
+            settled_p99_ns: lp.settled.quantile_ns(0.99),
+            mean_ns: (lp.hist.mean_us() * 1_000.0).round() as u64,
+        });
+        let bd = lp.trace.breakdown();
+        for lane in Lane::ALL {
+            let ns = bd.lane(lane);
+            if ns > 0 {
+                trace::attr_add(lane, ns);
+            }
+        }
+        for ev in lp.trace.take_events() {
+            trace::span(ev.kind, ev.node, ev.start, ev.end, ev.bytes);
+        }
+    }
+    let fusion = server.stats();
+    let elastic = coord.stats();
+    let final_owners = ctl.owners().to_vec();
+
+    let mut registry = MetricsRegistry::new();
+    registry.set_int("elasticity_adaptive", cfg.adaptive as u64);
+    registry.set_int("elasticity_queries", queries);
+    registry.set_int("elasticity_txns", txns);
+    registry.set_num(
+        "elasticity_qps",
+        queries as f64 / cfg.duration.as_secs_f64(),
+    );
+    registry.set_int("elasticity_migrations", migrations);
+    registry.set_int("elasticity_rollbacks", elastic.rollbacks);
+    registry.set_int("elasticity_pages_flushed", elastic.pages_flushed);
+    registry.set_int(
+        "elasticity_remote_reads",
+        per_tenant.iter().map(|t| t.remote_reads).sum(),
+    );
+    registry.set_int(
+        "elasticity_remote_writes",
+        per_tenant.iter().map(|t| t.remote_writes).sum(),
+    );
+    registry.set_int(
+        "elasticity_protected_writes",
+        per_tenant.iter().map(|t| t.protected_writes).sum(),
+    );
+    for t in &per_tenant {
+        registry.set_int(
+            &format!("elasticity_t{}_settled_p99_ns", t.tenant),
+            t.settled_p99_ns,
+        );
+        registry.set_int(&format!("elasticity_t{}_p99_ns", t.tenant), t.p99_ns);
+    }
+    registry.set_int("fusion_rpcs", fusion.rpcs);
+    registry.set_int("fusion_storage_fills", fusion.storage_fills);
+    registry.set_int("fusion_migrated_out", fusion.migrated_out);
+    if let Some(rep) = telemetry_report.as_ref() {
+        rep.register_into(&mut registry);
+    }
+
+    ElasticityResult {
+        adaptive: cfg.adaptive,
+        queries,
+        txns,
+        per_tenant,
+        final_owners,
+        migrations,
+        elastic,
+        fusion,
+        registry,
+        telemetry: telemetry_report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn threads_cfg(threads: usize, adaptive: bool) -> ElasticityConfig {
+        let mut cfg = ElasticityConfig::smoke();
+        cfg.host_threads = threads;
+        cfg.adaptive = adaptive;
+        cfg
+    }
+
+    #[test]
+    fn adaptive_run_migrates_and_clears_the_thrash() {
+        let r = run_elasticity(&threads_cfg(2, true));
+        // The diurnal flip moves exactly the extents tenant 1 newly
+        // demands: 3/4·E − 1/4·E = E/2 of them.
+        let cfg = ElasticityConfig::smoke();
+        let expect = (cfg.extents * 3 / 4 - cfg.extents / 4) as u64;
+        assert_eq!(r.migrations, expect, "owners: {:?}", r.final_owners);
+        assert_eq!(r.elastic.commits, expect);
+        assert_eq!(r.elastic.rollbacks, 0);
+        assert!(r.fusion.migrated_out > 0, "pages handed off in place");
+        // Post-shift ownership matches second-half demand exactly.
+        let cold = cfg.extents / 4;
+        for e in 0..cfg.extents {
+            assert_eq!(r.final_owners[e], usize::from(e >= cold));
+        }
+        // Settled tails: both tenants inside the SLO once migration
+        // has caught the partition up with demand.
+        for t in &r.per_tenant {
+            assert!(
+                t.settled_p99_ns <= cfg.slo_p99_ns,
+                "tenant {} settled p99 {} > SLO {}",
+                t.tenant,
+                t.settled_p99_ns,
+                cfg.slo_p99_ns
+            );
+        }
+    }
+
+    #[test]
+    fn static_partition_thrashes_the_growing_tenant() {
+        let r = run_elasticity(&threads_cfg(2, false));
+        assert_eq!(r.migrations, 0);
+        let cfg = ElasticityConfig::smoke();
+        // Tenant 1's second-half demand never fits its static share:
+        // its settled p99 is storage-bound, far outside the SLO.
+        assert!(
+            r.per_tenant[1].settled_p99_ns > cfg.slo_p99_ns,
+            "static partition should thrash: settled p99 {}",
+            r.per_tenant[1].settled_p99_ns
+        );
+        assert!(r.per_tenant[1].remote_reads > 0);
+    }
+
+    #[test]
+    fn elasticity_is_worker_count_invariant() {
+        let r1 = run_elasticity(&threads_cfg(1, true));
+        let r2 = run_elasticity(&threads_cfg(2, true));
+        let r4 = run_elasticity(&threads_cfg(4, true));
+        assert_eq!(r1, r2);
+        assert_eq!(r2, r4);
+    }
+
+    #[test]
+    fn protected_window_refuses_donor_writes_but_serves_reads() {
+        let mut cfg = threads_cfg(2, true);
+        // Plenty of writes and background traffic so the one-quantum
+        // protect window between PREPARE and COMMIT is hit.
+        cfg.write_pct = 50;
+        cfg.background_pct = 30;
+        let r = run_elasticity(&cfg);
+        assert!(r.migrations > 0);
+        let refused: u64 = r.per_tenant.iter().map(|t| t.protected_writes).sum();
+        assert!(
+            refused > 0,
+            "the write-protected window must be observable under a 40% write mix"
+        );
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod elasticity;
 pub mod failover;
 pub mod harness;
 pub mod metrics;
@@ -21,6 +22,9 @@ pub mod tiering;
 pub mod tpcc;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosRunResult};
+pub use elasticity::{
+    run_elasticity, ElasticTenantOutcome, ElasticityConfig, ElasticityResult, ELASTIC_TENANTS,
+};
 pub use failover::{
     run_failover, DeathMode, FailoverConfig, FailoverResult, LinkChaos, TakeoverSummary,
 };

@@ -123,7 +123,10 @@ pub struct OverloadConfig {
     pub link_flap: Option<FlapSpec>,
     /// Breaker tuning for the per-lane fabric breakers.
     pub breaker: BreakerConfig,
-    /// Exclusive DBP pages the browned tenant keeps.
+    /// Total DBP pages the browned tenant keeps. Pages shared with
+    /// other tenants are pinned by them and set the floor — a request
+    /// below the floor is clamped (typed `ShrinkError`, counted in
+    /// `fusion_brownout_clamped`).
     pub brownout_keep: usize,
     /// Brown out when DBP occupancy exceeds this percentage. The
     /// default (101) disables the occupancy rule — this harness warms
@@ -679,7 +682,13 @@ pub fn run_overload(cfg: &OverloadConfig) -> OverloadResult {
                 brownout_entries += 1;
                 clear_streak = 0;
                 server.set_brownout(NodeId(0), true);
-                server.shrink_node_share(NodeId(0), cfg.brownout_keep, now);
+                // A clamp (share request below the tenant's pinned
+                // pages) is expected under brownout: the shrink still
+                // recycled every exclusive page and counted the clamp
+                // into `FusionStats::brownout_clamped` for the registry.
+                if let Err(clamp) = server.shrink_node_share(NodeId(0), cfg.brownout_keep, now) {
+                    debug_assert!(clamp.achievable > cfg.brownout_keep);
+                }
                 dir = server.dir_snapshot();
                 loops[0].adm.set_brownout(0, true);
             } else if browned_now {
@@ -812,6 +821,7 @@ pub fn run_overload(cfg: &OverloadConfig) -> OverloadResult {
     registry.set_int("fusion_storage_fills", fusion.storage_fills);
     registry.set_int("fusion_brownouts", fusion.brownouts);
     registry.set_int("fusion_brownout_reclaims", fusion.brownout_reclaims);
+    registry.set_int("fusion_brownout_clamped", fusion.brownout_clamped);
     if let Some(rep) = telemetry_report.as_ref() {
         rep.register_into(&mut registry);
     }
@@ -902,6 +912,17 @@ mod tests {
         assert_eq!(r.brownout_exits, 0);
         assert_eq!(r.fusion.brownouts, 1);
         assert!(r.fusion.brownout_reclaims > 0, "exclusive share shrinks");
+        assert!(
+            r.fusion.brownout_clamped >= 1,
+            "keep=2 sits below the shared-group pin floor: the clamp is typed and counted"
+        );
+        assert_eq!(
+            r.registry
+                .get("fusion_brownout_clamped")
+                .map(|v| v.as_u64()),
+            Some(r.fusion.brownout_clamped),
+            "clamp counter exported to the registry"
+        );
         assert!(
             r.per_tenant[0].browned_txns > 0,
             "aggressor serves storage-direct"

@@ -78,10 +78,11 @@ pub mod prelude {
     pub use simkit::{dur, SimTime};
     pub use storage::{Lsn, PageId, PageStore, Wal};
     pub use workloads::{
-        run_chaos, run_failover, run_overload, run_pooling, run_recovery, run_sharing, run_tiering,
-        ChaosConfig, ChaosRunResult, DeathMode, FailoverConfig, FailoverResult, FlapSpec,
-        LinkChaos, OverloadConfig, OverloadResult, PhasePattern, PoolKind, PoolingConfig,
-        RecoveryConfig, RecoveryRunResult, Scheme, SharingConfig, SharingResult, SharingSystem,
-        SysbenchKind, TenantOutcome, TieringConfig, TieringResult,
+        run_chaos, run_elasticity, run_failover, run_overload, run_pooling, run_recovery,
+        run_sharing, run_tiering, ChaosConfig, ChaosRunResult, DeathMode, ElasticTenantOutcome,
+        ElasticityConfig, ElasticityResult, FailoverConfig, FailoverResult, FlapSpec, LinkChaos,
+        OverloadConfig, OverloadResult, PhasePattern, PoolKind, PoolingConfig, RecoveryConfig,
+        RecoveryRunResult, Scheme, SharingConfig, SharingResult, SharingSystem, SysbenchKind,
+        TenantOutcome, TieringConfig, TieringResult,
     };
 }

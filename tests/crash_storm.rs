@@ -251,6 +251,141 @@ fn fs_op(
     }
 }
 
+/// Standby takeover racing the reclaimer: a standby adopts the dead
+/// node's page range in chunks while `reclaim_node` lands at a seeded
+/// position in the interleaving. A page adopted *before* the reclaim is
+/// pinned by the standby (slot transfers, never recycled); a page the
+/// reclaimer reaches first is recycled exactly once and the late adopt
+/// simply skips it. Whatever the interleaving, slots are conserved,
+/// nothing double-recycles, and every surviving page still serves the
+/// dead node's published bytes.
+#[test]
+fn adopt_range_vs_reclaim_interleaving_never_double_recycles() {
+    use polardb_cxl_repro::memsim::CxlNodeConfig;
+    use std::collections::BTreeSet;
+
+    for case in 0..32u64 {
+        let mut rng = SimRng::seed_from_u64(0xAD07 + case);
+        let pool = fs_epoch_base() + 4096;
+        let cfgs: Vec<CxlNodeConfig> = (0..FS_NODES + 1)
+            .map(|host| CxlNodeConfig {
+                host,
+                cache_bytes: 1 << 20,
+                capture: true,
+                remote_numa: false,
+                direct_attach: false,
+            })
+            .collect();
+        let cxl = Rc::new(RefCell::new(CxlPool::new(pool as usize, &cfgs)));
+        let mut store = PageStore::with_page_size(FS_PAGES, FS_PAGE);
+        for _ in 0..FS_PAGES {
+            store.allocate();
+        }
+        let store = Rc::new(RefCell::new(store));
+        let mut server =
+            FusionServer::new(Rc::clone(&cxl), NodeId(FS_NODES), 0, FS_PAGES as u32, store);
+        let mut nodes: Vec<SharingNode> = (0..FS_NODES)
+            .map(|i| {
+                server.register_node(NodeId(i), fs_flag_base(i));
+                SharingNode::new(NodeId(i), fs_flag_base(i), FS_PAGE)
+            })
+            .collect();
+
+        // The doomed primary (node 0) publishes a value into each of its
+        // private pages; a seeded prefix is also read by node 1, so
+        // those slots are co-pinned and must survive any interleaving.
+        let mut t = SimTime::ZERO;
+        for p in 0..FS_PPG {
+            let page = fs_ppage(0, p);
+            let t2 = nodes[0].write(&mut server, page, 64, &[p as u8 + 1; 32], t);
+            t = nodes[0].publish(&mut server, page, t2);
+        }
+        let pre_shared = rng.gen_range(0..=FS_PPG / 2);
+        for p in 0..pre_shared {
+            let mut buf = [0u8; 32];
+            t = nodes[1].read(&mut server, fs_ppage(0, p), 64, &mut buf, t);
+        }
+
+        // Node 0 dies. The standby (node 2) adopts its range in seeded
+        // chunks, with the reclaimer interleaved at a seeded position.
+        cxl.borrow_mut().crash_node(NodeId(0));
+        let mut chunks: Vec<(u64, u64)> = Vec::new();
+        let mut at = 0u64;
+        while at < FS_PPG {
+            let len = (1 + rng.gen_range(0..3u64)).min(FS_PPG - at);
+            chunks.push((at, len));
+            at += len;
+        }
+        let reclaim_at = rng.gen_range(0..=chunks.len() as u64) as usize;
+        let mut adopted_before: BTreeSet<u64> = BTreeSet::new();
+        let mut reclaimed = false;
+        for (k, &(from, len)) in chunks.iter().enumerate() {
+            if k == reclaim_at {
+                t = server.reclaim_node(NodeId(0), t);
+                reclaimed = true;
+            }
+            let (_, t2) = nodes[2].adopt(&mut server, fs_ppage(0, from), len, t);
+            t = t2;
+            if !reclaimed {
+                adopted_before.extend(from..from + len);
+            }
+        }
+        if !reclaimed {
+            t = server.reclaim_node(NodeId(0), t);
+        }
+
+        // Exactly the sole-active pages the reclaimer reached first are
+        // recycled — once. Everything else is pinned (co-tenant or
+        // standby) and conserved.
+        let expect_recycled = (pre_shared..FS_PPG)
+            .filter(|p| !adopted_before.contains(p))
+            .count();
+        let stats = server.stats();
+        assert_eq!(
+            stats.reclaimed_slots as usize, expect_recycled,
+            "case {case}: pre_shared {pre_shared}, adopted_before {adopted_before:?}"
+        );
+        assert_eq!(
+            stats.reclaimed_flags, FS_PPG,
+            "case {case}: the dead node was active on its whole group"
+        );
+        assert_eq!(
+            server.pages_in_use() + server.free_slots(),
+            FS_PAGES as usize,
+            "case {case}: DBP slot conservation"
+        );
+
+        // Surviving pages still serve the dead node's published bytes
+        // through the standby; recycled ones refill from storage (zeros)
+        // — proof the slot really was freed, not aliased.
+        for p in 0..FS_PPG {
+            let survives = p < pre_shared || adopted_before.contains(&p);
+            let mut buf = [0u8; 32];
+            t = nodes[2].read(&mut server, fs_ppage(0, p), 64, &mut buf, t);
+            let want = if survives {
+                [p as u8 + 1; 32]
+            } else {
+                [0u8; 32]
+            };
+            assert_eq!(buf, want, "case {case}: page {p} (survives={survives})");
+        }
+
+        // A second reclaim of the same dead node is a no-op: its active
+        // entries are gone, so nothing can recycle twice.
+        let before = server.stats();
+        t = server.reclaim_node(NodeId(0), t);
+        let after = server.stats();
+        assert_eq!(after.reclaimed_slots, before.reclaimed_slots, "case {case}");
+        assert_eq!(after.reclaimed_flags, before.reclaimed_flags, "case {case}");
+        assert_eq!(
+            server.pages_in_use() + server.free_slots(),
+            FS_PAGES as usize,
+            "case {case}: conservation after re-reclaim"
+        );
+        let _ = t;
+    }
+}
+
 /// Five rounds; each kills a rotating primary mid-burst (its CPU cache
 /// vanishes, the CXL pool survives), fences + reclaims it, proves the
 /// dead incarnation's handle stays fenced out, then reincarnates the

@@ -396,6 +396,46 @@ fn overload_intra_config_is_worker_count_invariant() {
 }
 
 #[test]
+fn elasticity_intra_config_is_worker_count_invariant() {
+    // Live migration adds the sharpest host-order hazards yet: the
+    // controller's pressure streaks are folded from per-lane counters at
+    // barriers, the coordinator's PREPARE/COMMIT mutate the shared
+    // directory between quanta, and the write-protected window gates
+    // per-lane statements. Every one of those must be a function of
+    // virtual time and node state only — adaptive and static, and with
+    // the protected window under a heavy write mix.
+    let run = |adaptive: bool, write_pct: u32, threads: usize| {
+        let mut c = ElasticityConfig::smoke();
+        c.adaptive = adaptive;
+        c.write_pct = write_pct;
+        c.host_threads = threads;
+        run_elasticity(&c)
+    };
+    for (adaptive, write_pct) in [(true, 20), (false, 20), (true, 50)] {
+        let one = run(adaptive, write_pct, 1);
+        for workers in [2usize, 4] {
+            let p = run(adaptive, write_pct, workers);
+            assert_eq!(
+                one.per_tenant, p.per_tenant,
+                "adaptive={adaptive} wr={write_pct} {workers} workers: per-tenant outcomes"
+            );
+            assert_eq!(
+                one.final_owners, p.final_owners,
+                "adaptive={adaptive} wr={write_pct} {workers} workers: extent owners"
+            );
+            assert_eq!(
+                one.registry, p.registry,
+                "adaptive={adaptive} wr={write_pct} {workers} workers: registry"
+            );
+            assert_eq!(
+                one, p,
+                "adaptive={adaptive} wr={write_pct} {workers} workers diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
 fn failover_intra_config_is_worker_count_invariant() {
     // Failover folds the fault engine into the phased run: each node's
     // fault state steps on whichever worker drives the node, so the

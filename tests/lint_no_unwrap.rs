@@ -9,8 +9,9 @@
 //!
 //! Scope: all of `crates/memsim/src` (RDMA + CXL fabric models), the
 //! storage primitives `wal.rs` / `pagestore.rs`, and the cluster
-//! control plane `manager.rs` / `fusion.rs` (lease revocation, epoch
-//! fencing and node reclamation run exactly when nodes are dying, so a
+//! control plane `manager.rs` / `fusion.rs` / `elastic.rs` (lease
+//! revocation, epoch fencing, node reclamation and live lease migration
+//! run exactly when nodes are dying or crash-recovering, so a
 //! panic there takes the failover path down with the failed node), plus
 //! the overload-reaction layer `tiering.rs` / `telemetry.rs` (brownout
 //! decisions and SLO alerting must keep running *while* the cluster is
@@ -31,6 +32,7 @@ const SCANNED: &[&str] = &[
     "crates/storage/src/pagestore.rs",
     "crates/core/src/manager.rs",
     "crates/core/src/fusion.rs",
+    "crates/core/src/elastic.rs",
     "crates/core/src/tiering.rs",
     "crates/simkit/src/telemetry.rs",
 ];
